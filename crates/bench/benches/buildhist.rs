@@ -1,0 +1,96 @@
+//! BuildHist kernel micro-benchmarks: row-scan vs column-scan, MemBuf vs
+//! global gradient gather, and feature-block width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harp_binning::{BinningConfig, QuantizedMatrix};
+use harp_data::{DatasetKind, SynthConfig};
+use harpgbdt::kernels::{col_scan, row_scan, GradSource};
+
+fn setup(kind: DatasetKind, scale: f64) -> (QuantizedMatrix, Vec<[f32; 2]>, Vec<u32>) {
+    let d = SynthConfig::new(kind, 1).with_scale(scale).generate();
+    let qm = QuantizedMatrix::from_matrix(&d.features, BinningConfig::default());
+    let n = qm.n_rows();
+    let grads: Vec<[f32; 2]> = (0..n).map(|i| [((i % 17) as f32) - 8.0, 0.25]).collect();
+    let rows: Vec<u32> = (0..n as u32).collect();
+    (qm, grads, rows)
+}
+
+fn bench_buildhist(c: &mut Criterion) {
+    let (qm, grads, rows) = setup(DatasetKind::Synset, 0.25);
+    let width = qm.mapper().total_bins() as usize * 2;
+    let m = qm.n_features();
+    let mut group = c.benchmark_group("buildhist");
+    group.sample_size(10);
+
+    group.bench_function("row_scan/all_features/global", |b| {
+        let mut hist = vec![0.0; width];
+        b.iter(|| {
+            hist.fill(0.0);
+            row_scan(&qm, &rows, GradSource::Global(&grads), 0..m, &mut hist)
+        });
+    });
+    group.bench_function("row_scan/all_features/membuf", |b| {
+        let membuf: Vec<[f32; 2]> = rows.iter().map(|&r| grads[r as usize]).collect();
+        let mut hist = vec![0.0; width];
+        b.iter(|| {
+            hist.fill(0.0);
+            row_scan(&qm, &rows, GradSource::MemBuf(&membuf), 0..m, &mut hist)
+        });
+    });
+    for f_blk in [4usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("row_scan/feature_block", f_blk),
+            &f_blk,
+            |b, &f_blk| {
+                let mut hist = vec![0.0; width];
+                b.iter(|| {
+                    hist.fill(0.0);
+                    let mut cells = 0;
+                    let mut lo = 0;
+                    while lo < m {
+                        let hi = (lo + f_blk).min(m);
+                        cells +=
+                            row_scan(&qm, &rows, GradSource::Global(&grads), lo..hi, &mut hist);
+                        lo = hi;
+                    }
+                    cells
+                });
+            },
+        );
+    }
+    group.bench_function("col_scan/all_features", |b| {
+        let mut hist = vec![0.0; width];
+        b.iter(|| {
+            hist.fill(0.0);
+            let mut cells = 0;
+            for f in 0..m {
+                let n_bins = qm.mapper().n_bins(f) as usize;
+                let base = qm.mapper().bin_offset(f) as usize * 2;
+                cells += col_scan(
+                    &qm,
+                    f,
+                    &rows,
+                    GradSource::Global(&grads),
+                    0..n_bins,
+                    &mut hist[base..base + n_bins * 2],
+                );
+            }
+            cells
+        });
+    });
+
+    // Sparse input (YFCC-like shape).
+    let (sqm, sgrads, srows) = setup(DatasetKind::YfccLike, 0.25);
+    let swidth = sqm.mapper().total_bins() as usize * 2;
+    group.bench_function("row_scan/sparse", |b| {
+        let mut hist = vec![0.0; swidth];
+        b.iter(|| {
+            hist.fill(0.0);
+            row_scan(&sqm, &srows, GradSource::Global(&sgrads), 0..sqm.n_features(), &mut hist)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buildhist);
+criterion_main!(benches);

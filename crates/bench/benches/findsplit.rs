@@ -1,0 +1,49 @@
+//! FindSplit micro-benchmark: gain-scan cost vs feature count and bins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harp_binning::{BinMapper, FeatureCuts};
+use harpgbdt::split::{find_split_range, SplitSettings};
+use harpgbdt::NodeStats;
+
+fn mapper(m: usize, bins: usize) -> BinMapper {
+    BinMapper::from_cuts(
+        (0..m)
+            .map(|_| FeatureCuts { cuts: (0..bins).map(|i| i as f32).collect() })
+            .collect(),
+    )
+}
+
+fn hist_for(mapper: &BinMapper) -> (Vec<f64>, NodeStats) {
+    let width = mapper.total_bins() as usize * 2;
+    let mut hist = vec![0.0; width];
+    let mut node = NodeStats::default();
+    for (i, cell) in hist.chunks_exact_mut(2).enumerate() {
+        let g = ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0;
+        cell[0] = g;
+        cell[1] = 0.25;
+        node.g += g;
+        node.h += 0.25;
+    }
+    (hist, node)
+}
+
+fn bench_findsplit(c: &mut Criterion) {
+    let settings = SplitSettings { lambda: 1.0, gamma: 0.1, min_child_weight: 1.0 };
+    let mut group = c.benchmark_group("findsplit");
+    group.sample_size(20);
+    for (m, bins) in [(28usize, 255usize), (128, 255), (4096, 64), (8, 32)] {
+        let mp = mapper(m, bins);
+        let (hist, node) = hist_for(&mp);
+        group.bench_with_input(
+            BenchmarkId::new("scan", format!("m{m}_b{bins}")),
+            &(m, bins),
+            |b, _| {
+                b.iter(|| find_split_range(&hist, &node, &mp, 0..m, &settings));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_findsplit);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Evaluation-metric micro-benchmarks (AUC dominates convergence runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 200_000;
+    let labels: Vec<f32> = (0..n).map(|_| (rng.gen::<bool>() as u8) as f32).collect();
+    let scores: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+    let probs: Vec<f32> = scores.clone();
+
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(20);
+    for size in [10_000usize, 200_000] {
+        group.bench_with_input(BenchmarkId::new("auc", size), &size, |b, &size| {
+            b.iter(|| harp_metrics::auc(&labels[..size], &scores[..size]));
+        });
+        group.bench_with_input(BenchmarkId::new("log_loss", size), &size, |b, &size| {
+            b.iter(|| harp_metrics::log_loss(&labels[..size], &probs[..size]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! ApplySplit micro-benchmark: serial vs chunk-parallel stable partition,
+//! with and without the MemBuf gradient replica.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harp_parallel::ThreadPool;
+use harpgbdt::partition::RowPartition;
+
+fn bench_partition(c: &mut Criterion) {
+    let n = 200_000;
+    let grads: Vec<[f32; 2]> = (0..n).map(|i| [i as f32, 1.0]).collect();
+    let pool = ThreadPool::new(4);
+    let pred = |r: u32| r.wrapping_mul(2654435761) % 3 == 0;
+
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    for membuf in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("membuf_{membuf}")),
+            &membuf,
+            |b, &membuf| {
+                b.iter_batched(
+                    || {
+                        let mut p = RowPartition::new(n, 8, membuf);
+                        p.reset(&grads);
+                        p
+                    },
+                    |p| p.apply_split(0, 1, 2, &pred, None),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("membuf_{membuf}")),
+            &membuf,
+            |b, &membuf| {
+                b.iter_batched(
+                    || {
+                        let mut p = RowPartition::new(n, 8, membuf);
+                        p.reset(&grads);
+                        p
+                    },
+                    |p| p.apply_split(0, 1, 2, &pred, Some(&pool)),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Histogram-initialization micro-benchmark: GK sketch vs exact sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harp_binning::GkSketch;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let values: Vec<f32> = (0..500_000).map(|_| rng.gen()).collect();
+    let mut group = c.benchmark_group("quantile");
+    group.sample_size(10);
+    for n in [50_000usize, 500_000] {
+        group.bench_with_input(BenchmarkId::new("gk_sketch", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sk = GkSketch::new(0.001);
+                sk.extend(values[..n].iter().copied());
+                (0..255).filter_map(|i| sk.query(i as f64 / 255.0)).fold(0.0f32, |a, v| a + v)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact_sort", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v = values[..n].to_vec();
+                v.sort_by(f32::total_cmp);
+                (1..=255).map(|i| v[(i * n / 256).min(n - 1)]).sum::<f32>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantile);
+criterion_main!(benches);

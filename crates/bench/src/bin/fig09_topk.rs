@@ -1,0 +1,75 @@
+//! Fig. 9: influence of K on the convergence rate (D=8, ASYNC mode).
+//!
+//! The paper's worst case for large K: small trees plus loosely-coupled
+//! ASYNC scheduling. Expected shape: K=16 catches up fast and overtakes
+//! K=1; K=32 starts with a wider gap and closes it more slowly.
+//!
+//! K only influences the built tree when the leaf budget binds (otherwise
+//! every positive-gain node is split regardless of selection order), so this
+//! harness sets `gamma = 0` — on the paper's 10M-row HIGGS the budget binds
+//! already at `gamma = 1`. Two sections are reported:
+//!
+//! * strict TopK (SYNC batches): the selection effect of K, visible on any
+//!   host including single-core ones;
+//! * ASYNC with the in-flight cap K: the paper's exact setting, whose
+//!   deviation from top-1 order additionally needs real thread concurrency.
+
+use harp_bench::{harp_params, prepared, run_config, ExpArgs, Table};
+use harp_data::DatasetKind;
+use harpgbdt::ParallelMode;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n_trees = args.n_trees(60, 1000);
+    let mut tables = Vec::new();
+    for kind in [DatasetKind::HiggsLike, DatasetKind::AirlineLike] {
+        let data = prepared(kind, args.data_scale(1.0, 5.0), args.seed);
+        for (mode, mode_label) in
+            [(ParallelMode::Sync, "strict TopK (SYNC)"), (ParallelMode::Async, "ASYNC")]
+        {
+            let mut table = Table::new(
+                format!("Fig. 9: influence of K, {} — {mode_label}, D8", kind.name()),
+                &["K", "trees", "test AUC"],
+            );
+            let mut bests = Vec::new();
+            for k in [1usize, 16, 32] {
+                let mut params = harp_params(8, args.threads);
+                params.mode = mode;
+                params.k = k;
+                params.n_trees = n_trees;
+                params.gamma = 0.0;
+                let res = run_config(&data, params, true);
+                let trace = res.output.diagnostics.trace.as_ref().expect("trace");
+                let mut next = 1usize;
+                for p in trace.points() {
+                    if p.iteration >= next || p.iteration == n_trees {
+                        table.row(vec![
+                            format!("K={k}"),
+                            p.iteration.to_string(),
+                            format!("{:.4}", p.metric),
+                        ]);
+                        next = (next * 2).max(p.iteration + 1);
+                    }
+                }
+                bests.push(format!("K={k}: best {:.4}", trace.best().unwrap_or(0.5)));
+            }
+            table.note(bests.join(" | "));
+            table.note(
+                "paper shape: accuracy robust for K<=16; K=32 opens a larger early gap and \
+                 converges more slowly but still catches up",
+            );
+            if mode == ParallelMode::Async && args.threads == 1 {
+                table.note(
+                    "NOTE: with 1 thread ASYNC degenerates to best-first top-1 order, so the \
+                     K curves coincide by construction; see the SYNC section for the K effect",
+                );
+            }
+            table.print();
+            tables.push(table);
+        }
+    }
+    if let Some(path) = &args.out {
+        let refs: Vec<&Table> = tables.iter().collect();
+        Table::write_json(&refs, path).expect("write json");
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 10: training-time speedup over standard model parallelism as a
+//! function of feature_blk_size × node_blk_size (SYNSET, leafwise).
+//!
+//! The paper sweeps the two block dimensions for DP and MP at D8/D12 and
+//! finds ~3x over standard MP at the best setting, a medium feature block
+//! sweet spot when node_blk=1, and mutual restriction between the two
+//! parameters (MP's best configs lie along the secondary diagonal).
+
+use harp_bench::{prepared, run_config, ExpArgs, Table};
+use harp_data::DatasetKind;
+use harpgbdt::{BlockConfig, GrowthMethod, ParallelMode, TrainParams};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let data = prepared(DatasetKind::Synset, args.data_scale(0.5, 4.0), args.seed);
+    let n_trees = args.n_trees(3, 20);
+    harp_bench::warmup(&data, args.threads);
+    let sizes: &[u32] = if args.full { &[8, 12] } else { &[6, 9] };
+    let f_blks: &[usize] = if args.full { &[1, 2, 4, 8, 16, 32, 64, 128] } else { &[1, 4, 16, 128] };
+    let n_blks: &[usize] = if args.full { &[1, 2, 4, 8, 16, 32] } else { &[1, 4, 32] };
+
+    let n_rows = data.quantized.n_rows();
+    let mk = |mode: ParallelMode, f_blk: usize, n_blk: usize, d: u32, k: usize| TrainParams {
+        mode,
+        growth: GrowthMethod::Leafwise,
+        k,
+        tree_size: d,
+        n_trees,
+        n_threads: args.threads,
+        gamma: 0.0,
+        blocks: BlockConfig {
+            // row_blk = N/T enables DP to use all cores (paper setting).
+            row_blk_size: (n_rows / args.threads).max(1),
+            node_blk_size: n_blk,
+            feature_blk_size: f_blk,
+            bin_blk_size: 0,
+        },
+        ..TrainParams::default()
+    };
+
+    let mut tables = Vec::new();
+    for &d in sizes {
+        // Baseline: standard model parallelism (feature_blk=1, K=1).
+        let base = run_config(&data, mk(ParallelMode::ModelParallel, 1, 1, d, 1), false);
+        let mut table = Table::new(
+            format!("Fig. 10: speedup over standard MP, D{d} (K=32, rows: {n_rows})"),
+            &["mode", "feature_blk", "node_blk", "ms/tree", "speedup"],
+        );
+        for (mode, label) in
+            [(ParallelMode::DataParallel, "DP"), (ParallelMode::ModelParallel, "MP")]
+        {
+            for &f_blk in f_blks {
+                for &n_blk in n_blks {
+                    let res = run_config(&data, mk(mode, f_blk, n_blk, d, 32), false);
+                    table.row(vec![
+                        label.to_string(),
+                        f_blk.to_string(),
+                        n_blk.to_string(),
+                        format!("{:.2}", res.tree_secs * 1e3),
+                        format!("{:.2}x", base.tree_secs / res.tree_secs),
+                    ]);
+                }
+            }
+        }
+        table.note(format!("baseline standard MP (f=1, K=1): {:.2} ms/tree", base.tree_secs * 1e3));
+        table.note("paper shape: best configs reach ~3x; medium feature blocks win at node_blk=1; MP prefers (small f, large n) along the diagonal");
+        table.print();
+        tables.push(table);
+    }
+    if let Some(path) = &args.out {
+        let refs: Vec<&Table> = tables.iter().collect();
+        Table::write_json(&refs, path).expect("write json");
+    }
+}

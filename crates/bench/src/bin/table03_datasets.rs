@@ -1,0 +1,42 @@
+//! Table III: dataset statistics (N, M, density S, bin-count CV).
+//!
+//! Verifies that the synthetic generators reproduce the statistical shape of
+//! the paper's datasets. `N` differs by the documented laptop-scale factor;
+//! `S` and `CV` should land near the paper's values.
+
+use harp_bench::{ExpArgs, Table};
+use harp_binning::{BinMapper, BinningConfig};
+use harp_data::{DatasetKind, SynthConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut table = Table::new(
+        "Table III: dataset statistics (measured vs paper)",
+        &["dataset", "N", "M", "S", "S(paper)", "CV", "CV(paper)", "storage"],
+    );
+    for kind in DatasetKind::ALL {
+        let scale = args.data_scale(1.0, 4.0);
+        let d = SynthConfig::new(kind, args.seed).with_scale(scale).generate();
+        let mapper = BinMapper::from_matrix(&d.features, BinningConfig::default());
+        let paper = kind.paper_stats();
+        table.row(vec![
+            kind.name().to_string(),
+            d.n_rows().to_string(),
+            d.n_features().to_string(),
+            format!("{:.2}", d.features.density()),
+            format!("{:.2}", paper.s),
+            format!("{:.2}", mapper.bin_cv()),
+            format!("{:.2}", paper.cv),
+            if kind.is_sparse() { "sparse".into() } else { "dense".into() },
+        ]);
+    }
+    table.note(format!(
+        "paper sizes: HIGGS 10M, AIRLINE 100M, CRITEO 50M, YFCC 1M rows; \
+         this run uses scale={} of the laptop defaults (DESIGN.md §4)",
+        args.scale
+    ));
+    table.print();
+    if let Some(path) = &args.out {
+        Table::write_json(&[&table], path).expect("write json");
+    }
+}

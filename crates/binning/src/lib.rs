@@ -1,0 +1,27 @@
+//! Histogram initialization: quantile binning of raw feature values into
+//! `u8` bin ids.
+//!
+//! The paper's preprocessing step (§IV-E) replaces feature values by their
+//! bin-id counterparts, reducing "the memory footprint to 1/4 as bin id need
+//! only 1 Byte when max bin size is 256". This crate owns that step:
+//!
+//! * [`GkSketch`] — a Greenwald–Khanna streaming quantile sketch for cut
+//!   search over columns too large to sort exactly.
+//! * [`BinMapper`] — per-feature cut points built from exact quantiles (small
+//!   columns) or the sketch (large columns), plus value→bin lookup.
+//! * [`QuantizedMatrix`] — the binned dataset in both row-major and
+//!   column-major layouts (data parallelism scans rows; feature/model
+//!   parallelism scans columns), with CSR/CSC pairs for sparse data.
+//!
+//! One bin id is reserved as the missing-value sentinel in dense storage, so
+//! `max_bins` is capped at 255 rather than the paper's 256; missing-value
+//! statistics are recovered as `node_total − Σ bins` (the LightGBM trick) and
+//! the split finder decides a per-split default direction for them.
+
+mod mapper;
+mod quantized;
+mod sketch;
+
+pub use mapper::{BinMapper, BinningConfig, FeatureCuts};
+pub use quantized::{QuantizedMatrix, MISSING_BIN};
+pub use sketch::GkSketch;

@@ -1,0 +1,362 @@
+//! Cut-point search and value→bin mapping.
+
+use crate::sketch::GkSketch;
+use harp_data::FeatureMatrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for histogram initialization.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BinningConfig {
+    /// Maximum bins per feature, at most 255 (one `u8` value is reserved as
+    /// the dense missing sentinel). The paper's default is 256; ours is 255.
+    pub max_bins: u16,
+    /// Columns with more present values than this are summarized with a
+    /// [`GkSketch`] instead of an exact sort.
+    pub sketch_threshold: usize,
+}
+
+impl Default for BinningConfig {
+    fn default() -> Self {
+        Self { max_bins: 255, sketch_threshold: 200_000 }
+    }
+}
+
+impl BinningConfig {
+    /// Config with a custom bin budget.
+    ///
+    /// # Panics
+    /// Panics if `max_bins` is 0 or exceeds 255.
+    pub fn with_max_bins(max_bins: u16) -> Self {
+        assert!((1..=255).contains(&max_bins), "max_bins must be in 1..=255");
+        Self { max_bins, ..Self::default() }
+    }
+}
+
+/// Cut points of one feature: ascending inclusive upper bounds. Bin `i`
+/// holds values `v` with `cuts[i-1] < v <= cuts[i]`; values above the last
+/// cut clamp into the last bin (unseen test values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureCuts {
+    /// Ascending inclusive upper bounds; empty for never-present features.
+    pub cuts: Vec<f32>,
+}
+
+impl FeatureCuts {
+    /// Number of bins (0 for a never-present feature).
+    pub fn n_bins(&self) -> u16 {
+        self.cuts.len() as u16
+    }
+
+    /// Maps a present value to its bin id.
+    #[inline]
+    pub fn value_to_bin(&self, v: f32) -> u8 {
+        debug_assert!(!v.is_nan(), "missing values have no bin");
+        let idx = self.cuts.partition_point(|&c| c < v);
+        idx.min(self.cuts.len().saturating_sub(1)) as u8
+    }
+
+    /// The inclusive upper bound of `bin` — the raw-value threshold a split
+    /// at this bin corresponds to.
+    pub fn upper(&self, bin: u8) -> f32 {
+        self.cuts[bin as usize]
+    }
+}
+
+/// Per-feature cuts for a whole dataset plus flattened-histogram offsets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinMapper {
+    features: Vec<FeatureCuts>,
+    /// `bin_offsets[f]` = sum of bins of features `0..f`; length
+    /// `n_features + 1`.
+    bin_offsets: Vec<u32>,
+}
+
+impl BinMapper {
+    /// Builds cut points for every column of `matrix`. Columns are processed
+    /// in parallel with rayon (this is the preprocessing step outside the
+    /// trainer's instrumented hot path).
+    pub fn from_matrix(matrix: &FeatureMatrix, config: BinningConfig) -> Self {
+        assert!((1..=255).contains(&config.max_bins), "max_bins must be in 1..=255");
+        let m = matrix.n_cols();
+        let n = matrix.n_rows();
+        // One pass to split values by column; avoids O(log nnz) strided gets
+        // on CSR data.
+        let mut columns: Vec<Vec<f32>> = vec![Vec::new(); m];
+        for r in 0..n {
+            matrix.for_each_in_row(r, |c, v| columns[c as usize].push(v));
+        }
+        let features: Vec<FeatureCuts> = columns
+            .into_par_iter()
+            .map(|col| build_cuts(col, config))
+            .collect();
+        Self::from_cuts(features)
+    }
+
+    /// Assembles a mapper from precomputed cuts.
+    pub fn from_cuts(features: Vec<FeatureCuts>) -> Self {
+        let mut bin_offsets = Vec::with_capacity(features.len() + 1);
+        let mut acc = 0u32;
+        bin_offsets.push(0);
+        for f in &features {
+            acc += u32::from(f.n_bins());
+            bin_offsets.push(acc);
+        }
+        Self { features, bin_offsets }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Bin count of feature `f`.
+    pub fn n_bins(&self, f: usize) -> u16 {
+        self.features[f].n_bins()
+    }
+
+    /// Largest per-feature bin count.
+    pub fn max_bins_used(&self) -> u16 {
+        self.features.iter().map(FeatureCuts::n_bins).max().unwrap_or(0)
+    }
+
+    /// Sum of bins over all features (flattened histogram width).
+    pub fn total_bins(&self) -> u32 {
+        *self.bin_offsets.last().expect("offsets nonempty")
+    }
+
+    /// Start offset of feature `f` in a flattened per-node histogram.
+    pub fn bin_offset(&self, f: usize) -> u32 {
+        self.bin_offsets[f]
+    }
+
+    /// The cuts of feature `f`.
+    pub fn cuts(&self, f: usize) -> &FeatureCuts {
+        &self.features[f]
+    }
+
+    /// Coefficient of variation of per-feature bin counts — the `CV` column
+    /// of Table III, measuring bin-distribution dispersion (and therefore
+    /// feature-parallel load imbalance).
+    pub fn bin_cv(&self) -> f64 {
+        let counts: Vec<f64> =
+            self.features.iter().map(|f| f64::from(f.n_bins())).collect();
+        if counts.is_empty() {
+            return 0.0;
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
+            / counts.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Builds the cuts of one column from its present values.
+fn build_cuts(mut values: Vec<f32>, config: BinningConfig) -> FeatureCuts {
+    let max_bins = usize::from(config.max_bins);
+    if values.is_empty() {
+        return FeatureCuts { cuts: Vec::new() };
+    }
+    let mut cuts: Vec<f32>;
+    if values.len() > config.sketch_threshold {
+        // Large column: approximate quantiles via GK sketch.
+        let mut sk = GkSketch::new((0.25 / config.max_bins as f64).min(0.01));
+        sk.extend(values.iter().copied());
+        cuts = (1..=max_bins)
+            .map(|i| sk.query(i as f64 / max_bins as f64).expect("nonempty sketch"))
+            .collect();
+    } else {
+        values.sort_by(f32::total_cmp);
+        // Distinct values; if they fit the budget, one bin per value.
+        let mut distinct = values.clone();
+        distinct.dedup();
+        if distinct.len() <= max_bins {
+            cuts = distinct;
+        } else {
+            let n = values.len();
+            cuts = (1..=max_bins)
+                .map(|i| {
+                    let pos = (i * n / max_bins).clamp(1, n);
+                    values[pos - 1]
+                })
+                .collect();
+            let max = *values.last().expect("nonempty");
+            if *cuts.last().expect("nonempty") < max {
+                cuts.push(max);
+            }
+        }
+    }
+    cuts.sort_by(f32::total_cmp);
+    cuts.dedup();
+    FeatureCuts { cuts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_data::{CsrMatrix, DenseMatrix};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn dense(n_rows: usize, n_cols: usize, f: impl Fn(usize, usize) -> f32) -> FeatureMatrix {
+        let mut v = Vec::with_capacity(n_rows * n_cols);
+        for r in 0..n_rows {
+            for c in 0..n_cols {
+                v.push(f(r, c));
+            }
+        }
+        FeatureMatrix::Dense(DenseMatrix::from_vec(n_rows, n_cols, v))
+    }
+
+    #[test]
+    fn low_cardinality_gets_one_bin_per_value() {
+        let m = dense(100, 1, |r, _| (r % 5) as f32);
+        let mapper = BinMapper::from_matrix(&m, BinningConfig::default());
+        assert_eq!(mapper.n_bins(0), 5);
+        for level in 0..5 {
+            assert_eq!(mapper.cuts(0).value_to_bin(level as f32), level as u8);
+        }
+    }
+
+    #[test]
+    fn high_cardinality_respects_max_bins() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<f32> = (0..10_000).map(|_| rng.gen()).collect();
+        let m = FeatureMatrix::Dense(DenseMatrix::from_vec(10_000, 1, values));
+        let cfg = BinningConfig::with_max_bins(64);
+        let mapper = BinMapper::from_matrix(&m, cfg);
+        assert!(mapper.n_bins(0) <= 64);
+        assert!(mapper.n_bins(0) >= 60, "got {} bins", mapper.n_bins(0));
+    }
+
+    #[test]
+    fn bins_are_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values: Vec<f32> = (0..20_000).map(|_| rng.gen::<f32>().powi(3)).collect();
+        let m = FeatureMatrix::Dense(DenseMatrix::from_vec(20_000, 1, values.clone()));
+        let mapper = BinMapper::from_matrix(&m, BinningConfig::with_max_bins(32));
+        let mut counts = vec![0usize; mapper.n_bins(0) as usize];
+        for v in &values {
+            counts[mapper.cuts(0).value_to_bin(*v) as usize] += 1;
+        }
+        let expect = 20_000 / counts.len();
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c < expect * 3 && c > expect / 3,
+                "bin {b} holds {c} values (expected ~{expect}) despite skew"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_path_matches_exact_path_approximately() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let values: Vec<f32> = (0..50_000).map(|_| rng.gen()).collect();
+        let m = FeatureMatrix::Dense(DenseMatrix::from_vec(values.len(), 1, values.clone()));
+        let exact = BinMapper::from_matrix(
+            &m,
+            BinningConfig { max_bins: 16, sketch_threshold: usize::MAX },
+        );
+        let sketched =
+            BinMapper::from_matrix(&m, BinningConfig { max_bins: 16, sketch_threshold: 1000 });
+        assert_eq!(exact.n_bins(0), sketched.n_bins(0));
+        for (a, b) in exact.cuts(0).cuts.iter().zip(&sketched.cuts(0).cuts) {
+            assert!((a - b).abs() < 0.02, "cut drifted: exact {a} vs sketch {b}");
+        }
+    }
+
+    #[test]
+    fn missing_values_are_excluded_from_cuts() {
+        let m = dense(100, 1, |r, _| if r % 2 == 0 { f32::NAN } else { r as f32 });
+        let mapper = BinMapper::from_matrix(&m, BinningConfig::default());
+        assert_eq!(mapper.n_bins(0), 50);
+    }
+
+    #[test]
+    fn never_present_feature_has_zero_bins() {
+        let m = FeatureMatrix::Sparse(CsrMatrix::from_rows(
+            3,
+            &[vec![(0, 1.0)], vec![(0, 2.0), (2, 3.0)]],
+        ));
+        let mapper = BinMapper::from_matrix(&m, BinningConfig::default());
+        assert_eq!(mapper.n_bins(1), 0);
+        assert_eq!(mapper.n_bins(0), 2);
+        assert_eq!(mapper.n_bins(2), 1);
+    }
+
+    #[test]
+    fn offsets_are_prefix_sums() {
+        let mapper = BinMapper::from_cuts(vec![
+            FeatureCuts { cuts: vec![1.0, 2.0] },
+            FeatureCuts { cuts: vec![] },
+            FeatureCuts { cuts: vec![0.5, 1.5, 2.5] },
+        ]);
+        assert_eq!(mapper.bin_offset(0), 0);
+        assert_eq!(mapper.bin_offset(1), 2);
+        assert_eq!(mapper.bin_offset(2), 2);
+        assert_eq!(mapper.total_bins(), 5);
+        assert_eq!(mapper.max_bins_used(), 3);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_outer_bins() {
+        let mapper = BinMapper::from_cuts(vec![FeatureCuts { cuts: vec![1.0, 2.0, 3.0] }]);
+        assert_eq!(mapper.cuts(0).value_to_bin(-5.0), 0);
+        assert_eq!(mapper.cuts(0).value_to_bin(99.0), 2);
+    }
+
+    #[test]
+    fn bin_cv_zero_for_uniform_counts() {
+        let mapper = BinMapper::from_cuts(vec![
+            FeatureCuts { cuts: vec![1.0, 2.0] },
+            FeatureCuts { cuts: vec![3.0, 4.0] },
+        ]);
+        assert!(mapper.bin_cv() < 1e-12);
+    }
+
+    #[test]
+    fn bin_cv_positive_for_skewed_counts() {
+        let mapper = BinMapper::from_cuts(vec![
+            FeatureCuts { cuts: vec![1.0] },
+            FeatureCuts { cuts: (0..100).map(|i| i as f32).collect() },
+        ]);
+        assert!(mapper.bin_cv() > 0.9);
+    }
+
+    proptest! {
+        /// Binning must be monotone: v1 <= v2 implies bin(v1) <= bin(v2).
+        #[test]
+        fn prop_binning_is_monotone(
+            mut values in prop::collection::vec(-1e3f32..1e3, 2..500),
+            max_bins in 1u16..40,
+        ) {
+            let m = FeatureMatrix::Dense(DenseMatrix::from_vec(values.len(), 1, values.clone()));
+            let mapper = BinMapper::from_matrix(&m, BinningConfig { max_bins, sketch_threshold: usize::MAX });
+            values.sort_by(f32::total_cmp);
+            let bins: Vec<u8> = values.iter().map(|&v| mapper.cuts(0).value_to_bin(v)).collect();
+            for w in bins.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+
+        /// Every training value must map inside the bin whose upper bound
+        /// dominates it.
+        #[test]
+        fn prop_values_respect_upper_bounds(
+            values in prop::collection::vec(-1e3f32..1e3, 1..300),
+        ) {
+            let m = FeatureMatrix::Dense(DenseMatrix::from_vec(values.len(), 1, values.clone()));
+            let mapper = BinMapper::from_matrix(&m, BinningConfig::with_max_bins(16));
+            for &v in &values {
+                let b = mapper.cuts(0).value_to_bin(v);
+                prop_assert!(v <= mapper.cuts(0).upper(b), "value {} above bin {} upper {}", v, b, mapper.cuts(0).upper(b));
+                if b > 0 {
+                    prop_assert!(v > mapper.cuts(0).upper(b - 1));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Quantized (binned) feature matrices in scan-friendly layouts.
+//!
+//! The trainer's two scan patterns need different layouts (§IV-A views Input
+//! as a ⟨row, bin, feature⟩ cube):
+//!
+//! * **Row scans** (data parallelism): each task walks a row-block and, for
+//!   each row, all features — served by row-major dense storage or CSR.
+//! * **Column scans** (feature/model parallelism): each task walks a feature
+//!   block across the rows of one node — served by column-major dense
+//!   storage or CSC.
+//!
+//! Both layouts are materialized at construction; the 2× memory cost of the
+//! 1-byte bins is still 2× smaller than the original 4-byte floats.
+
+use crate::mapper::{BinMapper, BinningConfig};
+use harp_data::FeatureMatrix;
+
+/// Dense-storage sentinel for a missing value. Real bins are `0..=254`.
+pub const MISSING_BIN: u8 = u8::MAX;
+
+#[derive(Debug, Clone)]
+struct QCsr {
+    indptr: Vec<usize>,
+    cols: Vec<u32>,
+    bins: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct QCsc {
+    indptr: Vec<usize>,
+    rows: Vec<u32>,
+    bins: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Dense { row_major: Vec<u8>, col_major: Vec<u8> },
+    Sparse { csr: QCsr, csc: QCsc },
+}
+
+/// A binned dataset: [`BinMapper`] plus `u8` bin storage in both row- and
+/// column-major layouts.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    n_rows: usize,
+    mapper: BinMapper,
+    storage: Storage,
+}
+
+impl QuantizedMatrix {
+    /// Builds cuts from `matrix` and quantizes it.
+    pub fn from_matrix(matrix: &FeatureMatrix, config: BinningConfig) -> Self {
+        let mapper = BinMapper::from_matrix(matrix, config);
+        Self::with_mapper(matrix, mapper)
+    }
+
+    /// Quantizes `matrix` with existing cuts (e.g. apply training cuts to a
+    /// validation set).
+    pub fn with_mapper(matrix: &FeatureMatrix, mapper: BinMapper) -> Self {
+        assert_eq!(matrix.n_cols(), mapper.n_features(), "mapper/matrix feature mismatch");
+        let n_rows = matrix.n_rows();
+        let m = matrix.n_cols();
+        let storage = match matrix {
+            FeatureMatrix::Dense(_) => {
+                let mut row_major = vec![MISSING_BIN; n_rows * m];
+                for r in 0..n_rows {
+                    matrix.for_each_in_row(r, |c, v| {
+                        row_major[r * m + c as usize] = mapper.cuts(c as usize).value_to_bin(v);
+                    });
+                }
+                let mut col_major = vec![MISSING_BIN; n_rows * m];
+                for r in 0..n_rows {
+                    for c in 0..m {
+                        col_major[c * n_rows + r] = row_major[r * m + c];
+                    }
+                }
+                Storage::Dense { row_major, col_major }
+            }
+            FeatureMatrix::Sparse(_) => {
+                let mut indptr = Vec::with_capacity(n_rows + 1);
+                indptr.push(0usize);
+                let mut cols = Vec::new();
+                let mut bins = Vec::new();
+                // Count per-column entries for the CSC pass.
+                let mut col_counts = vec![0usize; m];
+                for r in 0..n_rows {
+                    matrix.for_each_in_row(r, |c, v| {
+                        cols.push(c);
+                        bins.push(mapper.cuts(c as usize).value_to_bin(v));
+                        col_counts[c as usize] += 1;
+                    });
+                    indptr.push(cols.len());
+                }
+                // Build CSC by bucket placement (rows come out sorted because
+                // the CSR pass visits rows in order).
+                let mut csc_indptr = Vec::with_capacity(m + 1);
+                csc_indptr.push(0usize);
+                for c in 0..m {
+                    csc_indptr.push(csc_indptr[c] + col_counts[c]);
+                }
+                let nnz = cols.len();
+                let mut rows = vec![0u32; nnz];
+                let mut csc_bins = vec![0u8; nnz];
+                let mut cursor = csc_indptr[..m].to_vec();
+                for r in 0..n_rows {
+                    for i in indptr[r]..indptr[r + 1] {
+                        let c = cols[i] as usize;
+                        rows[cursor[c]] = r as u32;
+                        csc_bins[cursor[c]] = bins[i];
+                        cursor[c] += 1;
+                    }
+                }
+                Storage::Sparse {
+                    csr: QCsr { indptr, cols, bins },
+                    csc: QCsc { indptr: csc_indptr, rows, bins: csc_bins },
+                }
+            }
+        };
+        Self { n_rows, mapper, storage }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.mapper.n_features()
+    }
+
+    /// The cut points used for quantization.
+    pub fn mapper(&self) -> &BinMapper {
+        &self.mapper
+    }
+
+    /// Whether storage is dense.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.storage, Storage::Dense { .. })
+    }
+
+    /// The bin of `(row, f)`, or `None` if missing. Slow; for tests and
+    /// single lookups.
+    pub fn bin(&self, row: usize, f: usize) -> Option<u8> {
+        match &self.storage {
+            Storage::Dense { row_major, .. } => {
+                let b = row_major[row * self.n_features() + f];
+                (b != MISSING_BIN).then_some(b)
+            }
+            Storage::Sparse { csr, .. } => {
+                let span = csr.indptr[row]..csr.indptr[row + 1];
+                csr.cols[span.clone()]
+                    .binary_search(&(f as u32))
+                    .ok()
+                    .map(|i| csr.bins[span.start + i])
+            }
+        }
+    }
+
+    /// Dense row-major slice of one row (`MISSING_BIN` marks gaps), or
+    /// `None` for sparse storage.
+    #[inline]
+    pub fn dense_row(&self, row: usize) -> Option<&[u8]> {
+        match &self.storage {
+            Storage::Dense { row_major, .. } => {
+                let m = self.n_features();
+                Some(&row_major[row * m..(row + 1) * m])
+            }
+            Storage::Sparse { .. } => None,
+        }
+    }
+
+    /// Dense column-major slice of one feature (`MISSING_BIN` marks gaps),
+    /// or `None` for sparse storage.
+    #[inline]
+    pub fn dense_col(&self, f: usize) -> Option<&[u8]> {
+        match &self.storage {
+            Storage::Dense { col_major, .. } => {
+                Some(&col_major[f * self.n_rows..(f + 1) * self.n_rows])
+            }
+            Storage::Sparse { .. } => None,
+        }
+    }
+
+    /// Visits the present `(feature, bin)` pairs of one row.
+    pub fn for_each_in_row(&self, row: usize, mut visit: impl FnMut(u32, u8)) {
+        match &self.storage {
+            Storage::Dense { row_major, .. } => {
+                let m = self.n_features();
+                for (c, &b) in row_major[row * m..(row + 1) * m].iter().enumerate() {
+                    if b != MISSING_BIN {
+                        visit(c as u32, b);
+                    }
+                }
+            }
+            Storage::Sparse { csr, .. } => {
+                for i in csr.indptr[row]..csr.indptr[row + 1] {
+                    visit(csr.cols[i], csr.bins[i]);
+                }
+            }
+        }
+    }
+
+    /// Visits the present `(row, bin)` pairs of one feature column, in row
+    /// order.
+    pub fn for_each_in_col(&self, f: usize, mut visit: impl FnMut(u32, u8)) {
+        match &self.storage {
+            Storage::Dense { col_major, .. } => {
+                for (r, &b) in col_major[f * self.n_rows..(f + 1) * self.n_rows]
+                    .iter()
+                    .enumerate()
+                {
+                    if b != MISSING_BIN {
+                        visit(r as u32, b);
+                    }
+                }
+            }
+            Storage::Sparse { csc, .. } => {
+                for i in csc.indptr[f]..csc.indptr[f + 1] {
+                    visit(csc.rows[i], csc.bins[i]);
+                }
+            }
+        }
+    }
+
+    /// Sparse CSC entries of feature `f` as `(rows, bins)` slices (row
+    /// order), or `None` for dense storage.
+    pub fn sparse_col(&self, f: usize) -> Option<(&[u32], &[u8])> {
+        match &self.storage {
+            Storage::Sparse { csc, .. } => {
+                let span = csc.indptr[f]..csc.indptr[f + 1];
+                Some((&csc.rows[span.clone()], &csc.bins[span]))
+            }
+            Storage::Dense { .. } => None,
+        }
+    }
+
+    /// Sparse CSR entries of row `r` as `(cols, bins)` slices, or `None`
+    /// for dense storage.
+    pub fn sparse_row(&self, r: usize) -> Option<(&[u32], &[u8])> {
+        match &self.storage {
+            Storage::Sparse { csr, .. } => {
+                let span = csr.indptr[r]..csr.indptr[r + 1];
+                Some((&csr.cols[span.clone()], &csr.bins[span]))
+            }
+            Storage::Dense { .. } => None,
+        }
+    }
+
+    /// Approximate heap footprint of the bin storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        match &self.storage {
+            Storage::Dense { row_major, col_major } => row_major.len() + col_major.len(),
+            Storage::Sparse { csr, csc } => {
+                csr.bins.len()
+                    + csr.cols.len() * 4
+                    + csr.indptr.len() * 8
+                    + csc.bins.len()
+                    + csc.rows.len() * 4
+                    + csc.indptr.len() * 8
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_data::{CsrMatrix, DenseMatrix};
+
+    fn dense_matrix() -> FeatureMatrix {
+        // 4 rows x 3 features; feature 1 has a missing value.
+        FeatureMatrix::Dense(DenseMatrix::from_vec(
+            4,
+            3,
+            vec![
+                0.0, 10.0, 5.0, //
+                1.0, f32::NAN, 6.0, //
+                2.0, 30.0, 7.0, //
+                3.0, 20.0, 8.0,
+            ],
+        ))
+    }
+
+    fn sparse_matrix() -> FeatureMatrix {
+        FeatureMatrix::Sparse(CsrMatrix::from_rows(
+            3,
+            &[
+                vec![(0, 1.0), (2, 5.0)],
+                vec![(1, 2.0)],
+                vec![(0, 3.0), (1, 4.0), (2, 6.0)],
+            ],
+        ))
+    }
+
+    #[test]
+    fn dense_bins_match_mapper() {
+        let m = dense_matrix();
+        let q = QuantizedMatrix::from_matrix(&m, BinningConfig::default());
+        // Feature 0 has 4 distinct values -> bins 0..=3 in value order.
+        for r in 0..4 {
+            assert_eq!(q.bin(r, 0), Some(r as u8));
+        }
+        // Missing cell reports None.
+        assert_eq!(q.bin(1, 1), None);
+    }
+
+    #[test]
+    fn row_and_col_scans_agree_dense() {
+        let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
+        let mut from_rows = vec![];
+        for r in 0..q.n_rows() {
+            q.for_each_in_row(r, |c, b| from_rows.push((r as u32, c, b)));
+        }
+        let mut from_cols = vec![];
+        for c in 0..q.n_features() {
+            q.for_each_in_col(c, |r, b| from_cols.push((r, c as u32, b)));
+        }
+        from_rows.sort_unstable();
+        from_cols.sort_unstable();
+        assert_eq!(from_rows, from_cols);
+    }
+
+    #[test]
+    fn row_and_col_scans_agree_sparse() {
+        let q = QuantizedMatrix::from_matrix(&sparse_matrix(), BinningConfig::default());
+        let mut from_rows = vec![];
+        for r in 0..q.n_rows() {
+            q.for_each_in_row(r, |c, b| from_rows.push((r as u32, c, b)));
+        }
+        let mut from_cols = vec![];
+        for c in 0..q.n_features() {
+            q.for_each_in_col(c, |r, b| from_cols.push((r, c as u32, b)));
+        }
+        from_rows.sort_unstable();
+        from_cols.sort_unstable();
+        assert_eq!(from_rows, from_cols);
+        assert_eq!(from_rows.len(), 6);
+    }
+
+    #[test]
+    fn csc_rows_are_in_row_order() {
+        let q = QuantizedMatrix::from_matrix(&sparse_matrix(), BinningConfig::default());
+        for f in 0..q.n_features() {
+            let (rows, _) = q.sparse_col(f).unwrap();
+            for w in rows.windows(2) {
+                assert!(w[0] < w[1], "feature {f} rows out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_row_slice_has_missing_sentinel() {
+        let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
+        let row = q.dense_row(1).unwrap();
+        assert_eq!(row[1], MISSING_BIN);
+        assert_ne!(row[0], MISSING_BIN);
+    }
+
+    #[test]
+    fn sparse_has_no_dense_slices() {
+        let q = QuantizedMatrix::from_matrix(&sparse_matrix(), BinningConfig::default());
+        assert!(q.dense_row(0).is_none());
+        assert!(q.dense_col(0).is_none());
+        assert!(!q.is_dense());
+        assert!(q.sparse_row(0).is_some());
+    }
+
+    #[test]
+    fn with_mapper_applies_training_cuts_to_new_data() {
+        let train = dense_matrix();
+        let q_train = QuantizedMatrix::from_matrix(&train, BinningConfig::default());
+        // New data with out-of-range values clamps into existing bins.
+        let test = FeatureMatrix::Dense(DenseMatrix::from_vec(
+            1,
+            3,
+            vec![-100.0, 100.0, 6.5],
+        ));
+        let q_test = QuantizedMatrix::with_mapper(&test, q_train.mapper().clone());
+        assert_eq!(q_test.bin(0, 0), Some(0));
+        assert_eq!(q_test.bin(0, 1), Some(q_train.mapper().n_bins(1) as u8 - 1));
+    }
+
+    #[test]
+    fn storage_bytes_dense_is_two_copies() {
+        let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
+        assert_eq!(q.storage_bytes(), 2 * 4 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn mapper_feature_mismatch_panics() {
+        let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
+        let narrow = FeatureMatrix::Dense(DenseMatrix::from_vec(1, 1, vec![1.0]));
+        let _ = QuantizedMatrix::with_mapper(&narrow, q.mapper().clone());
+    }
+}

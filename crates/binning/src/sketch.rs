@@ -1,0 +1,292 @@
+//! Greenwald–Khanna streaming quantile sketch.
+//!
+//! Maintains a summary of an observed stream such that any rank query is
+//! answered within `ε·n` of the true rank, using `O((1/ε)·log(εn))` space.
+//! Used by [`crate::BinMapper`] to find cut points on columns too large to
+//! sort exactly; `ε` is chosen well below `1/max_bins` so adjacent cuts stay
+//! meaningfully ordered.
+//!
+//! Reference: Greenwald & Khanna, "Space-efficient online computation of
+//! quantile summaries", SIGMOD 2001.
+
+/// One summary tuple: `v` with `g` = rank gap to the previous tuple and
+/// `delta` = rank uncertainty.
+#[derive(Debug, Clone, Copy)]
+struct Tuple {
+    v: f32,
+    g: u64,
+    delta: u64,
+}
+
+/// A Greenwald–Khanna ε-approximate quantile sketch over `f32` values.
+#[derive(Debug, Clone)]
+pub struct GkSketch {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    n: u64,
+    /// Inserts since the last compression.
+    since_compress: u64,
+}
+
+impl GkSketch {
+    /// Creates a sketch with rank error bound `epsilon` (e.g. `0.001`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        Self { epsilon, tuples: Vec::new(), n: 0, since_compress: 0 }
+    }
+
+    /// Number of values observed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current number of summary tuples (space usage).
+    pub fn summary_len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Inserts one value. `NaN` values are ignored.
+    pub fn insert(&mut self, v: f32) {
+        if v.is_nan() {
+            return;
+        }
+        // Find insertion position: first tuple with value >= v.
+        let pos = self.tuples.partition_point(|t| t.v < v);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            // New minimum or maximum: exact rank.
+            0
+        } else {
+            let cap = (2.0 * self.epsilon * self.n as f64).floor() as u64;
+            cap.saturating_sub(1)
+        };
+        self.tuples.insert(pos, Tuple { v, g: 1, delta });
+        self.n += 1;
+        self.since_compress += 1;
+        // Compress every 1/(2ε) inserts, the standard schedule.
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Inserts many values.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f32>) {
+        for v in values {
+            self.insert(v);
+        }
+    }
+
+    /// Merges another sketch into this one (used to combine per-chunk
+    /// sketches built in parallel). The merged error is bounded by the max of
+    /// the two epsilons plus compression slack — both sketches should be
+    /// built with the same epsilon.
+    pub fn merge(&mut self, other: &GkSketch) {
+        // Merge the two sorted tuple lists; deltas survive as-is, which keeps
+        // the rank-error guarantee of ε₁ + ε₂ in the worst case.
+        let mut merged = Vec::with_capacity(self.tuples.len() + other.tuples.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.tuples.len() && j < other.tuples.len() {
+            if self.tuples[i].v <= other.tuples[j].v {
+                merged.push(self.tuples[i]);
+                i += 1;
+            } else {
+                merged.push(other.tuples[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.tuples[i..]);
+        merged.extend_from_slice(&other.tuples[j..]);
+        self.tuples = merged;
+        self.n += other.n;
+        self.compress();
+    }
+
+    /// Queries the value whose rank is approximately `phi * n`
+    /// (`phi ∈ [0, 1]`). Returns `None` on an empty sketch.
+    pub fn query(&self, phi: f64) -> Option<f32> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        let target = phi * self.n as f64;
+        let allow = self.epsilon * self.n as f64;
+        // Canonical GK lookup: return the predecessor of the first tuple
+        // whose maximum possible rank exceeds target + εn. The g+Δ ≤ 2εn
+        // invariant then bounds the returned value's rank error by εn.
+        let mut rank_min = 0u64;
+        let mut prev = self.tuples[0].v;
+        for t in &self.tuples {
+            rank_min += t.g;
+            if (rank_min + t.delta) as f64 > target + allow {
+                return Some(prev);
+            }
+            prev = t.v;
+        }
+        Some(prev)
+    }
+
+    /// GK compression: drop tuples whose combined uncertainty fits the bound.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = (2.0 * self.epsilon * self.n as f64).floor() as u64;
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        // Never merge away the first and last tuples (exact min/max).
+        out.push(self.tuples[0]);
+        for idx in 1..self.tuples.len() {
+            let t = self.tuples[idx];
+            // Keep the minimum and maximum tuples intact; otherwise absorb
+            // the previous tuple into this one when the bound allows.
+            let mergeable = out.len() > 1
+                && idx != self.tuples.len() - 1
+                && out.last().expect("non-empty").g + t.g + t.delta <= cap;
+            if mergeable {
+                let last = out.last_mut().expect("non-empty");
+                *last = Tuple { v: t.v, g: last.g + t.g, delta: t.delta };
+            } else {
+                out.push(t);
+            }
+        }
+        self.tuples = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Exact rank of `v` in `sorted`: number of elements < v.
+    fn exact_rank(sorted: &[f32], v: f32) -> usize {
+        sorted.partition_point(|&x| x < v)
+    }
+
+    fn check_sketch(values: &mut [f32], epsilon: f64) {
+        let mut sk = GkSketch::new(epsilon);
+        sk.extend(values.iter().copied());
+        values.sort_by(f32::total_cmp);
+        let n = values.len() as f64;
+        for phi in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let got = sk.query(phi).unwrap();
+            let rank = exact_rank(values, got) as f64;
+            let target = phi * n;
+            // Allow epsilon*n slack on each side plus ties.
+            let ties = values.iter().filter(|&&x| x == got).count() as f64;
+            assert!(
+                (rank - target).abs() <= epsilon * n * 2.0 + ties + 1.0,
+                "phi={phi}: rank {rank} target {target} (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_stream_quantiles_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut values: Vec<f32> = (0..50_000).map(|_| rng.gen::<f32>()).collect();
+        check_sketch(&mut values, 0.002);
+    }
+
+    #[test]
+    fn skewed_stream_quantiles_within_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut values: Vec<f32> = (0..30_000).map(|_| rng.gen::<f32>().powi(4)).collect();
+        check_sketch(&mut values, 0.005);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut values: Vec<f32> = (0..20_000).map(|_| (rng.gen_range(0..7)) as f32).collect();
+        check_sketch(&mut values, 0.005);
+    }
+
+    #[test]
+    fn summary_stays_sublinear() {
+        let mut sk = GkSketch::new(0.01);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100_000 {
+            sk.insert(rng.gen());
+        }
+        assert!(sk.summary_len() < 2_000, "summary blew up: {}", sk.summary_len());
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut sk = GkSketch::new(0.1);
+        sk.insert(f32::NAN);
+        sk.insert(1.0);
+        assert_eq!(sk.count(), 1);
+        assert_eq!(sk.query(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn empty_sketch_queries_none() {
+        let sk = GkSketch::new(0.1);
+        assert_eq!(sk.query(0.5), None);
+    }
+
+    #[test]
+    fn min_and_max_are_exact() {
+        let mut sk = GkSketch::new(0.01);
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<f32> = (0..10_000).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        sk.extend(values.iter().copied());
+        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(sk.query(0.0), Some(min));
+        assert_eq!(sk.query(1.0), Some(max));
+    }
+
+    #[test]
+    fn merge_equals_single_stream_within_bound() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut values: Vec<f32> = (0..40_000).map(|_| rng.gen::<f32>()).collect();
+        let mut a = GkSketch::new(0.002);
+        let mut b = GkSketch::new(0.002);
+        a.extend(values[..20_000].iter().copied());
+        b.extend(values[20_000..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), 40_000);
+        values.sort_by(f32::total_cmp);
+        for phi in [0.1, 0.5, 0.9] {
+            let got = a.query(phi).unwrap();
+            let rank = exact_rank(&values, got) as f64;
+            assert!((rank - phi * 40_000.0).abs() <= 0.01 * 40_000.0, "phi {phi}: rank {rank}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_error_bounded(values in prop::collection::vec(-1e6f32..1e6, 1..3000)) {
+            let eps = 0.01;
+            let mut sk = GkSketch::new(eps);
+            sk.extend(values.iter().copied());
+            let mut sorted = values.clone();
+            sorted.sort_by(f32::total_cmp);
+            let n = sorted.len() as f64;
+            for phi in [0.0, 0.3, 0.5, 0.8, 1.0] {
+                let got = sk.query(phi).unwrap();
+                let lo = exact_rank(&sorted, got) as f64;
+                let hi = sorted.partition_point(|&x| x <= got) as f64;
+                let target = phi * n;
+                prop_assert!(
+                    target >= lo - eps * n * 2.0 - 1.0 && target <= hi + eps * n * 2.0 + 1.0,
+                    "phi={}, got={}, lo={}, hi={}, n={}", phi, got, lo, hi, n
+                );
+            }
+        }
+
+        #[test]
+        fn prop_count_matches_non_nan_inserts(values in prop::collection::vec(prop::num::f32::ANY, 0..500)) {
+            let mut sk = GkSketch::new(0.05);
+            sk.extend(values.iter().copied());
+            let expect = values.iter().filter(|v| !v.is_nan()).count() as u64;
+            prop_assert_eq!(sk.count(), expect);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The CLI subcommand implementations.
+
+use crate::opts::Opts;
+use harp_data::{Dataset, DatasetKind, SynthConfig};
+use harpgbdt::trainer::{EvalMetric, EvalOptions};
+use harpgbdt::{GbdtModel, GbdtTrainer, GrowthMethod, LossKind, ParallelMode, TrainParams};
+use std::fmt::Write as _;
+
+fn load(path: &str) -> Result<Dataset, String> {
+    harp_data::io::read_path(path).map_err(|e| format!("failed to read {path}: {e}"))
+}
+
+fn load_model(path: &str) -> Result<GbdtModel, String> {
+    GbdtModel::load(path).map_err(|e| format!("failed to load model {path}: {e}"))
+}
+
+fn parse_loss(s: &str) -> Result<LossKind, String> {
+    match s {
+        "logistic" => Ok(LossKind::Logistic),
+        "squared" => Ok(LossKind::SquaredError),
+        other => {
+            if let Some(c) = other.strip_prefix("softmax:") {
+                let n_classes: u32 =
+                    c.parse().map_err(|_| format!("bad class count in {other:?}"))?;
+                Ok(LossKind::Softmax { n_classes })
+            } else {
+                Err(format!("unknown loss {other:?} (logistic|squared|softmax:C)"))
+            }
+        }
+    }
+}
+
+fn parse_mode(s: &str) -> Result<ParallelMode, String> {
+    match s {
+        "dp" => Ok(ParallelMode::DataParallel),
+        "mp" => Ok(ParallelMode::ModelParallel),
+        "sync" => Ok(ParallelMode::Sync),
+        "async" => Ok(ParallelMode::Async),
+        other => Err(format!("unknown mode {other:?} (dp|mp|sync|async)")),
+    }
+}
+
+fn parse_growth(s: &str) -> Result<GrowthMethod, String> {
+    match s {
+        "leafwise" => Ok(GrowthMethod::Leafwise),
+        "depthwise" => Ok(GrowthMethod::Depthwise),
+        other => Err(format!("unknown growth {other:?} (leafwise|depthwise)")),
+    }
+}
+
+/// `harpgbdt train`.
+pub fn train(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let data = load(opts.required("--data")?)?;
+    let model_path = opts.required("--model")?;
+    let defaults = TrainParams::default();
+    let params = TrainParams {
+        n_trees: opts.parse_or("--trees", 100usize)?,
+        tree_size: opts.parse_or("--tree-size", 6u32)?,
+        learning_rate: opts.parse_or("--learning-rate", defaults.learning_rate)?,
+        gamma: opts.parse_or("--gamma", defaults.gamma)?,
+        lambda: opts.parse_or("--lambda", defaults.lambda)?,
+        min_child_weight: opts.parse_or("--min-child-weight", defaults.min_child_weight)?,
+        growth: parse_growth(opts.get("--growth").unwrap_or("leafwise"))?,
+        k: opts.parse_or("--k", 32usize)?,
+        mode: parse_mode(opts.get("--mode").unwrap_or("dp"))?,
+        n_threads: opts.parse_or("--threads", harp_parallel::current_num_threads_hint())?,
+        loss: parse_loss(opts.get("--loss").unwrap_or("logistic"))?,
+        subsample: opts.parse_or("--subsample", 1.0f32)?,
+        colsample_bytree: opts.parse_or("--colsample", 1.0f32)?,
+        seed: opts.parse_or("--seed", 0u64)?,
+        ..defaults
+    };
+    let trainer = GbdtTrainer::new(params.clone())?;
+
+    let valid = opts.get("--valid").map(load).transpose()?;
+    let eval = match &valid {
+        Some(v) => {
+            let metric = match params.loss {
+                LossKind::Logistic => EvalMetric::Auc,
+                LossKind::SquaredError => EvalMetric::Rmse,
+                LossKind::Softmax { .. } => EvalMetric::MulticlassLogLoss,
+            };
+            Some(EvalOptions {
+                data: v,
+                metric,
+                every: 1,
+                early_stopping_rounds: opts.parse_opt("--early-stop")?,
+            })
+        }
+        None => None,
+    };
+
+    let out = trainer.train_with_eval(&data, eval);
+    out.model
+        .save(model_path)
+        .map_err(|e| format!("failed to save model {model_path}: {e}"))?;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "trained {} trees on {} rows x {} features in {:.2}s ({:.2} ms/round)",
+        out.model.n_trees(),
+        data.n_rows(),
+        data.n_features(),
+        out.diagnostics.train_secs,
+        out.diagnostics.mean_tree_secs() * 1e3
+    );
+    if let Some(trace) = &out.diagnostics.trace {
+        let _ = writeln!(
+            report,
+            "validation: best {:.5} at round {}",
+            trace.best().unwrap_or(f64::NAN),
+            out.diagnostics.best_iteration.unwrap_or(0)
+        );
+    }
+    let _ = writeln!(report, "model saved to {model_path}");
+    Ok(report)
+}
+
+/// `harpgbdt predict`.
+pub fn predict(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let model = load_model(opts.required("--model")?)?;
+    let data = load(opts.required("--data")?)?;
+    if data.n_features() > model.n_features() {
+        return Err(format!(
+            "data has {} features but the model was trained on {}",
+            data.n_features(),
+            model.n_features()
+        ));
+    }
+    let lines: Vec<String> = if opts.switch("--class") {
+        model.predict_class(&data.features).iter().map(u32::to_string).collect()
+    } else if opts.switch("--raw") {
+        format_rows(&model.predict_raw(&data.features), model.n_groups())
+    } else {
+        format_rows(&model.predict(&data.features), model.n_groups())
+    };
+    let text = lines.join("\n") + "\n";
+    match opts.get("--out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("failed to write {path}: {e}"))?;
+            Ok(format!("{} predictions written to {path}\n", lines.len()))
+        }
+        None => Ok(text),
+    }
+}
+
+fn format_rows(values: &[f32], groups: usize) -> Vec<String> {
+    values
+        .chunks_exact(groups)
+        .map(|row| {
+            row.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
+        })
+        .collect()
+}
+
+/// `harpgbdt eval`.
+pub fn eval(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let model = load_model(opts.required("--model")?)?;
+    let data = load(opts.required("--data")?)?;
+    let metric = opts.get("--metric").unwrap_or("auto");
+    let raw = model.predict_raw(&data.features);
+    let probs = model.loss().transform_scores(&raw);
+    let groups = model.n_groups();
+    let mut out = String::new();
+    let mut emit = |name: &str, v: f64| {
+        let _ = writeln!(out, "{name:<10} {v:.6}");
+    };
+    match (metric, groups) {
+        ("auto", 1) => {
+            emit("auc", harp_metrics::auc(&data.labels, &raw));
+            emit("logloss", harp_metrics::log_loss(&data.labels, &probs));
+            emit("error", harp_metrics::error_rate(&data.labels, &probs));
+        }
+        ("auto", g) => {
+            emit("mlogloss", harp_metrics::multiclass_log_loss(&data.labels, &probs, g));
+            emit("merror", harp_metrics::multiclass_error(&data.labels, &raw, g));
+        }
+        ("auc", 1) => emit("auc", harp_metrics::auc(&data.labels, &raw)),
+        ("logloss", 1) => emit("logloss", harp_metrics::log_loss(&data.labels, &probs)),
+        ("rmse", 1) => emit("rmse", harp_metrics::rmse(&data.labels, &raw)),
+        ("error", 1) => emit("error", harp_metrics::error_rate(&data.labels, &probs)),
+        ("logloss", g) => {
+            emit("mlogloss", harp_metrics::multiclass_log_loss(&data.labels, &probs, g));
+        }
+        ("error", g) => emit("merror", harp_metrics::multiclass_error(&data.labels, &raw, g)),
+        (m, _) => return Err(format!("metric {m:?} does not fit this model")),
+    }
+    Ok(out)
+}
+
+/// `harpgbdt importance`.
+pub fn importance(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let model = load_model(opts.required("--model")?)?;
+    let top: usize = opts.parse_or("--top", 20usize)?;
+    let mut rows: Vec<(usize, f64, u64)> = model
+        .feature_importance()
+        .iter()
+        .enumerate()
+        .map(|(f, i)| (f, i.gain, i.splits))
+        .filter(|r| r.2 > 0)
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:>14} {:>8}", "feature", "gain", "splits");
+    for (f, gain, splits) in rows.into_iter().take(top) {
+        let _ = writeln!(out, "f{f:<9} {gain:>14.4} {splits:>8}");
+    }
+    Ok(out)
+}
+
+/// `harpgbdt dump`.
+pub fn dump(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let model = load_model(opts.required("--model")?)?;
+    Ok(model.dump_text())
+}
+
+/// `harpgbdt synth`.
+pub fn synth(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let kind = opts.required("--kind")?;
+    let kind = DatasetKind::parse(kind)
+        .ok_or_else(|| format!("unknown kind {kind:?} (higgs|airline|criteo|yfcc|synset)"))?;
+    let out_path = opts.required("--out")?;
+    let rows: Option<usize> = opts.parse_opt("--rows")?;
+    let seed: u64 = opts.parse_or("--seed", 42u64)?;
+    let scale = rows.map_or(1.0, |r| r as f64 / kind.base_rows() as f64);
+    let data = SynthConfig::new(kind, seed).with_scale(scale).generate();
+    let file = std::fs::File::create(out_path)
+        .map_err(|e| format!("failed to create {out_path}: {e}"))?;
+    let writer = std::io::BufWriter::new(file);
+    let result = if out_path.ends_with(".csv") {
+        harp_data::io::write_csv(writer, &data)
+    } else {
+        harp_data::io::write_libsvm(writer, &data)
+    };
+    result.map_err(|e| format!("failed to write {out_path}: {e}"))?;
+    Ok(format!("wrote {} ({} rows x {} features) to {out_path}\n", kind.name(), data.n_rows(), data.n_features()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_parsing() {
+        assert_eq!(parse_loss("logistic").unwrap(), LossKind::Logistic);
+        assert_eq!(parse_loss("squared").unwrap(), LossKind::SquaredError);
+        assert_eq!(parse_loss("softmax:4").unwrap(), LossKind::Softmax { n_classes: 4 });
+        assert!(parse_loss("softmax:x").is_err());
+        assert!(parse_loss("hinge").is_err());
+    }
+
+    #[test]
+    fn mode_and_growth_parsing() {
+        assert_eq!(parse_mode("async").unwrap(), ParallelMode::Async);
+        assert!(parse_mode("turbo").is_err());
+        assert_eq!(parse_growth("depthwise").unwrap(), GrowthMethod::Depthwise);
+        assert!(parse_growth("widthwise").is_err());
+    }
+
+    #[test]
+    fn format_rows_groups() {
+        assert_eq!(format_rows(&[1.0, 2.0, 3.0, 4.0], 2), vec!["1,2", "3,4"]);
+        assert_eq!(format_rows(&[1.5], 1), vec!["1.5"]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Implementation of the `harpgbdt` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `train`   — fit a model on a CSV/LIBSVM file, optionally validating
+//!   against a second file with early stopping, and save it as JSON.
+//! * `predict` — score a data file with a saved model (probabilities, raw
+//!   margins, or argmax class ids).
+//! * `eval`    — compute metrics of a saved model on a labeled file.
+//! * `importance` — print per-feature gain/split importance.
+//! * `dump`    — human-readable tree dump.
+//! * `synth`   — generate one of the paper-shaped synthetic datasets to a
+//!   CSV or LIBSVM file.
+//!
+//! All argument handling lives here (library) so it is unit-testable; the
+//! binary in `main.rs` is a thin wrapper.
+
+pub mod commands;
+pub mod opts;
+
+use std::fmt::Write as _;
+
+/// Runs the CLI with the given arguments (without the program name).
+/// Returns the text to print on success.
+///
+/// # Errors
+/// Returns a user-facing message on bad usage or failed I/O.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "train" => commands::train(rest),
+        "predict" => commands::predict(rest),
+        "eval" => commands::eval(rest),
+        "importance" => commands::importance(rest),
+        "dump" => commands::dump(rest),
+        "synth" => commands::synth(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The top-level usage text.
+pub fn usage() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "harpgbdt — gradient boosting optimized for parallel efficiency");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "usage: harpgbdt <command> [options]");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "commands:");
+    let _ = writeln!(s, "  train       --data FILE --model FILE [training options]");
+    let _ = writeln!(s, "  predict     --model FILE --data FILE [--out FILE] [--raw|--class]");
+    let _ = writeln!(s, "  eval        --model FILE --data FILE [--metric auc|logloss|rmse|error]");
+    let _ = writeln!(s, "  importance  --model FILE [--top N]");
+    let _ = writeln!(s, "  dump        --model FILE");
+    let _ = writeln!(s, "  synth       --kind KIND --out FILE [--rows N] [--seed N]");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "training options:");
+    let _ = writeln!(s, "  --trees N --tree-size D --learning-rate F --gamma F --lambda F");
+    let _ = writeln!(s, "  --min-child-weight F --growth leafwise|depthwise --k N");
+    let _ = writeln!(s, "  --mode dp|mp|sync|async --threads N --loss logistic|squared|softmax:C");
+    let _ = writeln!(s, "  --subsample F --colsample F --seed N");
+    let _ = writeln!(s, "  --valid FILE --early-stop ROUNDS");
+    s
+}

@@ -1,0 +1,13 @@
+//! `harpgbdt` binary entry point — a thin wrapper over the library so the
+//! command logic stays unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match harpgbdt_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

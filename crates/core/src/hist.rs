@@ -1,0 +1,226 @@
+//! GHSum histogram buffers, reduction, subtraction and the candidate cache.
+//!
+//! A node's histogram ("GHSum", Fig. 5) is one flat `f64` buffer of
+//! interleaved `(Σg, Σh)` cells, feature-major with per-feature bin offsets
+//! from the [`harp_binning::BinMapper`]:
+//! `cell(f, b) = (bin_offset(f) + b) * 2`. A batch of nodes is simply a batch
+//! of such buffers — the ⟨node, feature, bin⟩ cube of §IV-A with the node
+//! axis unrolled, which lets block tasks address private index ranges with no
+//! atomics.
+//!
+//! [`HistPool`] recycles buffers and caches candidate histograms so the
+//! parent−sibling subtraction trick can skip half of BuildHist; because
+//! leafwise growth can hold thousands of pending candidates, the cache is
+//! bounded in bytes and evicts the lowest-gain entry first (that candidate is
+//! the least likely to be popped soon).
+
+use crate::tree::NodeId;
+use std::collections::HashMap;
+
+/// Width in `f64` lanes of one node histogram: `total_bins * 2`.
+pub fn hist_width(total_bins: u32) -> usize {
+    total_bins as usize * 2
+}
+
+/// Zeroes a histogram buffer.
+pub fn zero(buf: &mut [f64]) {
+    buf.fill(0.0);
+}
+
+/// `dst += src`, cell-wise — the replica reduction of data parallelism.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn reduce_into(dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "histogram width mismatch in reduce");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// `large = parent − small`, cell-wise — the histogram subtraction trick.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn subtract(parent: &[f64], small: &[f64], large: &mut [f64]) {
+    assert_eq!(parent.len(), small.len(), "histogram width mismatch in subtract");
+    assert_eq!(parent.len(), large.len(), "histogram width mismatch in subtract");
+    for i in 0..parent.len() {
+        large[i] = parent[i] - small[i];
+    }
+}
+
+/// In-place variant: `buf = buf − small` (reuses the parent's buffer for the
+/// large child).
+pub fn subtract_in_place(buf: &mut [f64], small: &[f64]) {
+    assert_eq!(buf.len(), small.len(), "histogram width mismatch in subtract");
+    for (b, s) in buf.iter_mut().zip(small) {
+        *b -= s;
+    }
+}
+
+struct Cached {
+    data: Vec<f64>,
+    gain: f64,
+}
+
+/// Buffer recycler plus bounded cache of candidate histograms.
+pub struct HistPool {
+    width: usize,
+    free: Vec<Vec<f64>>,
+    cache: HashMap<NodeId, Cached>,
+    budget_bytes: usize,
+}
+
+impl HistPool {
+    /// Creates a pool for histograms of `total_bins` bins with a cache
+    /// budget of `budget_bytes`.
+    pub fn new(total_bins: u32, budget_bytes: usize) -> Self {
+        Self { width: hist_width(total_bins), free: Vec::new(), cache: HashMap::new(), budget_bytes }
+    }
+
+    /// Histogram lane count.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Hands out a zeroed buffer, reusing a returned one when possible.
+    pub fn alloc(&mut self) -> Vec<f64> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                zero(&mut buf);
+                buf
+            }
+            None => vec![0.0; self.width],
+        }
+    }
+
+    /// Returns a buffer to the free list.
+    pub fn release(&mut self, buf: Vec<f64>) {
+        debug_assert_eq!(buf.len(), self.width);
+        self.free.push(buf);
+    }
+
+    /// Caches `node`'s histogram for a later subtraction, evicting the
+    /// lowest-gain entries if the byte budget would be exceeded. A zero
+    /// budget disables caching (and therefore subtraction).
+    pub fn cache_insert(&mut self, node: NodeId, data: Vec<f64>, gain: f64) {
+        let entry_bytes = self.width * 8;
+        if entry_bytes > self.budget_bytes {
+            self.release(data);
+            return;
+        }
+        while (self.cache.len() + 1) * entry_bytes > self.budget_bytes {
+            let victim = self
+                .cache
+                .iter()
+                .min_by(|a, b| a.1.gain.total_cmp(&b.1.gain))
+                .map(|(&id, _)| id)
+                .expect("cache nonempty while over budget");
+            let evicted = self.cache.remove(&victim).expect("victim present");
+            self.free.push(evicted.data);
+        }
+        self.cache.insert(node, Cached { data, gain });
+    }
+
+    /// Removes and returns `node`'s cached histogram, if still present.
+    pub fn cache_take(&mut self, node: NodeId) -> Option<Vec<f64>> {
+        self.cache.remove(&node).map(|c| c.data)
+    }
+
+    /// Drops every cached histogram (end of tree) back to the free list.
+    pub fn clear_cache(&mut self) {
+        let drained: Vec<Vec<f64>> = self.cache.drain().map(|(_, c)| c.data).collect();
+        self.free.extend(drained);
+    }
+
+    /// Number of cached candidate histograms.
+    pub fn cached_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_adds_cellwise() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        reduce_into(&mut a, &[10.0, 20.0, 30.0]);
+        assert_eq!(a, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn subtract_forms_sibling() {
+        let parent = vec![5.0, 7.0];
+        let small = vec![2.0, 3.0];
+        let mut large = vec![0.0; 2];
+        subtract(&parent, &small, &mut large);
+        assert_eq!(large, vec![3.0, 4.0]);
+        let mut buf = parent.clone();
+        subtract_in_place(&mut buf, &small);
+        assert_eq!(buf, large);
+    }
+
+    #[test]
+    fn pool_reuses_buffers_zeroed() {
+        let mut pool = HistPool::new(4, 1 << 20);
+        let mut b = pool.alloc();
+        assert_eq!(b.len(), 8);
+        b[3] = 9.0;
+        pool.release(b);
+        let b2 = pool.alloc();
+        assert!(b2.iter().all(|&x| x == 0.0), "reused buffer must be zeroed");
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let mut pool = HistPool::new(2, 1 << 20);
+        let mut b = pool.alloc();
+        b[0] = 42.0;
+        pool.cache_insert(7, b, 1.0);
+        assert_eq!(pool.cached_len(), 1);
+        let back = pool.cache_take(7).unwrap();
+        assert_eq!(back[0], 42.0);
+        assert!(pool.cache_take(7).is_none());
+    }
+
+    #[test]
+    fn cache_evicts_lowest_gain_first() {
+        // width = 2 bins -> 4 lanes -> 32 bytes per entry; budget: 2 entries.
+        let mut pool = HistPool::new(2, 64);
+        pool.cache_insert(1, vec![1.0; 4], 5.0);
+        pool.cache_insert(2, vec![2.0; 4], 1.0);
+        pool.cache_insert(3, vec![3.0; 4], 3.0);
+        assert_eq!(pool.cached_len(), 2);
+        assert!(pool.cache_take(2).is_none(), "lowest-gain entry should be evicted");
+        assert!(pool.cache_take(1).is_some());
+        assert!(pool.cache_take(3).is_some());
+    }
+
+    #[test]
+    fn zero_budget_disables_cache() {
+        let mut pool = HistPool::new(2, 0);
+        pool.cache_insert(1, vec![0.0; 4], 10.0);
+        assert_eq!(pool.cached_len(), 0);
+        // The rejected buffer must have been recycled.
+        let _ = pool.alloc();
+    }
+
+    #[test]
+    fn clear_cache_recycles_everything() {
+        let mut pool = HistPool::new(2, 1 << 20);
+        pool.cache_insert(1, vec![0.0; 4], 1.0);
+        pool.cache_insert(2, vec![0.0; 4], 2.0);
+        pool.clear_cache();
+        assert_eq!(pool.cached_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn reduce_width_mismatch_panics() {
+        let mut a = vec![0.0; 2];
+        reduce_into(&mut a, &[0.0; 3]);
+    }
+}

@@ -1,0 +1,356 @@
+//! BuildHist scan kernels (Algorithm 2).
+//!
+//! Two access patterns, matching the two parallelism families of §II-B:
+//!
+//! * [`row_scan`] — walk a set of rows, accumulating every feature in a
+//!   feature block: the data-parallel kernel (writes span the whole feature
+//!   block of one node — a private replica or an exclusively owned buffer).
+//! * [`col_scan`] — walk one feature column restricted to a node's rows:
+//!   the model-parallel kernel (writes confined to that feature's bins of
+//!   that node — a `16 × bin_blk × feature_blk × node_blk` region, §IV-E).
+//!
+//! Both return the number of histogram accumulations performed so drivers
+//! can report byte traffic and FLOPs to the profiler. Gradients are read
+//! from the node-aligned MemBuf slice when available, otherwise gathered
+//! from the global gradient array by row id (the "+MemBuf" ablation of
+//! Table V toggles exactly this).
+
+use crate::loss::GradPair;
+use harp_binning::{QuantizedMatrix, MISSING_BIN};
+use std::ops::Range;
+
+/// Gradient source for a node scan: MemBuf slice or global gather.
+#[derive(Clone, Copy)]
+pub enum GradSource<'a> {
+    /// Node-aligned `(g, h)` replica; index = position within the node.
+    MemBuf(&'a [GradPair]),
+    /// Global array indexed by row id (random access).
+    Global(&'a [GradPair]),
+}
+
+impl<'a> GradSource<'a> {
+    /// Picks MemBuf when the slice is non-empty, else the global array.
+    pub fn select(membuf: &'a [GradPair], global: &'a [GradPair]) -> Self {
+        if membuf.is_empty() {
+            GradSource::Global(global)
+        } else {
+            GradSource::MemBuf(membuf)
+        }
+    }
+
+    #[inline]
+    fn get(&self, pos_in_node: usize, row: u32) -> GradPair {
+        match self {
+            GradSource::MemBuf(m) => m[pos_in_node],
+            GradSource::Global(g) => g[row as usize],
+        }
+    }
+}
+
+/// Accumulates `rows` × features `f_range` into `hist` (one node's full
+/// buffer, indexed by the mapper's bin offsets). Returns accumulation count.
+///
+/// `offsets[f]` must be the flattened bin offset of feature `f`.
+pub fn row_scan(
+    qm: &QuantizedMatrix,
+    rows: &[u32],
+    grads: GradSource<'_>,
+    f_range: Range<usize>,
+    hist: &mut [f64],
+) -> u64 {
+    let mapper = qm.mapper();
+    let mut cells = 0u64;
+    if qm.is_dense() {
+        for (i, &row) in rows.iter().enumerate() {
+            let [g, h] = grads.get(i, row);
+            let bins = qm.dense_row(row as usize).expect("dense storage");
+            for f in f_range.clone() {
+                let b = bins[f];
+                if b == MISSING_BIN {
+                    continue;
+                }
+                let cell = (mapper.bin_offset(f) + u32::from(b)) as usize * 2;
+                hist[cell] += f64::from(g);
+                hist[cell + 1] += f64::from(h);
+                cells += 1;
+            }
+        }
+    } else {
+        let full = f_range.start == 0 && f_range.end == qm.n_features();
+        for (i, &row) in rows.iter().enumerate() {
+            let [g, h] = grads.get(i, row);
+            let (cols, bins) = qm.sparse_row(row as usize).expect("sparse storage");
+            // Restrict to the feature block; row entries are sorted by column.
+            let (lo, hi) = if full {
+                (0, cols.len())
+            } else {
+                (
+                    cols.partition_point(|&c| (c as usize) < f_range.start),
+                    cols.partition_point(|&c| (c as usize) < f_range.end),
+                )
+            };
+            for k in lo..hi {
+                let f = cols[k] as usize;
+                let cell = (mapper.bin_offset(f) + u32::from(bins[k])) as usize * 2;
+                hist[cell] += f64::from(g);
+                hist[cell + 1] += f64::from(h);
+                cells += 1;
+            }
+        }
+    }
+    cells
+}
+
+/// Accumulates feature `f` over `rows` into `hist_f` (that feature's bins
+/// only: `n_bins * 2` lanes), restricted to bins in `bin_range`. Returns the
+/// accumulation count.
+///
+/// `rows` must be ascending (guaranteed by the stable partition).
+pub fn col_scan(
+    qm: &QuantizedMatrix,
+    f: usize,
+    rows: &[u32],
+    grads: GradSource<'_>,
+    bin_range: Range<usize>,
+    hist_f: &mut [f64],
+) -> u64 {
+    let mut cells = 0u64;
+    let full_bins = bin_range.start == 0 && bin_range.end >= qm.mapper().n_bins(f) as usize;
+    if let Some(col) = qm.dense_col(f) {
+        for (i, &row) in rows.iter().enumerate() {
+            let b = col[row as usize];
+            if b == MISSING_BIN {
+                continue;
+            }
+            if !full_bins && !bin_range.contains(&(b as usize)) {
+                continue;
+            }
+            let [g, h] = grads.get(i, row);
+            let cell = usize::from(b) * 2;
+            hist_f[cell] += f64::from(g);
+            hist_f[cell + 1] += f64::from(h);
+            cells += 1;
+        }
+    } else {
+        // Sparse: merge-walk the CSC column (rows ascending) with the node's
+        // rows (also ascending).
+        let (col_rows, col_bins) = qm.sparse_col(f).expect("sparse storage");
+        let mut k = 0usize;
+        for (i, &row) in rows.iter().enumerate() {
+            while k < col_rows.len() && col_rows[k] < row {
+                k += 1;
+            }
+            if k == col_rows.len() {
+                break;
+            }
+            if col_rows[k] == row {
+                let b = col_bins[k];
+                if full_bins || bin_range.contains(&(b as usize)) {
+                    let [g, h] = grads.get(i, row);
+                    let cell = usize::from(b) * 2;
+                    hist_f[cell] += f64::from(g);
+                    hist_f[cell + 1] += f64::from(h);
+                    cells += 1;
+                }
+                k += 1;
+            }
+        }
+    }
+    cells
+}
+
+/// Estimated bytes moved per accumulation, for the memory-bound proxy:
+/// 16 B GHSum read + 16 B write + 1 B bin + 8 B gradient.
+pub const BYTES_PER_CELL: u64 = 41;
+
+/// FLOPs per accumulation (one add each for g and h).
+pub const FLOPS_PER_CELL: u64 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_binning::BinningConfig;
+    use harp_data::{CsrMatrix, DenseMatrix, FeatureMatrix};
+
+    fn dense_qm() -> QuantizedMatrix {
+        // 6 rows x 3 features; feature 1 has two missing cells.
+        let m = FeatureMatrix::Dense(DenseMatrix::from_vec(
+            6,
+            3,
+            vec![
+                0.0, 5.0, 1.0, //
+                1.0, f32::NAN, 1.0, //
+                2.0, 6.0, 0.0, //
+                0.0, 5.0, 0.0, //
+                1.0, f32::NAN, 1.0, //
+                2.0, 7.0, 0.0,
+            ],
+        ));
+        QuantizedMatrix::from_matrix(&m, BinningConfig::default())
+    }
+
+    fn sparse_qm() -> QuantizedMatrix {
+        let m = FeatureMatrix::Sparse(CsrMatrix::from_rows(
+            3,
+            &[
+                vec![(0, 1.0), (2, 4.0)],
+                vec![(1, 2.0)],
+                vec![(0, 2.0), (1, 3.0)],
+                vec![(2, 5.0)],
+            ],
+        ));
+        QuantizedMatrix::from_matrix(&m, BinningConfig::default())
+    }
+
+    fn grads(n: usize) -> Vec<GradPair> {
+        (0..n).map(|i| [1.0 + i as f32, 0.5]).collect()
+    }
+
+    fn hist_for(qm: &QuantizedMatrix) -> Vec<f64> {
+        vec![0.0; qm.mapper().total_bins() as usize * 2]
+    }
+
+    /// Reference accumulation via the slow accessor.
+    fn reference(qm: &QuantizedMatrix, rows: &[u32], g: &[GradPair], f_range: Range<usize>) -> Vec<f64> {
+        let mut hist = hist_for(qm);
+        for &row in rows {
+            for f in f_range.clone() {
+                if let Some(b) = qm.bin(row as usize, f) {
+                    let cell = (qm.mapper().bin_offset(f) + u32::from(b)) as usize * 2;
+                    hist[cell] += f64::from(g[row as usize][0]);
+                    hist[cell + 1] += f64::from(g[row as usize][1]);
+                }
+            }
+        }
+        hist
+    }
+
+    #[test]
+    fn row_scan_dense_matches_reference() {
+        let qm = dense_qm();
+        let g = grads(6);
+        let rows: Vec<u32> = vec![0, 2, 3, 5];
+        let mut hist = hist_for(&qm);
+        let cells = row_scan(&qm, &rows, GradSource::Global(&g), 0..3, &mut hist);
+        assert_eq!(hist, reference(&qm, &rows, &g, 0..3));
+        assert_eq!(cells, 12); // 4 rows x 3 features, none missing for these rows
+    }
+
+    #[test]
+    fn row_scan_skips_missing() {
+        let qm = dense_qm();
+        let g = grads(6);
+        let rows: Vec<u32> = vec![1, 4]; // rows with a missing feature-1 cell
+        let mut hist = hist_for(&qm);
+        let cells = row_scan(&qm, &rows, GradSource::Global(&g), 0..3, &mut hist);
+        assert_eq!(cells, 4);
+        assert_eq!(hist, reference(&qm, &rows, &g, 0..3));
+    }
+
+    #[test]
+    fn row_scan_feature_block_restricts_columns() {
+        let qm = dense_qm();
+        let g = grads(6);
+        let rows: Vec<u32> = (0..6).collect();
+        let mut hist = hist_for(&qm);
+        row_scan(&qm, &rows, GradSource::Global(&g), 1..2, &mut hist);
+        assert_eq!(hist, reference(&qm, &rows, &g, 1..2));
+        // Feature 0's cells untouched.
+        let f0_cells = qm.mapper().n_bins(0) as usize * 2;
+        assert!(hist[..f0_cells].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn row_scan_membuf_matches_global() {
+        let qm = dense_qm();
+        let g = grads(6);
+        let rows: Vec<u32> = vec![5, 0, 3]; // arbitrary subset, any order
+        let membuf: Vec<GradPair> = rows.iter().map(|&r| g[r as usize]).collect();
+        let mut h1 = hist_for(&qm);
+        let mut h2 = hist_for(&qm);
+        row_scan(&qm, &rows, GradSource::Global(&g), 0..3, &mut h1);
+        row_scan(&qm, &rows, GradSource::MemBuf(&membuf), 0..3, &mut h2);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn row_scan_sparse_matches_reference() {
+        let qm = sparse_qm();
+        let g = grads(4);
+        let rows: Vec<u32> = vec![0, 1, 2, 3];
+        let mut hist = hist_for(&qm);
+        let cells = row_scan(&qm, &rows, GradSource::Global(&g), 0..3, &mut hist);
+        assert_eq!(cells, 6);
+        assert_eq!(hist, reference(&qm, &rows, &g, 0..3));
+    }
+
+    #[test]
+    fn row_scan_sparse_feature_block() {
+        let qm = sparse_qm();
+        let g = grads(4);
+        let rows: Vec<u32> = vec![0, 2, 3];
+        let mut hist = hist_for(&qm);
+        row_scan(&qm, &rows, GradSource::Global(&g), 1..3, &mut hist);
+        assert_eq!(hist, reference(&qm, &rows, &g, 1..3));
+    }
+
+    #[test]
+    fn col_scan_matches_row_scan_per_feature() {
+        for qm in [dense_qm(), sparse_qm()] {
+            let n = qm.n_rows();
+            let g = grads(n);
+            let rows: Vec<u32> = (0..n as u32).collect();
+            let mut full = hist_for(&qm);
+            row_scan(&qm, &rows, GradSource::Global(&g), 0..qm.n_features(), &mut full);
+            for f in 0..qm.n_features() {
+                let n_bins = qm.mapper().n_bins(f) as usize;
+                let mut hist_f = vec![0.0; n_bins * 2];
+                col_scan(&qm, f, &rows, GradSource::Global(&g), 0..n_bins, &mut hist_f);
+                let base = qm.mapper().bin_offset(f) as usize * 2;
+                assert_eq!(&full[base..base + n_bins * 2], &hist_f[..], "feature {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn col_scan_bin_block_restricts_bins() {
+        let qm = dense_qm();
+        let g = grads(6);
+        let rows: Vec<u32> = (0..6).collect();
+        let f = 0;
+        let n_bins = qm.mapper().n_bins(f) as usize;
+        assert!(n_bins >= 3);
+        let mut blocked = vec![0.0; n_bins * 2];
+        col_scan(&qm, f, &rows, GradSource::Global(&g), 0..1, &mut blocked);
+        let mut full = vec![0.0; n_bins * 2];
+        col_scan(&qm, f, &rows, GradSource::Global(&g), 0..n_bins, &mut full);
+        assert_eq!(&blocked[..2], &full[..2]);
+        assert!(blocked[2..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn col_scan_subset_rows_sparse() {
+        let qm = sparse_qm();
+        let g = grads(4);
+        let rows: Vec<u32> = vec![1, 2]; // subset; ascending
+        for f in 0..3 {
+            let n_bins = qm.mapper().n_bins(f) as usize;
+            if n_bins == 0 {
+                continue;
+            }
+            let mut hist_f = vec![0.0; n_bins * 2];
+            col_scan(&qm, f, &rows, GradSource::Global(&g), 0..n_bins, &mut hist_f);
+            let reference_full = reference(&qm, &rows, &g, f..f + 1);
+            let base = qm.mapper().bin_offset(f) as usize * 2;
+            assert_eq!(&reference_full[base..base + n_bins * 2], &hist_f[..], "feature {f}");
+        }
+    }
+
+    #[test]
+    fn grad_source_select_prefers_membuf() {
+        let g = grads(2);
+        let mb = grads(1);
+        assert!(matches!(GradSource::select(&mb, &g), GradSource::MemBuf(_)));
+        assert!(matches!(GradSource::select(&[], &g), GradSource::Global(_)));
+    }
+}

@@ -1,0 +1,318 @@
+//! Training hyper-parameters and the system parameters of Table IV.
+
+use serde::{Deserialize, Serialize};
+
+/// Tree growth method (§II-A, §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrowthMethod {
+    /// Split leaves level by level; `k = 0` splits a whole level at once
+    /// (classic depthwise), `k > 0` selects K leaves at a time, building the
+    /// same tree (§IV-B, Fig. 6a).
+    Depthwise,
+    /// Split the leaves with the largest loss change; `k = 1` is classic
+    /// leafwise, `k > 1` is the paper's TopK method (Fig. 6d).
+    Leafwise,
+}
+
+/// Parallel mode (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParallelMode {
+    /// Data parallelism: row blocks, per-thread model replicas, reduction.
+    DataParallel,
+    /// Model parallelism: (node, feature, bin) blocks with exclusive writes.
+    ModelParallel,
+    /// Mixed (DP, MP, DP): DP while few candidates, MP in the middle, DP at
+    /// the end when nodes are tiny.
+    Sync,
+    /// Mixed (X, node parallelism, X): DP while few candidates, then
+    /// node-level tasks on a shared priority queue with no barriers.
+    Async,
+}
+
+/// Loss function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Binary logistic regression (the paper's setting for all tasks).
+    Logistic,
+    /// Squared-error regression.
+    SquaredError,
+    /// Multiclass softmax: one tree per class per boosting round. An
+    /// extension beyond the paper's binary setting.
+    Softmax {
+        /// Number of classes (>= 2). Labels are class ids `0..n_classes`.
+        n_classes: u32,
+    },
+}
+
+/// Block-size system parameters (Table IV). `0` means "all" (the paper's
+/// convention for unlimited block extent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockConfig {
+    /// Rows per data-parallel task; `0` derives `N / n_threads`.
+    pub row_blk_size: usize,
+    /// Tree-node candidates fused into one task; `0` means all in the batch.
+    pub node_blk_size: usize,
+    /// Features per task; `0` means all features.
+    pub feature_blk_size: usize,
+    /// Bins per model-parallel task; `0` (or ≥ max bins) disables bin
+    /// blocking, the setting used throughout the paper's experiments.
+    pub bin_blk_size: usize,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        Self { row_blk_size: 0, node_blk_size: 1, feature_blk_size: 0, bin_blk_size: 0 }
+    }
+}
+
+impl BlockConfig {
+    /// Resolves `row_blk_size` for a dataset of `n` rows on `t` threads.
+    pub fn rows_per_block(&self, n: usize, t: usize) -> usize {
+        if self.row_blk_size > 0 {
+            self.row_blk_size
+        } else {
+            (n / t).max(1)
+        }
+    }
+
+    /// Resolves `node_blk_size` for a batch of `batch` nodes.
+    pub fn nodes_per_block(&self, batch: usize) -> usize {
+        if self.node_blk_size > 0 {
+            self.node_blk_size.min(batch.max(1))
+        } else {
+            batch.max(1)
+        }
+    }
+
+    /// Resolves `feature_blk_size` for `m` features.
+    pub fn features_per_block(&self, m: usize) -> usize {
+        if self.feature_blk_size > 0 {
+            self.feature_blk_size.min(m.max(1))
+        } else {
+            m.max(1)
+        }
+    }
+
+    /// Resolves `bin_blk_size` for a feature with `b` bins.
+    pub fn bins_per_block(&self, b: usize) -> usize {
+        if self.bin_blk_size > 0 {
+            self.bin_blk_size.min(b.max(1))
+        } else {
+            b.max(1)
+        }
+    }
+}
+
+/// Full training configuration.
+///
+/// Defaults follow §V-A4: `learning_rate = 0.1`, `γ = 1.0`, `λ = 1.0`,
+/// `min_child_weight = 1`, logistic loss, 100 trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainParams {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Shrinkage applied to leaf weights.
+    pub learning_rate: f32,
+    /// L2 regularization λ on leaf weights.
+    pub lambda: f64,
+    /// Minimum loss reduction γ to make a split.
+    pub gamma: f64,
+    /// Minimum hessian sum in a child.
+    pub min_child_weight: f64,
+    /// Tree size `D`: depthwise depth limit `D` (root = depth 0) and leaf
+    /// budget `2^D` (see DESIGN.md §6 on the paper's convention).
+    pub tree_size: u32,
+    /// Growth method.
+    pub growth: GrowthMethod,
+    /// TopK candidate count; `0` = unlimited (depthwise default), leafwise
+    /// default is 1.
+    pub k: usize,
+    /// Parallel mode.
+    pub mode: ParallelMode,
+    /// Block-size system parameters.
+    pub blocks: BlockConfig,
+    /// Worker threads.
+    pub n_threads: usize,
+    /// Loss function.
+    pub loss: LossKind,
+    /// Keep gradient replicas next to row ids (§IV-E MemBuf). Off only for
+    /// the ablation in Table V.
+    pub use_membuf: bool,
+    /// Use the parent − sibling histogram subtraction trick when the parent
+    /// histogram is cached. Changes floating-point association, so the
+    /// determinism tests disable it.
+    pub hist_subtraction: bool,
+    /// Byte budget for cached candidate histograms (leafwise growth can hold
+    /// thousands of candidates; the pool evicts lowest-gain first).
+    pub hist_cache_bytes: usize,
+    /// Use a static task schedule in data-parallel reductions so results are
+    /// bitwise reproducible run-to-run.
+    pub deterministic: bool,
+    /// Per-tree row subsampling rate in `(0, 1]` (stochastic gradient
+    /// boosting). Excluded rows get zero gradient mass for that tree; `1.0`
+    /// disables sampling, as in all paper experiments (§V-A4 excludes
+    /// sampling to keep workloads comparable).
+    pub subsample: f32,
+    /// Per-tree feature subsampling rate in `(0, 1]`; sampled-out features
+    /// are skipped by FindSplit. `1.0` disables.
+    pub colsample_bytree: f32,
+    /// Seed for the subsampling RNG (training itself is deterministic).
+    pub seed: u64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            learning_rate: 0.1,
+            lambda: 1.0,
+            gamma: 1.0,
+            min_child_weight: 1.0,
+            tree_size: 8,
+            growth: GrowthMethod::Leafwise,
+            k: 1,
+            mode: ParallelMode::DataParallel,
+            blocks: BlockConfig::default(),
+            n_threads: harp_parallel::current_num_threads_hint(),
+            loss: LossKind::Logistic,
+            use_membuf: true,
+            hist_subtraction: true,
+            hist_cache_bytes: 512 << 20,
+            deterministic: true,
+            subsample: 1.0,
+            colsample_bytree: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainParams {
+    /// Maximum number of leaves for this tree size (`2^D`).
+    pub fn max_leaves(&self) -> usize {
+        1usize << self.tree_size.min(31)
+    }
+
+    /// Maximum node depth (root = 0).
+    pub fn max_depth(&self) -> u32 {
+        match self.growth {
+            GrowthMethod::Depthwise => self.tree_size,
+            // Leafwise trees may grow deep (the paper sees CRITEO trees
+            // deeper than 150); only the leaf budget limits them, plus a
+            // generous safety rail.
+            GrowthMethod::Leafwise => u32::MAX,
+        }
+    }
+
+    /// Effective K: how many candidates are popped per growth step.
+    pub fn effective_k(&self) -> usize {
+        if self.k == 0 {
+            usize::MAX
+        } else {
+            self.k
+        }
+    }
+
+    /// Validates parameter consistency.
+    ///
+    /// # Errors
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_trees == 0 {
+            return Err("n_trees must be positive".into());
+        }
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
+            return Err("learning_rate must be positive".into());
+        }
+        if self.lambda < 0.0 || self.gamma < 0.0 || self.min_child_weight < 0.0 {
+            return Err("regularizers must be non-negative".into());
+        }
+        if self.tree_size == 0 || self.tree_size > 24 {
+            return Err("tree_size must be in 1..=24".into());
+        }
+        if self.n_threads == 0 {
+            return Err("n_threads must be positive".into());
+        }
+        for (name, v) in [("subsample", self.subsample), ("colsample_bytree", self.colsample_bytree)] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(format!("{name} must be in (0, 1]"));
+            }
+        }
+        if let LossKind::Softmax { n_classes } = self.loss {
+            if n_classes < 2 {
+                return Err("softmax needs at least 2 classes".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let p = TrainParams::default();
+        assert_eq!(p.learning_rate, 0.1);
+        assert_eq!(p.lambda, 1.0);
+        assert_eq!(p.gamma, 1.0);
+        assert_eq!(p.min_child_weight, 1.0);
+        assert_eq!(p.n_trees, 100);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn max_leaves_is_two_to_the_d() {
+        let p = TrainParams { tree_size: 8, ..Default::default() };
+        assert_eq!(p.max_leaves(), 256);
+        let p = TrainParams { tree_size: 12, ..Default::default() };
+        assert_eq!(p.max_leaves(), 4096);
+    }
+
+    #[test]
+    fn effective_k_zero_is_unlimited() {
+        let p = TrainParams { k: 0, ..Default::default() };
+        assert_eq!(p.effective_k(), usize::MAX);
+        let p = TrainParams { k: 32, ..Default::default() };
+        assert_eq!(p.effective_k(), 32);
+    }
+
+    #[test]
+    fn block_resolution() {
+        let b = BlockConfig { row_blk_size: 0, node_blk_size: 4, feature_blk_size: 16, bin_blk_size: 0 };
+        assert_eq!(b.rows_per_block(1000, 8), 125);
+        assert_eq!(b.nodes_per_block(32), 4);
+        assert_eq!(b.nodes_per_block(2), 2);
+        assert_eq!(b.features_per_block(8), 8);
+        assert_eq!(b.bins_per_block(255), 255);
+        let all = BlockConfig { row_blk_size: 64, node_blk_size: 0, feature_blk_size: 0, bin_blk_size: 32 };
+        assert_eq!(all.rows_per_block(1000, 8), 64);
+        assert_eq!(all.nodes_per_block(5), 5);
+        assert_eq!(all.features_per_block(128), 128);
+        assert_eq!(all.bins_per_block(255), 32);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        for (mutator, msg) in [
+            (Box::new(|p: &mut TrainParams| p.n_trees = 0) as Box<dyn Fn(&mut TrainParams)>, "n_trees"),
+            (Box::new(|p: &mut TrainParams| p.tree_size = 0), "tree_size"),
+            (Box::new(|p: &mut TrainParams| p.n_threads = 0), "n_threads"),
+            (Box::new(|p: &mut TrainParams| p.lambda = -1.0), "regularizers"),
+            (Box::new(|p: &mut TrainParams| p.learning_rate = 0.0), "learning_rate"),
+        ] {
+            let mut p = TrainParams::default();
+            mutator(&mut p);
+            let err = p.validate().unwrap_err();
+            assert!(err.contains(msg), "expected {msg} in {err}");
+        }
+    }
+
+    #[test]
+    fn depthwise_depth_limit_vs_leafwise() {
+        let d = TrainParams { growth: GrowthMethod::Depthwise, tree_size: 6, ..Default::default() };
+        assert_eq!(d.max_depth(), 6);
+        let l = TrainParams { growth: GrowthMethod::Leafwise, tree_size: 6, ..Default::default() };
+        assert_eq!(l.max_depth(), u32::MAX);
+    }
+}

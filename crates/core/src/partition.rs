@@ -1,0 +1,438 @@
+//! ApplySplit: row-to-node membership (the paper's NodeMap) and MemBuf.
+//!
+//! Rows are kept as one permutation buffer grouped by node: each node owns a
+//! contiguous span, and splitting a node stably partitions its span into the
+//! left child's rows followed by the right child's. Stability matters: row
+//! ids stay ascending inside every node, which (a) preserves input locality
+//! and (b) makes histogram accumulation order — and therefore the whole
+//! training run — deterministic (DESIGN.md §6).
+//!
+//! When MemBuf is enabled (§IV-E), a gradient replica is permuted alongside
+//! the row ids, so node-wise scans read `(row_id, g, h)` sequentially instead
+//! of gathering gradients from a random-access global array — the "+MemBuf"
+//! row of Table V.
+//!
+//! # Concurrency model
+//! All mutating operations take `&self`; the safety argument is that nodes
+//! own disjoint spans, and callers only operate on nodes they own: the batch
+//! engine splits distinct nodes of one batch, ASYNC tasks each own one node.
+//! The span table uses atomics so concurrently created children are visible
+//! across worker threads.
+
+use crate::loss::GradPair;
+use harp_parallel::ThreadPool;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Interior-mutable fixed-capacity buffer, access partitioned by node spans.
+struct SyncBuf<T> {
+    data: UnsafeCell<Box<[T]>>,
+}
+
+// SAFETY: callers access disjoint ranges (see module docs).
+unsafe impl<T: Send> Sync for SyncBuf<T> {}
+unsafe impl<T: Send> Send for SyncBuf<T> {}
+
+impl<T: Clone + Default> SyncBuf<T> {
+    fn new(len: usize) -> Self {
+        Self { data: UnsafeCell::new(vec![T::default(); len].into_boxed_slice()) }
+    }
+
+    /// # Safety
+    /// `range` must not be concurrently written.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        let buf = unsafe { &mut *self.data.get() };
+        &mut buf[range]
+    }
+
+    /// # Safety
+    /// `range` must not be concurrently written.
+    unsafe fn slice(&self, range: Range<usize>) -> &[T] {
+        let buf = unsafe { &*self.data.get() };
+        &buf[range]
+    }
+}
+
+fn pack(start: u32, len: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(len)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Spans smaller than this are partitioned serially even when a pool is
+/// available.
+const MIN_PARALLEL_SPAN: usize = 8192;
+
+/// Row membership and gradient replica for one tree under construction.
+pub struct RowPartition {
+    n_rows: usize,
+    rows: SyncBuf<u32>,
+    grads: SyncBuf<GradPair>,
+    scratch_rows: SyncBuf<u32>,
+    scratch_grads: SyncBuf<GradPair>,
+    /// Packed `(start, len)` per node id; `u64::MAX` = unassigned.
+    spans: Vec<AtomicU64>,
+    use_membuf: bool,
+}
+
+impl RowPartition {
+    /// Allocates buffers for `n_rows` rows and at most `max_nodes` nodes.
+    pub fn new(n_rows: usize, max_nodes: usize, use_membuf: bool) -> Self {
+        let grad_len = if use_membuf { n_rows } else { 0 };
+        Self {
+            n_rows,
+            rows: SyncBuf::new(n_rows),
+            grads: SyncBuf::new(grad_len),
+            scratch_rows: SyncBuf::new(n_rows),
+            scratch_grads: SyncBuf::new(grad_len),
+            spans: (0..max_nodes).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            use_membuf: use_membuf && n_rows > 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether the gradient replica is maintained.
+    pub fn has_membuf(&self) -> bool {
+        self.use_membuf
+    }
+
+    /// Starts a new tree: identity row order under the root node (id 0),
+    /// MemBuf filled from `grads`.
+    ///
+    /// # Panics
+    /// Panics if `grads.len() != n_rows`.
+    pub fn reset(&mut self, grads: &[GradPair]) {
+        assert_eq!(grads.len(), self.n_rows, "gradient count mismatch");
+        for s in &self.spans {
+            s.store(u64::MAX, Ordering::Relaxed);
+        }
+        // SAFETY: `&mut self` guarantees exclusivity.
+        let rows = unsafe { self.rows.slice_mut(0..self.n_rows) };
+        for (i, r) in rows.iter_mut().enumerate() {
+            *r = i as u32;
+        }
+        if self.use_membuf {
+            let dst = unsafe { self.grads.slice_mut(0..self.n_rows) };
+            dst.copy_from_slice(grads);
+        }
+        self.set_span(0, 0, self.n_rows as u32);
+    }
+
+    fn set_span(&self, node: u32, start: u32, len: u32) {
+        self.spans[node as usize].store(pack(start, len), Ordering::Release);
+    }
+
+    /// The `(start, len)` span of `node`.
+    ///
+    /// # Panics
+    /// Panics if the node has no assigned span.
+    pub fn span(&self, node: u32) -> Range<usize> {
+        let v = self.spans[node as usize].load(Ordering::Acquire);
+        assert_ne!(v, u64::MAX, "node {node} has no row span");
+        let (start, len) = unpack(v);
+        start as usize..(start + len) as usize
+    }
+
+    /// Number of rows in `node`.
+    pub fn node_len(&self, node: u32) -> usize {
+        self.span(node).len()
+    }
+
+    /// The row ids of `node`, ascending.
+    ///
+    /// # Safety contract (upheld by the trainer)
+    /// The caller must not be concurrently splitting `node` or an ancestor.
+    pub fn rows(&self, node: u32) -> &[u32] {
+        // SAFETY: see method docs.
+        unsafe { self.rows.slice(self.span(node)) }
+    }
+
+    /// The MemBuf gradient slice of `node`, aligned with
+    /// [`rows`](Self::rows). Empty when MemBuf is disabled.
+    pub fn grads(&self, node: u32) -> &[GradPair] {
+        if !self.use_membuf {
+            return &[];
+        }
+        // SAFETY: see `rows`.
+        unsafe { self.grads.slice(self.span(node)) }
+    }
+
+    /// Stably partitions `parent`'s span: rows satisfying `goes_left` first.
+    /// Assigns spans to `left`/`right` and returns `(left_len, right_len)`.
+    ///
+    /// `pool` enables chunk-parallel partitioning for large spans; pass
+    /// `None` from inside a worker task (ASYNC mode) to stay serial.
+    pub fn apply_split(
+        &self,
+        parent: u32,
+        left: u32,
+        right: u32,
+        goes_left: &(impl Fn(u32) -> bool + Sync),
+        pool: Option<&ThreadPool>,
+    ) -> (u32, u32) {
+        let span = self.span(parent);
+        let start = span.start;
+        let len = span.len();
+        // SAFETY: caller owns `parent` (module concurrency model); children
+        // spans are sub-ranges of the parent's.
+        let rows = unsafe { self.rows.slice_mut(span.clone()) };
+        let scratch = unsafe { self.scratch_rows.slice_mut(span.clone()) };
+        let (grads, scratch_grads) = if self.use_membuf {
+            (
+                unsafe { self.grads.slice_mut(span.clone()) },
+                unsafe { self.scratch_grads.slice_mut(span.clone()) },
+            )
+        } else {
+            (&mut [][..], &mut [][..])
+        };
+
+        let n_left = match pool {
+            Some(pool) if len >= MIN_PARALLEL_SPAN => partition_parallel(
+                pool,
+                rows,
+                grads,
+                scratch,
+                scratch_grads,
+                goes_left,
+                self.use_membuf,
+            ),
+            _ => partition_serial(rows, grads, scratch, scratch_grads, goes_left, self.use_membuf),
+        };
+
+        self.set_span(left, start as u32, n_left as u32);
+        self.set_span(right, (start + n_left) as u32, (len - n_left) as u32);
+        (n_left as u32, (len - n_left) as u32)
+    }
+}
+
+/// Serial stable partition through the scratch buffers.
+fn partition_serial(
+    rows: &mut [u32],
+    grads: &mut [GradPair],
+    scratch: &mut [u32],
+    scratch_grads: &mut [GradPair],
+    goes_left: &impl Fn(u32) -> bool,
+    membuf: bool,
+) -> usize {
+    let len = rows.len();
+    let mut l = 0usize;
+    let mut r = 0usize;
+    for i in 0..len {
+        if goes_left(rows[i]) {
+            scratch[l] = rows[i];
+            if membuf {
+                scratch_grads[l] = grads[i];
+            }
+            l += 1;
+        } else {
+            // Rights staged at the tail of scratch, in order.
+            scratch[len - 1 - r] = rows[i];
+            if membuf {
+                scratch_grads[len - 1 - r] = grads[i];
+            }
+            r += 1;
+        }
+    }
+    rows[..l].copy_from_slice(&scratch[..l]);
+    // Un-reverse the right side.
+    for i in 0..r {
+        rows[l + i] = scratch[len - 1 - i];
+    }
+    if membuf {
+        grads[..l].copy_from_slice(&scratch_grads[..l]);
+        for i in 0..r {
+            grads[l + i] = scratch_grads[len - 1 - i];
+        }
+    }
+    l
+}
+
+/// Chunk-parallel stable partition: count, prefix, scatter, copy back.
+fn partition_parallel(
+    pool: &ThreadPool,
+    rows: &mut [u32],
+    grads: &mut [GradPair],
+    scratch: &mut [u32],
+    scratch_grads: &mut [GradPair],
+    goes_left: &(impl Fn(u32) -> bool + Sync),
+    membuf: bool,
+) -> usize {
+    let len = rows.len();
+    let chunk = (len / (pool.num_threads() * 4)).max(MIN_PARALLEL_SPAN / 4);
+    let n_chunks = len.div_ceil(chunk);
+    // Pass 1: per-chunk left counts.
+    let counts: Vec<AtomicU64> = (0..n_chunks).map(|_| AtomicU64::new(0)).collect();
+    let rows_ro: &[u32] = rows;
+    pool.parallel_for(n_chunks, |c, _| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(len);
+        let n = rows_ro[lo..hi].iter().filter(|&&r| goes_left(r)).count();
+        counts[c].store(n as u64, Ordering::Relaxed);
+    });
+    // Exclusive prefixes of lefts and rights.
+    let mut left_base = vec![0usize; n_chunks];
+    let mut acc = 0usize;
+    for c in 0..n_chunks {
+        left_base[c] = acc;
+        acc += counts[c].load(Ordering::Relaxed) as usize;
+    }
+    let total_left = acc;
+
+    // Pass 2: scatter into scratch at stable positions.
+    struct Ptr<T>(*mut T);
+    unsafe impl<T> Send for Ptr<T> {}
+    unsafe impl<T> Sync for Ptr<T> {}
+    impl<T> Ptr<T> {
+        fn get(&self) -> *mut T {
+            self.0
+        }
+    }
+    let scratch_ptr = Ptr(scratch.as_mut_ptr());
+    let sg_ptr = Ptr(scratch_grads.as_mut_ptr());
+    let grads_ro: &[GradPair] = grads;
+    let left_base_ro: &[usize] = &left_base;
+    pool.parallel_for(n_chunks, |c, _| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(len);
+        let mut l = left_base_ro[c];
+        let mut r = total_left + (lo - left_base_ro[c]);
+        for i in lo..hi {
+            let row = rows_ro[i];
+            let dst = if goes_left(row) { &mut l } else { &mut r };
+            // SAFETY: stable-partition target positions are unique across
+            // chunks by construction of the prefix sums.
+            unsafe {
+                *scratch_ptr.get().add(*dst) = row;
+                if membuf {
+                    *sg_ptr.get().add(*dst) = grads_ro[i];
+                }
+            }
+            *dst += 1;
+        }
+    });
+    rows.copy_from_slice(scratch);
+    if membuf {
+        grads.copy_from_slice(scratch_grads);
+    }
+    total_left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(n: usize, membuf: bool) -> RowPartition {
+        let mut p = RowPartition::new(n, 64, membuf);
+        let grads: Vec<GradPair> = (0..n).map(|i| [i as f32, 1.0]).collect();
+        p.reset(&grads);
+        p
+    }
+
+    #[test]
+    fn reset_assigns_all_rows_to_root() {
+        let p = fresh(10, true);
+        assert_eq!(p.rows(0), (0..10).collect::<Vec<u32>>().as_slice());
+        assert_eq!(p.node_len(0), 10);
+        assert_eq!(p.grads(0)[3], [3.0, 1.0]);
+    }
+
+    #[test]
+    fn split_is_stable_and_complete() {
+        let p = fresh(10, true);
+        p.apply_split(0, 1, 2, &|r| r % 3 == 0, None);
+        assert_eq!(p.rows(1), &[0, 3, 6, 9]);
+        assert_eq!(p.rows(2), &[1, 2, 4, 5, 7, 8]);
+        // MemBuf permuted identically.
+        assert_eq!(p.grads(1)[1], [3.0, 1.0]);
+        assert_eq!(p.grads(2)[0], [1.0, 1.0]);
+    }
+
+    #[test]
+    fn nested_splits_partition_spans() {
+        let p = fresh(16, true);
+        p.apply_split(0, 1, 2, &|r| r < 8, None);
+        p.apply_split(1, 3, 4, &|r| r % 2 == 0, None);
+        p.apply_split(2, 5, 6, &|r| r >= 12, None);
+        assert_eq!(p.rows(3), &[0, 2, 4, 6]);
+        assert_eq!(p.rows(4), &[1, 3, 5, 7]);
+        assert_eq!(p.rows(5), &[12, 13, 14, 15]);
+        assert_eq!(p.rows(6), &[8, 9, 10, 11]);
+        // Sibling spans are adjacent inside the parent span.
+        assert_eq!(p.span(3).end, p.span(4).start);
+        assert_eq!(p.span(5).end, p.span(6).start);
+    }
+
+    #[test]
+    fn empty_side_allowed() {
+        let p = fresh(5, true);
+        let (l, r) = p.apply_split(0, 1, 2, &|_| true, None);
+        assert_eq!((l, r), (5, 0));
+        assert_eq!(p.node_len(2), 0);
+        assert_eq!(p.rows(1), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_partition_matches_serial() {
+        let n = 50_000;
+        let pool = ThreadPool::new(4);
+        let pred = |r: u32| (r.wrapping_mul(2654435761)) % 5 < 2;
+        let ps = fresh(n, true);
+        ps.apply_split(0, 1, 2, &pred, None);
+        let pp = fresh(n, true);
+        pp.apply_split(0, 1, 2, &pred, Some(&pool));
+        assert_eq!(ps.rows(1), pp.rows(1));
+        assert_eq!(ps.rows(2), pp.rows(2));
+        assert_eq!(ps.grads(1), pp.grads(1));
+    }
+
+    #[test]
+    fn rows_stay_ascending_after_splits() {
+        let n = 20_000;
+        let pool = ThreadPool::new(3);
+        let p = fresh(n, false);
+        p.apply_split(0, 1, 2, &|r| r % 7 == 0, Some(&pool));
+        p.apply_split(2, 3, 4, &|r| r % 3 == 0, Some(&pool));
+        for node in [1u32, 3, 4] {
+            let rows = p.rows(node);
+            for w in rows.windows(2) {
+                assert!(w[0] < w[1], "node {node} rows out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn membuf_disabled_returns_empty() {
+        let p = fresh(10, false);
+        assert!(!p.has_membuf());
+        assert!(p.grads(0).is_empty());
+        p.apply_split(0, 1, 2, &|r| r < 5, None);
+        assert_eq!(p.rows(1), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no row span")]
+    fn unassigned_node_panics() {
+        let p = fresh(4, false);
+        let _ = p.span(7);
+    }
+
+    #[test]
+    fn reset_clears_previous_tree() {
+        let mut p = fresh(8, true);
+        p.apply_split(0, 1, 2, &|r| r < 4, None);
+        let grads: Vec<GradPair> = (0..8).map(|i| [-(i as f32), 2.0]).collect();
+        p.reset(&grads);
+        assert_eq!(p.node_len(0), 8);
+        assert_eq!(p.grads(0)[2], [-2.0, 2.0]);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.span(1)));
+        assert!(caught.is_err(), "old child span must be cleared");
+    }
+}

@@ -1,0 +1,179 @@
+//! ASYNC mode: barrier-free node-level parallelism (§IV-C, §IV-D).
+//!
+//! "ASYNC schedules all the computation involved within one tree node as a
+//! single task in the intermediate phase …​ in this way, it avoids all the
+//! for-loops barrier wait overhead." Workers pop the most promising
+//! candidate from a shared spin-locked priority queue, split it, build the
+//! children's histograms *serially inside the task*, and push the children
+//! back — the loosely-coupled TopK: each of the K threads grabs the best
+//! candidate it can see, with no global synchronization after every K
+//! splits.
+//!
+//! Shared state and its guards:
+//! * the tree — [`SpinMutex`], touched twice per task for microseconds;
+//! * the histogram pool — [`SpinMutex`], alloc/release/cache;
+//! * the leaf budget — a CAS loop on an atomic counter;
+//! * row partition — no lock: each task owns its node's span.
+
+use super::{goes_left_predicate, TreeEngine};
+use crate::growth::{GrowthQueue, RankedCandidate};
+use crate::hist;
+use crate::kernels::{row_scan, GradSource, BYTES_PER_CELL, FLOPS_PER_CELL};
+use crate::loss::GradPair;
+use crate::params::GrowthMethod;
+use crate::split::find_split_masked;
+use crate::tree::{NodeId, NodeStats, Tree};
+use harp_parallel::{ScopedPhase, SpinMutex, WorkQueue};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Runs the queue-driven phase until the growth frontier is exhausted or the
+/// leaf budget is spent. `queue`'s current candidates seed the shared work
+/// queue; `tree` and `leaves` are updated in place.
+pub(super) fn run_async(
+    engine: &mut TreeEngine<'_>,
+    grads: &[GradPair],
+    tree: &mut Tree,
+    queue: &mut GrowthQueue,
+    leaves: &mut usize,
+) {
+    let max_leaves = engine.params.max_leaves();
+    if *leaves >= max_leaves || queue.is_empty() {
+        return;
+    }
+    // "K threads select the top candidate as best as they can": node-level
+    // concurrency is bounded by K tasks in flight.
+    let wq: WorkQueue<RankedCandidate> = WorkQueue::bounded(engine.params.effective_k());
+    wq.push_all(queue.pop_batch(usize::MAX, usize::MAX));
+
+    let depthwise = engine.params.growth == GrowthMethod::Depthwise;
+    let max_depth = engine.max_depth_limit();
+    let subtraction = engine.params.hist_subtraction;
+    let qm = engine.qm;
+    let m = qm.n_features();
+    let mapper = qm.mapper();
+    let partition = &engine.partition;
+    let settings = engine.settings;
+    // Owned copy: `engine.hist_pool` is mutably borrowed below, so the mask
+    // cannot stay borrowed from `engine`.
+    let mask_owned: Option<Vec<bool>> = engine.mask().map(<[bool]>::to_vec);
+    let mask = mask_owned.as_deref();
+    let breakdown = engine.breakdown;
+    let profile = engine.pool.profile();
+    let lock_wait = &profile.lock_wait_ns;
+
+    let tree_lock = SpinMutex::new(std::mem::replace(
+        tree,
+        Tree::new_root(NodeStats::default()),
+    ));
+    let hist_lock = SpinMutex::new(&mut engine.hist_pool);
+    let leaves_ctr = AtomicUsize::new(*leaves);
+    // Sequence numbers continue past the batch engine's; exact values only
+    // break gain ties.
+    let seq = AtomicU64::new(1 << 32);
+    let cells_total = AtomicU64::new(0);
+
+    engine.pool.run_queue(&wq, |cand, wq, _worker| {
+        // Claim one unit of leaf budget; failing means the tree is full and
+        // this candidate simply remains a leaf.
+        loop {
+            let cur = leaves_ctr.load(Ordering::Relaxed);
+            if cur >= max_leaves {
+                return;
+            }
+            if leaves_ctr
+                .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+
+        // Tree update (short critical section).
+        let (l, r, child_depth) = {
+            let _phase = ScopedPhase::new(&breakdown.apply_split_ns);
+            let mut t = tree_lock.lock_timed(lock_wait);
+            let (l, r) = t.apply_split(cand.node, cand.cand.split, cand.cand.left, cand.cand.right);
+            (l, r, t.node(l).depth)
+        };
+
+        // Partition this node's span (exclusive ownership, no lock).
+        let (ln, rn) = {
+            let _phase = ScopedPhase::new(&breakdown.apply_split_ns);
+            let pred = goes_left_predicate(qm, &cand.cand.split);
+            partition.apply_split(cand.node, l, r, &pred, None)
+        };
+        {
+            let mut t = tree_lock.lock_timed(lock_wait);
+            t.node_mut(l).stats.count = ln;
+            t.node_mut(r).stats.count = rn;
+        }
+
+        let eligible = |count: u32| child_depth < max_depth && count >= 2;
+        let l_el = eligible(ln);
+        let r_el = eligible(rn);
+        let parent_buf = hist_lock.lock_timed(lock_wait).cache_take(cand.node);
+
+        // Build children histograms serially within this task.
+        let mut built: Vec<(NodeId, Vec<f64>)> = Vec::with_capacity(2);
+        {
+            let _phase = ScopedPhase::new(&breakdown.build_hist_ns);
+            let mut cells = 0u64;
+            let mut fresh = |node: NodeId| -> Vec<f64> {
+                let mut buf = hist_lock.lock_timed(lock_wait).alloc();
+                cells += row_scan(
+                    qm,
+                    partition.rows(node),
+                    GradSource::select(partition.grads(node), grads),
+                    0..m,
+                    &mut buf,
+                );
+                buf
+            };
+            match (l_el, r_el, parent_buf) {
+                (true, true, Some(mut pbuf)) if subtraction => {
+                    let (small, large) = if ln <= rn { (l, r) } else { (r, l) };
+                    let small_buf = fresh(small);
+                    hist::subtract_in_place(&mut pbuf, &small_buf);
+                    built.push((small, small_buf));
+                    built.push((large, pbuf));
+                }
+                (l_el, r_el, parent_buf) => {
+                    if let Some(pbuf) = parent_buf {
+                        hist_lock.lock_timed(lock_wait).release(pbuf);
+                    }
+                    if l_el {
+                        built.push((l, fresh(l)));
+                    }
+                    if r_el {
+                        built.push((r, fresh(r)));
+                    }
+                }
+            }
+            cells_total.fetch_add(cells, Ordering::Relaxed);
+        }
+
+        // FindSplit serially, then push the children as new tasks.
+        let _phase = ScopedPhase::new(&breakdown.find_split_ns);
+        for (node, buf) in built {
+            let stats = tree_lock.lock_timed(lock_wait).node(node).stats;
+            match find_split_masked(&buf, &stats, mapper, 0..m, &settings, mask) {
+                Some(c) => {
+                    hist_lock.lock_timed(lock_wait).cache_insert(node, buf, c.split.gain);
+                    wq.push(RankedCandidate::for_async(
+                        node,
+                        child_depth,
+                        c,
+                        seq.fetch_add(1, Ordering::Relaxed),
+                        depthwise,
+                    ));
+                }
+                None => hist_lock.lock_timed(lock_wait).release(buf),
+            }
+        }
+    });
+
+    let cells = cells_total.load(Ordering::Relaxed);
+    profile.add_bytes(cells * (BYTES_PER_CELL - 16), cells * 16, cells * FLOPS_PER_CELL);
+    *leaves = leaves_ctr.load(Ordering::Relaxed);
+    *tree = tree_lock.into_inner();
+}

@@ -1,0 +1,451 @@
+//! Block-wise BuildHist drivers: data-parallel and model-parallel.
+//!
+//! Both drivers take a batch of *hist jobs* (one per tree node that needs a
+//! histogram) and fill each node's GHSum buffer, scheduling work as blocks
+//! according to [`crate::params::BlockConfig`]:
+//!
+//! * **DP** ([`build_hists_dp`]): tasks are ⟨node-block, feature-block,
+//!   row-chunk⟩ triples. Every replica covers the whole batch's histograms;
+//!   tasks accumulate into their replica and a reduction folds replicas into
+//!   the job buffers afterwards. The reduction cost grows with the number of
+//!   nodes in the batch — exactly the scaling weakness of XGB-Hist that
+//!   Fig. 11 shows for large trees.
+//! * **MP** ([`build_hists_mp`]): tasks are ⟨node-block, feature-block,
+//!   bin-block⟩ triples writing disjoint regions of the job buffers — no
+//!   replicas, no reduction, but a task's read traffic is the whole row set
+//!   of its nodes (redundant reads when feature blocks are small).
+//!
+//! In deterministic mode DP emulates an OpenMP *static* schedule: task `t`
+//! of `T` processes every `T`-th block into replica `t`, so per-cell
+//! accumulation order is independent of thread timing.
+
+use crate::kernels::{col_scan, row_scan, GradSource, BYTES_PER_CELL, FLOPS_PER_CELL};
+use crate::loss::GradPair;
+use crate::params::{BlockConfig, TrainParams};
+use crate::partition::RowPartition;
+use crate::tree::NodeId;
+use harp_binning::QuantizedMatrix;
+use harp_parallel::ThreadPool;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A histogram to fill for one node.
+pub struct HistJob {
+    /// The node whose rows are scanned.
+    pub node: NodeId,
+    /// The node's GHSum buffer (`total_bins * 2` lanes, zeroed).
+    pub buf: Vec<f64>,
+}
+
+/// Shared context threaded through the drivers.
+pub struct DriverCtx<'a> {
+    /// Quantized input.
+    pub qm: &'a QuantizedMatrix,
+    /// Training parameters (block sizes, determinism, MemBuf flag).
+    pub params: &'a TrainParams,
+    /// Worker pool.
+    pub pool: &'a ThreadPool,
+    /// Row membership and MemBuf.
+    pub partition: &'a RowPartition,
+    /// Global gradient array (fallback when MemBuf is off).
+    pub grads: &'a [GradPair],
+}
+
+impl DriverCtx<'_> {
+    fn grad_source<'a>(&'a self, node: NodeId) -> GradSource<'a> {
+        GradSource::select(self.partition.grads(node), self.grads)
+    }
+
+    fn report_cells(&self, cells: u64) {
+        self.pool.profile().add_bytes(
+            cells * (BYTES_PER_CELL - 16),
+            cells * 16,
+            cells * FLOPS_PER_CELL,
+        );
+    }
+}
+
+/// One DP task: rows `row_range` of job `job_idx`, features `f_range`.
+struct DpTask {
+    job_idx: usize,
+    f_range: Range<usize>,
+    row_range: Range<usize>,
+}
+
+/// Fills the jobs' histograms with data parallelism.
+pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
+    if jobs.is_empty() {
+        return;
+    }
+    let width = jobs[0].buf.len();
+    let t = ctx.pool.num_threads();
+    let m = ctx.qm.n_features();
+    let blocks: &BlockConfig = &ctx.params.blocks;
+    // Feature-blocking a CSR row scan would re-walk every row once per
+    // block (the sparse row has no per-block substructure); dense rows are
+    // sliceable, sparse rows are scanned whole.
+    let f_blk = if ctx.qm.is_dense() { blocks.features_per_block(m) } else { m };
+    let n_total: usize = jobs.iter().map(|j| ctx.partition.node_len(j.node)).sum();
+    let row_blk = blocks.rows_per_block(n_total.max(1), t);
+    let node_blk = blocks.nodes_per_block(jobs.len());
+
+    // Enumerate tasks. Row chunks never cross node boundaries; a node block
+    // only groups nodes into one scheduling unit (its members' chunks are
+    // emitted consecutively and claimed together by task fusion below).
+    let mut tasks: Vec<DpTask> = Vec::new();
+    for node_group in (0..jobs.len()).collect::<Vec<_>>().chunks(node_blk) {
+        for f_lo in (0..m).step_by(f_blk) {
+            let f_range = f_lo..(f_lo + f_blk).min(m);
+            for &job_idx in node_group {
+                let len = ctx.partition.node_len(jobs[job_idx].node);
+                let mut lo = 0usize;
+                while lo < len {
+                    let hi = (lo + row_blk).min(len);
+                    tasks.push(DpTask { job_idx, f_range: f_range.clone(), row_range: lo..hi });
+                    lo = hi;
+                }
+                if len == 0 {
+                    // Zero-row nodes contribute no tasks.
+                }
+            }
+        }
+    }
+
+    // Replicas: one per schedule slot, covering the whole batch.
+    let n_replicas = t.min(tasks.len().max(1));
+    let replica_len = jobs.len() * width;
+    let mut replicas: Vec<Vec<f64>> = (0..n_replicas).map(|_| vec![0.0; replica_len]).collect();
+
+    struct Ptr(*mut f64);
+    unsafe impl Send for Ptr {}
+    unsafe impl Sync for Ptr {}
+    let replica_ptrs: Vec<Ptr> = replicas.iter_mut().map(|r| Ptr(r.as_mut_ptr())).collect();
+    let cells = AtomicU64::new(0);
+    let jobs_ro: &[HistJob] = jobs;
+    let tasks_ro: &[DpTask] = &tasks;
+
+    let run_task = |task: &DpTask, replica: usize| {
+        let job = &jobs_ro[task.job_idx];
+        let rows = ctx.partition.rows(job.node);
+        let rows = &rows[task.row_range.clone()];
+        let membuf = ctx.partition.grads(job.node);
+        let grads = if membuf.is_empty() {
+            GradSource::Global(ctx.grads)
+        } else {
+            GradSource::MemBuf(&membuf[task.row_range.clone()])
+        };
+        // SAFETY: each replica is written by exactly one schedule slot at a
+        // time (slot == task index group in static mode, == worker index in
+        // dynamic mode).
+        let rep = unsafe {
+            std::slice::from_raw_parts_mut(replica_ptrs[replica].0, replica_len)
+        };
+        let dst = &mut rep[task.job_idx * width..(task.job_idx + 1) * width];
+        let c = row_scan(ctx.qm, rows, grads, task.f_range.clone(), dst);
+        cells.fetch_add(c, Ordering::Relaxed);
+    };
+
+    if ctx.params.deterministic {
+        // Static schedule: slot s runs tasks s, s+T, s+2T, ...
+        ctx.pool.parallel_for(n_replicas, |slot, _| {
+            let mut i = slot;
+            while i < tasks_ro.len() {
+                run_task(&tasks_ro[i], slot);
+                i += n_replicas;
+            }
+        });
+    } else {
+        ctx.pool.parallel_for(tasks_ro.len(), |i, worker| {
+            run_task(&tasks_ro[i], worker.min(n_replicas - 1));
+        });
+    }
+
+    // Reduction: fold replicas (in order) into the job buffers. Parallel
+    // over (job, width-chunk) cells; replica order fixed => deterministic.
+    let chunk = (width / 4).max(1024).min(width.max(1));
+    let chunks_per_job = width.div_ceil(chunk);
+    let job_ptrs: Vec<Ptr> = jobs.iter_mut().map(|j| Ptr(j.buf.as_mut_ptr())).collect();
+    let replicas_ro: &[Vec<f64>] = &replicas;
+    ctx.pool.parallel_for(jobs.len() * chunks_per_job, |i, _| {
+        let job_idx = i / chunks_per_job;
+        let lo = (i % chunks_per_job) * chunk;
+        let hi = (lo + chunk).min(width);
+        // SAFETY: (job, lane-range) pairs are disjoint across tasks.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(job_ptrs[job_idx].0.add(lo), hi - lo)
+        };
+        for rep in replicas_ro {
+            let src = &rep[job_idx * width + lo..job_idx * width + hi];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    });
+
+    ctx.report_cells(cells.load(Ordering::Relaxed));
+    // The write working set of one DP task: the feature block's share of the
+    // replica, across the node block (§IV-E, 16 bytes per cell).
+    let total_bins = ctx.qm.mapper().total_bins() as usize;
+    let ws = 16 * total_bins * f_blk.min(m) / m.max(1) * node_blk;
+    ctx.pool.profile().observe_region_bytes(ws as u64);
+}
+
+/// One MP task: features `f_range`, bins `bin_range`, nodes `jobs[lo..hi]`.
+struct MpTask {
+    job_range: Range<usize>,
+    f_range: Range<usize>,
+    /// Bin sub-range within each feature (`None` = all bins).
+    bin_block: Option<(usize, usize)>,
+}
+
+/// Fills the jobs' histograms with model parallelism (exclusive writes).
+pub fn build_hists_mp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
+    if jobs.is_empty() {
+        return;
+    }
+    let m = ctx.qm.n_features();
+    let mapper = ctx.qm.mapper();
+    let blocks = &ctx.params.blocks;
+    let f_blk = blocks.features_per_block(m);
+    let node_blk = blocks.nodes_per_block(jobs.len());
+    let max_bins = mapper.max_bins_used() as usize;
+    let bin_blk = blocks.bins_per_block(max_bins.max(1));
+    let n_bin_blocks = max_bins.max(1).div_ceil(bin_blk);
+
+    let mut tasks: Vec<MpTask> = Vec::new();
+    for job_lo in (0..jobs.len()).step_by(node_blk) {
+        let job_range = job_lo..(job_lo + node_blk).min(jobs.len());
+        for f_lo in (0..m).step_by(f_blk) {
+            let f_range = f_lo..(f_lo + f_blk).min(m);
+            for bb in 0..n_bin_blocks {
+                let bin_block = if n_bin_blocks == 1 {
+                    None
+                } else {
+                    Some((bb * bin_blk, (bb + 1) * bin_blk))
+                };
+                tasks.push(MpTask { job_range: job_range.clone(), f_range: f_range.clone(), bin_block });
+            }
+        }
+    }
+
+    struct Ptr(*mut f64);
+    unsafe impl Send for Ptr {}
+    unsafe impl Sync for Ptr {}
+    let width = jobs[0].buf.len();
+    let job_ptrs: Vec<Ptr> = jobs.iter_mut().map(|j| Ptr(j.buf.as_mut_ptr())).collect();
+    let jobs_ro: &[HistJob] = jobs;
+    let cells = AtomicU64::new(0);
+    let tasks_ro: &[MpTask] = &tasks;
+
+    ctx.pool.parallel_for(tasks_ro.len(), |i, _| {
+        let task = &tasks_ro[i];
+        let mut local_cells = 0u64;
+        for job_idx in task.job_range.clone() {
+            let job = &jobs_ro[job_idx];
+            let rows = ctx.partition.rows(job.node);
+            let grads = ctx.grad_source(job.node);
+            // SAFETY: tasks write disjoint (node, feature, bin) regions.
+            let buf = unsafe { std::slice::from_raw_parts_mut(job_ptrs[job_idx].0, width) };
+            for f in task.f_range.clone() {
+                let n_bins = mapper.n_bins(f) as usize;
+                if n_bins == 0 {
+                    continue;
+                }
+                let bin_range = match task.bin_block {
+                    None => 0..n_bins,
+                    Some((lo, hi)) => {
+                        if lo >= n_bins {
+                            continue;
+                        }
+                        lo..hi.min(n_bins)
+                    }
+                };
+                let base = mapper.bin_offset(f) as usize * 2;
+                let hist_f = &mut buf[base..base + n_bins * 2];
+                local_cells += col_scan(ctx.qm, f, rows, grads, bin_range, hist_f);
+            }
+        }
+        cells.fetch_add(local_cells, Ordering::Relaxed);
+    });
+
+    ctx.report_cells(cells.load(Ordering::Relaxed));
+    // §IV-E: consecutive-write region = 16 × bin_blk × feature_blk × node_blk.
+    let ws = 16 * bin_blk.min(max_bins.max(1)) * f_blk.min(m) * node_blk;
+    ctx.pool.profile().observe_region_bytes(ws as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParallelMode;
+    use harp_binning::BinningConfig;
+    use harp_data::{DatasetKind, SynthConfig};
+
+    fn setup(
+        kind: DatasetKind,
+        membuf: bool,
+    ) -> (QuantizedMatrix, Vec<GradPair>, RowPartition) {
+        let d = SynthConfig::new(kind, 42).with_scale(0.02).generate();
+        let qm = QuantizedMatrix::from_matrix(&d.features, BinningConfig::with_max_bins(32));
+        let n = qm.n_rows();
+        let grads: Vec<GradPair> =
+            (0..n).map(|i| [((i * 7) % 13) as f32 - 6.0, 1.0]).collect();
+        let mut part = RowPartition::new(n, 64, membuf);
+        part.reset(&grads);
+        // Split the root twice to get a 3-node frontier {3, 4, 2}.
+        part.apply_split(0, 1, 2, &|r| r % 2 == 0, None);
+        part.apply_split(1, 3, 4, &|r| r % 3 == 0, None);
+        (qm, grads, part)
+    }
+
+    fn reference_hist(
+        qm: &QuantizedMatrix,
+        part: &RowPartition,
+        grads: &[GradPair],
+        node: NodeId,
+    ) -> Vec<f64> {
+        let mut buf = vec![0.0; qm.mapper().total_bins() as usize * 2];
+        row_scan(qm, part.rows(node), GradSource::Global(grads), 0..qm.n_features(), &mut buf);
+        buf
+    }
+
+    fn run_driver(
+        mode: ParallelMode,
+        params: &TrainParams,
+        qm: &QuantizedMatrix,
+        part: &RowPartition,
+        grads: &[GradPair],
+        nodes: &[NodeId],
+    ) -> Vec<Vec<f64>> {
+        let pool = ThreadPool::new(params.n_threads);
+        let ctx = DriverCtx { qm, params, pool: &pool, partition: part, grads };
+        let width = qm.mapper().total_bins() as usize * 2;
+        let mut jobs: Vec<HistJob> =
+            nodes.iter().map(|&n| HistJob { node: n, buf: vec![0.0; width] }).collect();
+        match mode {
+            ParallelMode::DataParallel => build_hists_dp(&ctx, &mut jobs),
+            ParallelMode::ModelParallel => build_hists_mp(&ctx, &mut jobs),
+            _ => unreachable!("driver test"),
+        }
+        jobs.into_iter().map(|j| j.buf).collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert!((a[i] - b[i]).abs() < 1e-9, "lane {i}: {} vs {}", a[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn dp_matches_reference_dense() {
+        let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
+        let params = TrainParams { n_threads: 4, ..Default::default() };
+        let nodes = [3u32, 4, 2];
+        let hists = run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &nodes);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_close(&hists[i], &reference_hist(&qm, &part, &grads, n));
+        }
+    }
+
+    #[test]
+    fn mp_matches_reference_dense() {
+        let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
+        let params = TrainParams { n_threads: 4, ..Default::default() };
+        let nodes = [3u32, 4, 2];
+        let hists = run_driver(ParallelMode::ModelParallel, &params, &qm, &part, &grads, &nodes);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_close(&hists[i], &reference_hist(&qm, &part, &grads, n));
+        }
+    }
+
+    #[test]
+    fn mp_matches_reference_sparse() {
+        let (qm, grads, part) = setup(DatasetKind::YfccLike, true);
+        let params = TrainParams { n_threads: 3, ..Default::default() };
+        let nodes = [3u32, 4, 2];
+        let hists = run_driver(ParallelMode::ModelParallel, &params, &qm, &part, &grads, &nodes);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_close(&hists[i], &reference_hist(&qm, &part, &grads, n));
+        }
+    }
+
+    #[test]
+    fn dp_matches_reference_sparse() {
+        let (qm, grads, part) = setup(DatasetKind::YfccLike, false);
+        let params = TrainParams { n_threads: 2, use_membuf: false, ..Default::default() };
+        let nodes = [3u32, 4, 2];
+        let hists = run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &nodes);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_close(&hists[i], &reference_hist(&qm, &part, &grads, n));
+        }
+    }
+
+    #[test]
+    fn block_configs_do_not_change_results() {
+        let (qm, grads, part) = setup(DatasetKind::AirlineLike, true);
+        let nodes = [3u32, 4, 2];
+        let base = {
+            let params = TrainParams { n_threads: 4, ..Default::default() };
+            run_driver(ParallelMode::ModelParallel, &params, &qm, &part, &grads, &nodes)
+        };
+        for (f_blk, n_blk, b_blk) in [(1, 1, 0), (2, 2, 8), (4, 3, 4), (0, 0, 1)] {
+            let params = TrainParams {
+                n_threads: 4,
+                blocks: BlockConfig {
+                    row_blk_size: 100,
+                    node_blk_size: n_blk,
+                    feature_blk_size: f_blk,
+                    bin_blk_size: b_blk,
+                },
+                ..Default::default()
+            };
+            let hists =
+                run_driver(ParallelMode::ModelParallel, &params, &qm, &part, &grads, &nodes);
+            for i in 0..nodes.len() {
+                assert_close(&hists[i], &base[i]);
+            }
+            let dp = run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &nodes);
+            for i in 0..nodes.len() {
+                assert_close(&dp[i], &base[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_dp_is_bitwise_reproducible() {
+        let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
+        let params = TrainParams { n_threads: 4, deterministic: true, ..Default::default() };
+        let nodes = [3u32, 4, 2];
+        let a = run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &nodes);
+        let b = run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &nodes);
+        for i in 0..nodes.len() {
+            assert_eq!(a[i], b[i], "node {i} not bitwise equal");
+        }
+    }
+
+    #[test]
+    fn membuf_and_global_grads_agree() {
+        let (qm, grads, part_mb) = setup(DatasetKind::CriteoLike, true);
+        let (_, _, part_nomb) = setup(DatasetKind::CriteoLike, false);
+        let params_mb = TrainParams { n_threads: 2, ..Default::default() };
+        let params_nomb = TrainParams { n_threads: 2, use_membuf: false, ..Default::default() };
+        let nodes = [3u32, 4, 2];
+        let a = run_driver(ParallelMode::ModelParallel, &params_mb, &qm, &part_mb, &grads, &nodes);
+        let b =
+            run_driver(ParallelMode::ModelParallel, &params_nomb, &qm, &part_nomb, &grads, &nodes);
+        for i in 0..nodes.len() {
+            assert_close(&a[i], &b[i]);
+        }
+    }
+
+    #[test]
+    fn empty_jobs_are_noop() {
+        let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
+        let params = TrainParams { n_threads: 2, ..Default::default() };
+        let pool = ThreadPool::new(2);
+        let ctx = DriverCtx { qm: &qm, params: &params, pool: &pool, partition: &part, grads: &grads };
+        build_hists_dp(&ctx, &mut []);
+        build_hists_mp(&ctx, &mut []);
+    }
+}

@@ -1,0 +1,758 @@
+//! The HarpGBDT training engine.
+//!
+//! [`GbdtTrainer`] runs the boosting loop of Algorithm 1. Each tree is grown
+//! by a *batch engine*: the growth queue pops up to `K` candidates (§IV-B),
+//! ApplySplit partitions their rows, BuildHist fills the children's GHSum
+//! cubes through a block-wise driver (§IV-A), and FindSplit pushes the next
+//! generation of candidates. The parallel mode (Table II) decides which
+//! driver runs each batch:
+//!
+//! * `DataParallel` / `ModelParallel` — always the respective driver;
+//! * `Sync` — DP while the batch is narrower than the pool, MP in the
+//!   middle, DP again when nodes shrink below a row threshold (the paper's
+//!   "mix mode (DP, MP, DP)");
+//! * `Async` — batch engine (DP) until the queue is as wide as the pool,
+//!   then the barrier-free node-task phase (`async_mode`).
+
+mod async_mode;
+mod drivers;
+
+pub use drivers::{DriverCtx, HistJob};
+
+use crate::ensemble::GbdtModel;
+use crate::growth::GrowthQueue;
+use crate::hist::{self, HistPool};
+use crate::loss::GradPair;
+use crate::params::{GrowthMethod, ParallelMode, TrainParams};
+use crate::partition::RowPartition;
+use crate::split::{better_of, SplitCandidate, SplitSettings};
+use crate::tree::{NodeId, NodeStats, Tree};
+use harp_binning::{BinningConfig, QuantizedMatrix, MISSING_BIN};
+use harp_data::Dataset;
+use harp_metrics::{BreakdownReport, ConvergenceTrace, TimeBreakdown};
+use harp_parallel::{Profile, ProfileReport, ScopedPhase, Stopwatch, ThreadPool};
+use std::sync::Arc;
+
+/// Below this average node size, SYNC mode's end phase switches back to DP.
+const SYNC_SMALL_NODE_ROWS: usize = 512;
+
+/// Validation metric for the eval set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMetric {
+    /// Area under the ROC curve (higher is better). Binary only.
+    Auc,
+    /// Binary cross-entropy (lower is better).
+    LogLoss,
+    /// Root mean squared error (lower is better).
+    Rmse,
+    /// Multiclass cross-entropy (lower is better). Softmax only.
+    MulticlassLogLoss,
+    /// Multiclass argmax error rate (lower is better). Softmax only.
+    MulticlassError,
+}
+
+impl EvalMetric {
+    fn higher_is_better(self) -> bool {
+        matches!(self, EvalMetric::Auc)
+    }
+
+    /// Computes the metric from row-major raw scores (`n_rows × n_groups`).
+    ///
+    /// # Panics
+    /// Panics when the metric does not fit the loss's group count.
+    fn compute(self, labels: &[f32], raw: &[f32], model_loss: crate::params::LossKind) -> f64 {
+        let groups = model_loss.n_groups();
+        match self {
+            EvalMetric::Auc => {
+                assert_eq!(groups, 1, "AUC requires a binary/scalar loss");
+                harp_metrics::auc(labels, raw)
+            }
+            EvalMetric::LogLoss => {
+                assert_eq!(groups, 1, "LogLoss requires a binary loss");
+                let probs = model_loss.transform_scores(raw);
+                harp_metrics::log_loss(labels, &probs)
+            }
+            EvalMetric::Rmse => {
+                assert_eq!(groups, 1, "RMSE requires a scalar loss");
+                harp_metrics::rmse(labels, raw)
+            }
+            EvalMetric::MulticlassLogLoss => {
+                let probs = model_loss.transform_scores(raw);
+                harp_metrics::multiclass_log_loss(labels, &probs, groups)
+            }
+            EvalMetric::MulticlassError => {
+                harp_metrics::multiclass_error(labels, raw, groups)
+            }
+        }
+    }
+}
+
+/// Validation configuration.
+pub struct EvalOptions<'a> {
+    /// Held-out data (raw features; the model routes on raw thresholds).
+    pub data: &'a Dataset,
+    /// Metric to track.
+    pub metric: EvalMetric,
+    /// Evaluate every `every` trees.
+    pub every: usize,
+    /// Stop after this many evaluations without improvement.
+    pub early_stopping_rounds: Option<usize>,
+}
+
+/// Shape statistics of one built tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeShape {
+    /// Leaf count.
+    pub n_leaves: u32,
+    /// Maximum depth.
+    pub max_depth: u32,
+}
+
+/// Everything measured during a training run.
+pub struct Diagnostics {
+    /// Wall seconds per boosting round (= per tree for scalar losses; one
+    /// round builds `n_groups` trees for softmax). Training only,
+    /// evaluation excluded.
+    pub per_tree_secs: Vec<f64>,
+    /// Total training seconds (sum of `per_tree_secs`).
+    pub train_secs: f64,
+    /// Phase attribution (Fig. 4's quantity).
+    pub breakdown: BreakdownReport,
+    /// Pool profile (Tables I/VI metrics).
+    pub profile: ProfileReport,
+    /// Validation trace, when an eval set was provided.
+    pub trace: Option<ConvergenceTrace>,
+    /// Iteration with the best validation metric.
+    pub best_iteration: Option<usize>,
+    /// Per-tree shapes.
+    pub tree_shapes: Vec<TreeShape>,
+}
+
+impl Diagnostics {
+    /// Mean seconds per boosting round — the paper's primary efficiency
+    /// metric ("average training time per tree for the first 100 trees";
+    /// rounds and trees coincide for the paper's binary tasks).
+    pub fn mean_tree_secs(&self) -> f64 {
+        if self.per_tree_secs.is_empty() {
+            0.0
+        } else {
+            self.per_tree_secs.iter().sum::<f64>() / self.per_tree_secs.len() as f64
+        }
+    }
+}
+
+/// A trained model plus its diagnostics.
+pub struct TrainOutput {
+    /// The ensemble.
+    pub model: GbdtModel,
+    /// Measurements.
+    pub diagnostics: Diagnostics,
+}
+
+/// The HarpGBDT trainer.
+pub struct GbdtTrainer {
+    params: TrainParams,
+    binning: BinningConfig,
+}
+
+impl GbdtTrainer {
+    /// Creates a trainer after validating `params`.
+    ///
+    /// # Errors
+    /// Returns the validation message for inconsistent parameters.
+    pub fn new(params: TrainParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(Self { params, binning: BinningConfig::default() })
+    }
+
+    /// Overrides the histogram-initialization configuration.
+    pub fn with_binning(mut self, binning: BinningConfig) -> Self {
+        self.binning = binning;
+        self
+    }
+
+    /// The trainer's parameters.
+    pub fn params(&self) -> &TrainParams {
+        &self.params
+    }
+
+    /// Quantizes `dataset` and trains.
+    pub fn train(&self, dataset: &Dataset) -> TrainOutput {
+        self.train_with_eval(dataset, None)
+    }
+
+    /// Quantizes `dataset` and trains with optional validation.
+    pub fn train_with_eval(&self, dataset: &Dataset, eval: Option<EvalOptions<'_>>) -> TrainOutput {
+        let qm = QuantizedMatrix::from_matrix(&dataset.features, self.binning);
+        self.train_prepared(&qm, &dataset.labels, eval)
+    }
+
+    /// Trains on an already-quantized matrix (lets experiments bin once and
+    /// train many configurations on identical inputs).
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != qm.n_rows()`.
+    pub fn train_prepared(
+        &self,
+        qm: &QuantizedMatrix,
+        labels: &[f32],
+        eval: Option<EvalOptions<'_>>,
+    ) -> TrainOutput {
+        self.train_prepared_weighted(qm, labels, None, eval)
+    }
+
+    /// Like [`train_prepared`](Self::train_prepared) with optional per-row
+    /// sample weights, which scale each row's gradient pair.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != qm.n_rows()` or the weights length differs.
+    pub fn train_prepared_weighted(
+        &self,
+        qm: &QuantizedMatrix,
+        labels: &[f32],
+        weights: Option<&[f32]>,
+        eval: Option<EvalOptions<'_>>,
+    ) -> TrainOutput {
+        assert_eq!(labels.len(), qm.n_rows(), "one label per row required");
+        let params = &self.params;
+        let profile = Arc::new(Profile::new());
+        let pool = ThreadPool::with_profile(params.n_threads, Arc::clone(&profile));
+        let breakdown = TimeBreakdown::new();
+        let n = qm.n_rows();
+        let groups = params.loss.n_groups();
+
+        let base_scores = params.loss.base_scores(labels);
+        // Row-major n x groups raw scores.
+        let mut preds = vec![0.0f32; n * groups];
+        for r in 0..n {
+            preds[r * groups..(r + 1) * groups].copy_from_slice(&base_scores);
+        }
+        let mut grads: Vec<GradPair> = vec![[0.0; 2]; n];
+        let max_nodes = 2 * params.max_leaves() + 8;
+        let mut engine = TreeEngine {
+            qm,
+            params,
+            pool: &pool,
+            breakdown: &breakdown,
+            partition: RowPartition::new(n, max_nodes, params.use_membuf),
+            hist_pool: HistPool::new(qm.mapper().total_bins(), params.hist_cache_bytes),
+            settings: SplitSettings {
+                lambda: params.lambda,
+                gamma: params.gamma,
+                min_child_weight: params.min_child_weight,
+            },
+            feature_mask: Vec::new(),
+        };
+
+        // Evaluation state.
+        let mut trace = eval
+            .as_ref()
+            .map(|e| ConvergenceTrace::new(e.metric.higher_is_better()));
+        let mut eval_preds: Vec<f32> = eval
+            .as_ref()
+            .map(|e| {
+                let mut p = vec![0.0f32; e.data.n_rows() * groups];
+                for r in 0..e.data.n_rows() {
+                    p[r * groups..(r + 1) * groups].copy_from_slice(&base_scores);
+                }
+                p
+            })
+            .unwrap_or_default();
+        let mut best_metric: Option<f64> = None;
+        let mut best_iteration: Option<usize> = None;
+        let mut evals_since_best = 0usize;
+
+        let mut trees: Vec<Tree> = Vec::with_capacity(params.n_trees);
+        let mut per_tree_secs = Vec::with_capacity(params.n_trees);
+        let mut tree_shapes = Vec::with_capacity(params.n_trees);
+        let mut train_secs = 0.0f64;
+
+        for iter in 0..params.n_trees {
+            let sw = Stopwatch::start();
+            for group in 0..groups {
+                {
+                    let _phase = ScopedPhase::new(&breakdown.other_ns);
+                    let scaling = crate::loss::RowScaling {
+                        weights,
+                        subsample: params.subsample,
+                        seed: params.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9),
+                    };
+                    params.loss.compute_gradients_group(
+                        &pool, &preds, labels, group, &scaling, &mut grads,
+                    );
+                }
+                engine.sample_features(params, iter as u64, group as u64);
+                let tree = engine.build_tree(&grads);
+                {
+                    let _phase = ScopedPhase::new(&breakdown.other_ns);
+                    engine.update_predictions(&tree, &mut preds, groups, group);
+                }
+                tree_shapes.push(TreeShape {
+                    n_leaves: tree.n_leaves() as u32,
+                    max_depth: tree.max_depth(),
+                });
+                trees.push(tree);
+            }
+            let secs = sw.elapsed_secs();
+            profile.add_wall_ns(sw.elapsed_ns());
+            train_secs += secs;
+            per_tree_secs.push(secs);
+
+            // Validation (outside the timed region).
+            if let Some(e) = &eval {
+                if (iter + 1) % e.every.max(1) == 0 || iter + 1 == params.n_trees {
+                    for group in 0..groups {
+                        let tree = &trees[trees.len() - groups + group];
+                        incremental_eval(tree, e.data, &mut eval_preds, groups, group);
+                    }
+                    let metric = e.metric.compute(&e.data.labels, &eval_preds, params.loss);
+                    if let Some(tr) = &mut trace {
+                        tr.record(iter + 1, train_secs, metric);
+                    }
+                    let improved = match best_metric {
+                        None => true,
+                        Some(b) => {
+                            if e.metric.higher_is_better() {
+                                metric > b
+                            } else {
+                                metric < b
+                            }
+                        }
+                    };
+                    if improved {
+                        best_metric = Some(metric);
+                        best_iteration = Some(iter + 1);
+                        evals_since_best = 0;
+                    } else {
+                        evals_since_best += 1;
+                        if let Some(rounds) = e.early_stopping_rounds {
+                            if evals_since_best >= rounds {
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    // Keep eval predictions current even on non-eval trees so
+                    // the next evaluation uses all trees.
+                    for group in 0..groups {
+                        let tree = &trees[trees.len() - groups + group];
+                        incremental_eval(tree, e.data, &mut eval_preds, groups, group);
+                    }
+                }
+            }
+        }
+
+        let diagnostics = Diagnostics {
+            train_secs,
+            per_tree_secs,
+            breakdown: breakdown.report(),
+            profile: profile.report(params.n_threads),
+            trace,
+            best_iteration,
+            tree_shapes,
+        };
+        TrainOutput {
+            model: GbdtModel::new(trees, base_scores, params.loss, qm.n_features()),
+            diagnostics,
+        }
+    }
+}
+
+fn incremental_eval(tree: &Tree, data: &Dataset, preds: &mut [f32], groups: usize, group: usize) {
+    for i in 0..data.n_rows() {
+        preds[i * groups + group] += tree.predict(|f| data.features.get(i, f as usize));
+    }
+}
+
+/// Per-tree construction engine; buffers persist across trees.
+struct TreeEngine<'a> {
+    qm: &'a QuantizedMatrix,
+    params: &'a TrainParams,
+    pool: &'a ThreadPool,
+    breakdown: &'a TimeBreakdown,
+    partition: RowPartition,
+    hist_pool: HistPool,
+    settings: SplitSettings,
+    /// Per-tree column-subsampling mask; empty = all features allowed.
+    feature_mask: Vec<bool>,
+}
+
+impl TreeEngine<'_> {
+    /// Regenerates the per-tree column-subsampling mask (empty when
+    /// `colsample_bytree == 1`). Deterministic in `(params.seed, iter,
+    /// group)`; at least one feature is always kept.
+    fn sample_features(&mut self, params: &TrainParams, iter: u64, group: u64) {
+        self.feature_mask.clear();
+        if params.colsample_bytree >= 1.0 {
+            return;
+        }
+        let m = self.qm.n_features();
+        let base = params.seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (group << 32);
+        self.feature_mask = (0..m)
+            .map(|f| {
+                let h = crate::loss::hash64(base ^ (f as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                ((h >> 11) as f64 / (1u64 << 53) as f64) < f64::from(params.colsample_bytree)
+            })
+            .collect();
+        if !self.feature_mask.iter().any(|&b| b) {
+            let h = crate::loss::hash64(base) as usize % m;
+            self.feature_mask[h] = true;
+        }
+    }
+
+    fn mask(&self) -> Option<&[bool]> {
+        if self.feature_mask.is_empty() {
+            None
+        } else {
+            Some(&self.feature_mask)
+        }
+    }
+
+    fn driver_ctx<'b>(&'b self, grads: &'b [GradPair]) -> DriverCtx<'b> {
+        DriverCtx {
+            qm: self.qm,
+            params: self.params,
+            pool: self.pool,
+            partition: &self.partition,
+            grads,
+        }
+    }
+
+    fn build_tree(&mut self, grads: &[GradPair]) -> Tree {
+        self.partition.reset(grads);
+        let mut root_stats = NodeStats { g: 0.0, h: 0.0, count: grads.len() as u32 };
+        for gp in grads {
+            root_stats.g += f64::from(gp[0]);
+            root_stats.h += f64::from(gp[1]);
+        }
+        let mut tree = Tree::new_root(root_stats);
+        let mut queue = GrowthQueue::new(self.params.growth);
+
+        // Root histogram + split.
+        {
+            let mut jobs = vec![HistJob { node: 0, buf: self.hist_pool.alloc() }];
+            self.run_driver(grads, &mut jobs);
+            let found = self.find_splits(&tree, &jobs);
+            let HistJob { buf, .. } = jobs.pop().expect("one job");
+            match found.into_iter().next().flatten() {
+                Some(cand) => {
+                    self.hist_pool.cache_insert(0, buf, cand.split.gain);
+                    queue.push(0, 0, cand);
+                }
+                None => self.hist_pool.release(buf),
+            }
+        }
+
+        let mut leaves = 1usize;
+        match self.params.mode {
+            ParallelMode::Async => {
+                // Begin phase: grow with the batch engine until the frontier
+                // is as wide as the pool, then go barrier-free.
+                while leaves < self.params.max_leaves()
+                    && !queue.is_empty()
+                    && queue.len() < self.params.n_threads
+                {
+                    if !self.grow_one_batch(grads, &mut tree, &mut queue, &mut leaves) {
+                        break;
+                    }
+                }
+                async_mode::run_async(self, grads, &mut tree, &mut queue, &mut leaves);
+            }
+            _ => {
+                while leaves < self.params.max_leaves() {
+                    if !self.grow_one_batch(grads, &mut tree, &mut queue, &mut leaves) {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Remaining candidates stay leaves; their cached hists are recycled.
+        self.hist_pool.clear_cache();
+        let _ = queue.drain();
+
+        // Leaf weights (Eq. 2), scaled by the learning rate.
+        let lr = f64::from(self.params.learning_rate);
+        let lambda = self.params.lambda;
+        let leaf_ids: Vec<NodeId> = tree.leaf_ids().collect();
+        for id in leaf_ids {
+            let node = tree.node_mut(id);
+            node.weight = (lr * node.stats.optimal_weight(lambda)) as f32;
+        }
+        tree
+    }
+
+    /// Pops one batch, splits it, builds children histograms and queues the
+    /// next candidates. Returns `false` when the queue is exhausted.
+    fn grow_one_batch(
+        &mut self,
+        grads: &[GradPair],
+        tree: &mut Tree,
+        queue: &mut GrowthQueue,
+        leaves: &mut usize,
+    ) -> bool {
+        let batch = queue.pop_batch(self.params.effective_k(), self.params.max_leaves() - *leaves);
+        if batch.is_empty() {
+            return false;
+        }
+
+        // ApplySplit: update the tree, then partition rows node by node
+        // (chunk-parallel within a node for wide spans, node-parallel when
+        // the batch is large).
+        let mut splits: Vec<(NodeId, NodeId, NodeId)> = Vec::with_capacity(batch.len());
+        {
+            let _phase = ScopedPhase::new(&self.breakdown.apply_split_ns);
+            for c in &batch {
+                let (l, r) = tree.apply_split(c.node, c.cand.split, c.cand.left, c.cand.right);
+                splits.push((c.node, l, r));
+                *leaves += 1;
+            }
+            if batch.len() >= self.pool.num_threads() * 2 {
+                let partition = &self.partition;
+                let qm = self.qm;
+                let batch_ro = &batch;
+                let splits_ro = &splits;
+                self.pool.parallel_for(batch.len(), |i, _| {
+                    let (parent, l, r) = splits_ro[i];
+                    let pred = goes_left_fn(qm, &batch_ro[i].cand.split);
+                    partition.apply_split(parent, l, r, &pred, None);
+                });
+            } else {
+                for (i, &(parent, l, r)) in splits.iter().enumerate() {
+                    let pred = goes_left_fn(self.qm, &batch[i].cand.split);
+                    self.partition.apply_split(parent, l, r, &pred, Some(self.pool));
+                }
+            }
+            for &(_, l, r) in &splits {
+                tree.node_mut(l).stats.count = self.partition.node_len(l) as u32;
+                tree.node_mut(r).stats.count = self.partition.node_len(r) as u32;
+            }
+        }
+
+        // Plan histogram jobs: fresh builds plus parent−sibling subtractions.
+        let mut fresh: Vec<HistJob> = Vec::new();
+        // (large_node, parent_buf, index of the small sibling in `fresh`).
+        let mut subs: Vec<(NodeId, Vec<f64>, usize)> = Vec::new();
+        for &(parent, l, r) in &splits {
+            let l_el = self.eligible(tree, l);
+            let r_el = self.eligible(tree, r);
+            let parent_buf = self.hist_pool.cache_take(parent);
+            match (l_el, r_el, parent_buf) {
+                (true, true, Some(pbuf)) if self.params.hist_subtraction => {
+                    let (small, large) =
+                        if tree.node(l).stats.count <= tree.node(r).stats.count {
+                            (l, r)
+                        } else {
+                            (r, l)
+                        };
+                    fresh.push(HistJob { node: small, buf: self.hist_pool.alloc() });
+                    subs.push((large, pbuf, fresh.len() - 1));
+                }
+                (l_el, r_el, parent_buf) => {
+                    if let Some(pbuf) = parent_buf {
+                        self.hist_pool.release(pbuf);
+                    }
+                    if l_el {
+                        fresh.push(HistJob { node: l, buf: self.hist_pool.alloc() });
+                    }
+                    if r_el {
+                        fresh.push(HistJob { node: r, buf: self.hist_pool.alloc() });
+                    }
+                }
+            }
+        }
+
+        // BuildHist (the hotspot).
+        {
+            let _phase = ScopedPhase::new(&self.breakdown.build_hist_ns);
+            self.run_driver(grads, &mut fresh);
+            if !subs.is_empty() {
+                let fresh_ro: &[HistJob] = &fresh;
+                struct SubSlot(*mut f64, usize);
+                unsafe impl Send for SubSlot {}
+                unsafe impl Sync for SubSlot {}
+                let slots: Vec<SubSlot> =
+                    subs.iter_mut().map(|(_, buf, si)| SubSlot(buf.as_mut_ptr(), *si)).collect();
+                let width = self.hist_pool.width();
+                self.pool.parallel_for(slots.len(), |i, _| {
+                    let SubSlot(ptr, small_idx) = slots[i];
+                    // SAFETY: each sub owns its parent buffer exclusively.
+                    let buf = unsafe { std::slice::from_raw_parts_mut(ptr, width) };
+                    hist::subtract_in_place(buf, &fresh_ro[small_idx].buf);
+                });
+            }
+        }
+
+        // FindSplit on all children that got a histogram.
+        let mut jobs: Vec<HistJob> = fresh;
+        for (large, pbuf, _) in subs {
+            jobs.push(HistJob { node: large, buf: pbuf });
+        }
+        let found = {
+            let _phase = ScopedPhase::new(&self.breakdown.find_split_ns);
+            self.find_splits(tree, &jobs)
+        };
+        for (job, cand) in jobs.into_iter().zip(found) {
+            match cand {
+                Some(cand) => {
+                    let depth = tree.node(job.node).depth;
+                    self.hist_pool.cache_insert(job.node, job.buf, cand.split.gain);
+                    queue.push(job.node, depth, cand);
+                }
+                None => self.hist_pool.release(job.buf),
+            }
+        }
+        true
+    }
+
+    /// Whether `node` may be split further.
+    fn eligible(&self, tree: &Tree, node: NodeId) -> bool {
+        let n = tree.node(node);
+        n.depth < self.max_depth_limit() && n.stats.count >= 2
+    }
+
+    fn max_depth_limit(&self) -> u32 {
+        match self.params.growth {
+            GrowthMethod::Depthwise => self.params.tree_size,
+            GrowthMethod::Leafwise => u32::MAX,
+        }
+    }
+
+    /// Dispatches a batch of histogram jobs to the configured driver.
+    fn run_driver(&self, grads: &[GradPair], jobs: &mut [HistJob]) {
+        if jobs.is_empty() {
+            return;
+        }
+        let ctx = self.driver_ctx(grads);
+        let use_mp = match self.params.mode {
+            ParallelMode::DataParallel => false,
+            ParallelMode::ModelParallel => true,
+            // ASYNC's begin phase behaves like DP.
+            ParallelMode::Async => false,
+            ParallelMode::Sync => {
+                let total_rows: usize =
+                    jobs.iter().map(|j| self.partition.node_len(j.node)).sum();
+                let avg = total_rows / jobs.len().max(1);
+                // (DP, MP, DP): DP while the frontier is narrow, DP again
+                // once nodes are small, MP in between.
+                jobs.len() >= self.pool.num_threads() / 2 && avg >= SYNC_SMALL_NODE_ROWS
+            }
+        };
+        if use_mp {
+            drivers::build_hists_mp(&ctx, jobs);
+        } else {
+            drivers::build_hists_dp(&ctx, jobs);
+        }
+    }
+
+    /// Finds the best split of every job's node, feature-chunk parallel.
+    fn find_splits(&self, tree: &Tree, jobs: &[HistJob]) -> Vec<Option<SplitCandidate>> {
+        let m = self.qm.n_features();
+        if jobs.is_empty() || m == 0 {
+            return vec![None; jobs.len()];
+        }
+        let t = self.pool.num_threads();
+        let n_chunks = ((4 * t).div_ceil(jobs.len())).clamp(1, m);
+        let chunk = m.div_ceil(n_chunks);
+        let n_chunks = m.div_ceil(chunk);
+        // Partial results per (job, chunk), written by exactly one task.
+        struct Partials(*mut Option<SplitCandidate>);
+        unsafe impl Send for Partials {}
+        unsafe impl Sync for Partials {}
+        impl Partials {
+            fn get(&self) -> *mut Option<SplitCandidate> {
+                self.0
+            }
+        }
+        let mut partials: Vec<Option<SplitCandidate>> = vec![None; jobs.len() * n_chunks];
+        let ptr = Partials(partials.as_mut_ptr());
+        let mapper = self.qm.mapper();
+        let settings = &self.settings;
+        let mask = self.mask();
+        self.pool.parallel_for(jobs.len() * n_chunks, |i, _| {
+            let job_idx = i / n_chunks;
+            let c = i % n_chunks;
+            let f_lo = c * chunk;
+            let f_hi = (f_lo + chunk).min(m);
+            let job = &jobs[job_idx];
+            let node = tree.node(job.node);
+            let cand = crate::split::find_split_masked(
+                &job.buf,
+                &node.stats,
+                mapper,
+                f_lo..f_hi,
+                settings,
+                mask,
+            );
+            // SAFETY: slot `i` is written by exactly this task.
+            unsafe { *ptr.get().add(i) = cand };
+        });
+        (0..jobs.len())
+            .map(|j| {
+                let mut best = None;
+                for c in 0..n_chunks {
+                    best = better_of(best, partials[j * n_chunks + c]);
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Adds each leaf's weight to its rows' predictions (group `offset` of
+    /// a row-major `n x stride` score buffer).
+    fn update_predictions(&self, tree: &Tree, preds: &mut [f32], stride: usize, offset: usize) {
+        let leaf_ids: Vec<NodeId> = tree.leaf_ids().collect();
+        struct Ptr(*mut f32);
+        unsafe impl Send for Ptr {}
+        unsafe impl Sync for Ptr {}
+        impl Ptr {
+            fn get(&self) -> *mut f32 {
+                self.0
+            }
+        }
+        let ptr = Ptr(preds.as_mut_ptr());
+        let partition = &self.partition;
+        self.pool.parallel_for(leaf_ids.len(), |i, _| {
+            let id = leaf_ids[i];
+            let w = tree.node(id).weight;
+            // SAFETY: leaves own disjoint row sets.
+            for &row in partition.rows(id) {
+                unsafe { *ptr.get().add(row as usize * stride + offset) += w };
+            }
+        });
+    }
+}
+
+/// Builds the left/right routing predicate for one split over binned data.
+pub(crate) fn goes_left_fn<'a>(
+    qm: &'a QuantizedMatrix,
+    split: &crate::tree::SplitData,
+) -> impl Fn(u32) -> bool + Sync + 'a {
+    let f = split.feature as usize;
+    let bin = split.bin;
+    let default_left = split.default_left;
+    let col = qm.dense_col(f);
+    move |row: u32| match col {
+        Some(col) => {
+            let b = col[row as usize];
+            if b == MISSING_BIN {
+                default_left
+            } else {
+                b <= bin
+            }
+        }
+        None => {
+            let (cols, bins) = qm.sparse_row(row as usize).expect("sparse storage");
+            match cols.binary_search(&(f as u32)) {
+                Ok(i) => bins[i] <= bin,
+                Err(_) => default_left,
+            }
+        }
+    }
+}
+
+// Re-exported for the async module.
+pub(crate) use goes_left_fn as goes_left_predicate;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,599 @@
+//! End-to-end engine tests: learning, mode equivalence, determinism,
+//! growth-policy semantics.
+
+use super::*;
+use crate::params::{BlockConfig, GrowthMethod, LossKind, ParallelMode};
+use harp_data::{DatasetKind, DenseMatrix, FeatureMatrix, SynthConfig};
+
+fn dataset(kind: DatasetKind, scale: f64) -> Dataset {
+    SynthConfig::new(kind, 17).with_scale(scale).generate()
+}
+
+fn base_params() -> TrainParams {
+    TrainParams {
+        n_trees: 8,
+        tree_size: 4,
+        n_threads: 4,
+        gamma: 0.1,
+        ..Default::default()
+    }
+}
+
+fn train(data: &Dataset, params: TrainParams) -> TrainOutput {
+    GbdtTrainer::new(params).unwrap().train(data)
+}
+
+/// Predictions of `model` on the dataset's own features.
+fn preds(out: &TrainOutput, data: &Dataset) -> Vec<f32> {
+    out.model.predict_raw(&data.features)
+}
+
+fn assert_same_preds(a: &[f32], b: &[f32], tol: f32, label: &str) {
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        assert!(
+            (a[i] - b[i]).abs() <= tol,
+            "{label}: row {i} diverged: {} vs {}",
+            a[i],
+            b[i]
+        );
+    }
+}
+
+#[test]
+fn training_learns_the_synthetic_task() {
+    let data = dataset(DatasetKind::HiggsLike, 0.08);
+    let (train_set, test_set) = data.split(0.25, 1);
+    let params = TrainParams { n_trees: 20, ..base_params() };
+    let out = train(&train_set, params);
+    let p = out.model.predict(&test_set.features);
+    let auc = harp_metrics::auc(&test_set.labels, &p);
+    assert!(auc > 0.70, "test AUC too low: {auc}");
+}
+
+#[test]
+fn more_trees_improve_train_fit() {
+    let data = dataset(DatasetKind::Synset, 0.03);
+    let few = train(&data, TrainParams { n_trees: 2, ..base_params() });
+    let many = train(&data, TrainParams { n_trees: 20, ..base_params() });
+    let loss_few = harp_metrics::log_loss(
+        &data.labels,
+        &few.model.predict(&data.features),
+    );
+    let loss_many = harp_metrics::log_loss(
+        &data.labels,
+        &many.model.predict(&data.features),
+    );
+    assert!(
+        loss_many < loss_few,
+        "training loss should decrease: {loss_few} -> {loss_many}"
+    );
+}
+
+#[test]
+fn all_modes_learn_equally_well() {
+    let data = dataset(DatasetKind::HiggsLike, 0.05);
+    let mut aucs = Vec::new();
+    for mode in [
+        ParallelMode::DataParallel,
+        ParallelMode::ModelParallel,
+        ParallelMode::Sync,
+        ParallelMode::Async,
+    ] {
+        let params = TrainParams { mode, k: 4, n_trees: 10, ..base_params() };
+        let out = train(&data, params);
+        let p = out.model.predict(&data.features);
+        aucs.push((mode, harp_metrics::auc(&data.labels, &p)));
+    }
+    for &(mode, auc) in &aucs {
+        assert!(auc > 0.75, "{mode:?}: train AUC {auc}");
+    }
+}
+
+#[test]
+fn dp_and_mp_build_identical_trees_single_thread() {
+    // With one thread and no histogram subtraction, both modes accumulate
+    // every cell in ascending row order => bitwise-identical histograms,
+    // identical trees, identical predictions.
+    let data = dataset(DatasetKind::AirlineLike, 0.01);
+    let mk = |mode| TrainParams {
+        mode,
+        n_threads: 1,
+        hist_subtraction: false,
+        n_trees: 5,
+        ..base_params()
+    };
+    let dp = train(&data, mk(ParallelMode::DataParallel));
+    let mp = train(&data, mk(ParallelMode::ModelParallel));
+    assert_same_preds(&preds(&dp, &data), &preds(&mp, &data), 0.0, "DP vs MP @ T1");
+}
+
+#[test]
+fn modes_agree_multithreaded_within_tolerance() {
+    let data = dataset(DatasetKind::HiggsLike, 0.04);
+    let mk = |mode| TrainParams { mode, n_trees: 6, k: 4, ..base_params() };
+    let dp = train(&data, mk(ParallelMode::DataParallel));
+    let mp = train(&data, mk(ParallelMode::ModelParallel));
+    let sync = train(&data, mk(ParallelMode::Sync));
+    let p_dp = preds(&dp, &data);
+    assert_same_preds(&p_dp, &preds(&mp, &data), 1e-3, "DP vs MP @ T4");
+    assert_same_preds(&p_dp, &preds(&sync, &data), 1e-3, "DP vs SYNC @ T4");
+}
+
+#[test]
+fn async_matches_dp_when_growth_is_gain_limited() {
+    // With a gain threshold stopping growth before the leaf budget binds,
+    // every positive-gain node is split in any order: ASYNC (loose TopK)
+    // and DP (strict) must build the same set of leaves.
+    let data = dataset(DatasetKind::AirlineLike, 0.01);
+    let mk = |mode| TrainParams {
+        mode,
+        n_trees: 4,
+        tree_size: 10,
+        gamma: 2.0,
+        hist_subtraction: false,
+        k: 4,
+        ..base_params()
+    };
+    let dp = train(&data, mk(ParallelMode::DataParallel));
+    let asy = train(&data, mk(ParallelMode::Async));
+    assert_same_preds(&preds(&dp, &data), &preds(&asy, &data), 1e-3, "DP vs ASYNC");
+    let dp_leaves: Vec<u32> = dp.diagnostics.tree_shapes.iter().map(|s| s.n_leaves).collect();
+    let asy_leaves: Vec<u32> = asy.diagnostics.tree_shapes.iter().map(|s| s.n_leaves).collect();
+    assert_eq!(dp_leaves, asy_leaves);
+}
+
+#[test]
+fn deterministic_training_is_bitwise_reproducible() {
+    let data = dataset(DatasetKind::CriteoLike, 0.02);
+    let params = TrainParams { n_trees: 5, deterministic: true, ..base_params() };
+    let a = train(&data, params.clone());
+    let b = train(&data, params);
+    assert_eq!(
+        a.model.to_json().unwrap(),
+        b.model.to_json().unwrap(),
+        "two identical runs must serialize identically"
+    );
+}
+
+#[test]
+fn topk_is_leafwise_generalization() {
+    // K=1 leafwise vs K=8: same leaf budget; K=1 splits the single best
+    // node each round. Both must respect the budget and learn.
+    let data = dataset(DatasetKind::HiggsLike, 0.04);
+    for k in [1usize, 4, 8, 32] {
+        let params = TrainParams { k, n_trees: 4, tree_size: 5, gamma: 0.0, ..base_params() };
+        let out = train(&data, params);
+        for shape in &out.diagnostics.tree_shapes {
+            assert!(shape.n_leaves <= 32, "K={k}: leaf budget violated: {}", shape.n_leaves);
+        }
+        let auc = harp_metrics::auc(&data.labels, &out.model.predict(&data.features));
+        assert!(auc > 0.7, "K={k}: AUC {auc}");
+    }
+}
+
+#[test]
+fn depthwise_respects_depth_limit() {
+    let data = dataset(DatasetKind::Synset, 0.03);
+    let params = TrainParams {
+        growth: GrowthMethod::Depthwise,
+        k: 0,
+        tree_size: 3,
+        gamma: 0.0,
+        n_trees: 3,
+        ..base_params()
+    };
+    let out = train(&data, params);
+    for shape in &out.diagnostics.tree_shapes {
+        assert!(shape.max_depth <= 3, "depth limit violated: {}", shape.max_depth);
+        assert!(shape.n_leaves <= 8);
+    }
+}
+
+#[test]
+fn depthwise_topk_builds_the_same_tree_as_full_depthwise() {
+    // §IV-B: depthwise with finite K selects level subsets but "the same
+    // tree would be built".
+    let data = dataset(DatasetKind::AirlineLike, 0.008);
+    let mk = |k| TrainParams {
+        growth: GrowthMethod::Depthwise,
+        k,
+        tree_size: 4,
+        n_trees: 4,
+        hist_subtraction: false,
+        n_threads: 2,
+        ..base_params()
+    };
+    let full = train(&data, mk(0));
+    let topk = train(&data, mk(2));
+    assert_same_preds(&preds(&full, &data), &preds(&topk, &data), 1e-4, "depthwise K");
+}
+
+#[test]
+fn leafwise_can_exceed_depthwise_depth() {
+    let data = dataset(DatasetKind::CriteoLike, 0.04);
+    let params = TrainParams {
+        growth: GrowthMethod::Leafwise,
+        k: 1,
+        tree_size: 5, // 32 leaves
+        gamma: 0.0,
+        n_trees: 2,
+        ..base_params()
+    };
+    let out = train(&data, params);
+    // The response-correlated feature drives repeated splits down one
+    // branch: depth must exceed log2(leaves) on this dataset.
+    let max_depth = out.diagnostics.tree_shapes.iter().map(|s| s.max_depth).max().unwrap();
+    assert!(max_depth > 5, "leafwise tree unexpectedly balanced: depth {max_depth}");
+}
+
+#[test]
+fn membuf_toggle_does_not_change_results() {
+    let data = dataset(DatasetKind::HiggsLike, 0.03);
+    let on = train(&data, TrainParams { use_membuf: true, n_trees: 5, ..base_params() });
+    let off = train(&data, TrainParams { use_membuf: false, n_trees: 5, ..base_params() });
+    assert_same_preds(&preds(&on, &data), &preds(&off, &data), 0.0, "MemBuf toggle");
+}
+
+#[test]
+fn subtraction_toggle_preserves_quality() {
+    let data = dataset(DatasetKind::HiggsLike, 0.04);
+    let on = train(&data, TrainParams { hist_subtraction: true, n_trees: 8, ..base_params() });
+    let off = train(&data, TrainParams { hist_subtraction: false, n_trees: 8, ..base_params() });
+    let auc_on = harp_metrics::auc(&data.labels, &on.model.predict(&data.features));
+    let auc_off = harp_metrics::auc(&data.labels, &off.model.predict(&data.features));
+    assert!((auc_on - auc_off).abs() < 0.02, "subtraction changed quality: {auc_on} vs {auc_off}");
+}
+
+#[test]
+fn block_configurations_do_not_change_learning() {
+    let data = dataset(DatasetKind::AirlineLike, 0.01);
+    let reference = train(
+        &data,
+        TrainParams { n_trees: 4, hist_subtraction: false, n_threads: 1, ..base_params() },
+    );
+    let p_ref = preds(&reference, &data);
+    for (row, node, feat, bin) in [(64, 2, 2, 16), (0, 4, 1, 0), (100, 0, 3, 64)] {
+        let params = TrainParams {
+            n_trees: 4,
+            hist_subtraction: false,
+            n_threads: 1,
+            blocks: BlockConfig {
+                row_blk_size: row,
+                node_blk_size: node,
+                feature_blk_size: feat,
+                bin_blk_size: bin,
+            },
+            ..base_params()
+        };
+        for mode in [ParallelMode::DataParallel, ParallelMode::ModelParallel] {
+            let out = train(&data, TrainParams { mode, ..params.clone() });
+            assert_same_preds(&p_ref, &preds(&out, &data), 0.0, "block config @ T1");
+        }
+    }
+}
+
+#[test]
+fn sparse_dataset_trains_in_all_modes() {
+    let data = dataset(DatasetKind::YfccLike, 0.05);
+    for mode in [ParallelMode::DataParallel, ParallelMode::ModelParallel, ParallelMode::Async] {
+        let params = TrainParams { mode, n_trees: 4, tree_size: 3, ..base_params() };
+        let out = train(&data, params);
+        let auc = harp_metrics::auc(&data.labels, &out.model.predict(&data.features));
+        assert!(auc > 0.6, "{mode:?} on sparse data: AUC {auc}");
+    }
+}
+
+#[test]
+fn squared_error_regression_reduces_rmse() {
+    // Regression on a noiseless linear target.
+    let n = 500;
+    let values: Vec<f32> = (0..n * 2).map(|i| ((i * 37) % 100) as f32 / 100.0).collect();
+    let labels: Vec<f32> = (0..n).map(|r| values[r * 2] * 3.0 - values[r * 2 + 1]).collect();
+    let data = Dataset::new(
+        "reg",
+        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values)),
+        labels,
+    );
+    let params = TrainParams {
+        loss: LossKind::SquaredError,
+        n_trees: 30,
+        tree_size: 4,
+        gamma: 0.0,
+        ..base_params()
+    };
+    let out = train(&data, params);
+    let p = out.model.predict(&data.features);
+    let rmse = harp_metrics::rmse(&data.labels, &p);
+    assert!(rmse < 0.4, "regression rmse too high: {rmse}");
+}
+
+#[test]
+fn eval_trace_and_early_stopping() {
+    let data = dataset(DatasetKind::HiggsLike, 0.05);
+    let (train_set, valid) = data.split(0.3, 2);
+    let params = TrainParams { n_trees: 30, ..base_params() };
+    let out = GbdtTrainer::new(params)
+        .unwrap()
+        .train_with_eval(
+            &train_set,
+            Some(EvalOptions {
+                data: &valid,
+                metric: EvalMetric::Auc,
+                every: 1,
+                early_stopping_rounds: Some(3),
+            }),
+        );
+    let trace = out.diagnostics.trace.as_ref().expect("trace recorded");
+    assert!(!trace.points().is_empty());
+    assert!(out.diagnostics.best_iteration.is_some());
+    // Points are per-iteration and non-decreasing in time.
+    let pts = trace.points();
+    for w in pts.windows(2) {
+        assert!(w[1].elapsed_secs >= w[0].elapsed_secs);
+    }
+    // If early stopping fired, fewer trees than requested were built.
+    if out.model.n_trees() < 30 {
+        let best = out.diagnostics.best_iteration.unwrap();
+        assert!(out.model.n_trees() >= best);
+    }
+}
+
+#[test]
+fn diagnostics_report_phases_and_profile() {
+    let data = dataset(DatasetKind::HiggsLike, 0.03);
+    let out = train(&data, TrainParams { n_trees: 3, ..base_params() });
+    let d = &out.diagnostics;
+    assert_eq!(d.per_tree_secs.len(), 3);
+    assert!(d.train_secs > 0.0);
+    assert!(d.breakdown.build_hist_secs > 0.0, "BuildHist must be attributed");
+    assert!(d.breakdown.find_split_secs > 0.0);
+    assert!(d.profile.regions > 0, "fork/join regions must be counted");
+    assert!(d.profile.tasks > 0);
+    assert!(d.profile.bytes_read > 0);
+    assert!(d.mean_tree_secs() > 0.0);
+}
+
+#[test]
+fn constant_labels_yield_stump_free_trees() {
+    let n = 64;
+    let values: Vec<f32> = (0..n * 2).map(|i| (i % 7) as f32).collect();
+    let data = Dataset::new(
+        "const",
+        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values)),
+        vec![1.0; n],
+    );
+    let out = train(&data, base_params());
+    // No gain anywhere: every tree is a bare root.
+    for shape in &out.diagnostics.tree_shapes {
+        assert_eq!(shape.n_leaves, 1);
+    }
+    // And predictions sit at the (clamped) base-rate log odds.
+    let p = out.model.predict(&data.features)[0];
+    assert!(p > 0.95);
+}
+
+#[test]
+fn tiny_dataset_does_not_panic() {
+    let data = Dataset::new(
+        "tiny",
+        FeatureMatrix::Dense(DenseMatrix::from_vec(2, 1, vec![0.0, 1.0])),
+        vec![0.0, 1.0],
+    );
+    for mode in [ParallelMode::DataParallel, ParallelMode::Async] {
+        let params = TrainParams {
+            mode,
+            n_trees: 2,
+            tree_size: 2,
+            min_child_weight: 0.0,
+            gamma: 0.0,
+            ..base_params()
+        };
+        let out = train(&data, params);
+        assert_eq!(out.model.n_trees(), 2);
+    }
+}
+
+#[test]
+fn threads_do_not_change_learning_quality() {
+    let data = dataset(DatasetKind::Synset, 0.02);
+    let mut aucs = Vec::new();
+    for t in [1usize, 2, 8] {
+        let params = TrainParams { n_threads: t, n_trees: 6, ..base_params() };
+        let out = train(&data, params);
+        aucs.push(harp_metrics::auc(&data.labels, &out.model.predict(&data.features)));
+    }
+    for w in aucs.windows(2) {
+        assert!((w[0] - w[1]).abs() < 0.02, "thread count changed quality: {aucs:?}");
+    }
+}
+
+
+#[test]
+fn multiclass_softmax_learns_three_classes() {
+    // 3-class task: class determined by which third of feature-0 the row
+    // falls into, plus a second noisy feature.
+    let n = 600;
+    let mut values = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = (i % 100) as f32 / 100.0;
+        let noise = ((i * 7919) % 97) as f32 / 97.0;
+        values.push(x);
+        values.push(noise);
+        labels.push(if x < 0.33 { 0.0 } else if x < 0.66 { 1.0 } else { 2.0 });
+    }
+    let data = Dataset::new(
+        "mc",
+        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values)),
+        labels,
+    );
+    let params = TrainParams {
+        loss: LossKind::Softmax { n_classes: 3 },
+        n_trees: 15,
+        tree_size: 3,
+        gamma: 0.0,
+        ..base_params()
+    };
+    let out = train(&data, params);
+    assert_eq!(out.model.n_trees(), 45, "one tree per class per round");
+    assert_eq!(out.model.n_groups(), 3);
+    let err = harp_metrics::multiclass_error(
+        &data.labels,
+        &out.model.predict_raw(&data.features),
+        3,
+    );
+    assert!(err < 0.05, "multiclass error {err}");
+    // Probabilities normalize per row.
+    let probs = out.model.predict(&data.features);
+    for row in probs.chunks_exact(3).take(10) {
+        let s: f32 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+    // predict_class agrees with argmax of raw scores.
+    let classes = out.model.predict_class(&data.features);
+    assert_eq!(classes.len(), n);
+    let wrong = classes
+        .iter()
+        .zip(&data.labels)
+        .filter(|(&c, &y)| c != y as u32)
+        .count();
+    assert!((wrong as f64 / n as f64 - err).abs() < 1e-9);
+}
+
+#[test]
+fn multiclass_eval_and_early_stopping() {
+    let n = 300;
+    let values: Vec<f32> = (0..n).map(|i| (i % 50) as f32 / 50.0).collect();
+    let labels: Vec<f32> = (0..n).map(|i| ((i % 50) / 17).min(2) as f32).collect();
+    let data = Dataset::new(
+        "mc-eval",
+        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 1, values)),
+        labels,
+    );
+    let (train_set, valid) = data.split(0.3, 1);
+    let params = TrainParams {
+        loss: LossKind::Softmax { n_classes: 3 },
+        n_trees: 20,
+        tree_size: 3,
+        gamma: 0.0,
+        ..base_params()
+    };
+    let out = GbdtTrainer::new(params).unwrap().train_with_eval(
+        &train_set,
+        Some(EvalOptions {
+            data: &valid,
+            metric: EvalMetric::MulticlassLogLoss,
+            every: 1,
+            early_stopping_rounds: Some(4),
+        }),
+    );
+    let trace = out.diagnostics.trace.as_ref().expect("trace");
+    let first = trace.points().first().unwrap().metric;
+    let best = trace.best().unwrap();
+    assert!(best < first, "multiclass log-loss should improve: {first} -> {best}");
+}
+
+#[test]
+fn subsampling_still_learns_and_differs_from_full() {
+    let data = dataset(DatasetKind::HiggsLike, 0.05);
+    let full = train(&data, TrainParams { n_trees: 10, ..base_params() });
+    let sub = train(
+        &data,
+        TrainParams { n_trees: 10, subsample: 0.5, seed: 3, ..base_params() },
+    );
+    let auc_full = harp_metrics::auc(&data.labels, &full.model.predict(&data.features));
+    let auc_sub = harp_metrics::auc(&data.labels, &sub.model.predict(&data.features));
+    assert!(auc_sub > 0.7, "subsampled model should still learn: {auc_sub}");
+    assert!((auc_full - auc_sub).abs() < 0.1);
+    assert_ne!(
+        full.model.predict_raw(&data.features),
+        sub.model.predict_raw(&data.features),
+        "subsampling must change the model"
+    );
+}
+
+#[test]
+fn colsample_restricts_split_features() {
+    let data = dataset(DatasetKind::Synset, 0.03);
+    let out = train(
+        &data,
+        TrainParams { n_trees: 6, colsample_bytree: 0.2, seed: 5, gamma: 0.0, ..base_params() },
+    );
+    // Different trees should use different feature subsets: the union of
+    // split features over 6 trees should exceed one tree's 20% budget but
+    // the model must still train.
+    let imp = out.model.feature_importance();
+    let used = imp.iter().filter(|i| i.splits > 0).count();
+    assert!(used > 0);
+    let auc = harp_metrics::auc(&data.labels, &out.model.predict(&data.features));
+    assert!(auc > 0.65, "colsampled model should still learn: {auc}");
+}
+
+#[test]
+fn sample_weights_shift_the_decision_boundary() {
+    let data = dataset(DatasetKind::HiggsLike, 0.05);
+    let qm = harp_binning::QuantizedMatrix::from_matrix(
+        &data.features,
+        harp_binning::BinningConfig::default(),
+    );
+    // Upweight positives 10x: mean predicted probability must rise.
+    let weights: Vec<f32> =
+        data.labels.iter().map(|&y| if y > 0.5 { 10.0 } else { 1.0 }).collect();
+    let params = TrainParams { n_trees: 8, ..base_params() };
+    let plain = GbdtTrainer::new(params.clone())
+        .unwrap()
+        .train_prepared(&qm, &data.labels, None);
+    let weighted = GbdtTrainer::new(params)
+        .unwrap()
+        .train_prepared_weighted(&qm, &data.labels, Some(&weights), None);
+    let mean = |out: &TrainOutput| {
+        let p = out.model.predict(&data.features);
+        p.iter().sum::<f32>() / p.len() as f32
+    };
+    let (mp, mw) = (mean(&plain), mean(&weighted));
+    assert!(
+        mw > mp + 0.05,
+        "upweighting positives should raise mean probability: {mp} -> {mw}"
+    );
+}
+
+#[test]
+fn predict_leaf_and_dump_text_work() {
+    let data = dataset(DatasetKind::AirlineLike, 0.005);
+    let out = train(&data, TrainParams { n_trees: 3, ..base_params() });
+    let leaves = out.model.predict_leaf_row(|f| data.features.get(0, f as usize));
+    assert_eq!(leaves.len(), 3);
+    for (t, &leaf) in leaves.iter().enumerate() {
+        assert!(out.model.trees()[t].node(leaf).is_leaf());
+    }
+    let dump = out.model.dump_text();
+    assert!(dump.contains("tree 0"));
+    assert!(dump.contains("leaf="));
+}
+
+#[test]
+fn multiclass_model_json_roundtrip() {
+    let n = 90;
+    let values: Vec<f32> = (0..n).map(|i| (i % 30) as f32).collect();
+    let labels: Vec<f32> = (0..n).map(|i| ((i % 30) / 10) as f32).collect();
+    let data = Dataset::new(
+        "mc-json",
+        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 1, values)),
+        labels,
+    );
+    let params = TrainParams {
+        loss: LossKind::Softmax { n_classes: 3 },
+        n_trees: 4,
+        tree_size: 2,
+        gamma: 0.0,
+        ..base_params()
+    };
+    let out = train(&data, params);
+    let back = crate::GbdtModel::from_json(&out.model.to_json().unwrap()).unwrap();
+    assert_eq!(back.n_groups(), 3);
+    assert_eq!(out.model.predict_raw(&data.features), back.predict_raw(&data.features));
+    // Truncation keeps whole rounds.
+    let t1 = out.model.truncated(2);
+    assert_eq!(t1.n_trees(), 6);
+}

@@ -1,0 +1,320 @@
+//! Decision tree structure, growth and prediction.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within its tree's arena.
+pub type NodeId = u32;
+
+/// Sentinel for "no node".
+pub const NO_NODE: NodeId = u32::MAX;
+
+/// A chosen split point: `(feature, value)` pair in the paper's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitData {
+    /// Feature column to test.
+    pub feature: u32,
+    /// Rows whose bin id is `<= bin` go left.
+    pub bin: u8,
+    /// The raw-value threshold equivalent to `bin` (inclusive upper bound):
+    /// `value <= threshold` goes left.
+    pub threshold: f32,
+    /// Direction for rows whose feature is missing.
+    pub default_left: bool,
+    /// Loss reduction of this split (Eq. 3).
+    pub gain: f64,
+}
+
+/// Gradient statistics of the rows in a node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Sum of first-order gradients `G`.
+    pub g: f64,
+    /// Sum of second-order gradients `H`.
+    pub h: f64,
+    /// Number of rows.
+    pub count: u32,
+}
+
+impl NodeStats {
+    /// The optimal leaf weight `w* = -G / (H + λ)` (Eq. 2), unscaled by the
+    /// learning rate.
+    pub fn optimal_weight(&self, lambda: f64) -> f64 {
+        -self.g / (self.h + lambda)
+    }
+
+    /// The structure-score term `G² / (H + λ)` used by the gain formula.
+    pub fn score(&self, lambda: f64) -> f64 {
+        self.g * self.g / (self.h + lambda)
+    }
+
+    /// Element-wise difference (`parent − sibling` for the other child).
+    pub fn minus(&self, other: &NodeStats) -> NodeStats {
+        NodeStats { g: self.g - other.g, h: self.h - other.h, count: self.count - other.count }
+    }
+}
+
+/// One tree node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Parent id, `NO_NODE` for the root.
+    pub parent: NodeId,
+    /// Left child id, `NO_NODE` for leaves.
+    pub left: NodeId,
+    /// Right child id, `NO_NODE` for leaves.
+    pub right: NodeId,
+    /// Depth (root = 0).
+    pub depth: u32,
+    /// The split applied at this node (`None` for leaves).
+    pub split: Option<SplitData>,
+    /// Leaf weight, already scaled by the learning rate. Valid for leaves.
+    pub weight: f32,
+    /// Gradient statistics of the rows reaching this node.
+    pub stats: NodeStats,
+}
+
+impl Node {
+    /// Whether this node is currently a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.left == NO_NODE
+    }
+}
+
+/// A regression tree stored as an arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Creates a tree holding just a root with `stats`.
+    pub fn new_root(stats: NodeStats) -> Self {
+        Self {
+            nodes: vec![Node {
+                parent: NO_NODE,
+                left: NO_NODE,
+                right: NO_NODE,
+                depth: 0,
+                split: None,
+                weight: 0.0,
+                stats,
+            }],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Depth of the deepest node.
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id as usize]
+    }
+
+    /// All node ids of current leaves.
+    pub fn leaf_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_leaf())
+            .map(|(i, _)| i as NodeId)
+    }
+
+    /// Splits `id`, appending two children with the given statistics.
+    /// Returns `(left_id, right_id)`.
+    ///
+    /// # Panics
+    /// Panics if `id` is already split.
+    pub fn apply_split(
+        &mut self,
+        id: NodeId,
+        split: SplitData,
+        left_stats: NodeStats,
+        right_stats: NodeStats,
+    ) -> (NodeId, NodeId) {
+        assert!(self.node(id).is_leaf(), "node {id} already split");
+        let depth = self.node(id).depth + 1;
+        let left = self.nodes.len() as NodeId;
+        let right = left + 1;
+        for stats in [left_stats, right_stats] {
+            self.nodes.push(Node {
+                parent: id,
+                left: NO_NODE,
+                right: NO_NODE,
+                depth,
+                split: None,
+                weight: 0.0,
+                stats,
+            });
+        }
+        let node = self.node_mut(id);
+        node.split = Some(split);
+        node.left = left;
+        node.right = right;
+        (left, right)
+    }
+
+    /// Routes a row to its leaf. `value(f)` returns the raw feature value or
+    /// `None` for missing.
+    pub fn route(&self, value: impl Fn(u32) -> Option<f32>) -> NodeId {
+        let mut id = 0 as NodeId;
+        loop {
+            let node = self.node(id);
+            let Some(split) = &node.split else {
+                return id;
+            };
+            let go_left = match value(split.feature) {
+                Some(v) => v <= split.threshold,
+                None => split.default_left,
+            };
+            id = if go_left { node.left } else { node.right };
+        }
+    }
+
+    /// The prediction for a row (leaf weight after routing).
+    pub fn predict(&self, value: impl Fn(u32) -> Option<f32>) -> f32 {
+        self.node(self.route(value)).weight
+    }
+
+    /// Accumulates per-feature split gain and count into the provided
+    /// buffers (for feature-importance reports).
+    pub fn accumulate_importance(&self, gain: &mut [f64], count: &mut [u64]) {
+        for n in &self.nodes {
+            if let Some(s) = &n.split {
+                gain[s.feature as usize] += s.gain;
+                count[s.feature as usize] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(g: f64, h: f64, count: u32) -> NodeStats {
+        NodeStats { g, h, count }
+    }
+
+    fn split_on(feature: u32, threshold: f32, default_left: bool) -> SplitData {
+        SplitData { feature, bin: 0, threshold, default_left, gain: 1.0 }
+    }
+
+    #[test]
+    fn root_tree_is_single_leaf() {
+        let t = Tree::new_root(stats(1.0, 2.0, 3));
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.max_depth(), 0);
+        assert!(t.node(0).is_leaf());
+    }
+
+    #[test]
+    fn apply_split_creates_children() {
+        let mut t = Tree::new_root(stats(3.0, 4.0, 10));
+        let (l, r) = t.apply_split(0, split_on(2, 0.5, true), stats(1.0, 2.0, 6), stats(2.0, 2.0, 4));
+        assert_eq!((l, r), (1, 2));
+        assert_eq!(t.n_leaves(), 2);
+        assert_eq!(t.node(l).depth, 1);
+        assert_eq!(t.node(l).parent, 0);
+        assert!(!t.node(0).is_leaf());
+    }
+
+    #[test]
+    #[should_panic(expected = "already split")]
+    fn double_split_panics() {
+        let mut t = Tree::new_root(stats(0.0, 1.0, 2));
+        let s = split_on(0, 0.5, true);
+        t.apply_split(0, s, stats(0.0, 0.5, 1), stats(0.0, 0.5, 1));
+        t.apply_split(0, s, stats(0.0, 0.5, 1), stats(0.0, 0.5, 1));
+    }
+
+    #[test]
+    fn routing_follows_thresholds_and_defaults() {
+        let mut t = Tree::new_root(stats(0.0, 1.0, 4));
+        let (l, _r) = t.apply_split(0, split_on(0, 0.5, false), stats(0.0, 0.5, 2), stats(0.0, 0.5, 2));
+        t.apply_split(l, split_on(1, 2.0, true), stats(0.0, 0.2, 1), stats(0.0, 0.3, 1));
+        // (f0 = 0.4, f1 = 5.0) -> left at root, right at l -> node 4.
+        assert_eq!(t.route(|f| Some(if f == 0 { 0.4 } else { 5.0 })), 4);
+        // f0 exactly at threshold goes left.
+        assert_eq!(t.route(|f| Some(if f == 0 { 0.5 } else { 1.0 })), 3);
+        // f0 missing routes right (default_left = false) -> node 2.
+        assert_eq!(t.route(|f| if f == 0 { None } else { Some(0.0) }), 2);
+        // f1 missing at node l routes left (default_left = true) -> node 3.
+        assert_eq!(t.route(|f| if f == 0 { Some(0.0) } else { None }), 3);
+    }
+
+    #[test]
+    fn predict_returns_leaf_weight() {
+        let mut t = Tree::new_root(stats(0.0, 1.0, 2));
+        let (l, r) = t.apply_split(0, split_on(0, 0.0, true), stats(0.0, 0.5, 1), stats(0.0, 0.5, 1));
+        t.node_mut(l).weight = -1.5;
+        t.node_mut(r).weight = 2.5;
+        assert_eq!(t.predict(|_| Some(-1.0)), -1.5);
+        assert_eq!(t.predict(|_| Some(1.0)), 2.5);
+    }
+
+    #[test]
+    fn stats_weight_and_score() {
+        let s = stats(-4.0, 3.0, 7);
+        assert!((s.optimal_weight(1.0) - 1.0).abs() < 1e-12);
+        assert!((s.score(1.0) - 4.0).abs() < 1e-12);
+        let diff = s.minus(&stats(-1.0, 1.0, 3));
+        assert_eq!(diff, stats(-3.0, 2.0, 4));
+    }
+
+    #[test]
+    fn importance_accumulates_gains() {
+        let mut t = Tree::new_root(stats(0.0, 1.0, 4));
+        let (l, _) = t.apply_split(
+            0,
+            SplitData { feature: 1, bin: 0, threshold: 0.0, default_left: true, gain: 3.0 },
+            stats(0.0, 0.5, 2),
+            stats(0.0, 0.5, 2),
+        );
+        t.apply_split(
+            l,
+            SplitData { feature: 1, bin: 0, threshold: 0.0, default_left: true, gain: 2.0 },
+            stats(0.0, 0.2, 1),
+            stats(0.0, 0.3, 1),
+        );
+        let mut gain = vec![0.0; 3];
+        let mut count = vec![0; 3];
+        t.accumulate_importance(&mut gain, &mut count);
+        assert_eq!(gain, vec![0.0, 5.0, 0.0]);
+        assert_eq!(count, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn leaf_ids_tracks_growth() {
+        let mut t = Tree::new_root(stats(0.0, 1.0, 2));
+        assert_eq!(t.leaf_ids().collect::<Vec<_>>(), vec![0]);
+        t.apply_split(0, split_on(0, 0.0, true), stats(0.0, 0.5, 1), stats(0.0, 0.5, 1));
+        assert_eq!(t.leaf_ids().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut t = Tree::new_root(stats(1.0, 2.0, 3));
+        t.apply_split(0, split_on(4, 0.25, false), stats(0.5, 1.0, 2), stats(0.5, 1.0, 1));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_nodes(), 3);
+        assert_eq!(back.node(0).split.unwrap().feature, 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! Labeled datasets: features + binary labels, splitting and statistics.
+
+use crate::matrix::FeatureMatrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// A labeled dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name, e.g. `"higgs-like"`.
+    pub name: String,
+    /// Feature matrix.
+    pub features: FeatureMatrix,
+    /// One label per row. Binary tasks use `{0.0, 1.0}`; regression tasks use
+    /// arbitrary values.
+    pub labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that labels and rows line up.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != features.n_rows()`.
+    pub fn new(name: impl Into<String>, features: FeatureMatrix, labels: Vec<f32>) -> Self {
+        assert_eq!(labels.len(), features.n_rows(), "one label per row required");
+        Self { name: name.into(), features, labels }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.features.n_cols()
+    }
+
+    /// Extracts the rows in `idx` into a new dataset.
+    pub fn select_rows(&self, idx: &[u32]) -> Self {
+        Self {
+            name: self.name.clone(),
+            features: self.features.select_rows(idx),
+            labels: idx.iter().map(|&r| self.labels[r as usize]).collect(),
+        }
+    }
+
+    /// Random train/test split; `test_fraction` of rows (rounded down) go to
+    /// the test set. Deterministic for a fixed `seed`.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0, 1)");
+        let mut idx: Vec<u32> = (0..self.n_rows() as u32).collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_test = (self.n_rows() as f64 * test_fraction) as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        let mut train_idx = train_idx.to_vec();
+        let mut test_idx = test_idx.to_vec();
+        // Sort back to row order so row-locality (and stable-partition
+        // determinism downstream) is preserved.
+        train_idx.sort_unstable();
+        test_idx.sort_unstable();
+        (self.select_rows(&train_idx), self.select_rows(&test_idx))
+    }
+
+    /// Duplicates the dataset `factor` times (rows stacked). Used by the
+    /// weak-scaling experiment (Fig. 13b), which grows the input
+    /// proportionally to the thread count "by duplicating the HIGGS dataset".
+    pub fn duplicated(&self, factor: usize) -> Self {
+        assert!(factor >= 1, "duplication factor must be >= 1");
+        let mut features = self.features.clone();
+        let mut labels = self.labels.clone();
+        for _ in 1..factor {
+            features = features.vstack(&self.features);
+            labels.extend_from_slice(&self.labels);
+        }
+        Self { name: format!("{}x{}", self.name, factor), features, labels }
+    }
+
+    /// Shape and balance statistics (the data-side half of Table III).
+    pub fn stats(&self) -> DatasetStats {
+        let n = self.n_rows();
+        let positives = self.labels.iter().filter(|&&y| y > 0.5).count();
+        DatasetStats {
+            name: self.name.clone(),
+            n_rows: n,
+            n_features: self.n_features(),
+            density: self.features.density(),
+            positive_rate: if n == 0 { 0.0 } else { positives as f64 / n as f64 },
+        }
+    }
+}
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// `N` in Table III.
+    pub n_rows: usize,
+    /// `M` in Table III.
+    pub n_features: usize,
+    /// `S` in Table III.
+    pub density: f64,
+    /// Fraction of positive labels.
+    pub positive_rate: f64,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<14} N={:<9} M={:<6} S={:.2} pos={:.2}",
+            self.name, self.n_rows, self.n_features, self.density, self.positive_rate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DenseMatrix;
+
+    fn tiny(n: usize) -> Dataset {
+        let values: Vec<f32> = (0..n * 2).map(|i| i as f32).collect();
+        let labels: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+        Dataset::new("tiny", FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values)), labels)
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let d = tiny(100);
+        let (train, test) = d.split(0.25, 7);
+        assert_eq!(train.n_rows(), 75);
+        assert_eq!(test.n_rows(), 25);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = tiny(50);
+        let (a, _) = d.split(0.2, 42);
+        let (b, _) = d.split(0.2, 42);
+        assert_eq!(a.labels, b.labels);
+        let (c, _) = d.split(0.2, 43);
+        assert_ne!(a.labels, c.labels, "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn split_keeps_rows_and_labels_aligned() {
+        let d = tiny(40);
+        let (train, test) = d.split(0.5, 1);
+        for part in [train, test] {
+            for r in 0..part.n_rows() {
+                // feature 0 of row i in `tiny` equals 2*i; label = i % 2.
+                let f0 = part.features.get(r, 0).unwrap();
+                let orig_row = (f0 / 2.0) as usize;
+                assert_eq!(part.labels[r], (orig_row % 2) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_stacks_rows() {
+        let d = tiny(10);
+        let dd = d.duplicated(3);
+        assert_eq!(dd.n_rows(), 30);
+        assert_eq!(dd.labels[0], dd.labels[10]);
+        assert_eq!(dd.features.get(0, 1), dd.features.get(20, 1));
+    }
+
+    #[test]
+    fn stats_reports_shape_and_balance() {
+        let d = tiny(10);
+        let s = d.stats();
+        assert_eq!(s.n_rows, 10);
+        assert_eq!(s.n_features, 2);
+        assert!((s.positive_rate - 0.5).abs() < 1e-9);
+        assert!((s.density - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_row_mismatch_panics() {
+        let m = FeatureMatrix::Dense(DenseMatrix::from_vec(2, 1, vec![0.0, 1.0]));
+        let _ = Dataset::new("bad", m, vec![1.0]);
+    }
+}

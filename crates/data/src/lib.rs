@@ -1,0 +1,24 @@
+//! Dataset layer for HarpGBDT.
+//!
+//! Provides the raw-feature side of the pipeline: dense and sparse feature
+//! matrices with missing-value support ([`matrix`]), labeled datasets with
+//! splitting and statistics ([`dataset`]), CSV/LIBSVM text loaders ([`io`]),
+//! and seeded synthetic generators ([`synth`]) that reproduce the *shapes* of
+//! the paper's evaluation datasets (Table III): instance/feature counts,
+//! density `S`, feature-cardinality dispersion (which drives the bin-count
+//! CV), thin vs fat aspect, and — for the CRITEO stand-in — a response-
+//! correlated feature that provokes the deep-leafwise-tree pathology the
+//! paper describes in §V-F.
+//!
+//! The original datasets are multi-gigabyte downloads; every experiment in
+//! this repository runs on these generators instead, at a `--scale`-selectable
+//! size. See `DESIGN.md` §4 for the substitution argument.
+
+pub mod dataset;
+pub mod io;
+pub mod matrix;
+pub mod synth;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use matrix::{CsrMatrix, DenseMatrix, FeatureMatrix};
+pub use synth::{DatasetKind, SynthConfig};

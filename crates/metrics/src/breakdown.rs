@@ -1,0 +1,150 @@
+//! Per-phase wall-time attribution for tree construction.
+//!
+//! Fig. 4 of the paper decomposes per-tree training time into the three core
+//! functions of Algorithm 1 — BuildHist, FindSplit, ApplySplit — and shows
+//! BuildHist growing as O(2^D) in the baselines where the serial algorithm
+//! predicts O(D). Trainers accumulate nanoseconds into a [`TimeBreakdown`];
+//! harnesses snapshot it per tree-size setting and normalize.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe accumulators for the three core phases (plus everything
+/// else, e.g. gradient computation and leaf updates).
+#[derive(Debug, Default)]
+pub struct TimeBreakdown {
+    /// Nanoseconds spent collecting gradient histograms.
+    pub build_hist_ns: AtomicU64,
+    /// Nanoseconds spent enumerating split candidates.
+    pub find_split_ns: AtomicU64,
+    /// Nanoseconds spent partitioning rows and updating the tree.
+    pub apply_split_ns: AtomicU64,
+    /// Nanoseconds in the remainder of the training loop.
+    pub other_ns: AtomicU64,
+}
+
+impl TimeBreakdown {
+    /// Creates a zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zeroes all phases.
+    pub fn reset(&self) {
+        for c in [&self.build_hist_ns, &self.find_split_ns, &self.apply_split_ns, &self.other_ns]
+        {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots the counters into a report.
+    pub fn report(&self) -> BreakdownReport {
+        BreakdownReport {
+            build_hist_secs: self.build_hist_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            find_split_secs: self.find_split_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            apply_split_secs: self.apply_split_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            other_secs: self.other_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// A snapshot of a [`TimeBreakdown`], in seconds.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct BreakdownReport {
+    /// BuildHist seconds.
+    pub build_hist_secs: f64,
+    /// FindSplit seconds.
+    pub find_split_secs: f64,
+    /// ApplySplit seconds.
+    pub apply_split_secs: f64,
+    /// Unattributed seconds.
+    pub other_secs: f64,
+}
+
+impl BreakdownReport {
+    /// Total attributed seconds.
+    pub fn total(&self) -> f64 {
+        self.build_hist_secs + self.find_split_secs + self.apply_split_secs + self.other_secs
+    }
+
+    /// Fraction of total time spent in BuildHist (the paper's hotspot
+    /// statistic: 90% for LightGBM, 60% for XGBoost at D8).
+    pub fn build_hist_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.build_hist_secs / total
+        }
+    }
+
+    /// Element-wise difference (`self - earlier`), for per-interval deltas.
+    pub fn since(&self, earlier: &BreakdownReport) -> BreakdownReport {
+        BreakdownReport {
+            build_hist_secs: self.build_hist_secs - earlier.build_hist_secs,
+            find_split_secs: self.find_split_secs - earlier.find_split_secs,
+            apply_split_secs: self.apply_split_secs - earlier.apply_split_secs,
+            other_secs: self.other_secs - earlier.other_secs,
+        }
+    }
+}
+
+impl std::fmt::Display for BreakdownReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BuildHist {:.3}s ({:.0}%) | FindSplit {:.3}s | ApplySplit {:.3}s | other {:.3}s",
+            self.build_hist_secs,
+            self.build_hist_share() * 100.0,
+            self.find_split_secs,
+            self.apply_split_secs,
+            self.other_secs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_converts_ns_to_secs() {
+        let b = TimeBreakdown::new();
+        b.build_hist_ns.store(2_500_000_000, Ordering::Relaxed);
+        b.find_split_ns.store(500_000_000, Ordering::Relaxed);
+        let r = b.report();
+        assert!((r.build_hist_secs - 2.5).abs() < 1e-12);
+        assert!((r.total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_hist_share() {
+        let b = TimeBreakdown::new();
+        b.build_hist_ns.store(900, Ordering::Relaxed);
+        b.other_ns.store(100, Ordering::Relaxed);
+        assert!((b.report().build_hist_share() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_share_is_zero() {
+        assert_eq!(TimeBreakdown::new().report().build_hist_share(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let b = TimeBreakdown::new();
+        b.apply_split_ns.store(1_000_000_000, Ordering::Relaxed);
+        let first = b.report();
+        b.apply_split_ns.store(3_000_000_000, Ordering::Relaxed);
+        let delta = b.report().since(&first);
+        assert!((delta.apply_split_secs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let b = TimeBreakdown::new();
+        b.build_hist_ns.store(5, Ordering::Relaxed);
+        b.reset();
+        assert_eq!(b.report().total(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-iteration convergence recording and the Convergence-Speedup metric.
+//!
+//! §V-A4 of the paper: "training time to achieve the same highest accuracy
+//! when training with 1000 trees is used as the performance metric and
+//! Convergence Speedup is defined as the ratio of this metric on two
+//! systems." [`ConvergenceTrace::time_to_reach`] implements the inner
+//! statistic; harnesses take ratios across trainers.
+
+use serde::Serialize;
+
+/// One recorded evaluation point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ConvergencePoint {
+    /// Boosting iteration (number of trees built so far).
+    pub iteration: usize,
+    /// Cumulative training wall time in seconds.
+    pub elapsed_secs: f64,
+    /// Metric value (e.g. validation AUC) at this point.
+    pub metric: f64,
+}
+
+/// An ordered series of evaluation points for one training run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ConvergenceTrace {
+    points: Vec<ConvergencePoint>,
+    /// Whether larger metric values are better (true for AUC, false for
+    /// log-loss).
+    pub higher_is_better: bool,
+}
+
+impl ConvergenceTrace {
+    /// Creates an empty trace; `higher_is_better` selects the comparison
+    /// direction for [`best`](Self::best) and
+    /// [`time_to_reach`](Self::time_to_reach).
+    pub fn new(higher_is_better: bool) -> Self {
+        Self { points: Vec::new(), higher_is_better }
+    }
+
+    /// Appends one evaluation point.
+    ///
+    /// # Panics
+    /// Panics if iterations or times go backwards.
+    pub fn record(&mut self, iteration: usize, elapsed_secs: f64, metric: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(iteration >= last.iteration, "iterations must be non-decreasing");
+            assert!(elapsed_secs >= last.elapsed_secs, "time must be non-decreasing");
+        }
+        self.points.push(ConvergencePoint { iteration, elapsed_secs, metric });
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[ConvergencePoint] {
+        &self.points
+    }
+
+    /// The best metric value seen, or `None` if empty.
+    pub fn best(&self) -> Option<f64> {
+        let iter = self.points.iter().map(|p| p.metric);
+        if self.higher_is_better {
+            iter.fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
+        } else {
+            iter.fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.min(m))))
+        }
+    }
+
+    /// The earliest elapsed time at which the trace reached `target`
+    /// (`>= target` if higher is better, else `<=`). `None` if never reached.
+    pub fn time_to_reach(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| {
+                if self.higher_is_better {
+                    p.metric >= target
+                } else {
+                    p.metric <= target
+                }
+            })
+            .map(|p| p.elapsed_secs)
+    }
+
+    /// Total recorded training time (elapsed time of the last point).
+    pub fn total_time(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.elapsed_secs)
+    }
+
+    /// Convergence-speedup numerator/denominator helper: time for `self` to
+    /// reach the *worse* of the two traces' best metrics, divided by the
+    /// same for `other`. Returns `None` if either trace is empty or never
+    /// reaches the shared target (shouldn't happen by construction).
+    ///
+    /// A value above 1.0 means `other` converges faster than `self`.
+    pub fn convergence_speedup_vs(&self, other: &ConvergenceTrace) -> Option<f64> {
+        let (a, b) = (self.best()?, other.best()?);
+        // The shared accuracy target is the one both systems can reach.
+        let target = if self.higher_is_better { a.min(b) } else { a.max(b) };
+        let t_self = self.time_to_reach(target)?;
+        let t_other = other.time_to_reach(target)?;
+        if t_other <= 0.0 {
+            return None;
+        }
+        Some(t_self / t_other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(points: &[(usize, f64, f64)]) -> ConvergenceTrace {
+        let mut t = ConvergenceTrace::new(true);
+        for &(i, s, m) in points {
+            t.record(i, s, m);
+        }
+        t
+    }
+
+    #[test]
+    fn best_takes_direction_into_account() {
+        let t = trace(&[(1, 0.1, 0.6), (2, 0.2, 0.8), (3, 0.3, 0.7)]);
+        assert_eq!(t.best(), Some(0.8));
+        let mut lower = ConvergenceTrace::new(false);
+        lower.record(1, 0.1, 0.6);
+        lower.record(2, 0.2, 0.3);
+        assert_eq!(lower.best(), Some(0.3));
+    }
+
+    #[test]
+    fn time_to_reach_finds_first_crossing() {
+        let t = trace(&[(1, 1.0, 0.5), (2, 2.0, 0.7), (3, 3.0, 0.7), (4, 4.0, 0.9)]);
+        assert_eq!(t.time_to_reach(0.7), Some(2.0));
+        assert_eq!(t.time_to_reach(0.95), None);
+    }
+
+    #[test]
+    fn convergence_speedup_uses_shared_target() {
+        // Fast system reaches 0.8 at t=1; slow one reaches 0.75 max at t=10.
+        let fast = trace(&[(1, 0.5, 0.7), (2, 1.0, 0.8)]);
+        let slow = trace(&[(1, 4.0, 0.6), (2, 10.0, 0.75)]);
+        // Shared target is 0.75: fast hits it at t=1.0 (its first point >= .75
+        // is the 0.8 one), slow at t=10.
+        let speedup = slow.convergence_speedup_vs(&fast).unwrap();
+        assert!((speedup - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = ConvergenceTrace::new(true);
+        assert_eq!(t.best(), None);
+        assert_eq!(t.total_time(), 0.0);
+        assert_eq!(t.time_to_reach(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn backwards_time_panics() {
+        let mut t = ConvergenceTrace::new(true);
+        t.record(1, 2.0, 0.5);
+        t.record(2, 1.0, 0.6);
+    }
+
+    #[test]
+    fn total_time_is_last_point() {
+        let t = trace(&[(1, 1.5, 0.5), (2, 3.5, 0.6)]);
+        assert_eq!(t.total_time(), 3.5);
+    }
+}

@@ -1,0 +1,17 @@
+//! Evaluation metrics and measurement plumbing for the HarpGBDT experiments.
+//!
+//! * [`auc`], [`log_loss`], [`error_rate`], [`rmse`] — the accuracy metrics
+//!   used in §V (AUC is the paper's headline accuracy measure).
+//! * [`ConvergenceTrace`] — per-iteration metric/time recording, plus the
+//!   "training time to reach the same highest accuracy" statistic that
+//!   defines the paper's *Convergence Speedup*.
+//! * [`TimeBreakdown`] — per-phase wall-time attribution (BuildHist /
+//!   FindSplit / ApplySplit), the quantity plotted in Fig. 4.
+
+mod breakdown;
+mod convergence;
+mod eval;
+
+pub use breakdown::{BreakdownReport, TimeBreakdown};
+pub use convergence::{ConvergencePoint, ConvergenceTrace};
+pub use eval::{accuracy, auc, error_rate, log_loss, multiclass_error, multiclass_log_loss, rmse};

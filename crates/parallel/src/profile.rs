@@ -1,0 +1,318 @@
+//! Software profiling counters — the substitute for Intel VTune.
+//!
+//! Tables I and VI of the HarpGBDT paper compare four hardware-derived
+//! metrics between the baselines and HarpGBDT: average CPU utilization,
+//! OpenMP barrier overhead, average load latency and memory-bound share.
+//! Without hardware event counters we reproduce the first two exactly from
+//! the pool's own clocks and approximate the memory-related ones from the
+//! byte traffic the trainer reports per region:
+//!
+//! * **CPU utilization** = Σ worker busy time / (threads × wall time).
+//! * **Barrier overhead** = Σ end-of-region idle / (busy + idle inside
+//!   regions) — the share of in-region thread time spent waiting for the
+//!   slowest worker, which is what the OpenMP spin barrier burns.
+//! * **Bytes / FLOP** and **working-set size** are reported by the trainer via
+//!   [`Profile::add_bytes`] / [`Profile::observe_region_bytes`] and stand in
+//!   for the memory-bound percentage: the paper's §III-B derives the 0.0625
+//!   compute-per-byte ratio analytically, and the same arithmetic is what we
+//!   surface.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic nanosecond stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed nanoseconds since start.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Elapsed seconds since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Shared, thread-safe profiling accumulator.
+///
+/// One `Profile` is attached to a [`crate::ThreadPool`]; the trainer resets it
+/// at measurement boundaries and renders a [`ProfileReport`] afterwards. All
+/// counters are relaxed atomics — they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct Profile {
+    /// Nanoseconds workers spent executing tasks.
+    pub busy_ns: AtomicU64,
+    /// Nanoseconds workers spent idle inside a fork/join region after
+    /// finishing their share (the barrier wait).
+    pub barrier_wait_ns: AtomicU64,
+    /// Nanoseconds spent waiting to acquire contended spin locks.
+    pub lock_wait_ns: AtomicU64,
+    /// Number of fork/join regions executed (== number of implicit barriers).
+    pub regions: AtomicU64,
+    /// Number of individual tasks executed across all regions and queues.
+    pub tasks: AtomicU64,
+    /// Bytes read by trainer kernels (reported by the trainer, not measured).
+    pub bytes_read: AtomicU64,
+    /// Bytes written by trainer kernels.
+    pub bytes_written: AtomicU64,
+    /// Floating point operations reported by trainer kernels.
+    pub flops: AtomicU64,
+    /// Sum over regions of the written working-set size (bytes) — the size of
+    /// the GHSum region a task writes into, which §IV-E ties to cache misses.
+    pub region_write_ws_bytes: AtomicU64,
+    /// Number of working-set observations (for averaging).
+    pub region_write_ws_samples: AtomicU64,
+    /// Wall-clock nanoseconds covered by this profile (set by `stop`).
+    pub wall_ns: AtomicU64,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every counter.
+    pub fn reset(&self) {
+        for c in [
+            &self.busy_ns,
+            &self.barrier_wait_ns,
+            &self.lock_wait_ns,
+            &self.regions,
+            &self.tasks,
+            &self.bytes_read,
+            &self.bytes_written,
+            &self.flops,
+            &self.region_write_ws_bytes,
+            &self.region_write_ws_samples,
+            &self.wall_ns,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds kernel byte traffic and FLOPs (trainer-reported).
+    pub fn add_bytes(&self, read: u64, written: u64, flops: u64) {
+        self.bytes_read.fetch_add(read, Ordering::Relaxed);
+        self.bytes_written.fetch_add(written, Ordering::Relaxed);
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Records the write working-set size of one scheduled task.
+    pub fn observe_region_bytes(&self, write_working_set: u64) {
+        self.region_write_ws_bytes.fetch_add(write_working_set, Ordering::Relaxed);
+        self.region_write_ws_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to the wall-clock time covered by this profile.
+    pub fn add_wall_ns(&self, ns: u64) {
+        self.wall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Renders the counters into a report, given the number of pool threads.
+    pub fn report(&self, threads: usize) -> ProfileReport {
+        let busy = self.busy_ns.load(Ordering::Relaxed);
+        let barrier = self.barrier_wait_ns.load(Ordering::Relaxed);
+        let lock = self.lock_wait_ns.load(Ordering::Relaxed);
+        let wall = self.wall_ns.load(Ordering::Relaxed);
+        let tasks = self.tasks.load(Ordering::Relaxed);
+        let regions = self.regions.load(Ordering::Relaxed);
+        let read = self.bytes_read.load(Ordering::Relaxed);
+        let written = self.bytes_written.load(Ordering::Relaxed);
+        let flops = self.flops.load(Ordering::Relaxed);
+        let ws_bytes = self.region_write_ws_bytes.load(Ordering::Relaxed);
+        let ws_samples = self.region_write_ws_samples.load(Ordering::Relaxed);
+
+        let thread_time = (threads as u64).saturating_mul(wall);
+        let in_region = busy + barrier;
+        ProfileReport {
+            threads,
+            wall_secs: wall as f64 / 1e9,
+            cpu_utilization: ratio(busy, thread_time),
+            barrier_overhead: ratio(barrier, in_region),
+            lock_wait_share: ratio(lock, in_region.max(1)),
+            regions,
+            tasks,
+            avg_task_us: if tasks == 0 { 0.0 } else { busy as f64 / tasks as f64 / 1e3 },
+            bytes_read: read,
+            bytes_written: written,
+            flops,
+            flops_per_byte: ratio(flops, read + written),
+            avg_write_working_set: if ws_samples == 0 { 0.0 } else { ws_bytes as f64 / ws_samples as f64 },
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A rendered snapshot of a [`Profile`] — the rows of Tables I / VI.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileReport {
+    /// Pool size the report was rendered against.
+    pub threads: usize,
+    /// Wall-clock seconds covered.
+    pub wall_secs: f64,
+    /// Fraction of total thread-time spent executing tasks (paper: "Average
+    /// CPU Utilization").
+    pub cpu_utilization: f64,
+    /// Fraction of in-region thread-time spent waiting at the end-of-region
+    /// barrier (paper: "OpenMP Barrier Overhead").
+    pub barrier_overhead: f64,
+    /// Fraction of in-region thread-time spent spinning on contended locks
+    /// (relevant for ASYNC mode).
+    pub lock_wait_share: f64,
+    /// Number of fork/join regions (== thread synchronizations).
+    pub regions: u64,
+    /// Number of tasks executed.
+    pub tasks: u64,
+    /// Mean task duration in microseconds (paper's "Average Latency" analog;
+    /// cycles are unavailable without PMCs).
+    pub avg_task_us: f64,
+    /// Trainer-reported bytes read.
+    pub bytes_read: u64,
+    /// Trainer-reported bytes written.
+    pub bytes_written: u64,
+    /// Trainer-reported floating point operations.
+    pub flops: u64,
+    /// Compute intensity; the paper derives 0.0625 FLOP/byte for BuildHist
+    /// and uses it to explain the >50% memory-bound share.
+    pub flops_per_byte: f64,
+    /// Mean write working-set (bytes) of a scheduled task; §IV-E's
+    /// `16 × bin_blk × feature_blk × node_blk` quantity.
+    pub avg_write_working_set: f64,
+}
+
+impl std::fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "threads                 {:>12}", self.threads)?;
+        writeln!(f, "wall time               {:>12.3} s", self.wall_secs)?;
+        writeln!(f, "CPU utilization         {:>11.1}%", self.cpu_utilization * 100.0)?;
+        writeln!(f, "barrier overhead        {:>11.1}%", self.barrier_overhead * 100.0)?;
+        writeln!(f, "lock wait share         {:>11.2}%", self.lock_wait_share * 100.0)?;
+        writeln!(f, "regions (barriers)      {:>12}", self.regions)?;
+        writeln!(f, "tasks                   {:>12}", self.tasks)?;
+        writeln!(f, "avg task latency        {:>12.2} us", self.avg_task_us)?;
+        writeln!(f, "FLOP / byte             {:>12.4}", self.flops_per_byte)?;
+        write!(f, "avg write working set   {:>12.0} B", self.avg_write_working_set)
+    }
+}
+
+/// RAII helper that adds its lifetime to a named duration counter on drop.
+/// Used by trainers to attribute wall time to BuildHist / FindSplit /
+/// ApplySplit without sprinkling explicit timer calls.
+pub struct ScopedPhase<'a> {
+    counter: &'a AtomicU64,
+    start: Instant,
+}
+
+impl<'a> ScopedPhase<'a> {
+    /// Starts timing; the elapsed nanoseconds are added to `counter` on drop.
+    pub fn new(counter: &'a AtomicU64) -> Self {
+        Self { counter, start: Instant::now() }
+    }
+}
+
+impl Drop for ScopedPhase<'_> {
+    fn drop(&mut self) {
+        self.counter
+            .fetch_add(self.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_on_empty_profile_is_zeroed() {
+        let p = Profile::new();
+        let r = p.report(4);
+        assert_eq!(r.cpu_utilization, 0.0);
+        assert_eq!(r.barrier_overhead, 0.0);
+        assert_eq!(r.tasks, 0);
+    }
+
+    #[test]
+    fn utilization_and_barrier_math() {
+        let p = Profile::new();
+        p.busy_ns.store(600, Ordering::Relaxed);
+        p.barrier_wait_ns.store(200, Ordering::Relaxed);
+        p.wall_ns.store(200, Ordering::Relaxed);
+        let r = p.report(4); // thread time = 800
+        assert!((r.cpu_utilization - 0.75).abs() < 1e-12);
+        assert!((r.barrier_overhead - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_per_byte_matches_paper_example() {
+        // §III-B: one read + one write of a 16-byte GHSum cell per FLOP
+        // gives 1/16 = 0.0625... the paper counts one 16-byte access total.
+        let p = Profile::new();
+        p.add_bytes(16, 0, 1);
+        let r = p.report(1);
+        assert!((r.flops_per_byte - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let p = Profile::new();
+        p.add_bytes(1, 2, 3);
+        p.tasks.store(9, Ordering::Relaxed);
+        p.reset();
+        let r = p.report(2);
+        assert_eq!(r.bytes_read, 0);
+        assert_eq!(r.tasks, 0);
+    }
+
+    #[test]
+    fn scoped_phase_accumulates() {
+        let c = AtomicU64::new(0);
+        {
+            let _p = ScopedPhase::new(&c);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(c.load(Ordering::Relaxed) >= 4_000_000);
+    }
+
+    #[test]
+    fn working_set_average() {
+        let p = Profile::new();
+        p.observe_region_bytes(100);
+        p.observe_region_bytes(300);
+        let r = p.report(1);
+        assert!((r.avg_write_working_set - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_displays_all_rows() {
+        let p = Profile::new();
+        let r = p.report(2);
+        let text = format!("{r}");
+        for needle in ["CPU utilization", "barrier overhead", "avg task latency"] {
+            assert!(text.contains(needle), "missing row {needle}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-worker mutable slots for replica-based (data-parallel) reductions.
+//!
+//! Data parallelism in GBDT "partitions input by row and replicates model to
+//! all spawned threads" (§II-B). [`PerWorker`] is that replica store: one
+//! cache-padded slot per pool worker, mutably accessible from inside a
+//! parallel region through the worker index the pool hands to every task.
+//!
+//! # Safety model
+//! A worker executes at most one task at a time and tasks only access the
+//! slot of *their own* worker index, so distinct `&mut` borrows handed out by
+//! [`PerWorker::get_mut`] can never alias. This invariant is owned by the
+//! thread pool (worker indices are unique among concurrently running tasks)
+//! rather than by the borrow checker, hence the `unsafe` block inside —
+//! callers stay entirely safe as long as they pass the worker index given to
+//! their task closure, which is the only sensible thing to pass.
+
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+
+/// A fixed-size array of per-worker values.
+pub struct PerWorker<T> {
+    slots: Vec<CachePadded<UnsafeCell<T>>>,
+}
+
+// SAFETY: access is partitioned by worker index (see module docs); `T: Send`
+// suffices because each value is only touched by one thread at a time.
+unsafe impl<T: Send> Sync for PerWorker<T> {}
+unsafe impl<T: Send> Send for PerWorker<T> {}
+
+impl<T> PerWorker<T> {
+    /// Creates `n_workers` slots by calling `init` for each.
+    pub fn new(n_workers: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        Self {
+            slots: (0..n_workers).map(|w| CachePadded::new(UnsafeCell::new(init(w)))).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Mutable access to `worker`'s slot from inside a parallel region.
+    ///
+    /// The returned borrow must not outlive the current task, and `worker`
+    /// must be the index the pool passed to this task.
+    #[allow(clippy::mut_from_ref)]
+    pub fn get_mut(&self, worker: usize) -> &mut T {
+        // SAFETY: worker indices are unique among concurrently running tasks
+        // (thread-pool invariant), so no two live `&mut` borrows alias.
+        unsafe { &mut *self.slots[worker].get() }
+    }
+
+    /// Iterates over all slots once parallel work has completed.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|s| s.get_mut())
+    }
+
+    /// Consumes the store, yielding the values in worker order.
+    pub fn into_values(self) -> Vec<T> {
+        self.slots.into_iter().map(|s| s.into_inner().into_inner()).collect()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for PerWorker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PerWorker(len={})", self.slots.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn slots_initialized_by_index() {
+        let pw = PerWorker::new(4, |w| w * 10);
+        assert_eq!(pw.len(), 4);
+        assert_eq!(*pw.get_mut(2), 20);
+    }
+
+    #[test]
+    fn parallel_accumulation_then_reduce() {
+        let pool = ThreadPool::new(4);
+        let pw = PerWorker::new(4, |_| 0u64);
+        pool.parallel_for(1000, |i, w| {
+            *pw.get_mut(w) += i as u64;
+        });
+        let mut pw = pw;
+        let total: u64 = pw.iter_mut().map(|v| *v).sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn into_values_preserves_order() {
+        let pw = PerWorker::new(3, |w| w as u32);
+        assert_eq!(pw.into_values(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn replicas_do_not_interfere() {
+        let pool = ThreadPool::new(3);
+        let pw = PerWorker::new(3, |_| Vec::<usize>::new());
+        let count = AtomicU64::new(0);
+        pool.parallel_for(300, |i, w| {
+            pw.get_mut(w).push(i);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        let mut pw = pw;
+        let total: usize = pw.iter_mut().map(|v| v.len()).sum();
+        assert_eq!(total, 300);
+        assert_eq!(count.load(Ordering::Relaxed), 300);
+    }
+}

@@ -1,0 +1,52 @@
+//! Flight-delay classification on an AIRLINE-shaped dataset: a thin matrix
+//! (8 features of wildly different cardinalities) where the choice of
+//! growth method and K matters.
+//!
+//! Compares depthwise, classic leafwise and TopK growth at the same leaf
+//! budget, reporting accuracy and tree shapes.
+//!
+//! Run with: `cargo run --release -p harp-bench --example flight_delay`
+
+use harp_data::{DatasetKind, SynthConfig};
+use harpgbdt::{GbdtTrainer, GrowthMethod, TrainParams};
+
+fn main() {
+    let data = SynthConfig::new(DatasetKind::AirlineLike, 11).with_scale(0.5).generate();
+    let (train, test) = data.split(0.2, 11);
+    println!("flight data: {}", train.stats());
+    println!(
+        "{:<22} {:>9} {:>11} {:>10} {:>9}",
+        "growth", "test AUC", "avg leaves", "max depth", "ms/tree"
+    );
+
+    let configs: Vec<(&str, GrowthMethod, usize)> = vec![
+        ("depthwise", GrowthMethod::Depthwise, 0),
+        ("leafwise (top-1)", GrowthMethod::Leafwise, 1),
+        ("leafwise TopK-8", GrowthMethod::Leafwise, 8),
+        ("leafwise TopK-32", GrowthMethod::Leafwise, 32),
+    ];
+    for (name, growth, k) in configs {
+        let params = TrainParams {
+            n_trees: 60,
+            tree_size: 6,
+            growth,
+            k,
+            ..TrainParams::default()
+        };
+        let out = GbdtTrainer::new(params).expect("valid params").train(&train);
+        let preds = out.model.predict(&test.features);
+        let auc = harp_metrics::auc(&test.labels, &preds);
+        let shapes = &out.diagnostics.tree_shapes;
+        let avg_leaves: f64 =
+            shapes.iter().map(|s| s.n_leaves as f64).sum::<f64>() / shapes.len() as f64;
+        let max_depth = shapes.iter().map(|s| s.max_depth).max().unwrap_or(0);
+        println!(
+            "{name:<22} {auc:>9.4} {avg_leaves:>11.1} {max_depth:>10} {:>9.2}",
+            out.diagnostics.mean_tree_secs() * 1e3
+        );
+    }
+    println!(
+        "\nexpected: TopK matches top-1 accuracy (Fig. 9) while enabling K-fold node parallelism;\n\
+         depthwise trees stay balanced, leafwise trees go deeper on skewed features"
+    );
+}

@@ -1,0 +1,162 @@
+//! Cross-crate equivalence: all parallel modes, both baselines, any thread
+//! count and any block configuration must train the *same statistical
+//! model* — they only differ in scheduling.
+
+use harp_baselines::Baseline;
+use harp_bench::prepared;
+use harp_data::DatasetKind;
+use harpgbdt::{
+    BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainParams,
+};
+
+fn params_t1() -> TrainParams {
+    TrainParams {
+        n_trees: 4,
+        tree_size: 4,
+        n_threads: 1,
+        hist_subtraction: false,
+        gamma: 0.1,
+        growth: GrowthMethod::Leafwise,
+        k: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_scheduler_is_bitwise_identical_at_one_thread() {
+    // Single thread + no subtraction: histogram accumulation order is the
+    // ascending row order in every scheduler => identical models.
+    let data = prepared(DatasetKind::HiggsLike, 0.03, 7);
+    let mut reference: Option<Vec<f32>> = None;
+    let mut configs: Vec<(String, TrainParams)> = vec![
+        ("harp-dp".into(), TrainParams { mode: ParallelMode::DataParallel, ..params_t1() }),
+        ("harp-mp".into(), TrainParams { mode: ParallelMode::ModelParallel, ..params_t1() }),
+        ("harp-sync".into(), TrainParams { mode: ParallelMode::Sync, ..params_t1() }),
+    ];
+    for b in [Baseline::XgbLeaf, Baseline::LightGbm] {
+        let mut p = b.params(4, 1);
+        p.n_trees = 4;
+        p.hist_subtraction = false;
+        p.gamma = 0.1;
+        configs.push((b.name().into(), p));
+    }
+    for (name, params) in configs {
+        let out = GbdtTrainer::new(params)
+            .unwrap()
+            .train_prepared(&data.quantized, &data.train.labels, None);
+        let preds = out.model.predict_raw(&data.test.features);
+        match &reference {
+            None => reference = Some(preds),
+            Some(r) => assert_eq!(r, &preds, "{name} diverged from the reference model"),
+        }
+    }
+}
+
+#[test]
+fn block_configuration_never_changes_the_model_multithreaded_mp() {
+    // MP accumulates per cell in ascending row order regardless of blocks
+    // and thread count => bitwise identical even at T=4.
+    let data = prepared(DatasetKind::AirlineLike, 0.01, 2);
+    let mk = |blocks: BlockConfig| TrainParams {
+        mode: ParallelMode::ModelParallel,
+        n_threads: 4,
+        blocks,
+        ..params_t1()
+    };
+    let reference = GbdtTrainer::new(mk(BlockConfig::default()))
+        .unwrap()
+        .train_prepared(&data.quantized, &data.train.labels, None)
+        .model
+        .predict_raw(&data.test.features);
+    for blocks in [
+        BlockConfig { row_blk_size: 0, node_blk_size: 4, feature_blk_size: 1, bin_blk_size: 0 },
+        BlockConfig { row_blk_size: 0, node_blk_size: 0, feature_blk_size: 3, bin_blk_size: 16 },
+        BlockConfig { row_blk_size: 0, node_blk_size: 2, feature_blk_size: 0, bin_blk_size: 7 },
+    ] {
+        let out = GbdtTrainer::new(mk(blocks))
+            .unwrap()
+            .train_prepared(&data.quantized, &data.train.labels, None);
+        assert_eq!(
+            reference,
+            out.model.predict_raw(&data.test.features),
+            "blocks {blocks:?} changed the model"
+        );
+    }
+}
+
+#[test]
+fn async_and_sync_agree_when_gain_limits_growth() {
+    let data = prepared(DatasetKind::HiggsLike, 0.02, 4);
+    let mk = |mode| TrainParams {
+        mode,
+        n_threads: 4,
+        k: 8,
+        tree_size: 10,
+        gamma: 1.0, // growth stops on gain, not on the leaf budget
+        n_trees: 3,
+        hist_subtraction: false,
+        ..params_t1()
+    };
+    let sync = GbdtTrainer::new(mk(ParallelMode::Sync))
+        .unwrap()
+        .train_prepared(&data.quantized, &data.train.labels, None);
+    let asy = GbdtTrainer::new(mk(ParallelMode::Async))
+        .unwrap()
+        .train_prepared(&data.quantized, &data.train.labels, None);
+    let ps = sync.model.predict_raw(&data.test.features);
+    let pa = asy.model.predict_raw(&data.test.features);
+    for i in 0..ps.len() {
+        assert!(
+            (ps[i] - pa[i]).abs() < 1e-3,
+            "row {i}: SYNC {} vs ASYNC {}",
+            ps[i],
+            pa[i]
+        );
+    }
+}
+
+#[test]
+fn deterministic_mode_is_stable_across_repeats_and_models_match() {
+    let data = prepared(DatasetKind::CriteoLike, 0.02, 6);
+    let params = TrainParams {
+        n_threads: 4,
+        deterministic: true,
+        k: 8,
+        n_trees: 3,
+        ..params_t1()
+    };
+    let runs: Vec<String> = (0..3)
+        .map(|_| {
+            GbdtTrainer::new(params.clone())
+                .unwrap()
+                .train_prepared(&data.quantized, &data.train.labels, None)
+                .model
+                .to_json()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}
+
+#[test]
+fn sparse_and_dense_schedulers_agree_on_yfcc() {
+    let data = prepared(DatasetKind::YfccLike, 0.05, 8);
+    let dp = GbdtTrainer::new(TrainParams {
+        mode: ParallelMode::DataParallel,
+        ..params_t1()
+    })
+    .unwrap()
+    .train_prepared(&data.quantized, &data.train.labels, None);
+    let mp = GbdtTrainer::new(TrainParams {
+        mode: ParallelMode::ModelParallel,
+        ..params_t1()
+    })
+    .unwrap()
+    .train_prepared(&data.quantized, &data.train.labels, None);
+    assert_eq!(
+        dp.model.predict_raw(&data.test.features),
+        mp.model.predict_raw(&data.test.features),
+        "CSR row scans and CSC column scans must produce the same model"
+    );
+}
