@@ -26,9 +26,7 @@
 
 use harp_data::Dataset;
 use harpgbdt::trainer::EvalOptions;
-use harpgbdt::{
-    BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainOutput, TrainParams,
-};
+use harpgbdt::{BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainOutput, TrainParams};
 
 /// Which baseline system to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,24 +73,44 @@ impl Baseline {
                 GrowthMethod::Depthwise,
                 ParallelMode::DataParallel,
                 // ⟨X, X, 0, 0⟩: row blocks, all features per task.
-                BlockConfig { row_blk_size: 0, node_blk_size: 1, feature_blk_size: 0, bin_blk_size: 0 },
+                BlockConfig {
+                    row_blk_size: 0,
+                    node_blk_size: 1,
+                    feature_blk_size: 0,
+                    bin_blk_size: 0,
+                },
             ),
             Baseline::XgbLeaf => (
                 GrowthMethod::Leafwise,
                 ParallelMode::DataParallel,
-                BlockConfig { row_blk_size: 0, node_blk_size: 1, feature_blk_size: 0, bin_blk_size: 0 },
+                BlockConfig {
+                    row_blk_size: 0,
+                    node_blk_size: 1,
+                    feature_blk_size: 0,
+                    bin_blk_size: 0,
+                },
             ),
             Baseline::LightGbm => (
                 GrowthMethod::Leafwise,
                 ParallelMode::ModelParallel,
                 // ⟨0, 1, 0, 1⟩: whole rows, one feature per task.
-                BlockConfig { row_blk_size: 0, node_blk_size: 1, feature_blk_size: 1, bin_blk_size: 0 },
+                BlockConfig {
+                    row_blk_size: 0,
+                    node_blk_size: 1,
+                    feature_blk_size: 1,
+                    bin_blk_size: 0,
+                },
             ),
             Baseline::XgbApprox => (
                 GrowthMethod::Depthwise,
                 ParallelMode::ModelParallel,
                 // ⟨X, 0, 0, 1⟩: one feature per task across all level nodes.
-                BlockConfig { row_blk_size: 0, node_blk_size: 0, feature_blk_size: 1, bin_blk_size: 0 },
+                BlockConfig {
+                    row_blk_size: 0,
+                    node_blk_size: 0,
+                    feature_blk_size: 1,
+                    bin_blk_size: 0,
+                },
             ),
         };
         TrainParams {
@@ -234,10 +252,7 @@ mod tests {
         let base_out = GbdtTrainer::new(base).unwrap().train(&d);
         let hr = harp_out.diagnostics.profile.regions;
         let br = base_out.diagnostics.profile.regions;
-        assert!(
-            hr * 4 < br,
-            "HarpGBDT should need far fewer barriers: harp {hr} vs baseline {br}"
-        );
+        assert!(hr * 4 < br, "HarpGBDT should need far fewer barriers: harp {hr} vs baseline {br}");
     }
 
     #[test]

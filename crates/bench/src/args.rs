@@ -55,9 +55,8 @@ impl ExpArgs {
         let mut out = Self::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "--scale" => {
                     out.scale = value("--scale")?
@@ -128,8 +127,17 @@ mod tests {
     #[test]
     fn all_flags_parse() {
         let a = parse(&[
-            "--scale", "0.5", "--threads", "8", "--trees", "50", "--seed", "7", "--full",
-            "--out", "/tmp/x.json",
+            "--scale",
+            "0.5",
+            "--threads",
+            "8",
+            "--trees",
+            "50",
+            "--seed",
+            "7",
+            "--full",
+            "--out",
+            "/tmp/x.json",
         ])
         .unwrap();
         assert_eq!(a.scale, 0.5);

@@ -19,7 +19,16 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 4: per-tree time breakdown over tree size (normalized to the smallest D)",
-        &["trainer", "D", "BuildHist ms", "FindSplit ms", "ApplySplit ms", "BH norm", "FS norm", "AS norm"],
+        &[
+            "trainer",
+            "D",
+            "BuildHist ms",
+            "FindSplit ms",
+            "ApplySplit ms",
+            "BH norm",
+            "FS norm",
+            "AS norm",
+        ],
     );
 
     for baseline in Baseline::ALL {
@@ -31,9 +40,11 @@ fn main() {
             // reach 2^D leaves (the paper's 10M-row HIGGS provides enough
             // gain mass at gamma=1).
             params.gamma = 0.0;
-            let out = GbdtTrainer::new(params)
-                .expect("valid preset")
-                .train_prepared(&data.quantized, &data.train.labels, None);
+            let out = GbdtTrainer::new(params).expect("valid preset").train_prepared(
+                &data.quantized,
+                &data.train.labels,
+                None,
+            );
             let bd = &out.diagnostics.breakdown;
             let per_tree = |secs: f64| secs / n_trees as f64;
             let (bh, fs, asp) = (

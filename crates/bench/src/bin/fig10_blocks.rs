@@ -16,7 +16,8 @@ fn main() {
     let n_trees = args.n_trees(3, 20);
     harp_bench::warmup(&data, args.threads);
     let sizes: &[u32] = if args.full { &[8, 12] } else { &[6, 9] };
-    let f_blks: &[usize] = if args.full { &[1, 2, 4, 8, 16, 32, 64, 128] } else { &[1, 4, 16, 128] };
+    let f_blks: &[usize] =
+        if args.full { &[1, 2, 4, 8, 16, 32, 64, 128] } else { &[1, 4, 16, 128] };
     let n_blks: &[usize] = if args.full { &[1, 2, 4, 8, 16, 32] } else { &[1, 4, 32] };
 
     let n_rows = data.quantized.n_rows();

@@ -27,10 +27,9 @@ fn main() {
     ];
 
     let mut tables = Vec::new();
-    for (row_blk_label, row_blk) in [
-        ("N/T", (n_rows / args.threads).max(1)),
-        ("4N/T", (4 * n_rows / args.threads).max(1)),
-    ] {
+    for (row_blk_label, row_blk) in
+        [("N/T", (n_rows / args.threads).max(1)), ("4N/T", (4 * n_rows / args.threads).max(1))]
+    {
         let mut table = Table::new(
             format!("Fig. 11: parallel modes over tree size (row_blk = {row_blk_label})"),
             &["mode", "D", "ms/tree", "vs DP@first"],

@@ -27,8 +27,16 @@ fn main() {
             params.gamma = 0.0;
             let res = run_config(&data, params, false);
             base_rows.push((baseline.name().to_string(), d, res.tree_secs));
-            push_row(&mut table, baseline.name(), d, &res, base_rows.iter()
-                .find(|(n, dd, _)| n == baseline.name() && *dd == sizes[0]).map(|r| r.2));
+            push_row(
+                &mut table,
+                baseline.name(),
+                d,
+                &res,
+                base_rows
+                    .iter()
+                    .find(|(n, dd, _)| n == baseline.name() && *dd == sizes[0])
+                    .map(|r| r.2),
+            );
         }
         let mut params = harp_params(d, args.threads);
         params.n_trees = n_trees;

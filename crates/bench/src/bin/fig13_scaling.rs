@@ -63,14 +63,9 @@ fn main() {
         let mut t1: Option<f64> = None;
         for &t in &threads {
             let grown = data.train.duplicated(t);
-            let quantized =
-                QuantizedMatrix::from_matrix(&grown.features, BinningConfig::default());
-            let grown_data = PreparedData {
-                kind: data.kind,
-                train: grown,
-                test: data.test.clone(),
-                quantized,
-            };
+            let quantized = QuantizedMatrix::from_matrix(&grown.features, BinningConfig::default());
+            let grown_data =
+                PreparedData { kind: data.kind, train: grown, test: data.test.clone(), quantized };
             let mut params = mk(t);
             params.n_trees = n_trees;
             params.gamma = 0.0;

@@ -32,9 +32,11 @@ fn main() {
         let mut params = baseline.params(8, args.threads);
         params.n_trees = n_trees;
         params.gamma = 0.0;
-        let out = GbdtTrainer::new(params)
-            .expect("valid preset")
-            .train_prepared(&data.quantized, &data.train.labels, None);
+        let out = GbdtTrainer::new(params).expect("valid preset").train_prepared(
+            &data.quantized,
+            &data.train.labels,
+            None,
+        );
         let p = &out.diagnostics.profile;
         table.row(vec![
             baseline.name().to_string(),

@@ -25,9 +25,7 @@ fn main() {
         &["mode", "D", "step", "ms/tree", "step gain"],
     );
 
-    for (mode, label) in
-        [(ParallelMode::ModelParallel, "MP"), (ParallelMode::DataParallel, "DP")]
-    {
+    for (mode, label) in [(ParallelMode::ModelParallel, "MP"), (ParallelMode::DataParallel, "DP")] {
         for &d in sizes {
             let base_blocks = |f_blk: usize, n_blk: usize| BlockConfig {
                 row_blk_size: (n_rows / args.threads).max(1),

@@ -34,9 +34,11 @@ fn main() {
         params.mode = mode;
         params.n_trees = n_trees;
         params.gamma = 0.0;
-        let out = GbdtTrainer::new(params)
-            .expect("valid params")
-            .train_prepared(&data.quantized, &data.train.labels, None);
+        let out = GbdtTrainer::new(params).expect("valid params").train_prepared(
+            &data.quantized,
+            &data.train.labels,
+            None,
+        );
         let p = &out.diagnostics.profile;
         table.row(vec![
             name.to_string(),

@@ -18,4 +18,6 @@ pub mod runner;
 
 pub use args::ExpArgs;
 pub use report::Table;
-pub use runner::{harp_params, harp_params_for, prepared, run_config, warmup, PreparedData, RunResult};
+pub use runner::{
+    harp_params, harp_params_for, prepared, run_config, warmup, PreparedData, RunResult,
+};

@@ -83,10 +83,7 @@ impl Table {
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn write_json(
-        tables: &[&Table],
-        path: &std::path::Path,
-    ) -> std::io::Result<()> {
+    pub fn write_json(tables: &[&Table], path: &std::path::Path) -> std::io::Result<()> {
         let json = serde_json::to_string_pretty(tables).map_err(std::io::Error::other)?;
         std::fs::write(path, json)
     }

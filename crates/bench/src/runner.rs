@@ -76,9 +76,11 @@ pub fn warmup(data: &PreparedData, threads: usize) {
         gamma: 0.0,
         ..TrainParams::default()
     };
-    let _ = GbdtTrainer::new(params)
-        .expect("valid params")
-        .train_prepared(&data.quantized, &data.train.labels, None);
+    let _ = GbdtTrainer::new(params).expect("valid params").train_prepared(
+        &data.quantized,
+        &data.train.labels,
+        None,
+    );
 }
 
 /// Everything one configured training run produces for the report tables.
@@ -104,7 +106,7 @@ pub fn run_config(data: &PreparedData, params: TrainParams, with_trace: bool) ->
         early_stopping_rounds: None,
     });
     let output = trainer.train_prepared(&data.quantized, &data.train.labels, eval);
-    let preds = output.model.predict(&data.test.features);
+    let preds = output.model.compile().predict(&data.test.features);
     let test_auc = harp_metrics::auc(&data.test.labels, &preds);
     RunResult {
         tree_secs: output.diagnostics.mean_tree_secs(),

@@ -2,7 +2,6 @@
 
 use crate::sketch::GkSketch;
 use harp_data::FeatureMatrix;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for histogram initialization.
@@ -74,8 +73,8 @@ pub struct BinMapper {
 
 impl BinMapper {
     /// Builds cut points for every column of `matrix`. Columns are processed
-    /// in parallel with rayon (this is the preprocessing step outside the
-    /// trainer's instrumented hot path).
+    /// in parallel with scoped threads (this is the preprocessing step
+    /// outside the trainer's instrumented hot path).
     pub fn from_matrix(matrix: &FeatureMatrix, config: BinningConfig) -> Self {
         assert!((1..=255).contains(&config.max_bins), "max_bins must be in 1..=255");
         let m = matrix.n_cols();
@@ -86,10 +85,7 @@ impl BinMapper {
         for r in 0..n {
             matrix.for_each_in_row(r, |c, v| columns[c as usize].push(v));
         }
-        let features: Vec<FeatureCuts> = columns
-            .into_par_iter()
-            .map(|col| build_cuts(col, config))
-            .collect();
+        let features = parallel_map(columns, |col| build_cuts(col, config));
         Self::from_cuts(features)
     }
 
@@ -139,8 +135,7 @@ impl BinMapper {
     /// of Table III, measuring bin-distribution dispersion (and therefore
     /// feature-parallel load imbalance).
     pub fn bin_cv(&self) -> f64 {
-        let counts: Vec<f64> =
-            self.features.iter().map(|f| f64::from(f.n_bins())).collect();
+        let counts: Vec<f64> = self.features.iter().map(|f| f64::from(f.n_bins())).collect();
         if counts.is_empty() {
             return 0.0;
         }
@@ -148,13 +143,44 @@ impl BinMapper {
         if mean == 0.0 {
             return 0.0;
         }
-        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
-            / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
         var.sqrt() / mean
     }
 }
 
 /// Builds the cuts of one column from its present values.
+/// Order-preserving parallel map over owned items using scoped threads; one
+/// contiguous chunk of items per available core.
+fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("binning worker panicked"))
+            .collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
 fn build_cuts(mut values: Vec<f32>, config: BinningConfig) -> FeatureCuts {
     let max_bins = usize::from(config.max_bins);
     if values.is_empty() {

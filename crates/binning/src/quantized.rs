@@ -206,9 +206,7 @@ impl QuantizedMatrix {
     pub fn for_each_in_col(&self, f: usize, mut visit: impl FnMut(u32, u8)) {
         match &self.storage {
             Storage::Dense { col_major, .. } => {
-                for (r, &b) in col_major[f * self.n_rows..(f + 1) * self.n_rows]
-                    .iter()
-                    .enumerate()
+                for (r, &b) in col_major[f * self.n_rows..(f + 1) * self.n_rows].iter().enumerate()
                 {
                     if b != MISSING_BIN {
                         visit(r as u32, b);
@@ -274,10 +272,18 @@ mod tests {
             4,
             3,
             vec![
-                0.0, 10.0, 5.0, //
-                1.0, f32::NAN, 6.0, //
-                2.0, 30.0, 7.0, //
-                3.0, 20.0, 8.0,
+                0.0,
+                10.0,
+                5.0, //
+                1.0,
+                f32::NAN,
+                6.0, //
+                2.0,
+                30.0,
+                7.0, //
+                3.0,
+                20.0,
+                8.0,
             ],
         ))
     }
@@ -285,11 +291,7 @@ mod tests {
     fn sparse_matrix() -> FeatureMatrix {
         FeatureMatrix::Sparse(CsrMatrix::from_rows(
             3,
-            &[
-                vec![(0, 1.0), (2, 5.0)],
-                vec![(1, 2.0)],
-                vec![(0, 3.0), (1, 4.0), (2, 6.0)],
-            ],
+            &[vec![(0, 1.0), (2, 5.0)], vec![(1, 2.0)], vec![(0, 3.0), (1, 4.0), (2, 6.0)]],
         ))
     }
 
@@ -371,11 +373,7 @@ mod tests {
         let train = dense_matrix();
         let q_train = QuantizedMatrix::from_matrix(&train, BinningConfig::default());
         // New data with out-of-range values clamps into existing bins.
-        let test = FeatureMatrix::Dense(DenseMatrix::from_vec(
-            1,
-            3,
-            vec![-100.0, 100.0, 6.5],
-        ));
+        let test = FeatureMatrix::Dense(DenseMatrix::from_vec(1, 3, vec![-100.0, 100.0, 6.5]));
         let q_test = QuantizedMatrix::with_mapper(&test, q_train.mapper().clone());
         assert_eq!(q_test.bin(0, 0), Some(0));
         assert_eq!(q_test.bin(0, 1), Some(q_train.mapper().n_bins(1) as u8 - 1));

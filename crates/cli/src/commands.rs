@@ -118,24 +118,42 @@ pub fn train(args: &[String]) -> Result<String, String> {
     Ok(report)
 }
 
+/// Scores `data` through a compiled engine, in parallel on `--threads`
+/// workers (defaulting to the host's hint), returning raw margin scores.
+fn predict_raw_threaded(
+    opts: &Opts,
+    engine: &harpgbdt::FlatForest,
+    data: &Dataset,
+) -> Result<Vec<f32>, String> {
+    if data.n_features() < engine.n_features() {
+        return Err(format!(
+            "data has {} features but the model expects {}",
+            data.n_features(),
+            engine.n_features()
+        ));
+    }
+    let threads: usize = opts.parse_or("--threads", harp_parallel::current_num_threads_hint())?;
+    if threads <= 1 {
+        Ok(engine.predict_raw(&data.features))
+    } else {
+        let pool = harp_parallel::ThreadPool::new(threads);
+        Ok(engine.predict_raw_parallel(&data.features, &pool))
+    }
+}
+
 /// `harpgbdt predict`.
 pub fn predict(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
     let model = load_model(opts.required("--model")?)?;
     let data = load(opts.required("--data")?)?;
-    if data.n_features() > model.n_features() {
-        return Err(format!(
-            "data has {} features but the model was trained on {}",
-            data.n_features(),
-            model.n_features()
-        ));
-    }
+    let engine = model.compile();
+    let raw = predict_raw_threaded(&opts, &engine, &data)?;
     let lines: Vec<String> = if opts.switch("--class") {
-        model.predict_class(&data.features).iter().map(u32::to_string).collect()
+        engine.classes_from_raw(&raw).iter().map(u32::to_string).collect()
     } else if opts.switch("--raw") {
-        format_rows(&model.predict_raw(&data.features), model.n_groups())
+        format_rows(&raw, model.n_groups())
     } else {
-        format_rows(&model.predict(&data.features), model.n_groups())
+        format_rows(&model.loss().transform_scores(&raw), model.n_groups())
     };
     let text = lines.join("\n") + "\n";
     match opts.get("--out") {
@@ -150,9 +168,7 @@ pub fn predict(args: &[String]) -> Result<String, String> {
 fn format_rows(values: &[f32], groups: usize) -> Vec<String> {
     values
         .chunks_exact(groups)
-        .map(|row| {
-            row.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
-        })
+        .map(|row| row.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(","))
         .collect()
 }
 
@@ -162,7 +178,7 @@ pub fn eval(args: &[String]) -> Result<String, String> {
     let model = load_model(opts.required("--model")?)?;
     let data = load(opts.required("--data")?)?;
     let metric = opts.get("--metric").unwrap_or("auto");
-    let raw = model.predict_raw(&data.features);
+    let raw = predict_raw_threaded(&opts, &model.compile(), &data)?;
     let probs = model.loss().transform_scores(&raw);
     let groups = model.n_groups();
     let mut out = String::new();
@@ -231,8 +247,8 @@ pub fn synth(args: &[String]) -> Result<String, String> {
     let seed: u64 = opts.parse_or("--seed", 42u64)?;
     let scale = rows.map_or(1.0, |r| r as f64 / kind.base_rows() as f64);
     let data = SynthConfig::new(kind, seed).with_scale(scale).generate();
-    let file = std::fs::File::create(out_path)
-        .map_err(|e| format!("failed to create {out_path}: {e}"))?;
+    let file =
+        std::fs::File::create(out_path).map_err(|e| format!("failed to create {out_path}: {e}"))?;
     let writer = std::io::BufWriter::new(file);
     let result = if out_path.ends_with(".csv") {
         harp_data::io::write_csv(writer, &data)
@@ -240,7 +256,12 @@ pub fn synth(args: &[String]) -> Result<String, String> {
         harp_data::io::write_libsvm(writer, &data)
     };
     result.map_err(|e| format!("failed to write {out_path}: {e}"))?;
-    Ok(format!("wrote {} ({} rows x {} features) to {out_path}\n", kind.name(), data.n_rows(), data.n_features()))
+    Ok(format!(
+        "wrote {} ({} rows x {} features) to {out_path}\n",
+        kind.name(),
+        data.n_rows(),
+        data.n_features()
+    ))
 }
 
 #[cfg(test)]

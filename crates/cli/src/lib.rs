@@ -50,8 +50,14 @@ pub fn usage() -> String {
     let _ = writeln!(s);
     let _ = writeln!(s, "commands:");
     let _ = writeln!(s, "  train       --data FILE --model FILE [training options]");
-    let _ = writeln!(s, "  predict     --model FILE --data FILE [--out FILE] [--raw|--class]");
-    let _ = writeln!(s, "  eval        --model FILE --data FILE [--metric auc|logloss|rmse|error]");
+    let _ = writeln!(
+        s,
+        "  predict     --model FILE --data FILE [--out FILE] [--raw|--class] [--threads N]"
+    );
+    let _ = writeln!(
+        s,
+        "  eval        --model FILE --data FILE [--metric auc|logloss|rmse|error] [--threads N]"
+    );
     let _ = writeln!(s, "  importance  --model FILE [--top N]");
     let _ = writeln!(s, "  dump        --model FILE");
     let _ = writeln!(s, "  synth       --kind KIND --out FILE [--rows N] [--seed N]");

@@ -29,8 +29,7 @@ impl Opts {
                 out.switches.push(flag.clone());
                 continue;
             }
-            let value =
-                it.next().ok_or_else(|| format!("{flag} requires a value"))?.clone();
+            let value = it.next().ok_or_else(|| format!("{flag} requires a value"))?.clone();
             if out.values.insert(flag.clone(), value).is_some() {
                 return Err(format!("{flag} given twice"));
             }
@@ -74,9 +73,7 @@ impl Opts {
     pub fn parse_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.get(name) {
             None => Ok(None),
-            Some(v) => {
-                v.parse().map(Some).map_err(|_| format!("{name}: cannot parse {v:?}"))
-            }
+            Some(v) => v.parse().map(Some).map_err(|_| format!("{name}: cannot parse {v:?}")),
         }
     }
 }

@@ -51,21 +51,28 @@ fn synth_train_eval_predict_roundtrip() {
     let model = dir.join("model.json");
     let preds = dir.join("preds.txt");
 
-    let msg = run_ok(&["synth", "--kind", "higgs", "--rows", "1500", "--out", data.to_str().unwrap()]);
+    let msg =
+        run_ok(&["synth", "--kind", "higgs", "--rows", "1500", "--out", data.to_str().unwrap()]);
     assert!(msg.contains("1500 rows"));
 
     let msg = run_ok(&[
         "train",
-        "--data", data.to_str().unwrap(),
-        "--model", model.to_str().unwrap(),
-        "--trees", "10",
-        "--tree-size", "4",
-        "--threads", "2",
+        "--data",
+        data.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--trees",
+        "10",
+        "--tree-size",
+        "4",
+        "--threads",
+        "2",
     ]);
     assert!(msg.contains("trained 10 trees"), "got: {msg}");
     assert!(model.exists());
 
-    let metrics = run_ok(&["eval", "--model", model.to_str().unwrap(), "--data", data.to_str().unwrap()]);
+    let metrics =
+        run_ok(&["eval", "--model", model.to_str().unwrap(), "--data", data.to_str().unwrap()]);
     assert!(metrics.contains("auc"));
     let auc: f64 = metrics
         .lines()
@@ -77,9 +84,12 @@ fn synth_train_eval_predict_roundtrip() {
 
     let msg = run_ok(&[
         "predict",
-        "--model", model.to_str().unwrap(),
-        "--data", data.to_str().unwrap(),
-        "--out", preds.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        preds.to_str().unwrap(),
     ]);
     assert!(msg.contains("1500 predictions"));
     let lines = std::fs::read_to_string(&preds).unwrap();
@@ -105,16 +115,33 @@ fn train_with_validation_and_early_stop() {
     let valid = dir.join("valid.csv");
     let model = dir.join("model.json");
     run_ok(&["synth", "--kind", "airline", "--rows", "2000", "--out", train.to_str().unwrap()]);
-    run_ok(&["synth", "--kind", "airline", "--rows", "500", "--seed", "7", "--out", valid.to_str().unwrap()]);
+    run_ok(&[
+        "synth",
+        "--kind",
+        "airline",
+        "--rows",
+        "500",
+        "--seed",
+        "7",
+        "--out",
+        valid.to_str().unwrap(),
+    ]);
     let msg = run_ok(&[
         "train",
-        "--data", train.to_str().unwrap(),
-        "--valid", valid.to_str().unwrap(),
-        "--model", model.to_str().unwrap(),
-        "--trees", "30",
-        "--tree-size", "3",
-        "--early-stop", "3",
-        "--threads", "2",
+        "--data",
+        train.to_str().unwrap(),
+        "--valid",
+        valid.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--trees",
+        "30",
+        "--tree-size",
+        "3",
+        "--early-stop",
+        "3",
+        "--threads",
+        "2",
     ]);
     assert!(msg.contains("validation: best"), "got: {msg}");
     std::fs::remove_dir_all(&dir).ok();
@@ -128,11 +155,27 @@ fn libsvm_format_and_class_predictions() {
     run_ok(&["synth", "--kind", "yfcc", "--rows", "300", "--out", data.to_str().unwrap()]);
     run_ok(&[
         "train",
-        "--data", data.to_str().unwrap(),
-        "--model", model.to_str().unwrap(),
-        "--trees", "5", "--tree-size", "3", "--threads", "1", "--mode", "mp",
+        "--data",
+        data.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--trees",
+        "5",
+        "--tree-size",
+        "3",
+        "--threads",
+        "1",
+        "--mode",
+        "mp",
     ]);
-    let classes = run_ok(&["predict", "--model", model.to_str().unwrap(), "--data", data.to_str().unwrap(), "--class"]);
+    let classes = run_ok(&[
+        "predict",
+        "--model",
+        model.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--class",
+    ]);
     for l in classes.lines().take(10) {
         assert!(l == "0" || l == "1", "unexpected class {l:?}");
     }
@@ -154,12 +197,23 @@ fn multiclass_training_via_cli() {
     let model = dir.join("mc.json");
     run_ok(&[
         "train",
-        "--data", data.to_str().unwrap(),
-        "--model", model.to_str().unwrap(),
-        "--loss", "softmax:3",
-        "--trees", "10", "--tree-size", "2", "--gamma", "0", "--threads", "1",
+        "--data",
+        data.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--loss",
+        "softmax:3",
+        "--trees",
+        "10",
+        "--tree-size",
+        "2",
+        "--gamma",
+        "0",
+        "--threads",
+        "1",
     ]);
-    let metrics = run_ok(&["eval", "--model", model.to_str().unwrap(), "--data", data.to_str().unwrap()]);
+    let metrics =
+        run_ok(&["eval", "--model", model.to_str().unwrap(), "--data", data.to_str().unwrap()]);
     assert!(metrics.contains("merror"));
     let merror: f64 = metrics
         .lines()
@@ -177,13 +231,29 @@ fn predict_rejects_feature_mismatch() {
     let narrow = dir.join("narrow.csv");
     let wide = dir.join("wide.csv");
     std::fs::write(&narrow, "1,0.5\n0,0.2\n").unwrap();
-    std::fs::write(&wide, "1,0.5,0.1,0.9\n").unwrap();
+    std::fs::write(&wide, "1,0.5,0.1,0.9\n0,0.2,0.3,0.4\n").unwrap();
     let model = dir.join("m.json");
     run_ok(&[
-        "train", "--data", narrow.to_str().unwrap(), "--model", model.to_str().unwrap(),
-        "--trees", "2", "--tree-size", "2", "--threads", "1",
+        "train",
+        "--data",
+        wide.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--trees",
+        "2",
+        "--tree-size",
+        "2",
+        "--threads",
+        "1",
     ]);
-    let err = run_err(&["predict", "--model", model.to_str().unwrap(), "--data", wide.to_str().unwrap()]);
-    assert!(err.contains("features"), "got: {err}");
+    // Fewer columns than the model expects would index out of bounds in
+    // the traversal kernel: both scoring commands must refuse cleanly.
+    for cmd in ["predict", "eval"] {
+        let err =
+            run_err(&[cmd, "--model", model.to_str().unwrap(), "--data", narrow.to_str().unwrap()]);
+        assert!(err.contains("features"), "got: {err}");
+    }
+    // Extra columns are harmless (the model just never looks at them).
+    run_ok(&["predict", "--model", model.to_str().unwrap(), "--data", wide.to_str().unwrap()]);
     std::fs::remove_dir_all(&dir).ok();
 }

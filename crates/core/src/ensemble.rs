@@ -1,6 +1,7 @@
 //! The trained ensemble: prediction, persistence, feature importance.
 
 use crate::params::LossKind;
+use crate::predict::FlatForest;
 use crate::tree::Tree;
 use harp_data::FeatureMatrix;
 use serde::{Deserialize, Serialize};
@@ -84,6 +85,14 @@ impl GbdtModel {
         Self { trees: self.trees[..keep].to_vec(), ..self.clone() }
     }
 
+    /// Compiles the ensemble into the flat struct-of-arrays layout for
+    /// batch scoring. Compile once and reuse the [`FlatForest`] when
+    /// predicting repeatedly; the `predict*` methods below compile per
+    /// call for convenience.
+    pub fn compile(&self) -> FlatForest {
+        FlatForest::from_trees(&self.trees, self.base_scores.clone(), self.loss, self.n_features)
+    }
+
     /// Raw (margin) score of one row; `value(f)` returns the raw feature
     /// value or `None` when missing.
     ///
@@ -110,8 +119,17 @@ impl GbdtModel {
     }
 
     /// Raw scores for every row of a matrix: length `n_rows` for scalar
-    /// losses, row-major `n_rows × n_groups` for multiclass.
+    /// losses, row-major `n_rows × n_groups` for multiclass. Scores
+    /// through the flat blocked engine; see [`compile`](Self::compile) to
+    /// amortize compilation over many calls.
     pub fn predict_raw(&self, features: &FeatureMatrix) -> Vec<f32> {
+        self.compile().predict_raw(features)
+    }
+
+    /// The per-row recursive traversal the flat engine replaced, retained
+    /// as the correctness reference: equivalence tests assert the blocked
+    /// kernels are bitwise identical to this path.
+    pub fn predict_raw_recursive(&self, features: &FeatureMatrix) -> Vec<f32> {
         let g = self.n_groups();
         let mut out = Vec::with_capacity(features.n_rows() * g);
         for r in 0..features.n_rows() {
@@ -120,41 +138,16 @@ impl GbdtModel {
         out
     }
 
-    /// Like [`predict_raw`](Self::predict_raw) but scoring row chunks in
+    /// Like [`predict_raw`](Self::predict_raw) but scoring row blocks in
     /// parallel on the given pool. Output is bitwise identical to the
-    /// serial path (per-row work is independent).
+    /// serial path (blocks are disjoint, per-row accumulation order is
+    /// unchanged).
     pub fn predict_raw_parallel(
         &self,
         features: &FeatureMatrix,
         pool: &harp_parallel::ThreadPool,
     ) -> Vec<f32> {
-        let g = self.n_groups();
-        let n = features.n_rows();
-        let mut out = vec![0.0f32; n * g];
-        let chunk = (n / (pool.num_threads() * 8)).max(64);
-        let n_chunks = n.div_ceil(chunk);
-        struct Ptr(*mut f32);
-        unsafe impl Send for Ptr {}
-        unsafe impl Sync for Ptr {}
-        impl Ptr {
-            fn get(&self) -> *mut f32 {
-                self.0
-            }
-        }
-        let ptr = Ptr(out.as_mut_ptr());
-        pool.parallel_for(n_chunks, |c, _| {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(n);
-            // SAFETY: chunks write disjoint row ranges of `out`.
-            let dst =
-                unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo * g), (hi - lo) * g) };
-            for (i, row) in dst.chunks_exact_mut(g).enumerate() {
-                let r = lo + i;
-                let scores = self.predict_raw_groups_row(|f| features.get(r, f as usize));
-                row.copy_from_slice(&scores);
-            }
-        });
-        out
+        self.compile().predict_raw_parallel(features, pool)
     }
 
     /// Response-scale predictions: probabilities for logistic, identity for
@@ -167,30 +160,15 @@ impl GbdtModel {
     /// Argmax class id per row (multiclass models; for scalar losses this is
     /// the 0.5-thresholded binary decision).
     pub fn predict_class(&self, features: &FeatureMatrix) -> Vec<u32> {
-        let g = self.n_groups();
-        let raw = self.predict_raw(features);
-        if g == 1 {
-            return raw
-                .into_iter()
-                .map(|s| u32::from(self.loss.transform(s) > 0.5))
-                .collect();
-        }
-        raw.chunks_exact(g)
-            .map(|row| {
-                let mut best = 0usize;
-                for (c, &s) in row.iter().enumerate() {
-                    if s > row[best] {
-                        best = c;
-                    }
-                }
-                best as u32
-            })
-            .collect()
+        self.compile().predict_class(features)
     }
 
     /// The leaf index every tree routes one row to — useful as an embedding
     /// (the classic GBDT+LR feature transform) and for debugging.
-    pub fn predict_leaf_row(&self, value: impl Fn(u32) -> Option<f32> + Copy) -> Vec<crate::tree::NodeId> {
+    pub fn predict_leaf_row(
+        &self,
+        value: impl Fn(u32) -> Option<f32> + Copy,
+    ) -> Vec<crate::tree::NodeId> {
         self.trees.iter().map(|t| t.route(value)).collect()
     }
 
@@ -352,6 +330,17 @@ mod tests {
         for v in [-1.0f32, 0.0, 0.3, 0.7, 2.0] {
             assert_eq!(m.predict_raw_row(|_| Some(v)), back.predict_raw_row(|_| Some(v)));
         }
+    }
+
+    #[test]
+    fn flat_engine_matches_recursive_reference() {
+        let m = model_with_one_split();
+        let n = 100;
+        let values: Vec<f32> = (0..n * 2)
+            .map(|i| if i % 9 == 0 { f32::NAN } else { (i % 13) as f32 / 6.0 })
+            .collect();
+        let features = FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values));
+        assert_eq!(m.predict_raw(&features), m.predict_raw_recursive(&features));
     }
 
     #[test]

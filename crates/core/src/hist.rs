@@ -76,7 +76,12 @@ impl HistPool {
     /// Creates a pool for histograms of `total_bins` bins with a cache
     /// budget of `budget_bytes`.
     pub fn new(total_bins: u32, budget_bytes: usize) -> Self {
-        Self { width: hist_width(total_bins), free: Vec::new(), cache: HashMap::new(), budget_bytes }
+        Self {
+            width: hist_width(total_bins),
+            free: Vec::new(),
+            cache: HashMap::new(),
+            budget_bytes,
+        }
     }
 
     /// Histogram lane count.

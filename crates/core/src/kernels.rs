@@ -178,12 +178,24 @@ mod tests {
             6,
             3,
             vec![
-                0.0, 5.0, 1.0, //
-                1.0, f32::NAN, 1.0, //
-                2.0, 6.0, 0.0, //
-                0.0, 5.0, 0.0, //
-                1.0, f32::NAN, 1.0, //
-                2.0, 7.0, 0.0,
+                0.0,
+                5.0,
+                1.0, //
+                1.0,
+                f32::NAN,
+                1.0, //
+                2.0,
+                6.0,
+                0.0, //
+                0.0,
+                5.0,
+                0.0, //
+                1.0,
+                f32::NAN,
+                1.0, //
+                2.0,
+                7.0,
+                0.0,
             ],
         ));
         QuantizedMatrix::from_matrix(&m, BinningConfig::default())
@@ -192,12 +204,7 @@ mod tests {
     fn sparse_qm() -> QuantizedMatrix {
         let m = FeatureMatrix::Sparse(CsrMatrix::from_rows(
             3,
-            &[
-                vec![(0, 1.0), (2, 4.0)],
-                vec![(1, 2.0)],
-                vec![(0, 2.0), (1, 3.0)],
-                vec![(2, 5.0)],
-            ],
+            &[vec![(0, 1.0), (2, 4.0)], vec![(1, 2.0)], vec![(0, 2.0), (1, 3.0)], vec![(2, 5.0)]],
         ));
         QuantizedMatrix::from_matrix(&m, BinningConfig::default())
     }
@@ -211,7 +218,12 @@ mod tests {
     }
 
     /// Reference accumulation via the slow accessor.
-    fn reference(qm: &QuantizedMatrix, rows: &[u32], g: &[GradPair], f_range: Range<usize>) -> Vec<f64> {
+    fn reference(
+        qm: &QuantizedMatrix,
+        rows: &[u32],
+        g: &[GradPair],
+        f_range: Range<usize>,
+    ) -> Vec<f64> {
         let mut hist = hist_for(qm);
         for &row in rows {
             for f in f_range.clone() {

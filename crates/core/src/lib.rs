@@ -40,6 +40,7 @@ pub mod kernels;
 pub mod loss;
 pub mod params;
 pub mod partition;
+pub mod predict;
 pub mod split;
 pub mod trainer;
 pub mod tree;
@@ -47,5 +48,6 @@ pub mod tree;
 pub use ensemble::{FeatureImportance, GbdtModel};
 pub use loss::RowScaling;
 pub use params::{BlockConfig, GrowthMethod, LossKind, ParallelMode, TrainParams};
+pub use predict::{FlatForest, Predictor};
 pub use trainer::{Diagnostics, EvalMetric, EvalOptions, GbdtTrainer, TrainOutput, TreeShape};
 pub use tree::{Node, NodeId, NodeStats, SplitData, Tree};

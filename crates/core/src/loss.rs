@@ -114,10 +114,7 @@ impl LossKind {
                     counts[idx] += 1;
                 }
                 let n = labels.len().max(1) as f32;
-                counts
-                    .into_iter()
-                    .map(|cnt| ((cnt as f32 / n).max(1e-6)).ln())
-                    .collect()
+                counts.into_iter().map(|cnt| ((cnt as f32 / n).max(1e-6)).ln()).collect()
             }
             _ => vec![self.base_score(labels)],
         }
@@ -184,8 +181,7 @@ impl LossKind {
             let lo = c * chunk;
             let hi = (lo + chunk).min(n);
             // SAFETY: chunks are disjoint ranges of `out`.
-            let slice =
-                unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
             for (i, gp) in slice.iter_mut().enumerate() {
                 let r = lo + i;
                 let mut pair = match self {

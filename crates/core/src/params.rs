@@ -232,7 +232,9 @@ impl TrainParams {
         if self.n_threads == 0 {
             return Err("n_threads must be positive".into());
         }
-        for (name, v) in [("subsample", self.subsample), ("colsample_bytree", self.colsample_bytree)] {
+        for (name, v) in
+            [("subsample", self.subsample), ("colsample_bytree", self.colsample_bytree)]
+        {
             if !(v > 0.0 && v <= 1.0) {
                 return Err(format!("{name} must be in (0, 1]"));
             }
@@ -279,13 +281,23 @@ mod tests {
 
     #[test]
     fn block_resolution() {
-        let b = BlockConfig { row_blk_size: 0, node_blk_size: 4, feature_blk_size: 16, bin_blk_size: 0 };
+        let b = BlockConfig {
+            row_blk_size: 0,
+            node_blk_size: 4,
+            feature_blk_size: 16,
+            bin_blk_size: 0,
+        };
         assert_eq!(b.rows_per_block(1000, 8), 125);
         assert_eq!(b.nodes_per_block(32), 4);
         assert_eq!(b.nodes_per_block(2), 2);
         assert_eq!(b.features_per_block(8), 8);
         assert_eq!(b.bins_per_block(255), 255);
-        let all = BlockConfig { row_blk_size: 64, node_blk_size: 0, feature_blk_size: 0, bin_blk_size: 32 };
+        let all = BlockConfig {
+            row_blk_size: 64,
+            node_blk_size: 0,
+            feature_blk_size: 0,
+            bin_blk_size: 32,
+        };
         assert_eq!(all.rows_per_block(1000, 8), 64);
         assert_eq!(all.nodes_per_block(5), 5);
         assert_eq!(all.features_per_block(128), 128);
@@ -295,7 +307,10 @@ mod tests {
     #[test]
     fn validation_catches_bad_fields() {
         for (mutator, msg) in [
-            (Box::new(|p: &mut TrainParams| p.n_trees = 0) as Box<dyn Fn(&mut TrainParams)>, "n_trees"),
+            (
+                Box::new(|p: &mut TrainParams| p.n_trees = 0) as Box<dyn Fn(&mut TrainParams)>,
+                "n_trees",
+            ),
             (Box::new(|p: &mut TrainParams| p.tree_size = 0), "tree_size"),
             (Box::new(|p: &mut TrainParams| p.n_threads = 0), "n_threads"),
             (Box::new(|p: &mut TrainParams| p.lambda = -1.0), "regularizers"),

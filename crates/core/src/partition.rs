@@ -186,10 +186,9 @@ impl RowPartition {
         let rows = unsafe { self.rows.slice_mut(span.clone()) };
         let scratch = unsafe { self.scratch_rows.slice_mut(span.clone()) };
         let (grads, scratch_grads) = if self.use_membuf {
-            (
-                unsafe { self.grads.slice_mut(span.clone()) },
-                unsafe { self.scratch_grads.slice_mut(span.clone()) },
-            )
+            (unsafe { self.grads.slice_mut(span.clone()) }, unsafe {
+                self.scratch_grads.slice_mut(span.clone())
+            })
         } else {
             (&mut [][..], &mut [][..])
         };

@@ -1,0 +1,175 @@
+//! The batch-prediction driver: row blocking, optional pool parallelism,
+//! optional phase attribution.
+
+use super::flat::FlatForest;
+use super::kernel;
+use harp_binning::QuantizedMatrix;
+use harp_data::FeatureMatrix;
+use harp_metrics::TimeBreakdown;
+use harp_parallel::{ScopedPhase, ThreadPool};
+
+/// Default rows per block: small enough that a block's outputs stay in L1,
+/// large enough to amortize streaming each tree's node arrays.
+pub const DEFAULT_ROW_BLOCK: usize = 64;
+
+/// A configured scoring pass over a [`FlatForest`].
+///
+/// ```
+/// # use harpgbdt::{GbdtTrainer, TrainParams};
+/// # use harp_data::{DatasetKind, SynthConfig};
+/// # let data = SynthConfig::new(DatasetKind::HiggsLike, 7).with_scale(0.02).generate();
+/// # let params = TrainParams { n_trees: 3, tree_size: 3, n_threads: 1, ..Default::default() };
+/// # let model = GbdtTrainer::new(params).unwrap().train(&data).model;
+/// use harpgbdt::predict::Predictor;
+/// let engine = model.compile();
+/// let pool = harp_parallel::ThreadPool::new(2);
+/// let raw = Predictor::new(&engine).with_pool(&pool).predict_raw(&data.features);
+/// assert_eq!(raw, model.predict_raw(&data.features));
+/// ```
+pub struct Predictor<'a> {
+    forest: &'a FlatForest,
+    pool: Option<&'a ThreadPool>,
+    breakdown: Option<&'a TimeBreakdown>,
+    block_rows: usize,
+}
+
+impl<'a> Predictor<'a> {
+    /// A serial predictor with the default block size.
+    pub fn new(forest: &'a FlatForest) -> Self {
+        Self { forest, pool: None, breakdown: None, block_rows: DEFAULT_ROW_BLOCK }
+    }
+
+    /// Scores row blocks in parallel on `pool` (outputs stay bitwise
+    /// identical to the serial pass: blocks are disjoint and accumulation
+    /// order within a row never changes).
+    pub fn with_pool(mut self, pool: &'a ThreadPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Attributes scoring time to `breakdown.predict_ns` (the Predict
+    /// phase next to BuildHist / FindSplit / ApplySplit).
+    pub fn with_breakdown(mut self, breakdown: &'a TimeBreakdown) -> Self {
+        self.breakdown = Some(breakdown);
+        self
+    }
+
+    /// Overrides the rows-per-block granularity (minimum 1).
+    pub fn block_rows(mut self, rows: usize) -> Self {
+        self.block_rows = rows.max(1);
+        self
+    }
+
+    /// Raw (margin) scores: length `n_rows` for scalar losses, row-major
+    /// `n_rows × n_groups` for multiclass.
+    pub fn predict_raw(&self, features: &FeatureMatrix) -> Vec<f32> {
+        let mut out = self.base_filled(features.n_rows());
+        self.run(features.n_rows(), &mut out, |lo, hi, dst| {
+            kernel::score_block(self.forest, features, lo, hi, dst, self.forest.n_groups, 0);
+        });
+        out
+    }
+
+    /// Raw scores for an already-binned matrix (the quantized fast path:
+    /// routes on `u8` bins, no raw values needed).
+    pub fn predict_raw_binned(&self, qm: &QuantizedMatrix) -> Vec<f32> {
+        let mut out = self.base_filled(qm.n_rows());
+        self.run(qm.n_rows(), &mut out, |lo, hi, dst| {
+            kernel::score_block_binned(self.forest, qm, lo, hi, dst, self.forest.n_groups, 0);
+        });
+        out
+    }
+
+    /// Response-scale predictions (probabilities for logistic/softmax,
+    /// identity for squared error).
+    pub fn predict(&self, features: &FeatureMatrix) -> Vec<f32> {
+        self.forest.loss().transform_scores(&self.predict_raw(features))
+    }
+
+    /// Argmax class per row (0.5-thresholded binary decision for scalar
+    /// losses).
+    pub fn predict_class(&self, features: &FeatureMatrix) -> Vec<u32> {
+        self.forest.classes_from_raw(&self.predict_raw(features))
+    }
+
+    /// Adds tree contributions (no base score) into group `offset` of a
+    /// row-major `n × stride` score buffer — the trainer's incremental
+    /// evaluation shape.
+    ///
+    /// # Panics
+    /// Panics if `preds.len() != features.n_rows() * stride` or
+    /// `offset + n_groups > stride`.
+    pub fn accumulate_raw(
+        &self,
+        features: &FeatureMatrix,
+        preds: &mut [f32],
+        stride: usize,
+        offset: usize,
+    ) {
+        let n = features.n_rows();
+        assert_eq!(preds.len(), n * stride, "prediction buffer shape mismatch");
+        assert!(offset + self.forest.n_groups() <= stride, "group offset out of range");
+        self.run_strided(n, preds, stride, |lo, hi, dst| {
+            kernel::score_block(self.forest, features, lo, hi, dst, stride, offset);
+        });
+    }
+
+    fn base_filled(&self, n_rows: usize) -> Vec<f32> {
+        let g = self.forest.n_groups();
+        let mut out = vec![0.0f32; n_rows * g];
+        for row in out.chunks_exact_mut(g) {
+            row.copy_from_slice(self.forest.base_scores());
+        }
+        out
+    }
+
+    fn run(&self, n_rows: usize, out: &mut [f32], score: impl Fn(usize, usize, &mut [f32]) + Sync) {
+        self.run_strided(n_rows, out, self.forest.n_groups(), score);
+    }
+
+    /// Drives `score` over row blocks; `out` is row-major `n × stride` and
+    /// each call receives the sub-slice for its block.
+    fn run_strided(
+        &self,
+        n_rows: usize,
+        out: &mut [f32],
+        stride: usize,
+        score: impl Fn(usize, usize, &mut [f32]) + Sync,
+    ) {
+        let _phase = self.breakdown.map(|b| ScopedPhase::new(&b.predict_ns));
+        let block = self.block_rows;
+        let n_blocks = n_rows.div_ceil(block);
+        match self.pool {
+            Some(pool) if n_blocks > 1 => {
+                struct Ptr(*mut f32);
+                unsafe impl Send for Ptr {}
+                unsafe impl Sync for Ptr {}
+                impl Ptr {
+                    fn get(&self) -> *mut f32 {
+                        self.0
+                    }
+                }
+                let ptr = Ptr(out.as_mut_ptr());
+                pool.parallel_for(n_blocks, |b, _| {
+                    let lo = b * block;
+                    let hi = (lo + block).min(n_rows);
+                    // SAFETY: blocks cover disjoint row ranges of `out`.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            ptr.get().add(lo * stride),
+                            (hi - lo) * stride,
+                        )
+                    };
+                    score(lo, hi, dst);
+                });
+            }
+            _ => {
+                for b in 0..n_blocks {
+                    let lo = b * block;
+                    let hi = (lo + block).min(n_rows);
+                    score(lo, hi, &mut out[lo * stride..hi * stride]);
+                }
+            }
+        }
+    }
+}

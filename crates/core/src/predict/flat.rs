@@ -1,0 +1,221 @@
+//! The flattened struct-of-arrays forest layout.
+
+use crate::params::LossKind;
+use crate::tree::Tree;
+
+/// Hot node data packed into 16 bytes so one load per hop fetches the
+/// split feature (with the missing-value direction in the top bit), the
+/// raw threshold, and both children.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+pub(crate) struct PackedNode {
+    /// Split feature in the low 31 bits; top bit set = missing goes left.
+    pub(crate) feature_and_default: u32,
+    /// Raw-value threshold: `value <= threshold` goes left.
+    pub(crate) threshold: f32,
+    /// Absolute left-child index; a leaf points to itself.
+    pub(crate) left: u32,
+    /// Absolute right-child index; a leaf points to itself.
+    pub(crate) right: u32,
+}
+
+impl PackedNode {
+    #[inline(always)]
+    pub(crate) fn feature(self) -> usize {
+        (self.feature_and_default & 0x7FFF_FFFF) as usize
+    }
+
+    #[inline(always)]
+    pub(crate) fn default_left(self) -> bool {
+        self.feature_and_default & 0x8000_0000 != 0
+    }
+}
+
+/// An ensemble compiled into contiguous per-node arrays for batch scoring.
+///
+/// The arena [`Tree`] layout is convenient to grow but hostile to traverse
+/// at inference time: every hop dereferences a 70-byte `Node` whose split
+/// lives behind an `Option`, so a batch of rows thrashes the cache. The
+/// flat layout concatenates all trees into parallel arrays — split feature,
+/// raw threshold, bin threshold, child indices, default direction, leaf
+/// value — so the blocked kernel streams a tree's few cache lines across a
+/// whole row block before moving on.
+///
+/// Node `i` of tree `t` lives at index `tree_offsets[t] + i`; child indices
+/// are absolute. A **leaf points to itself** (`left[n] == right[n] == n`),
+/// so walking exactly [`max_steps`](Self::max_steps) hops from the root
+/// always parks on the row's leaf — shallow trees can therefore be
+/// traversed with a fixed, branch-free step count. Routing is identical to
+/// [`Tree::route`]: `value <= threshold[n]` (or, on binned input,
+/// `bin <= bin[n]`) goes left, missing values follow `default_left[n]`.
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    pub(crate) n_features: usize,
+    pub(crate) n_groups: usize,
+    pub(crate) loss: LossKind,
+    pub(crate) base_scores: Vec<f32>,
+    /// Start of each tree's nodes; length `n_trees + 1`.
+    pub(crate) tree_offsets: Vec<u32>,
+    /// Max depth per tree: walking this many hops from the root reaches
+    /// the leaf (leaves self-loop, so overshooting is harmless).
+    pub(crate) max_steps: Vec<u32>,
+    /// Split feature per node (undefined for leaves).
+    pub(crate) feature: Vec<u32>,
+    /// Raw-value threshold per node: `value <= threshold` goes left.
+    pub(crate) threshold: Vec<f32>,
+    /// Bin threshold per node: `bin <= bin` goes left on quantized input.
+    pub(crate) bin: Vec<u8>,
+    /// Missing-value direction per node.
+    pub(crate) default_left: Vec<bool>,
+    /// Absolute left-child index; a leaf points to itself.
+    pub(crate) left: Vec<u32>,
+    /// Absolute right-child index; a leaf points to itself.
+    pub(crate) right: Vec<u32>,
+    /// Leaf value (0 for internal nodes).
+    pub(crate) value: Vec<f32>,
+    /// The hot per-node fields of the arrays above, packed 16 bytes/node
+    /// for the traversal kernels.
+    pub(crate) packed: Vec<PackedNode>,
+}
+
+impl FlatForest {
+    /// Compiles `trees` into the flat layout.
+    ///
+    /// # Panics
+    /// Panics if `base_scores.len() != loss.n_groups()` or the tree count
+    /// is not a multiple of the group count.
+    pub fn from_trees(
+        trees: &[Tree],
+        base_scores: Vec<f32>,
+        loss: LossKind,
+        n_features: usize,
+    ) -> Self {
+        assert_eq!(base_scores.len(), loss.n_groups(), "one base score per group");
+        assert_eq!(trees.len() % loss.n_groups(), 0, "trees must fill whole rounds");
+        assert!(n_features <= 0x7FFF_FFFF, "feature ids must fit 31 bits");
+        let n_nodes: usize = trees.iter().map(Tree::n_nodes).sum();
+        let mut forest = Self {
+            n_features,
+            n_groups: loss.n_groups(),
+            loss,
+            base_scores,
+            tree_offsets: Vec::with_capacity(trees.len() + 1),
+            max_steps: Vec::with_capacity(trees.len()),
+            feature: Vec::with_capacity(n_nodes),
+            threshold: Vec::with_capacity(n_nodes),
+            bin: Vec::with_capacity(n_nodes),
+            default_left: Vec::with_capacity(n_nodes),
+            left: Vec::with_capacity(n_nodes),
+            right: Vec::with_capacity(n_nodes),
+            value: Vec::with_capacity(n_nodes),
+            packed: Vec::new(),
+        };
+        forest.tree_offsets.push(0);
+        for tree in trees {
+            forest.push_tree(tree);
+        }
+        forest.packed = (0..n_nodes)
+            .map(|i| PackedNode {
+                feature_and_default: forest.feature[i] | (u32::from(forest.default_left[i]) << 31),
+                threshold: forest.threshold[i],
+                left: forest.left[i],
+                right: forest.right[i],
+            })
+            .collect();
+        forest
+    }
+
+    /// Compiles a single tree as a scalar forest with a zero base score —
+    /// the shape the trainer's incremental evaluation accumulates with.
+    pub fn single_tree(tree: &Tree, n_features: usize) -> Self {
+        Self::from_trees(std::slice::from_ref(tree), vec![0.0], LossKind::SquaredError, n_features)
+    }
+
+    fn push_tree(&mut self, tree: &Tree) {
+        let offset = *self.tree_offsets.last().expect("offsets start at 0");
+        for i in 0..tree.n_nodes() {
+            let node = tree.node(i as u32);
+            match &node.split {
+                Some(s) => {
+                    self.feature.push(s.feature);
+                    self.threshold.push(s.threshold);
+                    self.bin.push(s.bin);
+                    self.default_left.push(s.default_left);
+                    self.left.push(offset + node.left);
+                    self.right.push(offset + node.right);
+                    self.value.push(0.0);
+                }
+                None => {
+                    // Leaves self-loop, and route left on any value
+                    // (feature 0, threshold +inf), so a padded walk can
+                    // keep stepping without a leaf check.
+                    self.feature.push(0);
+                    self.threshold.push(f32::INFINITY);
+                    self.bin.push(u8::MAX);
+                    self.default_left.push(true);
+                    self.left.push(offset + i as u32);
+                    self.right.push(offset + i as u32);
+                    self.value.push(node.weight);
+                }
+            }
+        }
+        self.max_steps.push(tree.max_depth());
+        self.tree_offsets.push(offset + tree.n_nodes() as u32);
+    }
+
+    /// Whether absolute node `n` is a leaf (leaves self-loop).
+    #[inline]
+    pub(crate) fn is_leaf(&self, n: usize) -> bool {
+        self.left[n] as usize == n
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.tree_offsets.len() - 1
+    }
+
+    /// Total node count across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Number of model groups (1 for scalar losses, classes for softmax).
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Number of features the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Per-group constant initial scores.
+    pub fn base_scores(&self) -> &[f32] {
+        &self.base_scores
+    }
+
+    /// The training loss (decides the prediction transform).
+    pub fn loss(&self) -> LossKind {
+        self.loss
+    }
+
+    /// Argmax class per row of row-major raw scores (0.5-thresholded
+    /// binary decision for scalar losses).
+    pub fn classes_from_raw(&self, raw: &[f32]) -> Vec<u32> {
+        let g = self.n_groups;
+        if g == 1 {
+            return raw.iter().map(|&s| u32::from(self.loss.transform(s) > 0.5)).collect();
+        }
+        raw.chunks_exact(g)
+            .map(|row| {
+                let mut best = 0usize;
+                for (c, &s) in row.iter().enumerate() {
+                    if s > row[best] {
+                        best = c;
+                    }
+                }
+                best as u32
+            })
+            .collect()
+    }
+}

@@ -96,11 +96,8 @@ pub fn find_split_masked(
             acc_g += cells[b * 2];
             acc_h += cells[b * 2 + 1];
             for default_left in [false, true] {
-                let (lg, lh) = if default_left {
-                    (acc_g + miss_g, acc_h + miss_h)
-                } else {
-                    (acc_g, acc_h)
-                };
+                let (lg, lh) =
+                    if default_left { (acc_g + miss_g, acc_h + miss_h) } else { (acc_g, acc_h) };
                 let (rg, rh) = (node.g - lg, node.h - lh);
                 if lh < settings.min_child_weight || rh < settings.min_child_weight {
                     continue;
@@ -108,8 +105,7 @@ pub fn find_split_masked(
                 let left = NodeStats { g: lg, h: lh, count: 0 };
                 let right = NodeStats { g: rg, h: rh, count: 0 };
                 let gain = 0.5
-                    * (left.score(settings.lambda) + right.score(settings.lambda)
-                        - parent_score)
+                    * (left.score(settings.lambda) + right.score(settings.lambda) - parent_score)
                     - settings.gamma;
                 if gain <= 0.0 {
                     continue;

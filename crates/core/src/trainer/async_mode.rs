@@ -61,10 +61,7 @@ pub(super) fn run_async(
     let profile = engine.pool.profile();
     let lock_wait = &profile.lock_wait_ns;
 
-    let tree_lock = SpinMutex::new(std::mem::replace(
-        tree,
-        Tree::new_root(NodeStats::default()),
-    ));
+    let tree_lock = SpinMutex::new(std::mem::replace(tree, Tree::new_root(NodeStats::default())));
     let hist_lock = SpinMutex::new(&mut engine.hist_pool);
     let leaves_ctr = AtomicUsize::new(*leaves);
     // Sequence numbers continue past the batch engine's; exact values only

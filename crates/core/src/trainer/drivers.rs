@@ -137,9 +137,7 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
         // SAFETY: each replica is written by exactly one schedule slot at a
         // time (slot == task index group in static mode, == worker index in
         // dynamic mode).
-        let rep = unsafe {
-            std::slice::from_raw_parts_mut(replica_ptrs[replica].0, replica_len)
-        };
+        let rep = unsafe { std::slice::from_raw_parts_mut(replica_ptrs[replica].0, replica_len) };
         let dst = &mut rep[task.job_idx * width..(task.job_idx + 1) * width];
         let c = row_scan(ctx.qm, rows, grads, task.f_range.clone(), dst);
         cells.fetch_add(c, Ordering::Relaxed);
@@ -171,9 +169,7 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
         let lo = (i % chunks_per_job) * chunk;
         let hi = (lo + chunk).min(width);
         // SAFETY: (job, lane-range) pairs are disjoint across tasks.
-        let dst = unsafe {
-            std::slice::from_raw_parts_mut(job_ptrs[job_idx].0.add(lo), hi - lo)
-        };
+        let dst = unsafe { std::slice::from_raw_parts_mut(job_ptrs[job_idx].0.add(lo), hi - lo) };
         for rep in replicas_ro {
             let src = &rep[job_idx * width + lo..job_idx * width + hi];
             for (d, s) in dst.iter_mut().zip(src) {
@@ -218,12 +214,13 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
         for f_lo in (0..m).step_by(f_blk) {
             let f_range = f_lo..(f_lo + f_blk).min(m);
             for bb in 0..n_bin_blocks {
-                let bin_block = if n_bin_blocks == 1 {
-                    None
-                } else {
-                    Some((bb * bin_blk, (bb + 1) * bin_blk))
-                };
-                tasks.push(MpTask { job_range: job_range.clone(), f_range: f_range.clone(), bin_block });
+                let bin_block =
+                    if n_bin_blocks == 1 { None } else { Some((bb * bin_blk, (bb + 1) * bin_blk)) };
+                tasks.push(MpTask {
+                    job_range: job_range.clone(),
+                    f_range: f_range.clone(),
+                    bin_block,
+                });
             }
         }
     }
@@ -281,15 +278,11 @@ mod tests {
     use harp_binning::BinningConfig;
     use harp_data::{DatasetKind, SynthConfig};
 
-    fn setup(
-        kind: DatasetKind,
-        membuf: bool,
-    ) -> (QuantizedMatrix, Vec<GradPair>, RowPartition) {
+    fn setup(kind: DatasetKind, membuf: bool) -> (QuantizedMatrix, Vec<GradPair>, RowPartition) {
         let d = SynthConfig::new(kind, 42).with_scale(0.02).generate();
         let qm = QuantizedMatrix::from_matrix(&d.features, BinningConfig::with_max_bins(32));
         let n = qm.n_rows();
-        let grads: Vec<GradPair> =
-            (0..n).map(|i| [((i * 7) % 13) as f32 - 6.0, 1.0]).collect();
+        let grads: Vec<GradPair> = (0..n).map(|i| [((i * 7) % 13) as f32 - 6.0, 1.0]).collect();
         let mut part = RowPartition::new(n, 64, membuf);
         part.reset(&grads);
         // Split the root twice to get a 3-node frontier {3, 4, 2}.
@@ -444,7 +437,8 @@ mod tests {
         let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
         let params = TrainParams { n_threads: 2, ..Default::default() };
         let pool = ThreadPool::new(2);
-        let ctx = DriverCtx { qm: &qm, params: &params, pool: &pool, partition: &part, grads: &grads };
+        let ctx =
+            DriverCtx { qm: &qm, params: &params, pool: &pool, partition: &part, grads: &grads };
         build_hists_dp(&ctx, &mut []);
         build_hists_mp(&ctx, &mut []);
     }

@@ -80,9 +80,7 @@ impl EvalMetric {
                 let probs = model_loss.transform_scores(raw);
                 harp_metrics::multiclass_log_loss(labels, &probs, groups)
             }
-            EvalMetric::MulticlassError => {
-                harp_metrics::multiclass_error(labels, raw, groups)
-            }
+            EvalMetric::MulticlassError => harp_metrics::multiclass_error(labels, raw, groups),
         }
     }
 }
@@ -245,9 +243,7 @@ impl GbdtTrainer {
         };
 
         // Evaluation state.
-        let mut trace = eval
-            .as_ref()
-            .map(|e| ConvergenceTrace::new(e.metric.higher_is_better()));
+        let mut trace = eval.as_ref().map(|e| ConvergenceTrace::new(e.metric.higher_is_better()));
         let mut eval_preds: Vec<f32> = eval
             .as_ref()
             .map(|e| {
@@ -303,7 +299,7 @@ impl GbdtTrainer {
                 if (iter + 1) % e.every.max(1) == 0 || iter + 1 == params.n_trees {
                     for group in 0..groups {
                         let tree = &trees[trees.len() - groups + group];
-                        incremental_eval(tree, e.data, &mut eval_preds, groups, group);
+                        incremental_eval(tree, e.data, &mut eval_preds, groups, group, &breakdown);
                     }
                     let metric = e.metric.compute(&e.data.labels, &eval_preds, params.loss);
                     if let Some(tr) = &mut trace {
@@ -336,7 +332,7 @@ impl GbdtTrainer {
                     // the next evaluation uses all trees.
                     for group in 0..groups {
                         let tree = &trees[trees.len() - groups + group];
-                        incremental_eval(tree, e.data, &mut eval_preds, groups, group);
+                        incremental_eval(tree, e.data, &mut eval_preds, groups, group, &breakdown);
                     }
                 }
             }
@@ -358,10 +354,24 @@ impl GbdtTrainer {
     }
 }
 
-fn incremental_eval(tree: &Tree, data: &Dataset, preds: &mut [f32], groups: usize, group: usize) {
-    for i in 0..data.n_rows() {
-        preds[i * groups + group] += tree.predict(|f| data.features.get(i, f as usize));
-    }
+/// Adds one tree's contribution to group `group` of the row-major eval
+/// score buffer, through the flat blocked engine (attributed to the
+/// Predict phase). Bitwise identical to summing `tree.predict` per row.
+fn incremental_eval(
+    tree: &Tree,
+    data: &Dataset,
+    preds: &mut [f32],
+    groups: usize,
+    group: usize,
+    breakdown: &TimeBreakdown,
+) {
+    let flat = crate::predict::FlatForest::single_tree(tree, data.n_features());
+    crate::predict::Predictor::new(&flat).with_breakdown(breakdown).accumulate_raw(
+        &data.features,
+        preds,
+        groups,
+        group,
+    );
 }
 
 /// Per-tree construction engine; buffers persist across trees.
@@ -539,12 +549,11 @@ impl TreeEngine<'_> {
             let parent_buf = self.hist_pool.cache_take(parent);
             match (l_el, r_el, parent_buf) {
                 (true, true, Some(pbuf)) if self.params.hist_subtraction => {
-                    let (small, large) =
-                        if tree.node(l).stats.count <= tree.node(r).stats.count {
-                            (l, r)
-                        } else {
-                            (r, l)
-                        };
+                    let (small, large) = if tree.node(l).stats.count <= tree.node(r).stats.count {
+                        (l, r)
+                    } else {
+                        (r, l)
+                    };
                     fresh.push(HistJob { node: small, buf: self.hist_pool.alloc() });
                     subs.push((large, pbuf, fresh.len() - 1));
                 }
@@ -630,8 +639,7 @@ impl TreeEngine<'_> {
             // ASYNC's begin phase behaves like DP.
             ParallelMode::Async => false,
             ParallelMode::Sync => {
-                let total_rows: usize =
-                    jobs.iter().map(|j| self.partition.node_len(j.node)).sum();
+                let total_rows: usize = jobs.iter().map(|j| self.partition.node_len(j.node)).sum();
                 let avg = total_rows / jobs.len().max(1);
                 // (DP, MP, DP): DP while the frontier is narrow, DP again
                 // once nodes are small, MP in between.

@@ -10,13 +10,7 @@ fn dataset(kind: DatasetKind, scale: f64) -> Dataset {
 }
 
 fn base_params() -> TrainParams {
-    TrainParams {
-        n_trees: 8,
-        tree_size: 4,
-        n_threads: 4,
-        gamma: 0.1,
-        ..Default::default()
-    }
+    TrainParams { n_trees: 8, tree_size: 4, n_threads: 4, gamma: 0.1, ..Default::default() }
 }
 
 fn train(data: &Dataset, params: TrainParams) -> TrainOutput {
@@ -31,12 +25,7 @@ fn preds(out: &TrainOutput, data: &Dataset) -> Vec<f32> {
 fn assert_same_preds(a: &[f32], b: &[f32], tol: f32, label: &str) {
     assert_eq!(a.len(), b.len());
     for i in 0..a.len() {
-        assert!(
-            (a[i] - b[i]).abs() <= tol,
-            "{label}: row {i} diverged: {} vs {}",
-            a[i],
-            b[i]
-        );
+        assert!((a[i] - b[i]).abs() <= tol, "{label}: row {i} diverged: {} vs {}", a[i], b[i]);
     }
 }
 
@@ -56,18 +45,9 @@ fn more_trees_improve_train_fit() {
     let data = dataset(DatasetKind::Synset, 0.03);
     let few = train(&data, TrainParams { n_trees: 2, ..base_params() });
     let many = train(&data, TrainParams { n_trees: 20, ..base_params() });
-    let loss_few = harp_metrics::log_loss(
-        &data.labels,
-        &few.model.predict(&data.features),
-    );
-    let loss_many = harp_metrics::log_loss(
-        &data.labels,
-        &many.model.predict(&data.features),
-    );
-    assert!(
-        loss_many < loss_few,
-        "training loss should decrease: {loss_few} -> {loss_many}"
-    );
+    let loss_few = harp_metrics::log_loss(&data.labels, &few.model.predict(&data.features));
+    let loss_many = harp_metrics::log_loss(&data.labels, &many.model.predict(&data.features));
+    assert!(loss_many < loss_few, "training loss should decrease: {loss_few} -> {loss_many}");
 }
 
 #[test]
@@ -290,11 +270,8 @@ fn squared_error_regression_reduces_rmse() {
     let n = 500;
     let values: Vec<f32> = (0..n * 2).map(|i| ((i * 37) % 100) as f32 / 100.0).collect();
     let labels: Vec<f32> = (0..n).map(|r| values[r * 2] * 3.0 - values[r * 2 + 1]).collect();
-    let data = Dataset::new(
-        "reg",
-        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values)),
-        labels,
-    );
+    let data =
+        Dataset::new("reg", FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values)), labels);
     let params = TrainParams {
         loss: LossKind::SquaredError,
         n_trees: 30,
@@ -313,17 +290,15 @@ fn eval_trace_and_early_stopping() {
     let data = dataset(DatasetKind::HiggsLike, 0.05);
     let (train_set, valid) = data.split(0.3, 2);
     let params = TrainParams { n_trees: 30, ..base_params() };
-    let out = GbdtTrainer::new(params)
-        .unwrap()
-        .train_with_eval(
-            &train_set,
-            Some(EvalOptions {
-                data: &valid,
-                metric: EvalMetric::Auc,
-                every: 1,
-                early_stopping_rounds: Some(3),
-            }),
-        );
+    let out = GbdtTrainer::new(params).unwrap().train_with_eval(
+        &train_set,
+        Some(EvalOptions {
+            data: &valid,
+            metric: EvalMetric::Auc,
+            every: 1,
+            early_stopping_rounds: Some(3),
+        }),
+    );
     let trace = out.diagnostics.trace.as_ref().expect("trace recorded");
     assert!(!trace.points().is_empty());
     assert!(out.diagnostics.best_iteration.is_some());
@@ -408,7 +383,6 @@ fn threads_do_not_change_learning_quality() {
     }
 }
 
-
 #[test]
 fn multiclass_softmax_learns_three_classes() {
     // 3-class task: class determined by which third of feature-0 the row
@@ -421,13 +395,16 @@ fn multiclass_softmax_learns_three_classes() {
         let noise = ((i * 7919) % 97) as f32 / 97.0;
         values.push(x);
         values.push(noise);
-        labels.push(if x < 0.33 { 0.0 } else if x < 0.66 { 1.0 } else { 2.0 });
+        labels.push(if x < 0.33 {
+            0.0
+        } else if x < 0.66 {
+            1.0
+        } else {
+            2.0
+        });
     }
-    let data = Dataset::new(
-        "mc",
-        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values)),
-        labels,
-    );
+    let data =
+        Dataset::new("mc", FeatureMatrix::Dense(DenseMatrix::from_vec(n, 2, values)), labels);
     let params = TrainParams {
         loss: LossKind::Softmax { n_classes: 3 },
         n_trees: 15,
@@ -438,11 +415,8 @@ fn multiclass_softmax_learns_three_classes() {
     let out = train(&data, params);
     assert_eq!(out.model.n_trees(), 45, "one tree per class per round");
     assert_eq!(out.model.n_groups(), 3);
-    let err = harp_metrics::multiclass_error(
-        &data.labels,
-        &out.model.predict_raw(&data.features),
-        3,
-    );
+    let err =
+        harp_metrics::multiclass_error(&data.labels, &out.model.predict_raw(&data.features), 3);
     assert!(err < 0.05, "multiclass error {err}");
     // Probabilities normalize per row.
     let probs = out.model.predict(&data.features);
@@ -453,11 +427,7 @@ fn multiclass_softmax_learns_three_classes() {
     // predict_class agrees with argmax of raw scores.
     let classes = out.model.predict_class(&data.features);
     assert_eq!(classes.len(), n);
-    let wrong = classes
-        .iter()
-        .zip(&data.labels)
-        .filter(|(&c, &y)| c != y as u32)
-        .count();
+    let wrong = classes.iter().zip(&data.labels).filter(|(&c, &y)| c != y as u32).count();
     assert!((wrong as f64 / n as f64 - err).abs() < 1e-9);
 }
 
@@ -466,11 +436,8 @@ fn multiclass_eval_and_early_stopping() {
     let n = 300;
     let values: Vec<f32> = (0..n).map(|i| (i % 50) as f32 / 50.0).collect();
     let labels: Vec<f32> = (0..n).map(|i| ((i % 50) / 17).min(2) as f32).collect();
-    let data = Dataset::new(
-        "mc-eval",
-        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 1, values)),
-        labels,
-    );
+    let data =
+        Dataset::new("mc-eval", FeatureMatrix::Dense(DenseMatrix::from_vec(n, 1, values)), labels);
     let (train_set, valid) = data.split(0.3, 1);
     let params = TrainParams {
         loss: LossKind::Softmax { n_classes: 3 },
@@ -498,10 +465,7 @@ fn multiclass_eval_and_early_stopping() {
 fn subsampling_still_learns_and_differs_from_full() {
     let data = dataset(DatasetKind::HiggsLike, 0.05);
     let full = train(&data, TrainParams { n_trees: 10, ..base_params() });
-    let sub = train(
-        &data,
-        TrainParams { n_trees: 10, subsample: 0.5, seed: 3, ..base_params() },
-    );
+    let sub = train(&data, TrainParams { n_trees: 10, subsample: 0.5, seed: 3, ..base_params() });
     let auc_full = harp_metrics::auc(&data.labels, &full.model.predict(&data.features));
     let auc_sub = harp_metrics::auc(&data.labels, &sub.model.predict(&data.features));
     assert!(auc_sub > 0.7, "subsampled model should still learn: {auc_sub}");
@@ -538,24 +502,23 @@ fn sample_weights_shift_the_decision_boundary() {
         harp_binning::BinningConfig::default(),
     );
     // Upweight positives 10x: mean predicted probability must rise.
-    let weights: Vec<f32> =
-        data.labels.iter().map(|&y| if y > 0.5 { 10.0 } else { 1.0 }).collect();
+    let weights: Vec<f32> = data.labels.iter().map(|&y| if y > 0.5 { 10.0 } else { 1.0 }).collect();
     let params = TrainParams { n_trees: 8, ..base_params() };
     let plain = GbdtTrainer::new(params.clone())
         .unwrap()
         .train_prepared(&qm, &data.labels, None);
-    let weighted = GbdtTrainer::new(params)
-        .unwrap()
-        .train_prepared_weighted(&qm, &data.labels, Some(&weights), None);
+    let weighted = GbdtTrainer::new(params).unwrap().train_prepared_weighted(
+        &qm,
+        &data.labels,
+        Some(&weights),
+        None,
+    );
     let mean = |out: &TrainOutput| {
         let p = out.model.predict(&data.features);
         p.iter().sum::<f32>() / p.len() as f32
     };
     let (mp, mw) = (mean(&plain), mean(&weighted));
-    assert!(
-        mw > mp + 0.05,
-        "upweighting positives should raise mean probability: {mp} -> {mw}"
-    );
+    assert!(mw > mp + 0.05, "upweighting positives should raise mean probability: {mp} -> {mw}");
 }
 
 #[test]
@@ -577,11 +540,8 @@ fn multiclass_model_json_roundtrip() {
     let n = 90;
     let values: Vec<f32> = (0..n).map(|i| (i % 30) as f32).collect();
     let labels: Vec<f32> = (0..n).map(|i| ((i % 30) / 10) as f32).collect();
-    let data = Dataset::new(
-        "mc-json",
-        FeatureMatrix::Dense(DenseMatrix::from_vec(n, 1, values)),
-        labels,
-    );
+    let data =
+        Dataset::new("mc-json", FeatureMatrix::Dense(DenseMatrix::from_vec(n, 1, values)), labels);
     let params = TrainParams {
         loss: LossKind::Softmax { n_classes: 3 },
         n_trees: 4,

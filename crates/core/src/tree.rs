@@ -227,7 +227,8 @@ mod tests {
     #[test]
     fn apply_split_creates_children() {
         let mut t = Tree::new_root(stats(3.0, 4.0, 10));
-        let (l, r) = t.apply_split(0, split_on(2, 0.5, true), stats(1.0, 2.0, 6), stats(2.0, 2.0, 4));
+        let (l, r) =
+            t.apply_split(0, split_on(2, 0.5, true), stats(1.0, 2.0, 6), stats(2.0, 2.0, 4));
         assert_eq!((l, r), (1, 2));
         assert_eq!(t.n_leaves(), 2);
         assert_eq!(t.node(l).depth, 1);
@@ -247,7 +248,8 @@ mod tests {
     #[test]
     fn routing_follows_thresholds_and_defaults() {
         let mut t = Tree::new_root(stats(0.0, 1.0, 4));
-        let (l, _r) = t.apply_split(0, split_on(0, 0.5, false), stats(0.0, 0.5, 2), stats(0.0, 0.5, 2));
+        let (l, _r) =
+            t.apply_split(0, split_on(0, 0.5, false), stats(0.0, 0.5, 2), stats(0.0, 0.5, 2));
         t.apply_split(l, split_on(1, 2.0, true), stats(0.0, 0.2, 1), stats(0.0, 0.3, 1));
         // (f0 = 0.4, f1 = 5.0) -> left at root, right at l -> node 4.
         assert_eq!(t.route(|f| Some(if f == 0 { 0.4 } else { 5.0 })), 4);
@@ -262,7 +264,8 @@ mod tests {
     #[test]
     fn predict_returns_leaf_weight() {
         let mut t = Tree::new_root(stats(0.0, 1.0, 2));
-        let (l, r) = t.apply_split(0, split_on(0, 0.0, true), stats(0.0, 0.5, 1), stats(0.0, 0.5, 1));
+        let (l, r) =
+            t.apply_split(0, split_on(0, 0.0, true), stats(0.0, 0.5, 1), stats(0.0, 0.5, 1));
         t.node_mut(l).weight = -1.5;
         t.node_mut(r).weight = 2.5;
         assert_eq!(t.predict(|_| Some(-1.0)), -1.5);

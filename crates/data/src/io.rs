@@ -54,20 +54,15 @@ pub fn read_libsvm<R: BufRead>(reader: R, name: &str) -> Result<Dataset, LoadErr
             continue;
         }
         let mut parts = line.split_ascii_whitespace();
-        let label: f32 = parts
-            .next()
-            .unwrap()
-            .parse()
-            .map_err(|_| parse_err(lineno + 1, "bad label"))?;
+        let label: f32 =
+            parts.next().unwrap().parse().map_err(|_| parse_err(lineno + 1, "bad label"))?;
         let mut row: Vec<(u32, f32)> = Vec::new();
         for tok in parts {
             let (idx, val) = tok
                 .split_once(':')
                 .ok_or_else(|| parse_err(lineno + 1, format!("expected idx:value, got {tok:?}")))?;
-            let idx: u32 =
-                idx.parse().map_err(|_| parse_err(lineno + 1, "bad feature index"))?;
-            let val: f32 =
-                val.parse().map_err(|_| parse_err(lineno + 1, "bad feature value"))?;
+            let idx: u32 = idx.parse().map_err(|_| parse_err(lineno + 1, "bad feature index"))?;
+            let val: f32 = val.parse().map_err(|_| parse_err(lineno + 1, "bad feature value"))?;
             if let Some(&(prev, _)) = row.last() {
                 if idx <= prev {
                     return Err(parse_err(lineno + 1, "feature indices must increase"));
@@ -83,11 +78,8 @@ pub fn read_libsvm<R: BufRead>(reader: R, name: &str) -> Result<Dataset, LoadErr
     }
     // Shift 1-based indices down.
     let offset = if min_idx == u32::MAX || min_idx == 0 { 0 } else { 1 };
-    let n_cols = if rows.iter().all(|r| r.is_empty()) {
-        0
-    } else {
-        (max_col - offset + 1) as usize
-    };
+    let n_cols =
+        if rows.iter().all(|r| r.is_empty()) { 0 } else { (max_col - offset + 1) as usize };
     for row in &mut rows {
         for entry in row.iter_mut() {
             entry.0 -= offset;
@@ -135,16 +127,13 @@ pub fn read_csv<R: BufRead>(reader: R, name: &str) -> Result<Dataset, LoadError>
             if field.is_empty() || field.eq_ignore_ascii_case("nan") {
                 values.push(f32::NAN);
             } else {
-                values.push(
-                    field.parse().map_err(|_| parse_err(lineno + 1, "bad feature value"))?,
-                );
+                values.push(field.parse().map_err(|_| parse_err(lineno + 1, "bad feature value"))?);
             }
         }
         labels.push(if label < 0.0 { 0.0 } else { label });
     }
     let n_cols = n_cols.unwrap_or(0);
-    let matrix =
-        FeatureMatrix::Dense(DenseMatrix::from_vec(labels.len(), n_cols, values));
+    let matrix = FeatureMatrix::Dense(DenseMatrix::from_vec(labels.len(), n_cols, values));
     Ok(Dataset::new(name, matrix, labels))
 }
 

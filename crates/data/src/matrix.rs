@@ -138,7 +138,19 @@ impl CsrMatrix {
     /// The `(col, value)` pairs of one row.
     pub fn row(&self, row: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
         let span = self.indptr[row]..self.indptr[row + 1];
-        self.indices[span.clone()].iter().copied().zip(self.values[span].iter().copied())
+        self.indices[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// The `(cols, values)` slices of one row — the borrow the batch
+    /// prediction kernel binary-searches instead of re-resolving `indptr`
+    /// per node visit.
+    #[inline]
+    pub fn row_slices(&self, row: usize) -> (&[u32], &[f32]) {
+        let span = self.indptr[row]..self.indptr[row + 1];
+        (&self.indices[span.clone()], &self.values[span])
     }
 
     /// The value at `(row, col)`, or `None` if missing. Binary search.

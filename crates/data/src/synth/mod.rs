@@ -347,10 +347,7 @@ mod tests {
             let d = SynthConfig::new(kind, 7).with_scale(0.05).generate();
             let target = kind.paper_stats().s;
             let got = d.features.density();
-            assert!(
-                (got - target).abs() < 0.03,
-                "{kind:?}: density {got:.3} vs paper {target:.3}"
-            );
+            assert!((got - target).abs() < 0.03, "{kind:?}: density {got:.3} vs paper {target:.3}");
         }
     }
 

@@ -71,7 +71,9 @@ impl Teacher {
     /// absent features read as `0`.
     pub fn score_sparse(&self, row: &[(u32, f32)]) -> f32 {
         self.score_with(|f| {
-            row.binary_search_by_key(&(f as u32), |&(c, _)| c).map(|i| row[i].1).unwrap_or(0.0)
+            row.binary_search_by_key(&(f as u32), |&(c, _)| c)
+                .map(|i| row[i].1)
+                .unwrap_or(0.0)
         })
     }
 

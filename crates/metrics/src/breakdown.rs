@@ -19,6 +19,10 @@ pub struct TimeBreakdown {
     pub find_split_ns: AtomicU64,
     /// Nanoseconds spent partitioning rows and updating the tree.
     pub apply_split_ns: AtomicU64,
+    /// Nanoseconds spent scoring rows through the batch prediction
+    /// engine (incremental validation during training, batch inference
+    /// after it).
+    pub predict_ns: AtomicU64,
     /// Nanoseconds in the remainder of the training loop.
     pub other_ns: AtomicU64,
 }
@@ -31,8 +35,13 @@ impl TimeBreakdown {
 
     /// Zeroes all phases.
     pub fn reset(&self) {
-        for c in [&self.build_hist_ns, &self.find_split_ns, &self.apply_split_ns, &self.other_ns]
-        {
+        for c in [
+            &self.build_hist_ns,
+            &self.find_split_ns,
+            &self.apply_split_ns,
+            &self.predict_ns,
+            &self.other_ns,
+        ] {
             c.store(0, Ordering::Relaxed);
         }
     }
@@ -43,6 +52,7 @@ impl TimeBreakdown {
             build_hist_secs: self.build_hist_ns.load(Ordering::Relaxed) as f64 / 1e9,
             find_split_secs: self.find_split_ns.load(Ordering::Relaxed) as f64 / 1e9,
             apply_split_secs: self.apply_split_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            predict_secs: self.predict_ns.load(Ordering::Relaxed) as f64 / 1e9,
             other_secs: self.other_ns.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }
@@ -57,6 +67,8 @@ pub struct BreakdownReport {
     pub find_split_secs: f64,
     /// ApplySplit seconds.
     pub apply_split_secs: f64,
+    /// Predict (batch scoring) seconds.
+    pub predict_secs: f64,
     /// Unattributed seconds.
     pub other_secs: f64,
 }
@@ -64,7 +76,11 @@ pub struct BreakdownReport {
 impl BreakdownReport {
     /// Total attributed seconds.
     pub fn total(&self) -> f64 {
-        self.build_hist_secs + self.find_split_secs + self.apply_split_secs + self.other_secs
+        self.build_hist_secs
+            + self.find_split_secs
+            + self.apply_split_secs
+            + self.predict_secs
+            + self.other_secs
     }
 
     /// Fraction of total time spent in BuildHist (the paper's hotspot
@@ -84,6 +100,7 @@ impl BreakdownReport {
             build_hist_secs: self.build_hist_secs - earlier.build_hist_secs,
             find_split_secs: self.find_split_secs - earlier.find_split_secs,
             apply_split_secs: self.apply_split_secs - earlier.apply_split_secs,
+            predict_secs: self.predict_secs - earlier.predict_secs,
             other_secs: self.other_secs - earlier.other_secs,
         }
     }
@@ -93,11 +110,12 @@ impl std::fmt::Display for BreakdownReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "BuildHist {:.3}s ({:.0}%) | FindSplit {:.3}s | ApplySplit {:.3}s | other {:.3}s",
+            "BuildHist {:.3}s ({:.0}%) | FindSplit {:.3}s | ApplySplit {:.3}s | Predict {:.3}s | other {:.3}s",
             self.build_hist_secs,
             self.build_hist_share() * 100.0,
             self.find_split_secs,
             self.apply_split_secs,
+            self.predict_secs,
             self.other_secs
         )
     }
@@ -128,6 +146,17 @@ mod tests {
     #[test]
     fn empty_breakdown_share_is_zero() {
         assert_eq!(TimeBreakdown::new().report().build_hist_share(), 0.0);
+    }
+
+    #[test]
+    fn predict_phase_is_tracked() {
+        let b = TimeBreakdown::new();
+        b.predict_ns.store(1_500_000_000, Ordering::Relaxed);
+        let r = b.report();
+        assert!((r.predict_secs - 1.5).abs() < 1e-12);
+        assert!((r.total() - 1.5).abs() < 1e-12);
+        b.reset();
+        assert_eq!(b.report().total(), 0.0);
     }
 
     #[test]

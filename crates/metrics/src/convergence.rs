@@ -68,13 +68,7 @@ impl ConvergenceTrace {
     pub fn time_to_reach(&self, target: f64) -> Option<f64> {
         self.points
             .iter()
-            .find(|p| {
-                if self.higher_is_better {
-                    p.metric >= target
-                } else {
-                    p.metric <= target
-                }
-            })
+            .find(|p| if self.higher_is_better { p.metric >= target } else { p.metric <= target })
             .map(|p| p.elapsed_secs)
     }
 

@@ -68,11 +68,7 @@ pub fn error_rate(labels: &[f32], probs: &[f32]) -> f64 {
 pub fn accuracy(labels: &[f32], probs: &[f32]) -> f64 {
     assert_eq!(labels.len(), probs.len(), "labels/probs length mismatch");
     assert!(!labels.is_empty(), "accuracy of empty slice");
-    let correct = labels
-        .iter()
-        .zip(probs)
-        .filter(|&(&y, &p)| (p > 0.5) == (y > 0.5))
-        .count();
+    let correct = labels.iter().zip(probs).filter(|&(&y, &p)| (p > 0.5) == (y > 0.5)).count();
     correct as f64 / labels.len() as f64
 }
 
@@ -147,18 +143,10 @@ mod tests {
 
     /// O(P*N) brute-force AUC for cross-checking.
     fn auc_brute(labels: &[f32], scores: &[f32]) -> f64 {
-        let pos: Vec<f32> = labels
-            .iter()
-            .zip(scores)
-            .filter(|(&y, _)| y > 0.5)
-            .map(|(_, &s)| s)
-            .collect();
-        let neg: Vec<f32> = labels
-            .iter()
-            .zip(scores)
-            .filter(|(&y, _)| y <= 0.5)
-            .map(|(_, &s)| s)
-            .collect();
+        let pos: Vec<f32> =
+            labels.iter().zip(scores).filter(|(&y, _)| y > 0.5).map(|(_, &s)| s).collect();
+        let neg: Vec<f32> =
+            labels.iter().zip(scores).filter(|(&y, _)| y <= 0.5).map(|(_, &s)| s).collect();
         if pos.is_empty() || neg.is_empty() {
             return 0.5;
         }

@@ -1,0 +1,156 @@
+//! A minimal multi-producer/multi-consumer channel for pool dispatch.
+//!
+//! The pool's dispatch traffic is tiny — one message per worker per region —
+//! so a `Mutex<VecDeque>` + `Condvar` is plenty and keeps this crate free of
+//! external dependencies. Receivers clone freely; `recv` blocks until a
+//! message arrives or every sender has dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+}
+
+/// Sending half; cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Receiving half; cloneable.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Error returned by [`Sender::send`] once all receivers are gone. The pool
+/// never drops receivers before senders, so this is nominal.
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] once the channel is closed and
+/// drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message and wakes one blocked receiver.
+    ///
+    /// # Errors
+    /// Never fails in practice (unbounded queue); the `Result` mirrors the
+    /// channel APIs callers are used to.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+        queue.push_back(value);
+        drop(queue);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::Relaxed);
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake everyone so blocked receivers observe the
+            // disconnect.
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available or all senders have dropped.
+    ///
+    /// # Errors
+    /// Returns [`RecvError`] when the channel is closed and empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+        loop {
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self.inner.ready.wait(queue).expect("channel mutex poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_last_sender_drops() {
+        let (tx, rx) = unbounded();
+        tx.send(1u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_receivers_split_the_stream() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let handles: Vec<_> = [rx, rx2]
+            .into_iter()
+            .map(|r| std::thread::spawn(move || r.recv().unwrap()))
+            .collect();
+        tx.send(7u32).unwrap();
+        tx.send(9u32).unwrap();
+        let mut got: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 9]);
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42u64).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

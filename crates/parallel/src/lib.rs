@@ -25,6 +25,7 @@
 //! parallel loops plus one irregular queue-driven phase, and this shape covers
 //! both while keeping the accounting exact.
 
+mod chan;
 mod pool;
 mod profile;
 mod queue;

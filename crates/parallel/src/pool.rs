@@ -15,13 +15,12 @@
 //! invocation per worker, barrier accounting only) on which
 //! [`ThreadPool::run_queue`] builds ASYNC-mode node parallelism.
 
+use crate::chan::{self, Receiver, Sender};
 use crate::profile::Profile;
 use crate::queue::{QueueOutcome, WorkQueue};
-use crossbeam_channel::{Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Returns a reasonable default thread count for this host.
@@ -111,12 +110,8 @@ impl Region {
         self.finish_ns[worker].store(now, Ordering::Relaxed);
         if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last worker out: settle barrier waits for the whole team.
-            let last = self
-                .finish_ns
-                .iter()
-                .map(|t| t.load(Ordering::Relaxed))
-                .max()
-                .unwrap_or(now);
+            let last =
+                self.finish_ns.iter().map(|t| t.load(Ordering::Relaxed)).max().unwrap_or(now);
             let wait: u64 = self
                 .finish_ns
                 .iter()
@@ -124,15 +119,15 @@ impl Region {
                 .sum();
             self.profile.barrier_wait_ns.fetch_add(wait, Ordering::Relaxed);
             self.profile.regions.fetch_add(1, Ordering::Relaxed);
-            *self.done.lock() = true;
+            *self.done.lock().expect("region mutex poisoned") = true;
             self.done_cv.notify_all();
         }
     }
 
     fn wait(&self) {
-        let mut done = self.done.lock();
+        let mut done = self.done.lock().expect("region mutex poisoned");
         while !*done {
-            self.done_cv.wait(&mut done);
+            done = self.done_cv.wait(done).expect("region mutex poisoned");
         }
     }
 }
@@ -170,7 +165,7 @@ impl ThreadPool {
     /// Creates a pool recording into an externally owned [`Profile`].
     pub fn with_profile(n_threads: usize, profile: Arc<Profile>) -> Self {
         assert!(n_threads > 0, "thread pool requires at least one worker");
-        let (sender, receiver) = crossbeam_channel::unbounded::<Message>();
+        let (sender, receiver) = chan::unbounded::<Message>();
         let handles = (0..n_threads)
             .map(|worker| {
                 let rx: Receiver<Message> = receiver.clone();
@@ -341,9 +336,7 @@ impl Drop for ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool")
-            .field("n_threads", &self.shared.n_threads)
-            .finish()
+        f.debug_struct("ThreadPool").field("n_threads", &self.shared.n_threads).finish()
     }
 }
 

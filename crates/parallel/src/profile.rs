@@ -155,7 +155,11 @@ impl Profile {
             bytes_written: written,
             flops,
             flops_per_byte: ratio(flops, read + written),
-            avg_write_working_set: if ws_samples == 0 { 0.0 } else { ws_bytes as f64 / ws_samples as f64 },
+            avg_write_working_set: if ws_samples == 0 {
+                0.0
+            } else {
+                ws_bytes as f64 / ws_samples as f64
+            },
         }
     }
 }

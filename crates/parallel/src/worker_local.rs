@@ -14,8 +14,40 @@
 //! callers stay entirely safe as long as they pass the worker index given to
 //! their task closure, which is the only sensible thing to pass.
 
-use crossbeam_utils::CachePadded;
 use std::cell::UnsafeCell;
+
+/// Pads and aligns a value to 128 bytes so adjacent per-worker slots never
+/// share a cache line (two lines to cover adjacent-line prefetchers, as
+/// crossbeam does on x86).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
 
 /// A fixed-size array of per-worker values.
 pub struct PerWorker<T> {
@@ -30,9 +62,7 @@ unsafe impl<T: Send> Send for PerWorker<T> {}
 impl<T> PerWorker<T> {
     /// Creates `n_workers` slots by calling `init` for each.
     pub fn new(n_workers: usize, mut init: impl FnMut(usize) -> T) -> Self {
-        Self {
-            slots: (0..n_workers).map(|w| CachePadded::new(UnsafeCell::new(init(w)))).collect(),
-        }
+        Self { slots: (0..n_workers).map(|w| CachePadded::new(UnsafeCell::new(init(w)))).collect() }
     }
 
     /// Number of slots.

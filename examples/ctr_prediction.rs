@@ -40,8 +40,7 @@ fn main() {
             }),
         );
         let trace = out.diagnostics.trace.as_ref().expect("trace");
-        let deepest =
-            out.diagnostics.tree_shapes.iter().map(|s| s.max_depth).max().unwrap_or(0);
+        let deepest = out.diagnostics.tree_shapes.iter().map(|s| s.max_depth).max().unwrap_or(0);
         let best_iter = out.diagnostics.best_iteration.unwrap_or(out.model.n_trees());
         println!(
             "{label}: {} trees built, deepest tree {} levels, best valid AUC {:.4} @ iter {}",
@@ -51,8 +50,9 @@ fn main() {
             best_iter,
         );
 
-        // Deploy the model truncated to its best iteration.
-        let deployable = out.model.truncated(best_iter);
+        // Deploy the model truncated to its best iteration, compiled to
+        // the flat inference engine a serving path would hold on to.
+        let deployable = out.model.truncated(best_iter).compile();
         let preds = deployable.predict(&valid.features);
         println!(
             "  deployed (truncated to {} trees): valid AUC {:.4}, log-loss {:.4}",

@@ -26,15 +26,9 @@ fn main() {
         ("leafwise TopK-32", GrowthMethod::Leafwise, 32),
     ];
     for (name, growth, k) in configs {
-        let params = TrainParams {
-            n_trees: 60,
-            tree_size: 6,
-            growth,
-            k,
-            ..TrainParams::default()
-        };
+        let params = TrainParams { n_trees: 60, tree_size: 6, growth, k, ..TrainParams::default() };
         let out = GbdtTrainer::new(params).expect("valid params").train(&train);
-        let preds = out.model.predict(&test.features);
+        let preds = out.model.compile().predict(&test.features);
         let auc = harp_metrics::auc(&test.labels, &preds);
         let shapes = &out.diagnostics.tree_shapes;
         let avg_leaves: f64 =

@@ -70,15 +70,18 @@ fn main() {
         out.diagnostics.train_secs
     );
 
-    let raw = out.model.predict_raw(&test.features);
-    let probs = out.model.predict(&test.features);
+    // Compile once; raw margins, probabilities, and class ids all come
+    // from the same flat engine.
+    let engine = out.model.compile();
+    let raw = engine.predict_raw(&test.features);
+    let probs = engine.predict(&test.features);
     let merror = harp_metrics::multiclass_error(&test.labels, &raw, 4);
     let mlogloss = harp_metrics::multiclass_log_loss(&test.labels, &probs, 4);
     println!("test error: {:.3} | test log-loss: {:.3}", merror, mlogloss);
     assert!(merror < 0.15, "should comfortably beat the 75% chance error");
 
     // Confusion matrix.
-    let classes = out.model.predict_class(&test.features);
+    let classes = engine.predict_class(&test.features);
     let mut confusion = [[0usize; 4]; 4];
     for (i, &c) in classes.iter().enumerate() {
         confusion[test.labels[i] as usize][c as usize] += 1;

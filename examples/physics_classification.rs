@@ -14,6 +14,10 @@ fn main() {
     let (train, test) = data.split(0.2, 3);
     println!("physics data: {} | threads: {threads}", train.stats());
 
+    // One pool for batch scoring: test-set predictions fan out over row
+    // blocks on the same instrumented threads training uses.
+    let pool = harp_parallel::ThreadPool::new(threads);
+
     println!(
         "\n{:<14} {:>9} {:>9} {:>10} {:>12} {:>9}",
         "mode", "ms/tree", "test AUC", "regions", "barrier ovh", "cpu util"
@@ -40,8 +44,8 @@ fn main() {
             ..TrainParams::default()
         };
         let out = GbdtTrainer::new(params).expect("valid params").train(&train);
-        let preds = out.model.predict(&test.features);
-        let auc = harp_metrics::auc(&test.labels, &preds);
+        let raw = out.model.compile().predict_raw_parallel(&test.features, &pool);
+        let auc = harp_metrics::auc(&test.labels, &raw);
         let p = &out.diagnostics.profile;
         println!(
             "{name:<14} {:>9.2} {auc:>9.4} {:>10} {:>11.1}% {:>8.1}%",
@@ -55,7 +59,7 @@ fn main() {
     // Contrast with a leaf-by-leaf baseline: same accuracy, many more
     // synchronizations.
     let out = Baseline::XgbLeaf.train(&train, 8, threads);
-    let preds = out.model.predict(&test.features);
+    let preds = out.model.compile().predict_raw_parallel(&test.features, &pool);
     let p = &out.diagnostics.profile;
     println!(
         "{:<14} {:>9.2} {:>9.4} {:>10} {:>11.1}% {:>8.1}%",

@@ -29,8 +29,10 @@ fn main() {
     );
     println!("phase breakdown: {}", out.diagnostics.breakdown);
 
-    // 3. Evaluate.
-    let preds = out.model.predict(&test.features);
+    // 3. Evaluate. Compiling once gives a flat engine for batch scoring;
+    //    every predict call below reuses it instead of re-walking the trees.
+    let engine = out.model.compile();
+    let preds = engine.predict(&test.features);
     println!("test AUC: {:.4}", harp_metrics::auc(&test.labels, &preds));
     println!("test log-loss: {:.4}", harp_metrics::log_loss(&test.labels, &preds));
 
@@ -52,7 +54,7 @@ fn main() {
     let path = std::env::temp_dir().join("harpgbdt-quickstart.json");
     out.model.save(&path).expect("save model");
     let reloaded = GbdtModel::load(&path).expect("load model");
-    let preds2 = reloaded.predict(&test.features);
+    let preds2 = reloaded.compile().predict(&test.features);
     assert_eq!(preds, preds2, "reloaded model must predict identically");
     println!("model round-tripped through {}", path.display());
 }

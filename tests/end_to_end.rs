@@ -9,16 +9,15 @@ use harpgbdt::{GbdtModel, GbdtTrainer};
 #[test]
 fn every_dataset_shape_is_learnable() {
     for kind in DatasetKind::ALL {
-        let data = prepared(kind, 0.08, 5);
+        // yfcc-like has a tiny base row count (2k); at 0.08 its 16-row test
+        // split makes AUC pure seed noise, so give it enough rows for the
+        // assertion to measure learning rather than luck.
+        let scale = if kind == DatasetKind::YfccLike { 0.3 } else { 0.08 };
+        let data = prepared(kind, scale, 5);
         let mut params = harp_params(4, 2);
         params.n_trees = 10;
         let res = run_config(&data, params, false);
-        assert!(
-            res.test_auc > 0.60,
-            "{}: held-out AUC only {:.3}",
-            kind.name(),
-            res.test_auc
-        );
+        assert!(res.test_auc > 0.60, "{}: held-out AUC only {:.3}", kind.name(), res.test_auc);
     }
 }
 

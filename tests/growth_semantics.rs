@@ -22,8 +22,14 @@ fn leafwise_topk_k1_equals_classic_leafwise_tree_shapes() {
     // path (depth-unlimited, budget-limited) by checking budget adherence
     // and that shapes match across two identical configs.
     let mk = || TrainParams { growth: GrowthMethod::Leafwise, k: 1, tree_size: 5, ..base() };
-    let a = GbdtTrainer::new(mk()).unwrap().train_prepared(&data.quantized, &data.train.labels, None);
-    let b = GbdtTrainer::new(mk()).unwrap().train_prepared(&data.quantized, &data.train.labels, None);
+    let a =
+        GbdtTrainer::new(mk())
+            .unwrap()
+            .train_prepared(&data.quantized, &data.train.labels, None);
+    let b =
+        GbdtTrainer::new(mk())
+            .unwrap()
+            .train_prepared(&data.quantized, &data.train.labels, None);
     for (sa, sb) in a.diagnostics.tree_shapes.iter().zip(&b.diagnostics.tree_shapes) {
         assert_eq!(sa.n_leaves, sb.n_leaves);
         assert_eq!(sa.max_depth, sb.max_depth);
@@ -38,9 +44,11 @@ fn topk_leaf_budget_is_exact_when_gain_allows() {
     let data = prepared(DatasetKind::Synset, 0.05, 2);
     for k in [1usize, 7, 32] {
         let params = TrainParams { growth: GrowthMethod::Leafwise, k, tree_size: 4, ..base() };
-        let out = GbdtTrainer::new(params)
-            .unwrap()
-            .train_prepared(&data.quantized, &data.train.labels, None);
+        let out = GbdtTrainer::new(params).unwrap().train_prepared(
+            &data.quantized,
+            &data.train.labels,
+            None,
+        );
         for s in &out.diagnostics.tree_shapes {
             assert_eq!(s.n_leaves, 16, "K={k}: expected a full 16-leaf tree");
         }
@@ -58,13 +66,16 @@ fn depthwise_k_variants_build_identical_trees() {
         n_threads: 1,
         ..base()
     };
-    let full = GbdtTrainer::new(mk(0))
-        .unwrap()
-        .train_prepared(&data.quantized, &data.train.labels, None);
-    for k in [1usize, 3, 5] {
-        let sub = GbdtTrainer::new(mk(k))
+    let full =
+        GbdtTrainer::new(mk(0))
             .unwrap()
             .train_prepared(&data.quantized, &data.train.labels, None);
+    for k in [1usize, 3, 5] {
+        let sub = GbdtTrainer::new(mk(k)).unwrap().train_prepared(
+            &data.quantized,
+            &data.train.labels,
+            None,
+        );
         assert_eq!(
             full.model.predict_raw(&data.test.features),
             sub.model.predict_raw(&data.test.features),
@@ -95,10 +106,7 @@ fn larger_k_means_fewer_synchronizations() {
     };
     let r1 = regions(1);
     let r32 = regions(32);
-    assert!(
-        r32 * 4 < r1,
-        "K=32 should slash synchronization counts: K1={r1} vs K32={r32}"
-    );
+    assert!(r32 * 4 < r1, "K=32 should slash synchronization counts: K1={r1} vs K32={r32}");
 }
 
 #[test]
@@ -142,15 +150,14 @@ fn min_child_weight_prunes_thin_leaves() {
             min_child_weight: mcw,
             ..base()
         };
-        let out = GbdtTrainer::new(params)
-            .unwrap()
-            .train_prepared(&data.quantized, &data.train.labels, None);
+        let out = GbdtTrainer::new(params).unwrap().train_prepared(
+            &data.quantized,
+            &data.train.labels,
+            None,
+        );
         out.diagnostics.tree_shapes.iter().map(|s| s.n_leaves as usize).sum::<usize>()
     };
     let loose = leaves(1.0);
     let strict = leaves(50.0);
-    assert!(
-        strict < loose,
-        "min_child_weight=50 should shrink trees: {strict} vs {loose}"
-    );
+    assert!(strict < loose, "min_child_weight=50 should shrink trees: {strict} vs {loose}");
 }

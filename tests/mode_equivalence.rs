@@ -5,9 +5,7 @@
 use harp_baselines::Baseline;
 use harp_bench::prepared;
 use harp_data::DatasetKind;
-use harpgbdt::{
-    BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainParams,
-};
+use harpgbdt::{BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainParams};
 
 fn params_t1() -> TrainParams {
     TrainParams {
@@ -41,9 +39,11 @@ fn every_scheduler_is_bitwise_identical_at_one_thread() {
         configs.push((b.name().into(), p));
     }
     for (name, params) in configs {
-        let out = GbdtTrainer::new(params)
-            .unwrap()
-            .train_prepared(&data.quantized, &data.train.labels, None);
+        let out = GbdtTrainer::new(params).unwrap().train_prepared(
+            &data.quantized,
+            &data.train.labels,
+            None,
+        );
         let preds = out.model.predict_raw(&data.test.features);
         match &reference {
             None => reference = Some(preds),
@@ -73,9 +73,11 @@ fn block_configuration_never_changes_the_model_multithreaded_mp() {
         BlockConfig { row_blk_size: 0, node_blk_size: 0, feature_blk_size: 3, bin_blk_size: 16 },
         BlockConfig { row_blk_size: 0, node_blk_size: 2, feature_blk_size: 0, bin_blk_size: 7 },
     ] {
-        let out = GbdtTrainer::new(mk(blocks))
-            .unwrap()
-            .train_prepared(&data.quantized, &data.train.labels, None);
+        let out = GbdtTrainer::new(mk(blocks)).unwrap().train_prepared(
+            &data.quantized,
+            &data.train.labels,
+            None,
+        );
         assert_eq!(
             reference,
             out.model.predict_raw(&data.test.features),
@@ -97,34 +99,27 @@ fn async_and_sync_agree_when_gain_limits_growth() {
         hist_subtraction: false,
         ..params_t1()
     };
-    let sync = GbdtTrainer::new(mk(ParallelMode::Sync))
-        .unwrap()
-        .train_prepared(&data.quantized, &data.train.labels, None);
-    let asy = GbdtTrainer::new(mk(ParallelMode::Async))
-        .unwrap()
-        .train_prepared(&data.quantized, &data.train.labels, None);
+    let sync = GbdtTrainer::new(mk(ParallelMode::Sync)).unwrap().train_prepared(
+        &data.quantized,
+        &data.train.labels,
+        None,
+    );
+    let asy = GbdtTrainer::new(mk(ParallelMode::Async)).unwrap().train_prepared(
+        &data.quantized,
+        &data.train.labels,
+        None,
+    );
     let ps = sync.model.predict_raw(&data.test.features);
     let pa = asy.model.predict_raw(&data.test.features);
     for i in 0..ps.len() {
-        assert!(
-            (ps[i] - pa[i]).abs() < 1e-3,
-            "row {i}: SYNC {} vs ASYNC {}",
-            ps[i],
-            pa[i]
-        );
+        assert!((ps[i] - pa[i]).abs() < 1e-3, "row {i}: SYNC {} vs ASYNC {}", ps[i], pa[i]);
     }
 }
 
 #[test]
 fn deterministic_mode_is_stable_across_repeats_and_models_match() {
     let data = prepared(DatasetKind::CriteoLike, 0.02, 6);
-    let params = TrainParams {
-        n_threads: 4,
-        deterministic: true,
-        k: 8,
-        n_trees: 3,
-        ..params_t1()
-    };
+    let params = TrainParams { n_threads: 4, deterministic: true, k: 8, n_trees: 3, ..params_t1() };
     let runs: Vec<String> = (0..3)
         .map(|_| {
             GbdtTrainer::new(params.clone())
@@ -142,18 +137,12 @@ fn deterministic_mode_is_stable_across_repeats_and_models_match() {
 #[test]
 fn sparse_and_dense_schedulers_agree_on_yfcc() {
     let data = prepared(DatasetKind::YfccLike, 0.05, 8);
-    let dp = GbdtTrainer::new(TrainParams {
-        mode: ParallelMode::DataParallel,
-        ..params_t1()
-    })
-    .unwrap()
-    .train_prepared(&data.quantized, &data.train.labels, None);
-    let mp = GbdtTrainer::new(TrainParams {
-        mode: ParallelMode::ModelParallel,
-        ..params_t1()
-    })
-    .unwrap()
-    .train_prepared(&data.quantized, &data.train.labels, None);
+    let dp = GbdtTrainer::new(TrainParams { mode: ParallelMode::DataParallel, ..params_t1() })
+        .unwrap()
+        .train_prepared(&data.quantized, &data.train.labels, None);
+    let mp = GbdtTrainer::new(TrainParams { mode: ParallelMode::ModelParallel, ..params_t1() })
+        .unwrap()
+        .train_prepared(&data.quantized, &data.train.labels, None);
     assert_eq!(
         dp.model.predict_raw(&data.test.features),
         mp.model.predict_raw(&data.test.features),

@@ -1,0 +1,273 @@
+//! Vendored, registry-free micro-benchmark harness exposing the slice of
+//! `criterion` 0.5 this workspace uses: `criterion_group!`/
+//! `criterion_main!`, benchmark groups with `sample_size`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId` and `black_box`.
+//!
+//! Measurement is real but deliberately lightweight: each benchmark is
+//! calibrated once, then timed over `sample_size` samples and reported as
+//! `[min median max]` per iteration, in criterion's output format so the
+//! numbers remain comparable across runs.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per sample after calibration.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+/// How inputs are passed to `iter_batched` routines. Only a marker here —
+/// the vendored harness always rebuilds inputs per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{parameter}", function.into()) }
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Runs `setup -> routine` pairs, timing only the routine.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    filters: Vec<String>,
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { filters: Vec::new(), enabled: true }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness configured from the process arguments (`--test`
+    /// disables measurement; bare arguments act as substring filters, as
+    /// under `cargo bench <filter>`).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--test" | "--list" => c.enabled = false,
+                "--bench" | "--quiet" | "--verbose" | "--exact" | "--nocapture" => {}
+                a if a.starts_with("--") => {
+                    // Unknown `--flag value` pairs: drop the value too.
+                    skip_value = !a.contains('=');
+                }
+                filter => c.filters.push(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { harness: self, name: name.into(), sample_size: 50 }
+    }
+
+    /// Benchmarks a single ungrouped function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(self, id, 50, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.enabled && (self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f)))
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group-name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.harness, &full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f(b, input)` under `group-name/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(self.harness, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report-flush point in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    harness: &Criterion,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    if !harness.matches(id) {
+        return;
+    }
+    // Calibration: find an iteration count filling SAMPLE_TARGET.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let min = samples[0];
+    let med = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    println!("{id:<50} time:   [{} {} {}]", format_time(min), format_time(med), format_time(max));
+}
+
+/// Formats seconds with criterion's unit scaling.
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.4} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.4} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.4} ms", secs * 1e3)
+    } else {
+        format!("{secs:.4} s")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmarks_run_and_measure() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("top-level", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        });
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let c = Criterion { filters: vec!["abc".into()], enabled: true };
+        assert!(c.matches("x/abc/y"));
+        assert!(!c.matches("x/def/y"));
+        let disabled = Criterion { filters: vec![], enabled: false };
+        assert!(!disabled.matches("anything"));
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.5e-9).contains("ns"));
+        assert!(format_time(2.5e-6).contains("µs"));
+        assert!(format_time(2.5e-3).contains("ms"));
+        assert!(format_time(2.5).contains(" s"));
+    }
+}

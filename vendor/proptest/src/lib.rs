@@ -1,0 +1,386 @@
+//! Vendored, registry-free property-testing harness with the shape of
+//! `proptest`'s API: the `proptest!` macro, range/tuple/`prop_map`
+//! strategies, `prop::collection::vec`, `prop::num::f32::ANY`, `any::<T>()`
+//! and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike the real crate it does no shrinking and drives each test with a
+//! deterministic per-test seed derived from the test name and case index —
+//! failures therefore reproduce exactly on re-run with no persistence
+//! files.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// A failed property, carrying the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 128 }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+}
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty => $via:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$via>() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8 => u8, u16 => u64, u32 => u32, u64 => u64, usize => usize,
+         i8 => u8, i16 => u64, i32 => u32, i64 => u64, isize => usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.gen::<u32>())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// `prop::collection`: container strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Vector of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::num`: numeric special strategies.
+pub mod num {
+    /// f32 strategies.
+    pub mod f32 {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Any bit pattern, including infinities and NaN.
+        pub struct AnyF32;
+
+        /// The full-domain f32 strategy.
+        pub const ANY: AnyF32 = AnyF32;
+
+        impl Strategy for AnyF32 {
+            type Value = f32;
+
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                // Bias towards special values now and then so properties
+                // about NaN handling actually get exercised.
+                match rng.gen_range(0..8u32) {
+                    0 => [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, -0.0]
+                        [rng.gen_range(0..5usize)],
+                    _ => f32::from_bits(rng.gen::<u32>()),
+                }
+            }
+        }
+    }
+}
+
+/// Builds the deterministic generator for one test case.
+#[must_use]
+pub fn rng_for(test_path: &str, case: u32) -> TestRng {
+    TestRng::seed_from_u64(seed_for(test_path, case))
+}
+
+/// Derives the per-test base seed from its fully qualified name.
+#[must_use]
+pub fn seed_for(test_path: &str, case: u32) -> u64 {
+    // FNV-1a over the path, mixed with the case index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// The `prop::` module namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Defines property tests. Each `fn` runs `config.cases` deterministic
+/// cases; generator expressions are evaluated once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let path = concat!(module_path!(), "::", stringify!($name));
+                let seed = $crate::seed_for(path, case);
+                let mut proptest_rng = $crate::rng_for(path, case);
+                let ($($arg,)+) = (
+                    $($crate::Strategy::generate(&($strat), &mut proptest_rng),)+
+                );
+                let result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!(
+                        "property `{}` failed at case {case} (seed {seed:#x}): {}",
+                        stringify!($name),
+                        e.message
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Fails the enclosing property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b),
+            mut v in prop::collection::vec(0u8..3, 1..20),
+        ) {
+            prop_assert!(pair <= 8);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            v.sort_unstable();
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn any_f32_sometimes_hits_nan(values in prop::collection::vec(prop::num::f32::ANY, 200..201)) {
+            // Not a per-case guarantee, just exercise generation.
+            prop_assert_eq!(values.len(), 200);
+        }
+    }
+
+    proptest! {
+        // No #[test] here: invoked via `failures_panic_with_context` below.
+        fn failing_property(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing_property` failed")]
+    fn failures_panic_with_context() {
+        failing_property();
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        assert_eq!(crate::seed_for("a::b", 3), crate::seed_for("a::b", 3));
+        assert_ne!(crate::seed_for("a::b", 3), crate::seed_for("a::b", 4));
+        assert_ne!(crate::seed_for("a::b", 3), crate::seed_for("a::c", 3));
+    }
+}

@@ -1,0 +1,118 @@
+//! Vendored, registry-free replacement for the slice of `rand_distr` this
+//! workspace uses: [`Normal`] and the [`Distribution`] trait.
+
+use rand::RngCore;
+
+/// Distributions samplable with a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std^2)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Float scalars the distributions are generic over (`f32`/`f64`), so that
+/// `Normal::new(0.0f32, 1.0)` infers the element type from its arguments
+/// like the real crate's `Float`-bounded impl.
+pub trait Float: Copy + PartialOrd {
+    /// Whether the value is finite.
+    fn is_finite_f(self) -> bool;
+    /// The additive identity.
+    fn zero() -> Self;
+    /// Narrowing conversion from f64.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to f64.
+    fn to_f64(self) -> f64;
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Float for $t {
+            fn is_finite_f(self) -> bool {
+                self.is_finite()
+            }
+
+            fn zero() -> Self {
+                0.0
+            }
+
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+
+            fn to_f64(self) -> f64 {
+                f64::from(self)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    /// Rejects non-finite or negative standard deviations.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if std_dev.is_finite_f() && std_dev >= F::zero() && mean.is_finite_f() {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; one draw per call keeps `&self` stateless. The first
+        // uniform is clamped away from 0 to avoid ln(0).
+        let u1 = <f64 as rand::Standard>::draw(rng).max(f64::MIN_POSITIVE);
+        let u2 = <f64 as rand::Standard>::draw(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_close() {
+        let normal = Normal::new(2.0f64, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn rejects_bad_std() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f32, f32::NAN).is_err());
+        assert!(Normal::new(0.0f32, 1.0).is_ok());
+    }
+}

@@ -1,0 +1,311 @@
+//! Vendored, registry-free replacement for the `serde` facade.
+//!
+//! The build environment has no crates.io access, so this workspace carries
+//! a small data-model crate that exposes the subset of serde the repo
+//! actually uses: `derive(Serialize, Deserialize)` on plain structs and
+//! (unit or struct-variant) enums, serialized through `serde_json`. The
+//! data model is a single JSON-shaped [`Value`] tree rather than serde's
+//! visitor architecture — `serde_json` is the only format in the workspace,
+//! so the indirection would buy nothing.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object; a vec keeps declaration order in the output.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Views an object's fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Views array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (integers widen; `null` reads as NaN like serde_json
+    /// round-trips of non-finite floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(x) => Some(x),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error: a message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    /// Returns a message describing the first shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The replacement when a struct field is absent; `None` means absence
+    /// is an error. `Option<T>` overrides this so missing fields read as
+    /// `None`, matching serde's derive.
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Looks up struct field `name` in `obj` and deserializes it; used by the
+/// derive macro.
+///
+/// # Errors
+/// Propagates element errors; missing fields error unless the target type
+/// tolerates absence (`Option`).
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::missing().ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match *v {
+                    Value::U64(n) => <$t>::try_from(n).ok(),
+                    Value::I64(n) => <$t>::try_from(n).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    Error::new(concat!("expected ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as f64;
+                if x.is_finite() {
+                    Value::F64(x)
+                } else {
+                    // serde_json writes non-finite floats as null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_arr().ok_or_else(|| Error::new("expected tuple array"))?;
+                Ok(($($t::from_value(
+                    items.get($n).ok_or_else(|| Error::new("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_reads_none() {
+        let obj = [("a".to_string(), Value::U64(3))];
+        let got: Option<u32> = field(&obj, "b").unwrap();
+        assert_eq!(got, None);
+        let err: Result<u32, _> = field(&obj, "b");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn floats_widen_exactly() {
+        let x = 0.1f32;
+        let v = x.to_value();
+        assert_eq!(f32::from_value(&v).unwrap(), x);
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(f32::NAN.to_value(), Value::Null);
+        assert!(f32::from_value(&Value::Null).unwrap().is_nan());
+    }
+}
