@@ -1,0 +1,218 @@
+//! BuildHist before/after throughput runner — emits `BENCH_buildhist.json`.
+//!
+//! "Before" is the retained scalar reference kernels (`row_scan_scalar`,
+//! `col_scan_scalar`, toggled in training via
+//! `TrainParams::use_scalar_kernels`); "after" is the specialized
+//! branch-lean kernels that are now the default. Both paths are bitwise
+//! identical (see `tests/buildhist_equivalence.rs`), so the delta is pure
+//! throughput.
+//!
+//! Regenerate the committed snapshot with:
+//! `cargo run --release -p harp-bench --bin bench_buildhist`
+//! (writes `results/BENCH_buildhist.json` unless `--out` overrides it).
+
+use std::time::Instant;
+
+use harp_bench::{prepared, run_config, ExpArgs, Table};
+use harp_binning::{BinningConfig, QuantizedMatrix};
+use harp_data::{DatasetKind, SynthConfig};
+use harpgbdt::kernels::{
+    col_scan, col_scan_scalar, row_scan, row_scan_root, row_scan_scalar, GradSource,
+};
+use harpgbdt::{hist, ParallelMode, TrainParams};
+
+struct Fixture {
+    qm: QuantizedMatrix,
+    grads: Vec<[f32; 2]>,
+    rows: Vec<u32>,
+    width: usize,
+}
+
+fn fixture(kind: DatasetKind, scale: f64, seed: u64) -> Fixture {
+    let d = SynthConfig::new(kind, seed).with_scale(scale).generate();
+    let qm = QuantizedMatrix::from_matrix(&d.features, BinningConfig::default());
+    let n = qm.n_rows();
+    let grads: Vec<[f32; 2]> = (0..n).map(|i| [((i % 17) as f32) - 8.0, 0.25]).collect();
+    let rows: Vec<u32> = (0..n as u32).collect();
+    let width = hist::hist_width(qm.mapper().total_bins(), qm.n_features());
+    Fixture { qm, grads, rows, width }
+}
+
+/// Best-of-`reps` wall time of one invocation of `f`, in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let reps = if args.full { 21 } else { 9 };
+    let kernel_scale = args.data_scale(1.0, 8.0);
+
+    // --- Single-thread kernel comparison: scalar reference vs specialized.
+    let higgs = fixture(DatasetKind::HiggsLike, kernel_scale, args.seed);
+    let yfcc = fixture(DatasetKind::YfccLike, kernel_scale, args.seed);
+    let m = higgs.qm.n_features();
+    let sm = yfcc.qm.n_features();
+    let membuf: Vec<[f32; 2]> = higgs.rows.iter().map(|&r| higgs.grads[r as usize]).collect();
+    let mut buf = vec![0.0; higgs.width.max(yfcc.width)];
+
+    let mut kernels = Table::new(
+        format!(
+            "BuildHist kernels, single thread ({} HIGGS-like rows, {} YFCC-like rows)",
+            higgs.qm.n_rows(),
+            yfcc.qm.n_rows()
+        ),
+        &["kernel", "scalar ms", "specialized ms", "speedup"],
+    );
+    let mut dense_row_speedup = 0.0;
+    // Warm one rep of each pair before timing so page faults and branch
+    // history settle, then record best-of-`reps` for both sides.
+    let mut case = |name: &str,
+                    scalar: &mut dyn FnMut(&mut [f64]) -> u64,
+                    fast: &mut dyn FnMut(&mut [f64]) -> u64| {
+        scalar(&mut buf);
+        fast(&mut buf);
+        let s = best_secs(reps, || scalar(&mut buf));
+        let f = best_secs(reps, || fast(&mut buf));
+        if name == "dense row_scan (global grads)" {
+            dense_row_speedup = s / f;
+        }
+        kernels.row(vec![
+            name.to_string(),
+            format!("{:.3}", s * 1e3),
+            format!("{:.3}", f * 1e3),
+            format!("{:.2}x", s / f),
+        ]);
+    };
+    case(
+        "dense row_scan (global grads)",
+        &mut |buf| {
+            row_scan_scalar(&higgs.qm, &higgs.rows, GradSource::Global(&higgs.grads), 0..m, buf)
+        },
+        &mut |buf| row_scan(&higgs.qm, &higgs.rows, GradSource::Global(&higgs.grads), 0..m, buf),
+    );
+    case(
+        "dense row_scan (MemBuf grads)",
+        &mut |buf| row_scan_scalar(&higgs.qm, &higgs.rows, GradSource::MemBuf(&membuf), 0..m, buf),
+        &mut |buf| row_scan(&higgs.qm, &higgs.rows, GradSource::MemBuf(&membuf), 0..m, buf),
+    );
+    case(
+        "root contiguous scan",
+        &mut |buf| {
+            row_scan_scalar(&higgs.qm, &higgs.rows, GradSource::Global(&higgs.grads), 0..m, buf)
+        },
+        &mut |buf| {
+            row_scan_root(
+                &higgs.qm,
+                0..higgs.rows.len(),
+                GradSource::Global(&higgs.grads),
+                0..m,
+                buf,
+            )
+        },
+    );
+    case(
+        "sparse row_scan (global grads)",
+        &mut |buf| {
+            row_scan_scalar(&yfcc.qm, &yfcc.rows, GradSource::Global(&yfcc.grads), 0..sm, buf)
+        },
+        &mut |buf| row_scan(&yfcc.qm, &yfcc.rows, GradSource::Global(&yfcc.grads), 0..sm, buf),
+    );
+    case(
+        "col_scan (all features)",
+        &mut |buf| {
+            let mut cells = 0;
+            for f in 0..m {
+                let n_bins = higgs.qm.mapper().n_bins(f) as usize;
+                let base = higgs.qm.mapper().bin_offset(f) as usize * 2;
+                cells += col_scan_scalar(
+                    &higgs.qm,
+                    f,
+                    &higgs.rows,
+                    GradSource::Global(&higgs.grads),
+                    0..n_bins,
+                    &mut buf[base..base + n_bins * 2],
+                );
+            }
+            cells
+        },
+        &mut |buf| {
+            let mut cells = 0;
+            for f in 0..m {
+                let n_bins = higgs.qm.mapper().n_bins(f) as usize;
+                let base = higgs.qm.mapper().bin_offset(f) as usize * 2;
+                cells += col_scan(
+                    &higgs.qm,
+                    f,
+                    &higgs.rows,
+                    GradSource::Global(&higgs.grads),
+                    0..n_bins,
+                    &mut buf[base..base + n_bins * 2],
+                );
+            }
+            cells
+        },
+    );
+    kernels.note(
+        "scalar = retained reference kernels (TrainParams::use_scalar_kernels); \
+         specialized = branch-lean default path; outputs are bitwise identical",
+    );
+    kernels.note(format!(
+        "acceptance: dense row_scan (global grads) speedup {:.2}x (target >= 1.50x)",
+        dense_row_speedup
+    ));
+    kernels.print();
+
+    // --- End-to-end training throughput with the kernel toggle flipped.
+    let data = prepared(DatasetKind::HiggsLike, args.data_scale(0.5, 4.0), args.seed);
+    let n_trees = args.n_trees(10, 60);
+    harp_bench::warmup(&data, args.threads);
+    let mut training = Table::new(
+        format!("Training throughput, HIGGS-like, {} threads", args.threads),
+        &["config", "ms/tree", "scratch alloc/reuse", "speedup vs scalar"],
+    );
+    for (mode_name, mode) in
+        [("dp", ParallelMode::DataParallel), ("mp", ParallelMode::ModelParallel)]
+    {
+        let mut base: Option<f64> = None;
+        for (kernel_name, scalar) in [("scalar", true), ("specialized", false)] {
+            let params = TrainParams {
+                n_trees,
+                n_threads: args.threads,
+                mode,
+                use_scalar_kernels: scalar,
+                ..TrainParams::default()
+            };
+            let res = run_config(&data, params, false);
+            let prof = &res.output.diagnostics.profile;
+            let b = *base.get_or_insert(res.tree_secs);
+            training.row(vec![
+                format!("{mode_name} / {kernel_name}"),
+                format!("{:.2}", res.tree_secs * 1e3),
+                format!("{} / {}", prof.scratch_allocs, prof.scratch_reuses),
+                format!("{:.2}x", b / res.tree_secs),
+            ]);
+        }
+    }
+    training.note(
+        "scratch alloc/reuse counts replica-arena events across the whole run; \
+         allocations stop after the first tree's frontiers have been seen",
+    );
+    training.print();
+
+    let default_out = std::path::PathBuf::from("results/BENCH_buildhist.json");
+    let out = args.out.as_deref().unwrap_or(&default_out);
+    Table::write_json(&[&kernels, &training], out).expect("write json");
+    println!("\nwrote {}", out.display());
+    if dense_row_speedup < 1.5 {
+        eprintln!(
+            "WARNING: dense row_scan speedup {dense_row_speedup:.2}x is below the 1.5x target"
+        );
+    }
+}

@@ -126,6 +126,14 @@ impl BinMapper {
         self.bin_offsets[f]
     }
 
+    /// The whole flattened offset table: `offsets[f]` is the bin offset of
+    /// feature `f`, `offsets[n_features]` is [`total_bins`](Self::total_bins).
+    /// Kernels index this table directly instead of calling
+    /// [`bin_offset`](Self::bin_offset) per cell.
+    pub fn bin_offsets(&self) -> &[u32] {
+        &self.bin_offsets
+    }
+
     /// The cuts of feature `f`.
     pub fn cuts(&self, f: usize) -> &FeatureCuts {
         &self.features[f]

@@ -170,6 +170,19 @@ impl QuantizedMatrix {
         }
     }
 
+    /// The whole dense row-major bin matrix (`n_rows * n_features` bytes,
+    /// `MISSING_BIN` marks gaps), or `None` for sparse storage. Every stored
+    /// bin is either `MISSING_BIN` or strictly below the feature's
+    /// [`BinMapper::n_bins`] — quantization clamps into range — which lets
+    /// scan kernels index flattened histograms without per-cell checks.
+    #[inline]
+    pub fn dense_row_major(&self) -> Option<&[u8]> {
+        match &self.storage {
+            Storage::Dense { row_major, .. } => Some(row_major),
+            Storage::Sparse { .. } => None,
+        }
+    }
+
     /// Dense column-major slice of one feature (`MISSING_BIN` marks gaps),
     /// or `None` for sparse storage.
     #[inline]

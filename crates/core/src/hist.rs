@@ -8,18 +8,29 @@
 //! axis unrolled, which lets block tasks address private index ranges with no
 //! atomics.
 //!
+//! Buffers carry `n_features` extra *sink cells* past the real bins — the
+//! branch-free missing-value target of the specialized row-scan kernel
+//! ([`crate::kernels::row_scan`]). The kernels strip them before a buffer is
+//! read, so every consumer (reduction, subtraction, FindSplit) sees zeros
+//! there and the padding is inert.
+//!
 //! [`HistPool`] recycles buffers and caches candidate histograms so the
 //! parent−sibling subtraction trick can skip half of BuildHist; because
 //! leafwise growth can hold thousands of pending candidates, the cache is
 //! bounded in bytes and evicts the lowest-gain entry first (that candidate is
-//! the least likely to be popped soon).
+//! the least likely to be popped soon) through a lazy-deletion binary heap.
+//! [`ScratchPool`] is the data-parallel replica arena: whole-batch replica
+//! buffers survive across frontiers and trees, and dirty-range tracking
+//! re-zeroes only the lanes the previous use touched.
 
 use crate::tree::NodeId;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
+use std::ops::Range;
 
-/// Width in `f64` lanes of one node histogram: `total_bins * 2`.
-pub fn hist_width(total_bins: u32) -> usize {
-    total_bins as usize * 2
+/// Width in `f64` lanes of one node histogram in the *padded* layout:
+/// `total_bins * 2` real lanes plus one sink cell (2 lanes) per feature.
+pub fn hist_width(total_bins: u32, n_features: usize) -> usize {
+    total_bins as usize * 2 + crate::kernels::sink_lanes(n_features)
 }
 
 /// Zeroes a histogram buffer.
@@ -61,7 +72,42 @@ pub fn subtract_in_place(buf: &mut [f64], small: &[f64]) {
 
 struct Cached {
     data: Vec<f64>,
+    /// Insertion stamp; a heap entry is stale unless its stamp matches.
+    stamp: u64,
+}
+
+/// Min-heap entry ordering eviction candidates by gain (lazy deletion:
+/// entries whose `(node, stamp)` no longer matches the map are skipped).
+struct EvictEntry {
     gain: f64,
+    node: NodeId,
+    stamp: u64,
+}
+
+impl PartialEq for EvictEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for EvictEntry {}
+
+impl PartialOrd for EvictEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EvictEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the maximum; reverse the gain so the lowest gain
+        // surfaces first, with a stable stamp tiebreak.
+        other
+            .gain
+            .total_cmp(&self.gain)
+            .then_with(|| other.stamp.cmp(&self.stamp))
+            .then_with(|| other.node.cmp(&self.node))
+    }
 }
 
 /// Buffer recycler plus bounded cache of candidate histograms.
@@ -69,22 +115,27 @@ pub struct HistPool {
     width: usize,
     free: Vec<Vec<f64>>,
     cache: HashMap<NodeId, Cached>,
+    /// Gain-ordered eviction index over `cache`, with lazy deletion.
+    evict_heap: BinaryHeap<EvictEntry>,
+    next_stamp: u64,
     budget_bytes: usize,
 }
 
 impl HistPool {
-    /// Creates a pool for histograms of `total_bins` bins with a cache
-    /// budget of `budget_bytes`.
-    pub fn new(total_bins: u32, budget_bytes: usize) -> Self {
+    /// Creates a pool for padded histograms of `total_bins` bins over
+    /// `n_features` features with a cache budget of `budget_bytes`.
+    pub fn new(total_bins: u32, n_features: usize, budget_bytes: usize) -> Self {
         Self {
-            width: hist_width(total_bins),
+            width: hist_width(total_bins, n_features),
             free: Vec::new(),
             cache: HashMap::new(),
+            evict_heap: BinaryHeap::new(),
+            next_stamp: 0,
             budget_bytes,
         }
     }
 
-    /// Histogram lane count.
+    /// Histogram lane count (padded).
     pub fn width(&self) -> usize {
         self.width
     }
@@ -116,20 +167,26 @@ impl HistPool {
             return;
         }
         while (self.cache.len() + 1) * entry_bytes > self.budget_bytes {
-            let victim = self
-                .cache
-                .iter()
-                .min_by(|a, b| a.1.gain.total_cmp(&b.1.gain))
-                .map(|(&id, _)| id)
-                .expect("cache nonempty while over budget");
-            let evicted = self.cache.remove(&victim).expect("victim present");
+            let candidate = self.evict_heap.pop().expect("heap covers every cached entry");
+            // Lazy deletion: skip entries superseded by a take or re-insert.
+            let live = self.cache.get(&candidate.node).is_some_and(|c| c.stamp == candidate.stamp);
+            if !live {
+                continue;
+            }
+            let evicted = self.cache.remove(&candidate.node).expect("checked above");
             self.free.push(evicted.data);
         }
-        self.cache.insert(node, Cached { data, gain });
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(old) = self.cache.insert(node, Cached { data, stamp }) {
+            self.free.push(old.data);
+        }
+        self.evict_heap.push(EvictEntry { gain, node, stamp });
     }
 
     /// Removes and returns `node`'s cached histogram, if still present.
     pub fn cache_take(&mut self, node: NodeId) -> Option<Vec<f64>> {
+        // The heap entry goes stale and is skipped at eviction time.
         self.cache.remove(&node).map(|c| c.data)
     }
 
@@ -137,11 +194,94 @@ impl HistPool {
     pub fn clear_cache(&mut self) {
         let drained: Vec<Vec<f64>> = self.cache.drain().map(|(_, c)| c.data).collect();
         self.free.extend(drained);
+        self.evict_heap.clear();
     }
 
     /// Number of cached candidate histograms.
     pub fn cached_len(&self) -> usize {
         self.cache.len()
+    }
+}
+
+/// A pooled data-parallel replica buffer plus the lane ranges its last use
+/// dirtied. The buffer's length only grows; lanes outside the recorded dirty
+/// ranges are guaranteed zero — exactly like a fresh zeroed allocation.
+pub struct ReplicaBuf {
+    data: Vec<f64>,
+    dirty: Vec<Range<usize>>,
+}
+
+impl ReplicaBuf {
+    /// The writable buffer (length ≥ the acquire request).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Read view for the reduction.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Records the lane ranges this use dirtied (reuses the existing vec's
+    /// capacity; ranges need not be sorted or disjoint).
+    pub fn set_dirty(&mut self, ranges: impl Iterator<Item = Range<usize>>) {
+        self.dirty.clear();
+        self.dirty.extend(ranges);
+    }
+}
+
+/// Reusable arena of whole-batch DP replica buffers. Replicas survive across
+/// frontiers and trees; [`acquire`](Self::acquire) hands back a buffer whose
+/// previously-dirty lanes are re-zeroed — the rest never left zero — so the
+/// caller always sees the equivalent of a fresh `vec![0.0; len]` without the
+/// allocation or the full-width clear.
+#[derive(Default)]
+pub struct ScratchPool {
+    free: Vec<ReplicaBuf>,
+}
+
+impl ScratchPool {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a zero-equivalent buffer of at least `len` lanes. Returns
+    /// the buffer and whether a heap allocation (fresh buffer or capacity
+    /// growth) occurred — the profiling signal for the steady-state
+    /// zero-alloc guarantee.
+    pub fn acquire(&mut self, len: usize) -> (ReplicaBuf, bool) {
+        match self.free.pop() {
+            Some(mut buf) => {
+                for r in buf.dirty.drain(..) {
+                    buf.data[r].fill(0.0);
+                }
+                let grown = buf.data.capacity() < len;
+                if grown {
+                    // Round up so repeated small growth amortizes.
+                    buf.data.reserve(len.next_power_of_two() - buf.data.len());
+                }
+                if buf.data.len() < len {
+                    // Within capacity this is a fill, not an allocation; the
+                    // new lanes start at exactly +0.0 like a fresh buffer.
+                    buf.data.resize(len, 0.0);
+                }
+                (buf, grown)
+            }
+            None => (ReplicaBuf { data: vec![0.0; len], dirty: Vec::new() }, true),
+        }
+    }
+
+    /// Returns a buffer to the arena. The caller must have recorded the
+    /// dirtied lanes via [`ReplicaBuf::set_dirty`]; unrecorded dirty lanes
+    /// would resurface as garbage in a later acquire.
+    pub fn release(&mut self, buf: ReplicaBuf) {
+        self.free.push(buf);
+    }
+
+    /// Number of pooled buffers currently free.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
     }
 }
 
@@ -169,8 +309,14 @@ mod tests {
     }
 
     #[test]
+    fn width_includes_sink_cells() {
+        assert_eq!(hist_width(4, 3), 8 + 6);
+        assert_eq!(hist_width(4, 0), 8);
+    }
+
+    #[test]
     fn pool_reuses_buffers_zeroed() {
-        let mut pool = HistPool::new(4, 1 << 20);
+        let mut pool = HistPool::new(4, 0, 1 << 20);
         let mut b = pool.alloc();
         assert_eq!(b.len(), 8);
         b[3] = 9.0;
@@ -181,7 +327,7 @@ mod tests {
 
     #[test]
     fn cache_roundtrip() {
-        let mut pool = HistPool::new(2, 1 << 20);
+        let mut pool = HistPool::new(2, 0, 1 << 20);
         let mut b = pool.alloc();
         b[0] = 42.0;
         pool.cache_insert(7, b, 1.0);
@@ -194,7 +340,7 @@ mod tests {
     #[test]
     fn cache_evicts_lowest_gain_first() {
         // width = 2 bins -> 4 lanes -> 32 bytes per entry; budget: 2 entries.
-        let mut pool = HistPool::new(2, 64);
+        let mut pool = HistPool::new(2, 0, 64);
         pool.cache_insert(1, vec![1.0; 4], 5.0);
         pool.cache_insert(2, vec![2.0; 4], 1.0);
         pool.cache_insert(3, vec![3.0; 4], 3.0);
@@ -205,8 +351,54 @@ mod tests {
     }
 
     #[test]
+    fn eviction_skips_stale_heap_entries() {
+        let mut pool = HistPool::new(2, 0, 64);
+        pool.cache_insert(1, vec![1.0; 4], 1.0);
+        // Taking node 1 leaves a stale heap entry behind.
+        assert!(pool.cache_take(1).is_some());
+        pool.cache_insert(2, vec![2.0; 4], 2.0);
+        pool.cache_insert(3, vec![3.0; 4], 3.0);
+        // Budget forces one eviction; the stale entry for node 1 must be
+        // skipped and node 2 (lowest live gain) evicted.
+        pool.cache_insert(4, vec![4.0; 4], 4.0);
+        assert_eq!(pool.cached_len(), 2);
+        assert!(pool.cache_take(2).is_none());
+        assert!(pool.cache_take(3).is_some());
+        assert!(pool.cache_take(4).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_gain_not_duplicates() {
+        let mut pool = HistPool::new(2, 0, 64);
+        pool.cache_insert(1, vec![1.0; 4], 0.5);
+        pool.cache_insert(1, vec![1.5; 4], 9.0); // re-insert with high gain
+        pool.cache_insert(2, vec![2.0; 4], 2.0);
+        assert_eq!(pool.cached_len(), 2);
+        // Over budget: node 2 must go (1's live gain is 9.0, its stale 0.5
+        // entry must not evict it).
+        pool.cache_insert(3, vec![3.0; 4], 5.0);
+        assert_eq!(pool.cached_len(), 2);
+        assert_eq!(pool.cache_take(1).unwrap()[0], 1.5);
+        assert!(pool.cache_take(2).is_none());
+    }
+
+    #[test]
+    fn eviction_is_heap_fast_for_many_entries() {
+        // 1000 inserts into a 10-entry budget: O(n log n) total, and the
+        // survivors must be the 10 highest gains.
+        let mut pool = HistPool::new(2, 0, 32 * 10);
+        for i in 0..1000u32 {
+            pool.cache_insert(i, vec![0.0; 4], f64::from(i));
+        }
+        assert_eq!(pool.cached_len(), 10);
+        for i in 990..1000 {
+            assert!(pool.cache_take(i).is_some(), "high-gain entry {i} evicted");
+        }
+    }
+
+    #[test]
     fn zero_budget_disables_cache() {
-        let mut pool = HistPool::new(2, 0);
+        let mut pool = HistPool::new(2, 0, 0);
         pool.cache_insert(1, vec![0.0; 4], 10.0);
         assert_eq!(pool.cached_len(), 0);
         // The rejected buffer must have been recycled.
@@ -215,11 +407,41 @@ mod tests {
 
     #[test]
     fn clear_cache_recycles_everything() {
-        let mut pool = HistPool::new(2, 1 << 20);
+        let mut pool = HistPool::new(2, 0, 1 << 20);
         pool.cache_insert(1, vec![0.0; 4], 1.0);
         pool.cache_insert(2, vec![0.0; 4], 2.0);
         pool.clear_cache();
         assert_eq!(pool.cached_len(), 0);
+    }
+
+    #[test]
+    fn scratch_pool_zeroes_only_dirty_ranges() {
+        let mut pool = ScratchPool::new();
+        let (mut buf, fresh) = pool.acquire(8);
+        assert!(fresh, "first acquire allocates");
+        buf.as_mut_slice()[2] = 7.0;
+        buf.as_mut_slice()[5] = 3.0;
+        buf.set_dirty([2..3, 5..6].into_iter());
+        pool.release(buf);
+        let (buf, fresh) = pool.acquire(8);
+        assert!(!fresh, "steady-state acquire must not allocate");
+        assert!(buf.as_slice().iter().all(|&x| x == 0.0), "dirty lanes must be re-zeroed");
+        pool.release(buf);
+    }
+
+    #[test]
+    fn scratch_pool_growth_counts_as_alloc() {
+        let mut pool = ScratchPool::new();
+        let (mut buf, _) = pool.acquire(4);
+        buf.set_dirty(std::iter::once(0..4));
+        pool.release(buf);
+        let (buf, grown) = pool.acquire(16);
+        assert!(grown, "growth is an allocation event");
+        assert_eq!(&buf.as_slice()[..16], &[0.0; 16]);
+        pool.release(buf);
+        let (buf, grown) = pool.acquire(16);
+        assert!(!grown);
+        assert!(buf.as_slice().len() >= 16);
     }
 
     #[test]

@@ -9,11 +9,19 @@
 //!   the model-parallel kernel (writes confined to that feature's bins of
 //!   that node — a `16 × bin_blk × feature_blk × node_blk` region, §IV-E).
 //!
-//! Both return the number of histogram accumulations performed so drivers
-//! can report byte traffic and FLOPs to the profiler. Gradients are read
-//! from the node-aligned MemBuf slice when available, otherwise gathered
-//! from the global gradient array by row id (the "+MemBuf" ablation of
-//! Table V toggles exactly this).
+//! Both are monomorphized over [`GradRead`] (MemBuf slice vs. global
+//! gather, the "+MemBuf" ablation of Table V) so the per-cell gradient
+//! dispatch disappears, and both index the mapper's flattened
+//! [`harp_binning::BinMapper::bin_offsets`] table directly. The dense row
+//! scan additionally unrolls four rows per step with software prefetch and
+//! routes `MISSING_BIN` cells branch-free into per-feature *sink cells*
+//! appended past the real histogram (see [`row_scan`] for the layout
+//! contract); the sinks are zeroed before the buffer leaves the kernel, so
+//! output is bitwise identical to the retained scalar reference
+//! ([`row_scan_scalar`] / [`col_scan_scalar`]).
+//!
+//! All kernels return the number of histogram accumulations performed so
+//! drivers can report byte traffic and FLOPs to the profiler.
 
 use crate::loss::GradPair;
 use harp_binning::{QuantizedMatrix, MISSING_BIN};
@@ -47,11 +55,304 @@ impl<'a> GradSource<'a> {
     }
 }
 
+/// Monomorphized gradient access: implementations resolve either by scan
+/// position (MemBuf) or by row id (global gather) with no per-cell branch.
+trait GradRead: Copy {
+    /// The `(g, h)` pair of the `i`-th scanned row, whose row id is `row`.
+    fn get(&self, i: usize, row: u32) -> GradPair;
+    /// Hints the upcoming access; no-op where the walk is sequential.
+    fn prefetch(&self, i: usize, row: u32);
+}
+
+#[derive(Clone, Copy)]
+struct MemBufRead<'a>(&'a [GradPair]);
+
+impl GradRead for MemBufRead<'_> {
+    #[inline(always)]
+    fn get(&self, i: usize, _row: u32) -> GradPair {
+        self.0[i]
+    }
+
+    #[inline(always)]
+    fn prefetch(&self, _i: usize, _row: u32) {
+        // Sequential walk; the hardware prefetcher covers it.
+    }
+}
+
+#[derive(Clone, Copy)]
+struct GlobalRead<'a>(&'a [GradPair]);
+
+impl GradRead for GlobalRead<'_> {
+    #[inline(always)]
+    fn get(&self, _i: usize, row: u32) -> GradPair {
+        self.0[row as usize]
+    }
+
+    #[inline(always)]
+    fn prefetch(&self, _i: usize, row: u32) {
+        if let Some(p) = self.0.get(row as usize) {
+            prefetch_read(std::ptr::from_ref(p));
+        }
+    }
+}
+
+/// Monomorphized row-id access: an explicit id slice or a contiguous range
+/// (the root fast path, where the id is the scan position itself).
+trait RowSet: Copy {
+    fn len(&self) -> usize;
+    fn get(&self, i: usize) -> u32;
+}
+
+#[derive(Clone, Copy)]
+struct SliceRows<'a>(&'a [u32]);
+
+impl RowSet for SliceRows<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> u32 {
+        self.0[i]
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ContigRows {
+    base: u32,
+    len: usize,
+}
+
+impl RowSet for ContigRows {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> u32 {
+        self.base + i as u32
+    }
+}
+
+/// How many rows ahead the dense scan prefetches bin rows and gathered
+/// gradients (two unrolled quads).
+pub const PREFETCH_ROWS: usize = 8;
+
+/// Software prefetch into all cache levels; portable no-op off x86-64.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it never faults, even on bad addresses.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Lanes a row-scan histogram buffer must have beyond the real cells: one
+/// `(Σg, Σh)` sink cell per feature, appended after `total_bins`.
+pub fn sink_lanes(n_features: usize) -> usize {
+    n_features * 2
+}
+
 /// Accumulates `rows` × features `f_range` into `hist` (one node's full
-/// buffer, indexed by the mapper's bin offsets). Returns accumulation count.
+/// buffer, indexed by the mapper's bin offsets). Returns the accumulation
+/// count (missing cells excluded).
 ///
-/// `offsets[f]` must be the flattened bin offset of feature `f`.
+/// # Layout contract
+/// For dense storage, `hist` must be the *padded* layout of
+/// [`crate::hist::hist_width`]: `total_bins * 2` real lanes followed by
+/// [`sink_lanes`] zeroed sink lanes. Missing cells accumulate branch-free
+/// into feature `f`'s sink cell at index `total_bins + f` and the kernel
+/// re-zeroes the sinks of `f_range` before returning, so the buffer's real
+/// cells — and the sinks — leave exactly as the scalar reference
+/// ([`row_scan_scalar`]) produces them. Sparse storage has no missing
+/// sentinel and needs no padding.
 pub fn row_scan(
+    qm: &QuantizedMatrix,
+    rows: &[u32],
+    grads: GradSource<'_>,
+    f_range: Range<usize>,
+    hist: &mut [f64],
+) -> u64 {
+    match grads {
+        GradSource::MemBuf(m) => {
+            assert!(m.len() >= rows.len(), "MemBuf shorter than the row set");
+            row_scan_impl(qm, SliceRows(rows), MemBufRead(m), f_range, hist)
+        }
+        GradSource::Global(g) => row_scan_impl(qm, SliceRows(rows), GlobalRead(g), f_range, hist),
+    }
+}
+
+/// [`row_scan`] over the contiguous rows `row_range` — the root fast path,
+/// where the row set is `0..n` (or any span of it) and the MemBuf position
+/// equals the row id, so the row-id indirection drops out entirely.
+///
+/// A `GradSource::MemBuf` slice must be aligned to `row_range` (entry `i`
+/// belongs to row `row_range.start + i`), which at the root it is.
+pub fn row_scan_root(
+    qm: &QuantizedMatrix,
+    row_range: Range<usize>,
+    grads: GradSource<'_>,
+    f_range: Range<usize>,
+    hist: &mut [f64],
+) -> u64 {
+    assert!(row_range.end <= qm.n_rows(), "row range out of bounds");
+    let rows = ContigRows { base: row_range.start as u32, len: row_range.len() };
+    match grads {
+        GradSource::MemBuf(m) => {
+            assert!(m.len() >= rows.len, "MemBuf shorter than the row range");
+            row_scan_impl(qm, rows, MemBufRead(m), f_range, hist)
+        }
+        GradSource::Global(g) => row_scan_impl(qm, rows, GlobalRead(g), f_range, hist),
+    }
+}
+
+fn row_scan_impl<R: RowSet, G: GradRead>(
+    qm: &QuantizedMatrix,
+    rows: R,
+    grads: G,
+    f_range: Range<usize>,
+    hist: &mut [f64],
+) -> u64 {
+    let m = qm.n_features();
+    assert!(f_range.end <= m, "feature range out of bounds");
+    match qm.dense_row_major() {
+        Some(row_major) => dense_row_scan(qm, row_major, rows, grads, f_range, hist),
+        None => sparse_row_scan(qm, rows, grads, f_range, hist),
+    }
+}
+
+/// The specialized dense body: 4-row unroll, feature-outer within each quad
+/// (same-cell accumulation order stays row-ascending, as in the scalar
+/// scan), software prefetch [`PREFETCH_ROWS`] ahead, and branch-free
+/// missing-bin routing into the per-feature sinks.
+fn dense_row_scan<R: RowSet, G: GradRead>(
+    qm: &QuantizedMatrix,
+    row_major: &[u8],
+    rows: R,
+    grads: G,
+    f_range: Range<usize>,
+    hist: &mut [f64],
+) -> u64 {
+    let m = qm.n_features();
+    let offsets = qm.mapper().bin_offsets();
+    let total = qm.mapper().total_bins();
+    assert!(
+        hist.len() >= total as usize * 2 + sink_lanes(m),
+        "dense row_scan needs the padded hist layout (total_bins*2 + sink lanes)"
+    );
+    let n = rows.len();
+    let hp = hist.as_mut_ptr();
+
+    // Per-cell safety: a stored bin is < n_bins(f) or MISSING_BIN (the
+    // QuantizedMatrix invariant), so the selected index is either
+    // offsets[f] + b < offsets[f+1] <= total or the sink total + f < total
+    // + m; both fit the padded buffer asserted above.
+    #[inline(always)]
+    unsafe fn acc(hp: *mut f64, off: u32, sink: u32, b: u8, g: f32, h: f32) -> u64 {
+        let miss = u32::from(b == MISSING_BIN);
+        let mask = miss.wrapping_neg();
+        let cell = (((off + u32::from(b)) & !mask) | (sink & mask)) as usize * 2;
+        unsafe {
+            *hp.add(cell) += f64::from(g);
+            *hp.add(cell + 1) += f64::from(h);
+        }
+        u64::from(1 - miss)
+    }
+
+    let row_bins = |row: u32| -> &[u8] { &row_major[row as usize * m..row as usize * m + m] };
+    let mut cells = 0u64;
+    let mut i = 0usize;
+    while i + 4 <= n {
+        if i + PREFETCH_ROWS + 4 <= n {
+            for d in 0..4 {
+                let r = rows.get(i + PREFETCH_ROWS + d);
+                prefetch_read(&row_major[r as usize * m + f_range.start]);
+                grads.prefetch(i + PREFETCH_ROWS + d, r);
+            }
+        }
+        let (r0, r1, r2, r3) = (rows.get(i), rows.get(i + 1), rows.get(i + 2), rows.get(i + 3));
+        let ([g0, h0], [g1, h1]) = (grads.get(i, r0), grads.get(i + 1, r1));
+        let ([g2, h2], [g3, h3]) = (grads.get(i + 2, r2), grads.get(i + 3, r3));
+        let (b0, b1, b2, b3) = (row_bins(r0), row_bins(r1), row_bins(r2), row_bins(r3));
+        for f in f_range.clone() {
+            // SAFETY: f < f_range.end <= m bounds every slice; cell indices
+            // per the invariant above.
+            unsafe {
+                let off = *offsets.get_unchecked(f);
+                let sink = total + f as u32;
+                cells += acc(hp, off, sink, *b0.get_unchecked(f), g0, h0);
+                cells += acc(hp, off, sink, *b1.get_unchecked(f), g1, h1);
+                cells += acc(hp, off, sink, *b2.get_unchecked(f), g2, h2);
+                cells += acc(hp, off, sink, *b3.get_unchecked(f), g3, h3);
+            }
+        }
+        i += 4;
+    }
+    while i < n {
+        let r = rows.get(i);
+        let [g, h] = grads.get(i, r);
+        let bins = row_bins(r);
+        for f in f_range.clone() {
+            // SAFETY: as in the unrolled body.
+            unsafe {
+                let off = *offsets.get_unchecked(f);
+                cells += acc(hp, off, total + f as u32, *bins.get_unchecked(f), g, h);
+            }
+        }
+        i += 1;
+    }
+    // Strip the sinks: missing mass never leaves the kernel, keeping the
+    // buffer bitwise identical to the scalar reference.
+    for f in f_range {
+        hist[(total as usize + f) * 2] = 0.0;
+        hist[(total as usize + f) * 2 + 1] = 0.0;
+    }
+    cells
+}
+
+fn sparse_row_scan<R: RowSet, G: GradRead>(
+    qm: &QuantizedMatrix,
+    rows: R,
+    grads: G,
+    f_range: Range<usize>,
+    hist: &mut [f64],
+) -> u64 {
+    let offsets = qm.mapper().bin_offsets();
+    let full = f_range.start == 0 && f_range.end == qm.n_features();
+    let mut cells = 0u64;
+    for i in 0..rows.len() {
+        let row = rows.get(i);
+        let [g, h] = grads.get(i, row);
+        let (cols, bins) = qm.sparse_row(row as usize).expect("sparse storage");
+        // Restrict to the feature block; row entries are sorted by column.
+        let (lo, hi) = if full {
+            (0, cols.len())
+        } else {
+            (
+                cols.partition_point(|&c| (c as usize) < f_range.start),
+                cols.partition_point(|&c| (c as usize) < f_range.end),
+            )
+        };
+        for k in lo..hi {
+            let cell = (offsets[cols[k] as usize] + u32::from(bins[k])) as usize * 2;
+            hist[cell] += f64::from(g);
+            hist[cell + 1] += f64::from(h);
+        }
+        cells += (hi - lo) as u64;
+    }
+    cells
+}
+
+/// The scalar row-scan reference: one `match` per gradient read, one
+/// `bin_offset` call and one missing-bin branch per cell. Retained verbatim
+/// so the specialized kernels have a bitwise ground truth (and the bench
+/// runner a "before" measurement). Needs no sink padding.
+pub fn row_scan_scalar(
     qm: &QuantizedMatrix,
     rows: &[u32],
     grads: GradSource<'_>,
@@ -80,7 +381,6 @@ pub fn row_scan(
         for (i, &row) in rows.iter().enumerate() {
             let [g, h] = grads.get(i, row);
             let (cols, bins) = qm.sparse_row(row as usize).expect("sparse storage");
-            // Restrict to the feature block; row entries are sorted by column.
             let (lo, hi) = if full {
                 (0, cols.len())
             } else {
@@ -101,12 +401,98 @@ pub fn row_scan(
     cells
 }
 
+/// After this many linear probe steps, the sparse column merge-walk switches
+/// to a `partition_point` gallop (skewed columns degrade the linear cursor
+/// to O(nnz_col) per node otherwise).
+const GALLOP_AFTER: usize = 16;
+
 /// Accumulates feature `f` over `rows` into `hist_f` (that feature's bins
 /// only: `n_bins * 2` lanes), restricted to bins in `bin_range`. Returns the
 /// accumulation count.
 ///
 /// `rows` must be ascending (guaranteed by the stable partition).
 pub fn col_scan(
+    qm: &QuantizedMatrix,
+    f: usize,
+    rows: &[u32],
+    grads: GradSource<'_>,
+    bin_range: Range<usize>,
+    hist_f: &mut [f64],
+) -> u64 {
+    match grads {
+        GradSource::MemBuf(m) => {
+            assert!(m.len() >= rows.len(), "MemBuf shorter than the row set");
+            col_scan_impl(qm, f, rows, MemBufRead(m), bin_range, hist_f)
+        }
+        GradSource::Global(g) => col_scan_impl(qm, f, rows, GlobalRead(g), bin_range, hist_f),
+    }
+}
+
+fn col_scan_impl<G: GradRead>(
+    qm: &QuantizedMatrix,
+    f: usize,
+    rows: &[u32],
+    grads: G,
+    bin_range: Range<usize>,
+    hist_f: &mut [f64],
+) -> u64 {
+    let mut cells = 0u64;
+    let full_bins = bin_range.start == 0 && bin_range.end >= qm.mapper().n_bins(f) as usize;
+    if let Some(col) = qm.dense_col(f) {
+        for (i, &row) in rows.iter().enumerate() {
+            if i + PREFETCH_ROWS < rows.len() {
+                prefetch_read(&col[rows[i + PREFETCH_ROWS] as usize]);
+            }
+            let b = col[row as usize];
+            if b == MISSING_BIN {
+                continue;
+            }
+            if !full_bins && !bin_range.contains(&(b as usize)) {
+                continue;
+            }
+            let [g, h] = grads.get(i, row);
+            let cell = usize::from(b) * 2;
+            hist_f[cell] += f64::from(g);
+            hist_f[cell + 1] += f64::from(h);
+            cells += 1;
+        }
+    } else {
+        // Sparse: merge-walk the CSC column (rows ascending) with the node's
+        // rows (also ascending), galloping over long gaps.
+        let (col_rows, col_bins) = qm.sparse_col(f).expect("sparse storage");
+        let mut k = 0usize;
+        for (i, &row) in rows.iter().enumerate() {
+            let mut steps = 0usize;
+            while k < col_rows.len() && col_rows[k] < row {
+                k += 1;
+                steps += 1;
+                if steps == GALLOP_AFTER {
+                    k += col_rows[k..].partition_point(|&r| r < row);
+                    break;
+                }
+            }
+            if k == col_rows.len() {
+                break;
+            }
+            if col_rows[k] == row {
+                let b = col_bins[k];
+                if full_bins || bin_range.contains(&(b as usize)) {
+                    let [g, h] = grads.get(i, row);
+                    let cell = usize::from(b) * 2;
+                    hist_f[cell] += f64::from(g);
+                    hist_f[cell + 1] += f64::from(h);
+                    cells += 1;
+                }
+                k += 1;
+            }
+        }
+    }
+    cells
+}
+
+/// The scalar column-scan reference (per-cell gradient `match`, linear
+/// merge cursor); see [`row_scan_scalar`].
+pub fn col_scan_scalar(
     qm: &QuantizedMatrix,
     f: usize,
     rows: &[u32],
@@ -132,8 +518,6 @@ pub fn col_scan(
             cells += 1;
         }
     } else {
-        // Sparse: merge-walk the CSC column (rows ascending) with the node's
-        // rows (also ascending).
         let (col_rows, col_bins) = qm.sparse_col(f).expect("sparse storage");
         let mut k = 0usize;
         for (i, &row) in rows.iter().enumerate() {
@@ -213,11 +597,12 @@ mod tests {
         (0..n).map(|i| [1.0 + i as f32, 0.5]).collect()
     }
 
+    /// Padded buffer: real cells plus the per-feature sinks.
     fn hist_for(qm: &QuantizedMatrix) -> Vec<f64> {
-        vec![0.0; qm.mapper().total_bins() as usize * 2]
+        vec![0.0; qm.mapper().total_bins() as usize * 2 + sink_lanes(qm.n_features())]
     }
 
-    /// Reference accumulation via the slow accessor.
+    /// Reference accumulation via the slow accessor (padded, sinks zero).
     fn reference(
         qm: &QuantizedMatrix,
         rows: &[u32],
@@ -260,6 +645,17 @@ mod tests {
     }
 
     #[test]
+    fn row_scan_strips_sink_cells() {
+        let qm = dense_qm();
+        let g = grads(6);
+        let rows: Vec<u32> = (0..6).collect();
+        let mut hist = hist_for(&qm);
+        row_scan(&qm, &rows, GradSource::Global(&g), 0..3, &mut hist);
+        let total = qm.mapper().total_bins() as usize;
+        assert!(hist[total * 2..].iter().all(|&x| x == 0.0), "sinks must leave zeroed");
+    }
+
+    #[test]
     fn row_scan_feature_block_restricts_columns() {
         let qm = dense_qm();
         let g = grads(6);
@@ -283,6 +679,49 @@ mod tests {
         row_scan(&qm, &rows, GradSource::Global(&g), 0..3, &mut h1);
         row_scan(&qm, &rows, GradSource::MemBuf(&membuf), 0..3, &mut h2);
         assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn row_scan_root_matches_slice_scan() {
+        for qm in [dense_qm(), sparse_qm()] {
+            let n = qm.n_rows();
+            let g = grads(n);
+            let m = qm.n_features();
+            let rows: Vec<u32> = (0..n as u32).collect();
+            let mut by_slice = hist_for(&qm);
+            let mut by_range = hist_for(&qm);
+            row_scan(&qm, &rows, GradSource::Global(&g), 0..m, &mut by_slice);
+            row_scan_root(&qm, 0..n, GradSource::Global(&g), 0..m, &mut by_range);
+            assert_eq!(by_slice, by_range);
+            // MemBuf at the root: position == row id.
+            let mut by_membuf = hist_for(&qm);
+            row_scan_root(&qm, 0..n, GradSource::MemBuf(&g), 0..m, &mut by_membuf);
+            assert_eq!(by_slice, by_membuf);
+            // A strict sub-range too.
+            let mut sub_slice = hist_for(&qm);
+            let mut sub_range = hist_for(&qm);
+            row_scan(&qm, &rows[1..n], GradSource::Global(&g), 0..m, &mut sub_slice);
+            row_scan_root(&qm, 1..n, GradSource::Global(&g), 0..m, &mut sub_range);
+            assert_eq!(sub_slice, sub_range);
+        }
+    }
+
+    #[test]
+    fn row_scan_matches_scalar_bitwise() {
+        for qm in [dense_qm(), sparse_qm()] {
+            let n = qm.n_rows();
+            let g = grads(n);
+            let m = qm.n_features();
+            for f_range in [0..m, 1..m, 0..1] {
+                let rows: Vec<u32> = (0..n as u32).collect();
+                let mut fast = hist_for(&qm);
+                let mut scalar = hist_for(&qm);
+                let cf = row_scan(&qm, &rows, GradSource::Global(&g), f_range.clone(), &mut fast);
+                let cs = row_scan_scalar(&qm, &rows, GradSource::Global(&g), f_range, &mut scalar);
+                assert_eq!(cf, cs);
+                assert_eq!(fast, scalar);
+            }
+        }
     }
 
     #[test]
@@ -320,6 +759,9 @@ mod tests {
                 col_scan(&qm, f, &rows, GradSource::Global(&g), 0..n_bins, &mut hist_f);
                 let base = qm.mapper().bin_offset(f) as usize * 2;
                 assert_eq!(&full[base..base + n_bins * 2], &hist_f[..], "feature {f}");
+                let mut scalar_f = vec![0.0; n_bins * 2];
+                col_scan_scalar(&qm, f, &rows, GradSource::Global(&g), 0..n_bins, &mut scalar_f);
+                assert_eq!(hist_f, scalar_f, "feature {f} scalar col_scan");
             }
         }
     }
@@ -355,6 +797,38 @@ mod tests {
             let reference_full = reference(&qm, &rows, &g, f..f + 1);
             let base = qm.mapper().bin_offset(f) as usize * 2;
             assert_eq!(&reference_full[base..base + n_bins * 2], &hist_f[..], "feature {f}");
+        }
+    }
+
+    #[test]
+    fn col_scan_gallops_over_skewed_column() {
+        // One hot column where the node's rows all sit past a long dense
+        // prefix: the gallop must skip the prefix, and the result must match
+        // the linear-cursor scalar walk exactly.
+        let n = 2000usize;
+        let rows_data: Vec<Vec<(u32, f32)>> = (0..n)
+            .map(|r| {
+                let mut entries = vec![(0u32, (r % 7) as f32)];
+                if r >= n - 5 {
+                    entries.push((1, 1.0));
+                }
+                entries
+            })
+            .collect();
+        let m = FeatureMatrix::Sparse(CsrMatrix::from_rows(2, &rows_data));
+        let qm = QuantizedMatrix::from_matrix(&m, BinningConfig::default());
+        let g = grads(n);
+        // A small, skewed row set near the tail: the feature-0 column cursor
+        // would otherwise crawl its whole nnz.
+        let rows: Vec<u32> = ((n - 8) as u32..n as u32).collect();
+        for f in 0..2 {
+            let n_bins = qm.mapper().n_bins(f) as usize;
+            let mut fast = vec![0.0; n_bins * 2];
+            let mut scalar = vec![0.0; n_bins * 2];
+            let cf = col_scan(&qm, f, &rows, GradSource::Global(&g), 0..n_bins, &mut fast);
+            let cs = col_scan_scalar(&qm, f, &rows, GradSource::Global(&g), 0..n_bins, &mut scalar);
+            assert_eq!(cf, cs, "feature {f} cell count");
+            assert_eq!(fast, scalar, "feature {f}");
         }
     }
 

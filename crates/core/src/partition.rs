@@ -23,7 +23,7 @@ use crate::loss::GradPair;
 use harp_parallel::ThreadPool;
 use std::cell::UnsafeCell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Interior-mutable fixed-capacity buffer, access partitioned by node spans.
 struct SyncBuf<T> {
@@ -77,6 +77,10 @@ pub struct RowPartition {
     /// Packed `(start, len)` per node id; `u64::MAX` = unassigned.
     spans: Vec<AtomicU64>,
     use_membuf: bool,
+    /// True between `reset` and the first `apply_split`: the row buffer is
+    /// the identity permutation, so a position in the root span IS its row
+    /// id (the root-scan fast path relies on this).
+    identity: AtomicBool,
 }
 
 impl RowPartition {
@@ -91,6 +95,7 @@ impl RowPartition {
             scratch_grads: SyncBuf::new(grad_len),
             spans: (0..max_nodes).map(|_| AtomicU64::new(u64::MAX)).collect(),
             use_membuf: use_membuf && n_rows > 0,
+            identity: AtomicBool::new(false),
         }
     }
 
@@ -124,6 +129,13 @@ impl RowPartition {
             dst.copy_from_slice(grads);
         }
         self.set_span(0, 0, self.n_rows as u32);
+        self.identity.store(true, Ordering::Release);
+    }
+
+    /// Whether the row buffer is still the identity permutation (no split
+    /// applied since [`reset`](Self::reset)).
+    pub fn is_identity_order(&self) -> bool {
+        self.identity.load(Ordering::Acquire)
     }
 
     fn set_span(&self, node: u32, start: u32, len: u32) {
@@ -178,6 +190,7 @@ impl RowPartition {
         goes_left: &(impl Fn(u32) -> bool + Sync),
         pool: Option<&ThreadPool>,
     ) -> (u32, u32) {
+        self.identity.store(false, Ordering::Release);
         let span = self.span(parent);
         let start = span.start;
         let len = span.len();
@@ -341,6 +354,19 @@ mod tests {
         assert_eq!(p.rows(0), (0..10).collect::<Vec<u32>>().as_slice());
         assert_eq!(p.node_len(0), 10);
         assert_eq!(p.grads(0)[3], [3.0, 1.0]);
+        assert!(p.is_identity_order());
+    }
+
+    #[test]
+    fn identity_order_cleared_by_split_and_restored_by_reset() {
+        let p = fresh(10, true);
+        assert!(p.is_identity_order());
+        p.apply_split(0, 1, 2, &|r| r % 2 == 0, None);
+        assert!(!p.is_identity_order());
+        let mut p = p;
+        let grads: Vec<GradPair> = (0..10).map(|i| [i as f32, 1.0]).collect();
+        p.reset(&grads);
+        assert!(p.is_identity_order());
     }
 
     #[test]

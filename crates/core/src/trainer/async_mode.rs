@@ -18,7 +18,7 @@
 use super::{goes_left_predicate, TreeEngine};
 use crate::growth::{GrowthQueue, RankedCandidate};
 use crate::hist;
-use crate::kernels::{row_scan, GradSource, BYTES_PER_CELL, FLOPS_PER_CELL};
+use crate::kernels::{row_scan, row_scan_scalar, GradSource, BYTES_PER_CELL, FLOPS_PER_CELL};
 use crate::loss::GradPair;
 use crate::params::GrowthMethod;
 use crate::split::find_split_masked;
@@ -46,6 +46,7 @@ pub(super) fn run_async(
     wq.push_all(queue.pop_batch(usize::MAX, usize::MAX));
 
     let depthwise = engine.params.growth == GrowthMethod::Depthwise;
+    let use_scalar = engine.params.use_scalar_kernels;
     let max_depth = engine.max_depth_limit();
     let subtraction = engine.params.hist_subtraction;
     let qm = engine.qm;
@@ -117,13 +118,13 @@ pub(super) fn run_async(
             let mut cells = 0u64;
             let mut fresh = |node: NodeId| -> Vec<f64> {
                 let mut buf = hist_lock.lock_timed(lock_wait).alloc();
-                cells += row_scan(
-                    qm,
-                    partition.rows(node),
-                    GradSource::select(partition.grads(node), grads),
-                    0..m,
-                    &mut buf,
-                );
+                let rows = partition.rows(node);
+                let src = GradSource::select(partition.grads(node), grads);
+                cells += if use_scalar {
+                    row_scan_scalar(qm, rows, src, 0..m, &mut buf)
+                } else {
+                    row_scan(qm, rows, src, 0..m, &mut buf)
+                };
                 buf
             };
             match (l_el, r_el, parent_buf) {

@@ -18,8 +18,21 @@
 //! In deterministic mode DP emulates an OpenMP *static* schedule: task `t`
 //! of `T` processes every `T`-th block into replica `t`, so per-cell
 //! accumulation order is independent of thread timing.
+//!
+//! Both drivers draw their scratch — replica buffers and task vectors —
+//! from a caller-held [`DriverScratch`], so nothing is reallocated across
+//! frontiers or trees. Replicas come from a [`ScratchPool`] with
+//! dirty-range tracking: a released replica remembers which `(job,
+//! feature-block)` lanes its tasks wrote, and the next acquire re-zeroes
+//! only those. In deterministic mode the static schedule pins each task to
+//! its replica, so the tracked set is exact; in dynamic mode any worker may
+//! have run any task and every replica conservatively takes the union.
 
-use crate::kernels::{col_scan, row_scan, GradSource, BYTES_PER_CELL, FLOPS_PER_CELL};
+use crate::hist::{ReplicaBuf, ScratchPool};
+use crate::kernels::{
+    col_scan, col_scan_scalar, row_scan, row_scan_root, row_scan_scalar, GradSource,
+    BYTES_PER_CELL, FLOPS_PER_CELL,
+};
 use crate::loss::GradPair;
 use crate::params::{BlockConfig, TrainParams};
 use crate::partition::RowPartition;
@@ -33,7 +46,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct HistJob {
     /// The node whose rows are scanned.
     pub node: NodeId,
-    /// The node's GHSum buffer (`total_bins * 2` lanes, zeroed).
+    /// The node's GHSum buffer ([`crate::hist::hist_width`] lanes, zeroed).
     pub buf: Vec<f64>,
 }
 
@@ -72,11 +85,60 @@ struct DpTask {
     row_range: Range<usize>,
 }
 
+/// One MP task: features `f_range`, bins `bin_block`, nodes `jobs[lo..hi]`.
+struct MpTask {
+    job_range: Range<usize>,
+    f_range: Range<usize>,
+    /// Bin sub-range within each feature (`None` = all bins).
+    bin_block: Option<(usize, usize)>,
+}
+
+/// Caller-held driver scratch: the replica arena plus reusable task/range
+/// vectors. One per training engine; it survives across frontiers and trees
+/// so steady-state BuildHist performs no heap allocation.
+#[derive(Default)]
+pub struct DriverScratch {
+    replicas: ScratchPool,
+    dp_tasks: Vec<DpTask>,
+    mp_tasks: Vec<MpTask>,
+    live_jobs: Vec<usize>,
+    range_tmp: Vec<Range<usize>>,
+    replica_stash: Vec<ReplicaBuf>,
+}
+
+impl DriverScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Sorts and coalesces ranges in place (empty ranges dropped).
+fn merge_ranges(ranges: &mut Vec<Range<usize>>) {
+    ranges.sort_unstable_by_key(|r| (r.start, r.end));
+    let mut w = 0usize;
+    for i in 0..ranges.len() {
+        let r = ranges[i].clone();
+        if r.start >= r.end {
+            continue;
+        }
+        if w > 0 && r.start <= ranges[w - 1].end {
+            ranges[w - 1].end = ranges[w - 1].end.max(r.end);
+        } else {
+            ranges[w] = r;
+            w += 1;
+        }
+    }
+    ranges.truncate(w);
+}
+
 /// Fills the jobs' histograms with data parallelism.
-pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
+pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &mut [HistJob]) {
     if jobs.is_empty() {
         return;
     }
+    let DriverScratch { replicas: arena, dp_tasks, live_jobs, range_tmp, replica_stash, .. } =
+        scratch;
     let width = jobs[0].buf.len();
     let t = ctx.pool.num_threads();
     let m = ctx.qm.n_features();
@@ -89,11 +151,17 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
     let row_blk = blocks.rows_per_block(n_total.max(1), t);
     let node_blk = blocks.nodes_per_block(jobs.len());
 
+    // Zero-row jobs contribute no tasks; drop them up front so they don't
+    // emit per-feature-block iterations (their buffers stay zeroed).
+    live_jobs.clear();
+    live_jobs.extend((0..jobs.len()).filter(|&j| ctx.partition.node_len(jobs[j].node) > 0));
+
     // Enumerate tasks. Row chunks never cross node boundaries; a node block
     // only groups nodes into one scheduling unit (its members' chunks are
     // emitted consecutively and claimed together by task fusion below).
-    let mut tasks: Vec<DpTask> = Vec::new();
-    for node_group in (0..jobs.len()).collect::<Vec<_>>().chunks(node_blk) {
+    let tasks = dp_tasks;
+    tasks.clear();
+    for node_group in live_jobs.chunks(node_blk) {
         for f_lo in (0..m).step_by(f_blk) {
             let f_range = f_lo..(f_lo + f_blk).min(m);
             for &job_idx in node_group {
@@ -104,30 +172,44 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
                     tasks.push(DpTask { job_idx, f_range: f_range.clone(), row_range: lo..hi });
                     lo = hi;
                 }
-                if len == 0 {
-                    // Zero-row nodes contribute no tasks.
-                }
             }
         }
     }
+    if tasks.is_empty() {
+        ctx.report_cells(0);
+        return;
+    }
 
-    // Replicas: one per schedule slot, covering the whole batch.
-    let n_replicas = t.min(tasks.len().max(1));
+    // Replicas: one per schedule slot, covering the whole batch, drawn from
+    // the arena (previously dirtied lanes re-zeroed, rest untouched).
+    let n_replicas = t.min(tasks.len());
     let replica_len = jobs.len() * width;
-    let mut replicas: Vec<Vec<f64>> = (0..n_replicas).map(|_| vec![0.0; replica_len]).collect();
+    let mut replicas = std::mem::take(replica_stash);
+    let (mut allocs, mut reuses) = (0u64, 0u64);
+    for _ in 0..n_replicas {
+        let (buf, allocated) = arena.acquire(replica_len);
+        if allocated {
+            allocs += 1;
+        } else {
+            reuses += 1;
+        }
+        replicas.push(buf);
+    }
+    ctx.pool.profile().add_scratch_events(allocs, reuses);
 
     struct Ptr(*mut f64);
     unsafe impl Send for Ptr {}
     unsafe impl Sync for Ptr {}
-    let replica_ptrs: Vec<Ptr> = replicas.iter_mut().map(|r| Ptr(r.as_mut_ptr())).collect();
+    let replica_ptrs: Vec<Ptr> =
+        replicas.iter_mut().map(|r| Ptr(r.as_mut_slice().as_mut_ptr())).collect();
     let cells = AtomicU64::new(0);
     let jobs_ro: &[HistJob] = jobs;
-    let tasks_ro: &[DpTask] = &tasks;
+    let tasks_ro: &[DpTask] = tasks;
+    let use_scalar = ctx.params.use_scalar_kernels;
+    let root_identity = ctx.partition.is_identity_order();
 
     let run_task = |task: &DpTask, replica: usize| {
         let job = &jobs_ro[task.job_idx];
-        let rows = ctx.partition.rows(job.node);
-        let rows = &rows[task.row_range.clone()];
         let membuf = ctx.partition.grads(job.node);
         let grads = if membuf.is_empty() {
             GradSource::Global(ctx.grads)
@@ -139,7 +221,18 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
         // dynamic mode).
         let rep = unsafe { std::slice::from_raw_parts_mut(replica_ptrs[replica].0, replica_len) };
         let dst = &mut rep[task.job_idx * width..(task.job_idx + 1) * width];
-        let c = row_scan(ctx.qm, rows, grads, task.f_range.clone(), dst);
+        let c = if use_scalar {
+            let rows = &ctx.partition.rows(job.node)[task.row_range.clone()];
+            row_scan_scalar(ctx.qm, rows, grads, task.f_range.clone(), dst)
+        } else if job.node == 0 && root_identity {
+            // Root fast path: the root span starts at row 0 in identity
+            // order, so the chunk's positions ARE its row ids and the row-id
+            // indirection drops out.
+            row_scan_root(ctx.qm, task.row_range.clone(), grads, task.f_range.clone(), dst)
+        } else {
+            let rows = &ctx.partition.rows(job.node)[task.row_range.clone()];
+            row_scan(ctx.qm, rows, grads, task.f_range.clone(), dst)
+        };
         cells.fetch_add(c, Ordering::Relaxed);
     };
 
@@ -160,23 +253,62 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
 
     // Reduction: fold replicas (in order) into the job buffers. Parallel
     // over (job, width-chunk) cells; replica order fixed => deterministic.
-    let chunk = (width / 4).max(1024).min(width.max(1));
-    let chunks_per_job = width.div_ceil(chunk);
+    // Only the real lanes are folded — the sink padding never leaves a
+    // kernel non-zero.
+    let real = ctx.qm.mapper().total_bins() as usize * 2;
+    let chunk = (real / 4).max(1024).min(real.max(1));
+    let chunks_per_job = real.div_ceil(chunk);
     let job_ptrs: Vec<Ptr> = jobs.iter_mut().map(|j| Ptr(j.buf.as_mut_ptr())).collect();
-    let replicas_ro: &[Vec<f64>] = &replicas;
+    let replicas_ro: &[ReplicaBuf] = &replicas;
     ctx.pool.parallel_for(jobs.len() * chunks_per_job, |i, _| {
         let job_idx = i / chunks_per_job;
         let lo = (i % chunks_per_job) * chunk;
-        let hi = (lo + chunk).min(width);
+        let hi = (lo + chunk).min(real);
         // SAFETY: (job, lane-range) pairs are disjoint across tasks.
         let dst = unsafe { std::slice::from_raw_parts_mut(job_ptrs[job_idx].0.add(lo), hi - lo) };
         for rep in replicas_ro {
-            let src = &rep[job_idx * width + lo..job_idx * width + hi];
+            let src = &rep.as_slice()[job_idx * width + lo..job_idx * width + hi];
             for (d, s) in dst.iter_mut().zip(src) {
                 *d += s;
             }
         }
     });
+
+    // Record dirtied lanes per replica so the next acquire re-zeroes only
+    // those. Sink lanes leave every kernel zeroed and real lanes of a task
+    // cover features [f_lo, f_hi) of its job, so a task's dirty region is
+    // one contiguous lane range.
+    let offsets = ctx.qm.mapper().bin_offsets();
+    let lane_range = |task: &DpTask| {
+        let lo = task.job_idx * width + offsets[task.f_range.start] as usize * 2;
+        let hi = task.job_idx * width + offsets[task.f_range.end] as usize * 2;
+        lo..hi
+    };
+    if ctx.params.deterministic {
+        // Exact per-slot sets from the static schedule.
+        for (slot, rep) in replicas.iter_mut().enumerate() {
+            range_tmp.clear();
+            let mut i = slot;
+            while i < tasks.len() {
+                range_tmp.push(lane_range(&tasks[i]));
+                i += n_replicas;
+            }
+            merge_ranges(range_tmp);
+            rep.set_dirty(range_tmp.drain(..));
+        }
+    } else {
+        // Any worker may have run any task: conservative union everywhere.
+        range_tmp.clear();
+        range_tmp.extend(tasks.iter().map(lane_range));
+        merge_ranges(range_tmp);
+        for rep in &mut replicas {
+            rep.set_dirty(range_tmp.iter().cloned());
+        }
+    }
+    for rep in replicas.drain(..) {
+        arena.release(rep);
+    }
+    *replica_stash = replicas;
 
     ctx.report_cells(cells.load(Ordering::Relaxed));
     // The write working set of one DP task: the feature block's share of the
@@ -186,16 +318,8 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
     ctx.pool.profile().observe_region_bytes(ws as u64);
 }
 
-/// One MP task: features `f_range`, bins `bin_range`, nodes `jobs[lo..hi]`.
-struct MpTask {
-    job_range: Range<usize>,
-    f_range: Range<usize>,
-    /// Bin sub-range within each feature (`None` = all bins).
-    bin_block: Option<(usize, usize)>,
-}
-
 /// Fills the jobs' histograms with model parallelism (exclusive writes).
-pub fn build_hists_mp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
+pub fn build_hists_mp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &mut [HistJob]) {
     if jobs.is_empty() {
         return;
     }
@@ -208,7 +332,8 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
     let bin_blk = blocks.bins_per_block(max_bins.max(1));
     let n_bin_blocks = max_bins.max(1).div_ceil(bin_blk);
 
-    let mut tasks: Vec<MpTask> = Vec::new();
+    let tasks = &mut scratch.mp_tasks;
+    tasks.clear();
     for job_lo in (0..jobs.len()).step_by(node_blk) {
         let job_range = job_lo..(job_lo + node_blk).min(jobs.len());
         for f_lo in (0..m).step_by(f_blk) {
@@ -232,7 +357,8 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
     let job_ptrs: Vec<Ptr> = jobs.iter_mut().map(|j| Ptr(j.buf.as_mut_ptr())).collect();
     let jobs_ro: &[HistJob] = jobs;
     let cells = AtomicU64::new(0);
-    let tasks_ro: &[MpTask] = &tasks;
+    let tasks_ro: &[MpTask] = tasks;
+    let use_scalar = ctx.params.use_scalar_kernels;
 
     ctx.pool.parallel_for(tasks_ro.len(), |i, _| {
         let task = &tasks_ro[i];
@@ -259,7 +385,11 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
                 };
                 let base = mapper.bin_offset(f) as usize * 2;
                 let hist_f = &mut buf[base..base + n_bins * 2];
-                local_cells += col_scan(ctx.qm, f, rows, grads, bin_range, hist_f);
+                local_cells += if use_scalar {
+                    col_scan_scalar(ctx.qm, f, rows, grads, bin_range, hist_f)
+                } else {
+                    col_scan(ctx.qm, f, rows, grads, bin_range, hist_f)
+                };
             }
         }
         cells.fetch_add(local_cells, Ordering::Relaxed);
@@ -274,9 +404,12 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, jobs: &mut [HistJob]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hist::hist_width;
     use crate::params::ParallelMode;
     use harp_binning::BinningConfig;
     use harp_data::{DatasetKind, SynthConfig};
+    use harp_parallel::Profile;
+    use std::sync::Arc;
 
     fn setup(kind: DatasetKind, membuf: bool) -> (QuantizedMatrix, Vec<GradPair>, RowPartition) {
         let d = SynthConfig::new(kind, 42).with_scale(0.02).generate();
@@ -291,14 +424,24 @@ mod tests {
         (qm, grads, part)
     }
 
+    fn padded(qm: &QuantizedMatrix) -> usize {
+        hist_width(qm.mapper().total_bins(), qm.n_features())
+    }
+
     fn reference_hist(
         qm: &QuantizedMatrix,
         part: &RowPartition,
         grads: &[GradPair],
         node: NodeId,
     ) -> Vec<f64> {
-        let mut buf = vec![0.0; qm.mapper().total_bins() as usize * 2];
-        row_scan(qm, part.rows(node), GradSource::Global(grads), 0..qm.n_features(), &mut buf);
+        let mut buf = vec![0.0; padded(qm)];
+        row_scan_scalar(
+            qm,
+            part.rows(node),
+            GradSource::Global(grads),
+            0..qm.n_features(),
+            &mut buf,
+        );
         buf
     }
 
@@ -311,13 +454,28 @@ mod tests {
         nodes: &[NodeId],
     ) -> Vec<Vec<f64>> {
         let pool = ThreadPool::new(params.n_threads);
-        let ctx = DriverCtx { qm, params, pool: &pool, partition: part, grads };
-        let width = qm.mapper().total_bins() as usize * 2;
+        let mut scratch = DriverScratch::new();
+        run_driver_with(mode, params, qm, part, grads, nodes, &pool, &mut scratch)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_driver_with(
+        mode: ParallelMode,
+        params: &TrainParams,
+        qm: &QuantizedMatrix,
+        part: &RowPartition,
+        grads: &[GradPair],
+        nodes: &[NodeId],
+        pool: &ThreadPool,
+        scratch: &mut DriverScratch,
+    ) -> Vec<Vec<f64>> {
+        let ctx = DriverCtx { qm, params, pool, partition: part, grads };
+        let width = padded(qm);
         let mut jobs: Vec<HistJob> =
             nodes.iter().map(|&n| HistJob { node: n, buf: vec![0.0; width] }).collect();
         match mode {
-            ParallelMode::DataParallel => build_hists_dp(&ctx, &mut jobs),
-            ParallelMode::ModelParallel => build_hists_mp(&ctx, &mut jobs),
+            ParallelMode::DataParallel => build_hists_dp(&ctx, scratch, &mut jobs),
+            ParallelMode::ModelParallel => build_hists_mp(&ctx, scratch, &mut jobs),
             _ => unreachable!("driver test"),
         }
         jobs.into_iter().map(|j| j.buf).collect()
@@ -338,6 +496,23 @@ mod tests {
         let hists = run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &nodes);
         for (i, &n) in nodes.iter().enumerate() {
             assert_close(&hists[i], &reference_hist(&qm, &part, &grads, n));
+        }
+    }
+
+    #[test]
+    fn dp_root_fast_path_matches_reference() {
+        let d = SynthConfig::new(DatasetKind::HiggsLike, 7).with_scale(0.02).generate();
+        let qm = QuantizedMatrix::from_matrix(&d.features, BinningConfig::with_max_bins(32));
+        let n = qm.n_rows();
+        let grads: Vec<GradPair> = (0..n).map(|i| [(i % 11) as f32 - 5.0, 1.0]).collect();
+        for membuf in [true, false] {
+            let mut part = RowPartition::new(n, 8, membuf);
+            part.reset(&grads);
+            assert!(part.is_identity_order());
+            let params = TrainParams { n_threads: 4, use_membuf: membuf, ..Default::default() };
+            let hists =
+                run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &[0u32]);
+            assert_close(&hists[0], &reference_hist(&qm, &part, &grads, 0));
         }
     }
 
@@ -371,6 +546,26 @@ mod tests {
         let hists = run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &nodes);
         for (i, &n) in nodes.iter().enumerate() {
             assert_close(&hists[i], &reference_hist(&qm, &part, &grads, n));
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_toggle_matches_specialized() {
+        let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
+        let nodes = [3u32, 4, 2];
+        for mode in [ParallelMode::DataParallel, ParallelMode::ModelParallel] {
+            let fast = {
+                let params = TrainParams { n_threads: 4, ..Default::default() };
+                run_driver(mode, &params, &qm, &part, &grads, &nodes)
+            };
+            let scalar = {
+                let params =
+                    TrainParams { n_threads: 4, use_scalar_kernels: true, ..Default::default() };
+                run_driver(mode, &params, &qm, &part, &grads, &nodes)
+            };
+            for i in 0..nodes.len() {
+                assert_eq!(fast[i], scalar[i], "node {i} not bitwise equal across kernels");
+            }
         }
     }
 
@@ -418,6 +613,91 @@ mod tests {
     }
 
     #[test]
+    fn pooled_replicas_stay_bitwise_reproducible_across_calls() {
+        // The dirty-zeroing bug magnet: the second call reuses replicas the
+        // first call dirtied. With row_blk forcing many tasks per slot the
+        // dirty set is non-trivial.
+        let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
+        let params = TrainParams {
+            n_threads: 4,
+            deterministic: true,
+            blocks: BlockConfig { row_blk_size: 64, ..Default::default() },
+            ..Default::default()
+        };
+        let nodes = [3u32, 4, 2];
+        let pool = ThreadPool::new(params.n_threads);
+        let mut scratch = DriverScratch::new();
+        let first = run_driver_with(
+            ParallelMode::DataParallel,
+            &params,
+            &qm,
+            &part,
+            &grads,
+            &nodes,
+            &pool,
+            &mut scratch,
+        );
+        // A second call over a *different* node set in between, to dirty
+        // other lanes.
+        let _ = run_driver_with(
+            ParallelMode::DataParallel,
+            &params,
+            &qm,
+            &part,
+            &grads,
+            &[2u32],
+            &pool,
+            &mut scratch,
+        );
+        let second = run_driver_with(
+            ParallelMode::DataParallel,
+            &params,
+            &qm,
+            &part,
+            &grads,
+            &nodes,
+            &pool,
+            &mut scratch,
+        );
+        for i in 0..nodes.len() {
+            assert_eq!(first[i], second[i], "node {i} differs with pooled replicas");
+        }
+    }
+
+    #[test]
+    fn pooled_replicas_allocate_only_once() {
+        let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
+        let params = TrainParams { n_threads: 4, ..Default::default() };
+        let nodes = [3u32, 4, 2];
+        let profile = Arc::new(Profile::new());
+        let pool = ThreadPool::with_profile(params.n_threads, Arc::clone(&profile));
+        let mut scratch = DriverScratch::new();
+        let mut first_call_allocs = 0;
+        for call in 0..3 {
+            let _ = run_driver_with(
+                ParallelMode::DataParallel,
+                &params,
+                &qm,
+                &part,
+                &grads,
+                &nodes,
+                &pool,
+                &mut scratch,
+            );
+            let allocs = profile.scratch_allocs.load(Ordering::Relaxed);
+            let reuses = profile.scratch_reuses.load(Ordering::Relaxed);
+            if call == 0 {
+                assert!(allocs > 0, "first call must allocate replicas");
+                assert_eq!(reuses, 0);
+                first_call_allocs = allocs;
+            } else {
+                assert_eq!(allocs, first_call_allocs, "steady state must not allocate");
+                assert_eq!(reuses, first_call_allocs * call as u64);
+            }
+        }
+    }
+
+    #[test]
     fn membuf_and_global_grads_agree() {
         let (qm, grads, part_mb) = setup(DatasetKind::CriteoLike, true);
         let (_, _, part_nomb) = setup(DatasetKind::CriteoLike, false);
@@ -437,9 +717,31 @@ mod tests {
         let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
         let params = TrainParams { n_threads: 2, ..Default::default() };
         let pool = ThreadPool::new(2);
+        let mut scratch = DriverScratch::new();
         let ctx =
             DriverCtx { qm: &qm, params: &params, pool: &pool, partition: &part, grads: &grads };
-        build_hists_dp(&ctx, &mut []);
-        build_hists_mp(&ctx, &mut []);
+        build_hists_dp(&ctx, &mut scratch, &mut []);
+        build_hists_mp(&ctx, &mut scratch, &mut []);
+    }
+
+    #[test]
+    fn zero_row_jobs_emit_no_tasks_and_stay_zero() {
+        let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
+        // Manufacture an empty node: split node 2 sending every row left.
+        part.apply_split(2, 5, 6, &|_| true, None);
+        assert_eq!(part.node_len(6), 0);
+        let params = TrainParams { n_threads: 4, ..Default::default() };
+        let hists =
+            run_driver(ParallelMode::DataParallel, &params, &qm, &part, &grads, &[3u32, 6, 4]);
+        assert!(hists[1].iter().all(|&x| x == 0.0), "zero-row job must stay zeroed");
+        assert_close(&hists[0], &reference_hist(&qm, &part, &grads, 3));
+        assert_close(&hists[2], &reference_hist(&qm, &part, &grads, 4));
+    }
+
+    #[test]
+    fn merge_ranges_coalesces() {
+        let mut r = vec![5..7, 0..2, 1..3, 7..7, 6..9];
+        merge_ranges(&mut r);
+        assert_eq!(r, vec![0..3, 5..9]);
     }
 }

@@ -17,7 +17,7 @@
 mod async_mode;
 mod drivers;
 
-pub use drivers::{DriverCtx, HistJob};
+pub use drivers::{build_hists_dp, build_hists_mp, DriverCtx, DriverScratch, HistJob};
 
 use crate::ensemble::GbdtModel;
 use crate::growth::GrowthQueue;
@@ -233,7 +233,12 @@ impl GbdtTrainer {
             pool: &pool,
             breakdown: &breakdown,
             partition: RowPartition::new(n, max_nodes, params.use_membuf),
-            hist_pool: HistPool::new(qm.mapper().total_bins(), params.hist_cache_bytes),
+            hist_pool: HistPool::new(
+                qm.mapper().total_bins(),
+                qm.n_features(),
+                params.hist_cache_bytes,
+            ),
+            scratch: DriverScratch::new(),
             settings: SplitSettings {
                 lambda: params.lambda,
                 gamma: params.gamma,
@@ -382,6 +387,9 @@ struct TreeEngine<'a> {
     breakdown: &'a TimeBreakdown,
     partition: RowPartition,
     hist_pool: HistPool,
+    /// Replica arena and task vectors reused by the drivers across
+    /// frontiers and trees.
+    scratch: DriverScratch,
     settings: SplitSettings,
     /// Per-tree column-subsampling mask; empty = all features allowed.
     feature_mask: Vec<bool>,
@@ -415,16 +423,6 @@ impl TreeEngine<'_> {
             None
         } else {
             Some(&self.feature_mask)
-        }
-    }
-
-    fn driver_ctx<'b>(&'b self, grads: &'b [GradPair]) -> DriverCtx<'b> {
-        DriverCtx {
-            qm: self.qm,
-            params: self.params,
-            pool: self.pool,
-            partition: &self.partition,
-            grads,
         }
     }
 
@@ -628,11 +626,10 @@ impl TreeEngine<'_> {
     }
 
     /// Dispatches a batch of histogram jobs to the configured driver.
-    fn run_driver(&self, grads: &[GradPair], jobs: &mut [HistJob]) {
+    fn run_driver(&mut self, grads: &[GradPair], jobs: &mut [HistJob]) {
         if jobs.is_empty() {
             return;
         }
-        let ctx = self.driver_ctx(grads);
         let use_mp = match self.params.mode {
             ParallelMode::DataParallel => false,
             ParallelMode::ModelParallel => true,
@@ -646,10 +643,17 @@ impl TreeEngine<'_> {
                 jobs.len() >= self.pool.num_threads() / 2 && avg >= SYNC_SMALL_NODE_ROWS
             }
         };
+        let ctx = DriverCtx {
+            qm: self.qm,
+            params: self.params,
+            pool: self.pool,
+            partition: &self.partition,
+            grads,
+        };
         if use_mp {
-            drivers::build_hists_mp(&ctx, jobs);
+            drivers::build_hists_mp(&ctx, &mut self.scratch, jobs);
         } else {
-            drivers::build_hists_dp(&ctx, jobs);
+            drivers::build_hists_dp(&ctx, &mut self.scratch, jobs);
         }
     }
 

@@ -81,6 +81,11 @@ pub struct Profile {
     pub region_write_ws_samples: AtomicU64,
     /// Wall-clock nanoseconds covered by this profile (set by `stop`).
     pub wall_ns: AtomicU64,
+    /// Scratch (histogram replica) buffers freshly allocated or grown by the
+    /// drivers. Steady-state training must not increment this.
+    pub scratch_allocs: AtomicU64,
+    /// Scratch buffers reused from the pool without allocation.
+    pub scratch_reuses: AtomicU64,
 }
 
 impl Profile {
@@ -103,6 +108,8 @@ impl Profile {
             &self.region_write_ws_bytes,
             &self.region_write_ws_samples,
             &self.wall_ns,
+            &self.scratch_allocs,
+            &self.scratch_reuses,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -113,6 +120,13 @@ impl Profile {
         self.bytes_read.fetch_add(read, Ordering::Relaxed);
         self.bytes_written.fetch_add(written, Ordering::Relaxed);
         self.flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Records scratch-buffer traffic: `allocs` fresh allocations (or pool
+    /// growths) and `reuses` pool hits.
+    pub fn add_scratch_events(&self, allocs: u64, reuses: u64) {
+        self.scratch_allocs.fetch_add(allocs, Ordering::Relaxed);
+        self.scratch_reuses.fetch_add(reuses, Ordering::Relaxed);
     }
 
     /// Records the write working-set size of one scheduled task.
@@ -139,6 +153,8 @@ impl Profile {
         let flops = self.flops.load(Ordering::Relaxed);
         let ws_bytes = self.region_write_ws_bytes.load(Ordering::Relaxed);
         let ws_samples = self.region_write_ws_samples.load(Ordering::Relaxed);
+        let scratch_allocs = self.scratch_allocs.load(Ordering::Relaxed);
+        let scratch_reuses = self.scratch_reuses.load(Ordering::Relaxed);
 
         let thread_time = (threads as u64).saturating_mul(wall);
         let in_region = busy + barrier;
@@ -160,6 +176,8 @@ impl Profile {
             } else {
                 ws_bytes as f64 / ws_samples as f64
             },
+            scratch_allocs,
+            scratch_reuses,
         }
     }
 }
@@ -207,6 +225,11 @@ pub struct ProfileReport {
     /// Mean write working-set (bytes) of a scheduled task; §IV-E's
     /// `16 × bin_blk × feature_blk × node_blk` quantity.
     pub avg_write_working_set: f64,
+    /// Scratch replica allocations (or growths). Zero after the first
+    /// frontier in steady-state training.
+    pub scratch_allocs: u64,
+    /// Scratch replica pool hits.
+    pub scratch_reuses: u64,
 }
 
 impl std::fmt::Display for ProfileReport {
@@ -220,7 +243,8 @@ impl std::fmt::Display for ProfileReport {
         writeln!(f, "tasks                   {:>12}", self.tasks)?;
         writeln!(f, "avg task latency        {:>12.2} us", self.avg_task_us)?;
         writeln!(f, "FLOP / byte             {:>12.4}", self.flops_per_byte)?;
-        write!(f, "avg write working set   {:>12.0} B", self.avg_write_working_set)
+        writeln!(f, "avg write working set   {:>12.0} B", self.avg_write_working_set)?;
+        write!(f, "scratch alloc / reuse   {:>6} / {:<6}", self.scratch_allocs, self.scratch_reuses)
     }
 }
 
