@@ -3,7 +3,9 @@
 use crate::opts::Opts;
 use harp_data::{Dataset, DatasetKind, SynthConfig};
 use harpgbdt::trainer::{EvalMetric, EvalOptions};
-use harpgbdt::{GbdtModel, GbdtTrainer, GrowthMethod, LossKind, ParallelMode, TrainParams};
+use harpgbdt::{
+    GbdtModel, GbdtTrainer, GrowthMethod, LossKind, ParallelMode, TraceConfig, TrainParams,
+};
 use std::fmt::Write as _;
 
 fn load(path: &str) -> Result<Dataset, String> {
@@ -53,6 +55,7 @@ pub fn train(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
     let data = load(opts.required("--data")?)?;
     let model_path = opts.required("--model")?;
+    let trace_out = opts.get("--trace-out");
     let defaults = TrainParams::default();
     let params = TrainParams {
         n_trees: opts.parse_or("--trees", 100usize)?,
@@ -69,8 +72,12 @@ pub fn train(args: &[String]) -> Result<String, String> {
         subsample: opts.parse_or("--subsample", 1.0f32)?,
         colsample_bytree: opts.parse_or("--colsample", 1.0f32)?,
         seed: opts.parse_or("--seed", 0u64)?,
+        trace: if trace_out.is_some() { TraceConfig::enabled() } else { defaults.trace },
         ..defaults
     };
+    if trace_out.is_some() && !harp_parallel::TRACE_COMPILED {
+        return Err("--trace-out requires the harp-parallel \"trace\" feature".into());
+    }
     let trainer = GbdtTrainer::new(params.clone())?;
 
     let valid = opts.get("--valid").map(load).transpose()?;
@@ -113,6 +120,25 @@ pub fn train(args: &[String]) -> Result<String, String> {
             trace.best().unwrap_or(f64::NAN),
             out.diagnostics.best_iteration.unwrap_or(0)
         );
+    }
+    if let Some(path) = trace_out {
+        let snap = out
+            .diagnostics
+            .span_trace
+            .as_ref()
+            .ok_or_else(|| "tracing was enabled but no span trace was collected".to_string())?;
+        snap.write_chrome_trace(std::path::Path::new(path))
+            .map_err(|e| format!("failed to write trace {path}: {e}"))?;
+        let _ = writeln!(
+            report,
+            "trace: {} spans across {} lanes written to {path} (load in ui.perfetto.dev)",
+            snap.n_spans(),
+            snap.lanes.len()
+        );
+        if let Some(skew) = &out.diagnostics.worker_skew {
+            let _ = writeln!(report, "per-phase worker skew:");
+            let _ = write!(report, "{skew}");
+        }
     }
     let _ = writeln!(report, "model saved to {model_path}");
     Ok(report)

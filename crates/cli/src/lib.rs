@@ -68,5 +68,7 @@ pub fn usage() -> String {
     let _ = writeln!(s, "  --mode dp|mp|sync|async --threads N --loss logistic|squared|softmax:C");
     let _ = writeln!(s, "  --subsample F --colsample F --seed N");
     let _ = writeln!(s, "  --valid FILE --early-stop ROUNDS");
+    let _ = writeln!(s, "  --trace-out FILE   (write a chrome://tracing / Perfetto span trace");
+    let _ = writeln!(s, "                      and print the per-phase worker-skew table)");
     s
 }

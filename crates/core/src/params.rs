@@ -103,6 +103,52 @@ impl BlockConfig {
     }
 }
 
+/// Span-ledger tracing configuration (see `harp_parallel::trace`).
+///
+/// Off by default: training then performs no extra clock reads and the
+/// diagnostics carry no snapshot. When enabled, every worker (plus the
+/// coordinator) records phase spans into a fixed `spans_per_worker` ring —
+/// drop-oldest, so long runs keep the newest window — and the trainer
+/// attaches a [`harp_parallel::TraceSnapshot`] plus a per-phase worker-skew
+/// table to its diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TraceConfig {
+    /// Record spans and counters during training.
+    pub enabled: bool,
+    /// Ring capacity per worker lane, in spans (rounded up to a power of
+    /// two by the sink).
+    pub spans_per_worker: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { enabled: false, spans_per_worker: 1 << 14 }
+    }
+}
+
+impl TraceConfig {
+    /// Convenience constructor for an enabled default-capacity config.
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
+// Manual impl (not derived) so models serialized before this field existed
+// still deserialize: a missing `trace` object falls back to the default.
+impl serde::Deserialize for TraceConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_obj().ok_or_else(|| serde::Error::new("expected trace config object"))?;
+        Ok(Self {
+            enabled: serde::field(obj, "enabled")?,
+            spans_per_worker: serde::field(obj, "spans_per_worker")?,
+        })
+    }
+
+    fn missing() -> Option<Self> {
+        Some(Self::default())
+    }
+}
+
 /// Full training configuration.
 ///
 /// Defaults follow §V-A4: `learning_rate = 0.1`, `γ = 1.0`, `λ = 1.0`,
@@ -163,6 +209,8 @@ pub struct TrainParams {
     pub colsample_bytree: f32,
     /// Seed for the subsampling RNG (training itself is deterministic).
     pub seed: u64,
+    /// Span-ledger tracing (disabled by default; zero-cost when off).
+    pub trace: TraceConfig,
 }
 
 impl Default for TrainParams {
@@ -188,6 +236,7 @@ impl Default for TrainParams {
             subsample: 1.0,
             colsample_bytree: 1.0,
             seed: 0,
+            trace: TraceConfig::default(),
         }
     }
 }

@@ -20,7 +20,7 @@
 //! across worker threads.
 
 use crate::loss::GradPair;
-use harp_parallel::ThreadPool;
+use harp_parallel::{SpinMutex, ThreadPool};
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -67,6 +67,32 @@ fn unpack(v: u64) -> (u32, u32) {
 /// available.
 const MIN_PARALLEL_SPAN: usize = 8192;
 
+/// Reusable scratch for [`partition_parallel`]: per-chunk left counts and
+/// prefix bases. Held by the [`RowPartition`] behind a spin lock so repeated
+/// parallel splits perform no heap allocation once the vectors have grown to
+/// the steady-state chunk count.
+#[derive(Default)]
+struct PartitionScratch {
+    counts: Vec<AtomicU64>,
+    left_base: Vec<usize>,
+}
+
+impl PartitionScratch {
+    /// Makes room for `n_chunks` chunks, zeroing the counts that will be
+    /// used. Returns whether the vectors had to allocate or grow.
+    fn prepare(&mut self, n_chunks: usize) -> bool {
+        let grew = n_chunks > self.counts.len();
+        if grew {
+            self.counts.resize_with(n_chunks, || AtomicU64::new(0));
+            self.left_base.resize(n_chunks, 0);
+        }
+        for c in &self.counts[..n_chunks] {
+            c.store(0, Ordering::Relaxed);
+        }
+        grew
+    }
+}
+
 /// Row membership and gradient replica for one tree under construction.
 pub struct RowPartition {
     n_rows: usize,
@@ -81,6 +107,11 @@ pub struct RowPartition {
     /// the identity permutation, so a position in the root span IS its row
     /// id (the root-scan fast path relies on this).
     identity: AtomicBool,
+    /// Chunk-count scratch for parallel splits, reused across calls and
+    /// trees. Spin-locked: parallel splits are only issued one at a time
+    /// (from the coordinator), so the lock is uncontended; it merely keeps
+    /// `apply_split` callable through `&self`.
+    par_scratch: SpinMutex<PartitionScratch>,
 }
 
 impl RowPartition {
@@ -96,6 +127,7 @@ impl RowPartition {
             spans: (0..max_nodes).map(|_| AtomicU64::new(u64::MAX)).collect(),
             use_membuf: use_membuf && n_rows > 0,
             identity: AtomicBool::new(false),
+            par_scratch: SpinMutex::new(PartitionScratch::default()),
         }
     }
 
@@ -209,6 +241,7 @@ impl RowPartition {
         let n_left = match pool {
             Some(pool) if len >= MIN_PARALLEL_SPAN => partition_parallel(
                 pool,
+                &mut self.par_scratch.lock(),
                 rows,
                 grads,
                 scratch,
@@ -268,8 +301,12 @@ fn partition_serial(
 }
 
 /// Chunk-parallel stable partition: count, prefix, scatter, copy back.
+/// Per-chunk counters and prefix bases come from `ps`, so steady-state calls
+/// allocate nothing.
+#[allow(clippy::too_many_arguments)]
 fn partition_parallel(
     pool: &ThreadPool,
+    ps: &mut PartitionScratch,
     rows: &mut [u32],
     grads: &mut [GradPair],
     scratch: &mut [u32],
@@ -280,8 +317,10 @@ fn partition_parallel(
     let len = rows.len();
     let chunk = (len / (pool.num_threads() * 4)).max(MIN_PARALLEL_SPAN / 4);
     let n_chunks = len.div_ceil(chunk);
+    let grew = ps.prepare(n_chunks);
+    pool.profile().add_partition_scratch_event(grew);
     // Pass 1: per-chunk left counts.
-    let counts: Vec<AtomicU64> = (0..n_chunks).map(|_| AtomicU64::new(0)).collect();
+    let counts: &[AtomicU64] = &ps.counts[..n_chunks];
     let rows_ro: &[u32] = rows;
     pool.parallel_for(n_chunks, |c, _| {
         let lo = c * chunk;
@@ -290,7 +329,7 @@ fn partition_parallel(
         counts[c].store(n as u64, Ordering::Relaxed);
     });
     // Exclusive prefixes of lefts and rights.
-    let mut left_base = vec![0usize; n_chunks];
+    let left_base = &mut ps.left_base[..n_chunks];
     let mut acc = 0usize;
     for c in 0..n_chunks {
         left_base[c] = acc;
@@ -310,7 +349,7 @@ fn partition_parallel(
     let scratch_ptr = Ptr(scratch.as_mut_ptr());
     let sg_ptr = Ptr(scratch_grads.as_mut_ptr());
     let grads_ro: &[GradPair] = grads;
-    let left_base_ro: &[usize] = &left_base;
+    let left_base_ro: &[usize] = left_base;
     pool.parallel_for(n_chunks, |c, _| {
         let lo = c * chunk;
         let hi = (lo + chunk).min(len);
@@ -416,6 +455,33 @@ mod tests {
         assert_eq!(ps.rows(1), pp.rows(1));
         assert_eq!(ps.rows(2), pp.rows(2));
         assert_eq!(ps.grads(1), pp.grads(1));
+    }
+
+    #[test]
+    fn parallel_partition_scratch_is_reused_across_splits_and_trees() {
+        let n = 60_000;
+        let profile = std::sync::Arc::new(harp_parallel::Profile::new());
+        let pool = ThreadPool::with_profile(4, std::sync::Arc::clone(&profile));
+        let grads: Vec<GradPair> = (0..n).map(|i| [i as f32, 1.0]).collect();
+        let mut p = RowPartition::new(n, 64, true);
+        for tree in 0..3 {
+            p.reset(&grads);
+            // Root split is the largest span this partition will ever see, so
+            // the first call sizes the scratch for good.
+            p.apply_split(0, 1, 2, &|r| r % 2 == 0, Some(&pool));
+            p.apply_split(1, 3, 4, &|r| r % 3 == 0, Some(&pool));
+            let allocs = profile.partition_scratch_allocs.load(Ordering::Relaxed);
+            let reuses = profile.partition_scratch_reuses.load(Ordering::Relaxed);
+            if tree == 0 {
+                assert_eq!(allocs, 1, "only the first parallel split may allocate");
+                assert_eq!(reuses, 1);
+            }
+            assert_eq!(allocs, 1, "steady state must not allocate (tree {tree})");
+            assert_eq!(allocs + reuses, 2 * (tree + 1));
+        }
+        // Results stay correct through the reused scratch.
+        assert!(p.rows(3).windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(p.node_len(3) + p.node_len(4) + p.node_len(2), n);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use super::kernel;
 use harp_binning::QuantizedMatrix;
 use harp_data::FeatureMatrix;
 use harp_metrics::TimeBreakdown;
-use harp_parallel::{ScopedPhase, ThreadPool};
+use harp_parallel::{ScopedPhase, ThreadPool, TracePhase, TraceSink};
 
 /// Default rows per block: small enough that a block's outputs stay in L1,
 /// large enough to amortize streaming each tree's node arrays.
@@ -30,13 +30,14 @@ pub struct Predictor<'a> {
     forest: &'a FlatForest,
     pool: Option<&'a ThreadPool>,
     breakdown: Option<&'a TimeBreakdown>,
+    trace: Option<&'a TraceSink>,
     block_rows: usize,
 }
 
 impl<'a> Predictor<'a> {
     /// A serial predictor with the default block size.
     pub fn new(forest: &'a FlatForest) -> Self {
-        Self { forest, pool: None, breakdown: None, block_rows: DEFAULT_ROW_BLOCK }
+        Self { forest, pool: None, breakdown: None, trace: None, block_rows: DEFAULT_ROW_BLOCK }
     }
 
     /// Scores row blocks in parallel on `pool` (outputs stay bitwise
@@ -51,6 +52,13 @@ impl<'a> Predictor<'a> {
     /// phase next to BuildHist / FindSplit / ApplySplit).
     pub fn with_breakdown(mut self, breakdown: &'a TimeBreakdown) -> Self {
         self.breakdown = Some(breakdown);
+        self
+    }
+
+    /// Records per-block Predict spans into the ledger (worker lanes when a
+    /// pool is installed, the coordinator lane otherwise).
+    pub fn with_trace(mut self, sink: &'a TraceSink) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -139,6 +147,7 @@ impl<'a> Predictor<'a> {
         let _phase = self.breakdown.map(|b| ScopedPhase::new(&b.predict_ns));
         let block = self.block_rows;
         let n_blocks = n_rows.div_ceil(block);
+        let trace = self.trace;
         match self.pool {
             Some(pool) if n_blocks > 1 => {
                 struct Ptr(*mut f32);
@@ -150,7 +159,8 @@ impl<'a> Predictor<'a> {
                     }
                 }
                 let ptr = Ptr(out.as_mut_ptr());
-                pool.parallel_for(n_blocks, |b, _| {
+                pool.parallel_for(n_blocks, |b, w| {
+                    let _span = trace.map(|s| s.span(w, TracePhase::Predict, 0, b as u32));
                     let lo = b * block;
                     let hi = (lo + block).min(n_rows);
                     // SAFETY: blocks cover disjoint row ranges of `out`.
@@ -164,6 +174,8 @@ impl<'a> Predictor<'a> {
                 });
             }
             _ => {
+                let _span = trace
+                    .map(|s| s.span(s.coordinator_lane(), TracePhase::Predict, 0, n_blocks as u32));
                 for b in 0..n_blocks {
                     let lo = b * block;
                     let hi = (lo + block).min(n_rows);

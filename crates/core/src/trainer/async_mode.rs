@@ -23,7 +23,7 @@ use crate::loss::GradPair;
 use crate::params::GrowthMethod;
 use crate::split::find_split_masked;
 use crate::tree::{NodeId, NodeStats, Tree};
-use harp_parallel::{ScopedPhase, SpinMutex, WorkQueue};
+use harp_parallel::{PhaseSpan, SpinMutex, TracePhase, WorkQueue};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Runs the queue-driven phase until the growth frontier is exhausted or the
@@ -42,8 +42,15 @@ pub(super) fn run_async(
     }
     // "K threads select the top candidate as best as they can": node-level
     // concurrency is bounded by K tasks in flight.
+    let trace = engine.pool.trace().map(|s| s.as_ref());
     let wq: WorkQueue<RankedCandidate> = WorkQueue::bounded(engine.params.effective_k());
-    wq.push_all(queue.pop_batch(usize::MAX, usize::MAX));
+    let seed = queue.pop_batch(usize::MAX, usize::MAX);
+    if let Some(sink) = trace {
+        for _ in 0..seed.len() {
+            sink.count_queue_push(sink.coordinator_lane());
+        }
+    }
+    wq.push_all(seed);
 
     let depthwise = engine.params.growth == GrowthMethod::Depthwise;
     let use_scalar = engine.params.use_scalar_kernels;
@@ -70,7 +77,7 @@ pub(super) fn run_async(
     let seq = AtomicU64::new(1 << 32);
     let cells_total = AtomicU64::new(0);
 
-    engine.pool.run_queue(&wq, |cand, wq, _worker| {
+    engine.pool.run_queue(&wq, |cand, wq, worker| {
         // Claim one unit of leaf budget; failing means the tree is full and
         // this candidate simply remains a leaf.
         loop {
@@ -88,7 +95,14 @@ pub(super) fn run_async(
 
         // Tree update (short critical section).
         let (l, r, child_depth) = {
-            let _phase = ScopedPhase::new(&breakdown.apply_split_ns);
+            let _phase = PhaseSpan::begin(
+                trace,
+                worker,
+                TracePhase::ApplySplit,
+                cand.node,
+                0,
+                Some(&breakdown.apply_split_ns),
+            );
             let mut t = tree_lock.lock_timed(lock_wait);
             let (l, r) = t.apply_split(cand.node, cand.cand.split, cand.cand.left, cand.cand.right);
             (l, r, t.node(l).depth)
@@ -96,7 +110,14 @@ pub(super) fn run_async(
 
         // Partition this node's span (exclusive ownership, no lock).
         let (ln, rn) = {
-            let _phase = ScopedPhase::new(&breakdown.apply_split_ns);
+            let _phase = PhaseSpan::begin(
+                trace,
+                worker,
+                TracePhase::ApplySplit,
+                cand.node,
+                1,
+                Some(&breakdown.apply_split_ns),
+            );
             let pred = goes_left_predicate(qm, &cand.cand.split);
             partition.apply_split(cand.node, l, r, &pred, None)
         };
@@ -114,7 +135,14 @@ pub(super) fn run_async(
         // Build children histograms serially within this task.
         let mut built: Vec<(NodeId, Vec<f64>)> = Vec::with_capacity(2);
         {
-            let _phase = ScopedPhase::new(&breakdown.build_hist_ns);
+            let _phase = PhaseSpan::begin(
+                trace,
+                worker,
+                TracePhase::BuildHist,
+                cand.node,
+                0,
+                Some(&breakdown.build_hist_ns),
+            );
             let mut cells = 0u64;
             let mut fresh = |node: NodeId| -> Vec<f64> {
                 let mut buf = hist_lock.lock_timed(lock_wait).alloc();
@@ -151,12 +179,22 @@ pub(super) fn run_async(
         }
 
         // FindSplit serially, then push the children as new tasks.
-        let _phase = ScopedPhase::new(&breakdown.find_split_ns);
+        let _phase = PhaseSpan::begin(
+            trace,
+            worker,
+            TracePhase::FindSplit,
+            cand.node,
+            0,
+            Some(&breakdown.find_split_ns),
+        );
         for (node, buf) in built {
             let stats = tree_lock.lock_timed(lock_wait).node(node).stats;
             match find_split_masked(&buf, &stats, mapper, 0..m, &settings, mask) {
                 Some(c) => {
                     hist_lock.lock_timed(lock_wait).cache_insert(node, buf, c.split.gain);
+                    if let Some(sink) = trace {
+                        sink.count_queue_push(worker);
+                    }
                     wq.push(RankedCandidate::for_async(
                         node,
                         child_depth,

@@ -38,7 +38,7 @@ use crate::params::{BlockConfig, TrainParams};
 use crate::partition::RowPartition;
 use crate::tree::NodeId;
 use harp_binning::QuantizedMatrix;
-use harp_parallel::ThreadPool;
+use harp_parallel::{ThreadPool, TracePhase, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -67,6 +67,10 @@ pub struct DriverCtx<'a> {
 impl DriverCtx<'_> {
     fn grad_source<'a>(&'a self, node: NodeId) -> GradSource<'a> {
         GradSource::select(self.partition.grads(node), self.grads)
+    }
+
+    fn trace(&self) -> Option<&TraceSink> {
+        self.pool.trace().map(|s| s.as_ref())
     }
 
     fn report_cells(&self, cells: u64) {
@@ -208,8 +212,12 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
     let use_scalar = ctx.params.use_scalar_kernels;
     let root_identity = ctx.partition.is_identity_order();
 
-    let run_task = |task: &DpTask, replica: usize| {
+    let trace = ctx.trace();
+    let run_task = |task: &DpTask, replica: usize, lane: usize| {
         let job = &jobs_ro[task.job_idx];
+        let _span = trace.map(|s| {
+            s.span(lane, TracePhase::BuildHist, job.node, (task.row_range.start / row_blk) as u32)
+        });
         let membuf = ctx.partition.grads(job.node);
         let grads = if membuf.is_empty() {
             GradSource::Global(ctx.grads)
@@ -238,16 +246,16 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
 
     if ctx.params.deterministic {
         // Static schedule: slot s runs tasks s, s+T, s+2T, ...
-        ctx.pool.parallel_for(n_replicas, |slot, _| {
+        ctx.pool.parallel_for(n_replicas, |slot, worker| {
             let mut i = slot;
             while i < tasks_ro.len() {
-                run_task(&tasks_ro[i], slot);
+                run_task(&tasks_ro[i], slot, worker);
                 i += n_replicas;
             }
         });
     } else {
         ctx.pool.parallel_for(tasks_ro.len(), |i, worker| {
-            run_task(&tasks_ro[i], worker.min(n_replicas - 1));
+            run_task(&tasks_ro[i], worker.min(n_replicas - 1), worker);
         });
     }
 
@@ -259,9 +267,11 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
     let chunk = (real / 4).max(1024).min(real.max(1));
     let chunks_per_job = real.div_ceil(chunk);
     let job_ptrs: Vec<Ptr> = jobs.iter_mut().map(|j| Ptr(j.buf.as_mut_ptr())).collect();
+    let job_nodes: Vec<NodeId> = jobs.iter().map(|j| j.node).collect();
     let replicas_ro: &[ReplicaBuf] = &replicas;
-    ctx.pool.parallel_for(jobs.len() * chunks_per_job, |i, _| {
+    ctx.pool.parallel_for(jobs.len() * chunks_per_job, |i, worker| {
         let job_idx = i / chunks_per_job;
+        let _span = trace.map(|s| s.span(worker, TracePhase::Reduce, job_nodes[job_idx], i as u32));
         let lo = (i % chunks_per_job) * chunk;
         let hi = (lo + chunk).min(real);
         // SAFETY: (job, lane-range) pairs are disjoint across tasks.
@@ -359,9 +369,13 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
     let cells = AtomicU64::new(0);
     let tasks_ro: &[MpTask] = tasks;
     let use_scalar = ctx.params.use_scalar_kernels;
+    let trace = ctx.trace();
 
-    ctx.pool.parallel_for(tasks_ro.len(), |i, _| {
+    ctx.pool.parallel_for(tasks_ro.len(), |i, worker| {
         let task = &tasks_ro[i];
+        let _span = trace.map(|s| {
+            s.span(worker, TracePhase::BuildHist, jobs_ro[task.job_range.start].node, i as u32)
+        });
         let mut local_cells = 0u64;
         for job_idx in task.job_range.clone() {
             let job = &jobs_ro[job_idx];

@@ -29,8 +29,10 @@ use crate::split::{better_of, SplitCandidate, SplitSettings};
 use crate::tree::{NodeId, NodeStats, Tree};
 use harp_binning::{BinningConfig, QuantizedMatrix, MISSING_BIN};
 use harp_data::Dataset;
-use harp_metrics::{BreakdownReport, ConvergenceTrace, TimeBreakdown};
-use harp_parallel::{Profile, ProfileReport, ScopedPhase, Stopwatch, ThreadPool};
+use harp_metrics::{BreakdownReport, ConvergenceTrace, TimeBreakdown, WorkerSkewReport};
+use harp_parallel::{
+    PhaseSpan, Profile, ProfileReport, Stopwatch, ThreadPool, TracePhase, TraceSink, TraceSnapshot,
+};
 use std::sync::Arc;
 
 /// Below this average node size, SYNC mode's end phase switches back to DP.
@@ -124,6 +126,12 @@ pub struct Diagnostics {
     pub best_iteration: Option<usize>,
     /// Per-tree shapes.
     pub tree_shapes: Vec<TreeShape>,
+    /// Span ledger snapshot, when `TrainParams::trace` was enabled. Export
+    /// with [`TraceSnapshot::to_chrome_trace`] for `chrome://tracing` /
+    /// Perfetto.
+    pub span_trace: Option<TraceSnapshot>,
+    /// Per-phase worker busy-time skew derived from the span ledger.
+    pub worker_skew: Option<WorkerSkewReport>,
 }
 
 impl Diagnostics {
@@ -214,7 +222,21 @@ impl GbdtTrainer {
         assert_eq!(labels.len(), qm.n_rows(), "one label per row required");
         let params = &self.params;
         let profile = Arc::new(Profile::new());
-        let pool = ThreadPool::with_profile(params.n_threads, Arc::clone(&profile));
+        let mut pool = ThreadPool::with_profile(params.n_threads, Arc::clone(&profile));
+        // `None` unless tracing is both requested and compiled in; every
+        // recording site downstream branches on this option, so the disabled
+        // path performs no extra clock reads.
+        let sink = TraceSink::new_if(
+            params.trace.enabled,
+            params.n_threads,
+            params.trace.spans_per_worker,
+        );
+        if let Some(s) = &sink {
+            pool.install_trace(Arc::clone(s));
+        }
+        let sink = pool.trace().cloned();
+        let tsink = sink.as_deref();
+        let coord = params.n_threads; // coordinator lane of the sink
         let breakdown = TimeBreakdown::new();
         let n = qm.n_rows();
         let groups = params.loss.n_groups();
@@ -272,7 +294,14 @@ impl GbdtTrainer {
             let sw = Stopwatch::start();
             for group in 0..groups {
                 {
-                    let _phase = ScopedPhase::new(&breakdown.other_ns);
+                    let _phase = PhaseSpan::begin(
+                        tsink,
+                        coord,
+                        TracePhase::Gradients,
+                        0,
+                        iter as u32,
+                        Some(&breakdown.other_ns),
+                    );
                     let scaling = crate::loss::RowScaling {
                         weights,
                         subsample: params.subsample,
@@ -285,7 +314,14 @@ impl GbdtTrainer {
                 engine.sample_features(params, iter as u64, group as u64);
                 let tree = engine.build_tree(&grads);
                 {
-                    let _phase = ScopedPhase::new(&breakdown.other_ns);
+                    let _phase = PhaseSpan::begin(
+                        tsink,
+                        coord,
+                        TracePhase::Other,
+                        0,
+                        iter as u32,
+                        Some(&breakdown.other_ns),
+                    );
                     engine.update_predictions(&tree, &mut preds, groups, group);
                 }
                 tree_shapes.push(TreeShape {
@@ -304,7 +340,15 @@ impl GbdtTrainer {
                 if (iter + 1) % e.every.max(1) == 0 || iter + 1 == params.n_trees {
                     for group in 0..groups {
                         let tree = &trees[trees.len() - groups + group];
-                        incremental_eval(tree, e.data, &mut eval_preds, groups, group, &breakdown);
+                        incremental_eval(
+                            tree,
+                            e.data,
+                            &mut eval_preds,
+                            groups,
+                            group,
+                            &breakdown,
+                            tsink,
+                        );
                     }
                     let metric = e.metric.compute(&e.data.labels, &eval_preds, params.loss);
                     if let Some(tr) = &mut trace {
@@ -337,12 +381,28 @@ impl GbdtTrainer {
                     // the next evaluation uses all trees.
                     for group in 0..groups {
                         let tree = &trees[trees.len() - groups + group];
-                        incremental_eval(tree, e.data, &mut eval_preds, groups, group, &breakdown);
+                        incremental_eval(
+                            tree,
+                            e.data,
+                            &mut eval_preds,
+                            groups,
+                            group,
+                            &breakdown,
+                            tsink,
+                        );
                     }
                 }
             }
         }
 
+        let (span_trace, worker_skew) = match &sink {
+            Some(s) => {
+                let snap = s.snapshot();
+                let skew = WorkerSkewReport::from_phase_ns(&snap.worker_phase_ns());
+                (Some(snap), Some(skew))
+            }
+            None => (None, None),
+        };
         let diagnostics = Diagnostics {
             train_secs,
             per_tree_secs,
@@ -351,6 +411,8 @@ impl GbdtTrainer {
             trace,
             best_iteration,
             tree_shapes,
+            span_trace,
+            worker_skew,
         };
         TrainOutput {
             model: GbdtModel::new(trees, base_scores, params.loss, qm.n_features()),
@@ -369,14 +431,14 @@ fn incremental_eval(
     groups: usize,
     group: usize,
     breakdown: &TimeBreakdown,
+    trace: Option<&TraceSink>,
 ) {
     let flat = crate::predict::FlatForest::single_tree(tree, data.n_features());
-    crate::predict::Predictor::new(&flat).with_breakdown(breakdown).accumulate_raw(
-        &data.features,
-        preds,
-        groups,
-        group,
-    );
+    let mut predictor = crate::predict::Predictor::new(&flat).with_breakdown(breakdown);
+    if let Some(sink) = trace {
+        predictor = predictor.with_trace(sink);
+    }
+    predictor.accumulate_raw(&data.features, preds, groups, group);
 }
 
 /// Per-tree construction engine; buffers persist across trees.
@@ -395,7 +457,19 @@ struct TreeEngine<'a> {
     feature_mask: Vec<bool>,
 }
 
-impl TreeEngine<'_> {
+impl<'a> TreeEngine<'a> {
+    /// The span ledger installed on the pool, if tracing is enabled. The
+    /// returned borrow is tied to the pool, not `self`, so spans can stay
+    /// open across `&mut self` calls.
+    fn sink(&self) -> Option<&'a TraceSink> {
+        self.pool.trace().map(Arc::as_ref)
+    }
+
+    /// Lane index for spans recorded by the coordinating thread.
+    fn coord_lane(&self) -> usize {
+        self.pool.num_threads()
+    }
+
     /// Regenerates the per-tree column-subsampling mask (empty when
     /// `colsample_bytree == 1`). Deterministic in `(params.seed, iter,
     /// group)`; at least one feature is always kept.
@@ -509,7 +583,14 @@ impl TreeEngine<'_> {
         // the batch is large).
         let mut splits: Vec<(NodeId, NodeId, NodeId)> = Vec::with_capacity(batch.len());
         {
-            let _phase = ScopedPhase::new(&self.breakdown.apply_split_ns);
+            let _phase = PhaseSpan::begin(
+                self.sink(),
+                self.coord_lane(),
+                TracePhase::ApplySplit,
+                batch[0].node,
+                batch.len() as u32,
+                Some(&self.breakdown.apply_split_ns),
+            );
             for c in &batch {
                 let (l, r) = tree.apply_split(c.node, c.cand.split, c.cand.left, c.cand.right);
                 splits.push((c.node, l, r));
@@ -520,8 +601,10 @@ impl TreeEngine<'_> {
                 let qm = self.qm;
                 let batch_ro = &batch;
                 let splits_ro = &splits;
-                self.pool.parallel_for(batch.len(), |i, _| {
+                let trace = self.sink();
+                self.pool.parallel_for(batch.len(), |i, w| {
                     let (parent, l, r) = splits_ro[i];
+                    let _span = trace.map(|s| s.span(w, TracePhase::ApplySplit, parent, i as u32));
                     let pred = goes_left_fn(qm, &batch_ro[i].cand.split);
                     partition.apply_split(parent, l, r, &pred, None);
                 });
@@ -571,18 +654,29 @@ impl TreeEngine<'_> {
 
         // BuildHist (the hotspot).
         {
-            let _phase = ScopedPhase::new(&self.breakdown.build_hist_ns);
+            let _phase = PhaseSpan::begin(
+                self.sink(),
+                self.coord_lane(),
+                TracePhase::BuildHist,
+                batch[0].node,
+                fresh.len() as u32,
+                Some(&self.breakdown.build_hist_ns),
+            );
             self.run_driver(grads, &mut fresh);
             if !subs.is_empty() {
                 let fresh_ro: &[HistJob] = &fresh;
-                struct SubSlot(*mut f64, usize);
+                struct SubSlot(*mut f64, usize, NodeId);
                 unsafe impl Send for SubSlot {}
                 unsafe impl Sync for SubSlot {}
-                let slots: Vec<SubSlot> =
-                    subs.iter_mut().map(|(_, buf, si)| SubSlot(buf.as_mut_ptr(), *si)).collect();
+                let slots: Vec<SubSlot> = subs
+                    .iter_mut()
+                    .map(|(large, buf, si)| SubSlot(buf.as_mut_ptr(), *si, *large))
+                    .collect();
                 let width = self.hist_pool.width();
-                self.pool.parallel_for(slots.len(), |i, _| {
-                    let SubSlot(ptr, small_idx) = slots[i];
+                let trace = self.sink();
+                self.pool.parallel_for(slots.len(), |i, w| {
+                    let SubSlot(ptr, small_idx, large) = slots[i];
+                    let _span = trace.map(|s| s.span(w, TracePhase::Reduce, large, i as u32));
                     // SAFETY: each sub owns its parent buffer exclusively.
                     let buf = unsafe { std::slice::from_raw_parts_mut(ptr, width) };
                     hist::subtract_in_place(buf, &fresh_ro[small_idx].buf);
@@ -596,7 +690,14 @@ impl TreeEngine<'_> {
             jobs.push(HistJob { node: large, buf: pbuf });
         }
         let found = {
-            let _phase = ScopedPhase::new(&self.breakdown.find_split_ns);
+            let _phase = PhaseSpan::begin(
+                self.sink(),
+                self.coord_lane(),
+                TracePhase::FindSplit,
+                batch[0].node,
+                jobs.len() as u32,
+                Some(&self.breakdown.find_split_ns),
+            );
             self.find_splits(tree, &jobs)
         };
         for (job, cand) in jobs.into_iter().zip(found) {
@@ -681,12 +782,14 @@ impl TreeEngine<'_> {
         let mapper = self.qm.mapper();
         let settings = &self.settings;
         let mask = self.mask();
-        self.pool.parallel_for(jobs.len() * n_chunks, |i, _| {
+        let trace = self.sink();
+        self.pool.parallel_for(jobs.len() * n_chunks, |i, w| {
             let job_idx = i / n_chunks;
             let c = i % n_chunks;
             let f_lo = c * chunk;
             let f_hi = (f_lo + chunk).min(m);
             let job = &jobs[job_idx];
+            let _span = trace.map(|s| s.span(w, TracePhase::FindSplit, job.node, c as u32));
             let node = tree.node(job.node);
             let cand = crate::split::find_split_masked(
                 &job.buf,

@@ -121,6 +121,100 @@ impl std::fmt::Display for BreakdownReport {
     }
 }
 
+/// Per-phase worker-level busy time and skew — the table the paper reads off
+/// VTune's per-thread timeline to diagnose load imbalance in the SYNC/ASYNC
+/// schedulers.
+///
+/// Constructed from plain `(phase name, per-worker ns)` rows (the span
+/// ledger's aggregate counters) so this crate stays independent of the
+/// parallel runtime.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct WorkerSkewReport {
+    /// One row per phase that saw any work.
+    pub rows: Vec<PhaseSkewRow>,
+}
+
+/// One phase's per-worker busy time distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseSkewRow {
+    /// Phase name (BuildHist, FindSplit, ...).
+    pub phase: String,
+    /// Busy seconds per worker lane.
+    pub per_worker_secs: Vec<f64>,
+    /// Busiest lane.
+    pub max_secs: f64,
+    /// Least-busy lane.
+    pub min_secs: f64,
+    /// Mean over lanes.
+    pub mean_secs: f64,
+    /// max / min busy ratio (∞-safe: 0 when min is 0 and max is 0, reported
+    /// as `f64::INFINITY` when only min is 0). 1.0 = perfectly balanced.
+    pub max_min_ratio: f64,
+    /// max / mean — the slowdown a barrier at the end of this phase costs
+    /// relative to perfect balance.
+    pub imbalance: f64,
+}
+
+impl WorkerSkewReport {
+    /// Builds the table from `(phase name, per-worker nanoseconds)` rows.
+    /// Phases with no recorded time anywhere are dropped.
+    pub fn from_phase_ns<S: AsRef<str>>(rows: &[(S, Vec<u64>)]) -> Self {
+        let rows = rows
+            .iter()
+            .filter(|(_, ns)| !ns.is_empty() && ns.iter().any(|&v| v > 0))
+            .map(|(name, ns)| {
+                let secs: Vec<f64> = ns.iter().map(|&v| v as f64 / 1e9).collect();
+                let max = secs.iter().cloned().fold(0.0f64, f64::max);
+                let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+                PhaseSkewRow {
+                    phase: name.as_ref().to_string(),
+                    max_secs: max,
+                    min_secs: min,
+                    mean_secs: mean,
+                    max_min_ratio: if max == 0.0 {
+                        0.0
+                    } else if min == 0.0 {
+                        f64::INFINITY
+                    } else {
+                        max / min
+                    },
+                    imbalance: if mean == 0.0 { 0.0 } else { max / mean },
+                    per_worker_secs: secs,
+                }
+            })
+            .collect();
+        Self { rows }
+    }
+}
+
+impl std::fmt::Display for WorkerSkewReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            "phase", "max ms", "min ms", "mean ms", "max/min", "max/mean"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>10.2} {:>10.2} {:>10.2} {:>9} {:>9.2}",
+                r.phase,
+                r.max_secs * 1e3,
+                r.min_secs * 1e3,
+                r.mean_secs * 1e3,
+                if r.max_min_ratio.is_finite() {
+                    format!("{:.2}", r.max_min_ratio)
+                } else {
+                    "inf".to_string()
+                },
+                r.imbalance
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +269,29 @@ mod tests {
         b.build_hist_ns.store(5, Ordering::Relaxed);
         b.reset();
         assert_eq!(b.report().total(), 0.0);
+    }
+
+    #[test]
+    fn skew_report_computes_ratios_and_drops_empty_phases() {
+        let rows = vec![
+            ("BuildHist", vec![4_000_000_000u64, 2_000_000_000, 2_000_000_000, 0]),
+            ("FindSplit", vec![0, 0, 0, 0]),
+            ("ApplySplit", vec![1_000_000_000, 1_000_000_000, 1_000_000_000, 1_000_000_000]),
+        ];
+        let r = WorkerSkewReport::from_phase_ns(&rows);
+        assert_eq!(r.rows.len(), 2, "all-zero phases are dropped");
+        let bh = &r.rows[0];
+        assert_eq!(bh.phase, "BuildHist");
+        assert!((bh.max_secs - 4.0).abs() < 1e-12);
+        assert_eq!(bh.min_secs, 0.0);
+        assert!(bh.max_min_ratio.is_infinite());
+        assert!((bh.imbalance - 2.0).abs() < 1e-12);
+        let ap = &r.rows[1];
+        assert!((ap.max_min_ratio - 1.0).abs() < 1e-12);
+        assert!((ap.imbalance - 1.0).abs() < 1e-12);
+        // Display renders one line per surviving phase plus the header.
+        let text = format!("{r}");
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("max/min"));
     }
 }

@@ -12,6 +12,6 @@ mod breakdown;
 mod convergence;
 mod eval;
 
-pub use breakdown::{BreakdownReport, TimeBreakdown};
+pub use breakdown::{BreakdownReport, PhaseSkewRow, TimeBreakdown, WorkerSkewReport};
 pub use convergence::{ConvergencePoint, ConvergenceTrace};
 pub use eval::{accuracy, auc, error_rate, log_loss, multiclass_error, multiclass_log_loss, rmse};

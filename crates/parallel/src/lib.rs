@@ -19,6 +19,11 @@
 //! * [`Profile`] / [`ProfileReport`] — software substitutes for the VTune
 //!   hardware counters reported in Tables I and VI of the paper (CPU
 //!   utilization, barrier overhead share, task latency, bytes moved).
+//! * [`TraceSink`] / [`TraceSnapshot`] — the span-level ledger behind the
+//!   aggregate counters: per-worker drop-oldest ring buffers of phase spans
+//!   plus barrier/queue wait counters, exportable as chrome-trace JSON
+//!   (`chrome://tracing`, Perfetto). Feature-gated (`trace`, default on) so
+//!   a build without it pays nothing.
 //!
 //! The pool is deliberately simple: no work stealing between unrelated jobs,
 //! no nested regions. GBDT tree construction is a sequence of wide, flat
@@ -30,10 +35,15 @@ mod pool;
 mod profile;
 mod queue;
 mod spin;
+pub mod trace;
 mod worker_local;
 
 pub use pool::{current_num_threads_hint, ThreadPool};
 pub use profile::{Profile, ProfileReport, ScopedPhase, Stopwatch};
 pub use queue::{QueueOutcome, WorkQueue};
 pub use spin::{SpinMutex, SpinMutexGuard};
+pub use trace::{
+    LaneSnapshot, PhaseSpan, Span, SpanGuard, SpanRing, TracePhase, TraceSink, TraceSnapshot,
+    N_TRACE_PHASES, TRACE_COMPILED,
+};
 pub use worker_local::PerWorker;

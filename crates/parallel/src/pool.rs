@@ -18,6 +18,7 @@
 use crate::chan::{self, Receiver, Sender};
 use crate::profile::Profile;
 use crate::queue::{QueueOutcome, WorkQueue};
+use crate::trace::{TracePhase, TraceSink};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -59,6 +60,13 @@ struct Region {
     done: Mutex<bool>,
     done_cv: Condvar,
     profile: Arc<Profile>,
+    /// Span ledger, when tracing is enabled on the owning pool.
+    trace: Option<Arc<TraceSink>>,
+    /// `TraceSink::now_ns` at region start (timestamps in `finish_ns` are
+    /// relative to `start`; adding this rebases them onto the sink epoch).
+    trace_start_ns: u64,
+    /// Region ordinal, used as the `block` field of barrier-wait spans.
+    region_idx: u32,
 }
 
 // SAFETY: `func` points to a closure that the caller keeps alive until the
@@ -119,6 +127,27 @@ impl Region {
                 .sum();
             self.profile.barrier_wait_ns.fetch_add(wait, Ordering::Relaxed);
             self.profile.regions.fetch_add(1, Ordering::Relaxed);
+            if let Some(sink) = &self.trace {
+                // Per-worker barrier waits are only knowable once the last
+                // worker finishes, so the settler writes every lane. The
+                // other workers are parked on the pool channel until the
+                // blocked caller is woken below, so their lanes are
+                // quiescent here.
+                for (w, t) in self.finish_ns.iter().enumerate() {
+                    let fin = t.load(Ordering::Relaxed);
+                    if fin < last {
+                        sink.add_barrier_wait(w, last - fin);
+                        sink.record(
+                            w,
+                            TracePhase::BarrierWait,
+                            0,
+                            self.region_idx,
+                            self.trace_start_ns + fin,
+                            self.trace_start_ns + last,
+                        );
+                    }
+                }
+            }
             *self.done.lock().expect("region mutex poisoned") = true;
             self.done_cv.notify_all();
         }
@@ -151,6 +180,7 @@ struct Shared {
 pub struct ThreadPool {
     shared: Shared,
     handles: Vec<std::thread::JoinHandle<()>>,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl ThreadPool {
@@ -182,7 +212,7 @@ impl ThreadPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Self { shared: Shared { sender, profile, n_threads }, handles }
+        Self { shared: Shared { sender, profile, n_threads }, handles, trace: None }
     }
 
     /// Number of worker threads.
@@ -193,6 +223,22 @@ impl ThreadPool {
     /// The profile this pool records into.
     pub fn profile(&self) -> &Arc<Profile> {
         &self.shared.profile
+    }
+
+    /// Attaches a span ledger. Regions then record per-worker barrier-wait
+    /// spans and [`run_queue`](Self::run_queue) records queue-spin spans and
+    /// pop counts; trainer kernels find the sink via [`trace`](Self::trace).
+    ///
+    /// No-op when the crate is built without the `trace` feature.
+    pub fn install_trace(&mut self, sink: Arc<TraceSink>) {
+        if crate::trace::TRACE_COMPILED {
+            self.trace = Some(sink);
+        }
+    }
+
+    /// The installed span ledger, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// Runs `f(task_idx, worker_idx)` for every `task_idx in 0..n_tasks`
@@ -241,15 +287,26 @@ impl ThreadPool {
         F: Fn(T, &WorkQueue<T>, usize) + Sync,
     {
         let profile = Arc::clone(&self.shared.profile);
+        let trace = self.trace.as_deref();
         self.broadcast(|worker| {
-            let mut idle_since: Option<Instant> = None;
+            // (wall-clock origin, sink-relative ns) of the current idle run.
+            let mut idle_since: Option<(Instant, u64)> = None;
+            let close_idle = |idle_since: &mut Option<(Instant, u64)>| {
+                if let Some((t0, start_ns)) = idle_since.take() {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    profile.barrier_wait_ns.fetch_add(ns, Ordering::Relaxed);
+                    if let Some(sink) = trace {
+                        sink.add_queue_spin(worker, ns);
+                        sink.record(worker, TracePhase::QueueSpin, 0, 0, start_ns, start_ns + ns);
+                    }
+                }
+            };
             loop {
                 match queue.pop_timed(&profile.lock_wait_ns) {
                     QueueOutcome::Task(task) => {
-                        if let Some(t0) = idle_since.take() {
-                            profile
-                                .barrier_wait_ns
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        close_idle(&mut idle_since);
+                        if let Some(sink) = trace {
+                            sink.count_queue_pop(worker);
                         }
                         let t0 = Instant::now();
                         f(task, queue, worker);
@@ -260,16 +317,15 @@ impl ThreadPool {
                         profile.tasks.fetch_add(1, Ordering::Relaxed);
                     }
                     QueueOutcome::Retry => {
-                        idle_since.get_or_insert_with(Instant::now);
+                        if idle_since.is_none() {
+                            let start_ns = trace.map(|s| s.now_ns()).unwrap_or(0);
+                            idle_since = Some((Instant::now(), start_ns));
+                        }
                         std::hint::spin_loop();
                         std::thread::yield_now();
                     }
                     QueueOutcome::Drained => {
-                        if let Some(t0) = idle_since.take() {
-                            profile
-                                .barrier_wait_ns
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        }
+                        close_idle(&mut idle_since);
                         break;
                     }
                 }
@@ -309,6 +365,9 @@ impl ThreadPool {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
             profile: Arc::clone(&self.shared.profile),
+            trace: self.trace.clone(),
+            trace_start_ns: self.trace.as_ref().map(|s| s.now_ns()).unwrap_or(0),
+            region_idx: self.shared.profile.regions.load(Ordering::Relaxed) as u32,
         });
         for _ in 0..n_threads {
             self.shared
@@ -492,5 +551,52 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn trace_records_barrier_waits_per_worker() {
+        if !crate::trace::TRACE_COMPILED {
+            return;
+        }
+        let mut pool = ThreadPool::new(4);
+        let sink = TraceSink::new(4);
+        pool.install_trace(Arc::clone(&sink));
+        // One long task: three workers must log barrier wait.
+        pool.parallel_for(4, |i, _| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        });
+        let snap = sink.snapshot();
+        let waits = snap.worker_barrier_wait_ns();
+        assert_eq!(waits.len(), 4);
+        let waiting = waits.iter().filter(|&&w| w > 5_000_000).count();
+        assert!(waiting >= 3, "expected 3 waiting workers, waits = {waits:?}");
+        assert!(snap.count_phase(TracePhase::BarrierWait) >= 3);
+    }
+
+    #[test]
+    fn trace_counts_queue_pops_and_spin() {
+        if !crate::trace::TRACE_COMPILED {
+            return;
+        }
+        let mut pool = ThreadPool::new(4);
+        let sink = TraceSink::new(4);
+        pool.install_trace(Arc::clone(&sink));
+        let queue: WorkQueue<u32> = WorkQueue::new();
+        queue.push(16);
+        pool.run_queue(&queue, |v, q, _| {
+            if v > 1 {
+                q.push(v / 2);
+                q.push(v / 2);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        let snap = sink.snapshot();
+        let pops: u64 = snap.lanes.iter().map(|l| l.queue_pops).sum();
+        assert_eq!(pops, 31, "16 fans out to 31 tasks");
+        // Workers that found the queue momentarily empty log spin time.
+        let spin: u64 = snap.lanes.iter().map(|l| l.queue_spin_ns).sum();
+        assert!(spin > 0, "expected some queue spin with 4 workers on a serial frontier");
     }
 }

@@ -86,6 +86,11 @@ pub struct Profile {
     pub scratch_allocs: AtomicU64,
     /// Scratch buffers reused from the pool without allocation.
     pub scratch_reuses: AtomicU64,
+    /// Parallel-partition scratch (per-chunk counters and prefix bases)
+    /// allocations or growths. Steady-state training must not increment this.
+    pub partition_scratch_allocs: AtomicU64,
+    /// Parallel-partition scratch reuses (no allocation).
+    pub partition_scratch_reuses: AtomicU64,
 }
 
 impl Profile {
@@ -110,6 +115,8 @@ impl Profile {
             &self.wall_ns,
             &self.scratch_allocs,
             &self.scratch_reuses,
+            &self.partition_scratch_allocs,
+            &self.partition_scratch_reuses,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -127,6 +134,16 @@ impl Profile {
     pub fn add_scratch_events(&self, allocs: u64, reuses: u64) {
         self.scratch_allocs.fetch_add(allocs, Ordering::Relaxed);
         self.scratch_reuses.fetch_add(reuses, Ordering::Relaxed);
+    }
+
+    /// Records one parallel-partition invocation: `allocated` is whether the
+    /// per-chunk scratch had to be allocated or grown.
+    pub fn add_partition_scratch_event(&self, allocated: bool) {
+        if allocated {
+            self.partition_scratch_allocs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.partition_scratch_reuses.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records the write working-set size of one scheduled task.
@@ -155,6 +172,8 @@ impl Profile {
         let ws_samples = self.region_write_ws_samples.load(Ordering::Relaxed);
         let scratch_allocs = self.scratch_allocs.load(Ordering::Relaxed);
         let scratch_reuses = self.scratch_reuses.load(Ordering::Relaxed);
+        let partition_scratch_allocs = self.partition_scratch_allocs.load(Ordering::Relaxed);
+        let partition_scratch_reuses = self.partition_scratch_reuses.load(Ordering::Relaxed);
 
         let thread_time = (threads as u64).saturating_mul(wall);
         let in_region = busy + barrier;
@@ -178,6 +197,8 @@ impl Profile {
             },
             scratch_allocs,
             scratch_reuses,
+            partition_scratch_allocs,
+            partition_scratch_reuses,
         }
     }
 }
@@ -230,6 +251,10 @@ pub struct ProfileReport {
     pub scratch_allocs: u64,
     /// Scratch replica pool hits.
     pub scratch_reuses: u64,
+    /// Parallel-partition scratch allocations or growths.
+    pub partition_scratch_allocs: u64,
+    /// Parallel-partition scratch reuses.
+    pub partition_scratch_reuses: u64,
 }
 
 impl std::fmt::Display for ProfileReport {
@@ -244,7 +269,16 @@ impl std::fmt::Display for ProfileReport {
         writeln!(f, "avg task latency        {:>12.2} us", self.avg_task_us)?;
         writeln!(f, "FLOP / byte             {:>12.4}", self.flops_per_byte)?;
         writeln!(f, "avg write working set   {:>12.0} B", self.avg_write_working_set)?;
-        write!(f, "scratch alloc / reuse   {:>6} / {:<6}", self.scratch_allocs, self.scratch_reuses)
+        writeln!(
+            f,
+            "scratch alloc / reuse   {:>6} / {:<6}",
+            self.scratch_allocs, self.scratch_reuses
+        )?;
+        write!(
+            f,
+            "partition alloc / reuse {:>6} / {:<6}",
+            self.partition_scratch_allocs, self.partition_scratch_reuses
+        )
     }
 }
 

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p harp-bench --example flight_delay`
 
 use harp_data::{DatasetKind, SynthConfig};
-use harpgbdt::{GbdtTrainer, GrowthMethod, TrainParams};
+use harpgbdt::{GbdtTrainer, GrowthMethod, ParallelMode, TraceConfig, TrainParams};
 
 fn main() {
     let data = SynthConfig::new(DatasetKind::AirlineLike, 11).with_scale(0.5).generate();
@@ -43,4 +43,27 @@ fn main() {
         "\nexpected: TopK matches top-1 accuracy (Fig. 9) while enabling K-fold node parallelism;\n\
          depthwise trees stay balanced, leafwise trees go deeper on skewed features"
     );
+
+    // Per-worker phase skew from the span ledger: rerun the TopK-32 config
+    // with tracing on and 4 workers. The thin matrix (8 features) makes
+    // BuildHist tasks coarse, so this is where SYNC-mode imbalance shows.
+    let params = TrainParams {
+        n_trees: 60,
+        tree_size: 6,
+        growth: GrowthMethod::Leafwise,
+        k: 32,
+        n_threads: 4,
+        mode: ParallelMode::Sync,
+        trace: TraceConfig::enabled(),
+        ..TrainParams::default()
+    };
+    let out = GbdtTrainer::new(params).expect("valid params").train(&train);
+    if let Some(skew) = &out.diagnostics.worker_skew {
+        println!("\nper-worker phase skew, leafwise TopK-32, sync mode, 4 threads:");
+        print!("{skew}");
+        println!(
+            "max/mean is the slowdown the end-of-phase barrier costs vs. perfect balance;\n\
+             BarrierWait rows book that waiting explicitly (coordinator lane excluded)"
+        );
+    }
 }

@@ -1,9 +1,17 @@
 //! Growth-policy semantics across the stack: TopK vs classic methods,
 //! budgets, depth limits, and the synchronization-count claims.
+//!
+//! The TopK boundary battery at the bottom pins Algorithm 1's corner cases:
+//! K=1 degenerates to classic best-first leafwise, K at or above the level
+//! width degenerates depthwise to whole-level expansion, and intermediate K
+//! never passes over a higher-gain candidate that sits in the same pop.
 
 use harp_bench::prepared;
 use harp_data::DatasetKind;
-use harpgbdt::{GbdtTrainer, GrowthMethod, ParallelMode, TrainParams};
+use harpgbdt::growth::{GrowthQueue, RankedCandidate};
+use harpgbdt::split::SplitCandidate;
+use harpgbdt::{GbdtTrainer, GrowthMethod, NodeStats, ParallelMode, SplitData, TrainParams};
+use proptest::prelude::*;
 
 fn base() -> TrainParams {
     TrainParams {
@@ -160,4 +168,200 @@ fn min_child_weight_prunes_thin_leaves() {
     let loose = leaves(1.0);
     let strict = leaves(50.0);
     assert!(strict < loose, "min_child_weight=50 should shrink trees: {strict} vs {loose}");
+}
+
+// ---------------------------------------------------------------------------
+// TopK boundary battery.
+
+fn split_cand(gain: f64) -> SplitCandidate {
+    SplitCandidate {
+        split: SplitData { feature: 0, bin: 0, threshold: 0.0, default_left: false, gain },
+        left: NodeStats::default(),
+        right: NodeStats::default(),
+    }
+}
+
+/// Random candidate pool with deliberately coarse gains (so ties are common)
+/// and shallow depths (so depthwise levels hold several nodes).
+fn candidate_pool() -> impl Strategy<Value = Vec<(f64, u32)>> {
+    proptest::collection::vec((0u8..8, 0u32..4), 1..40)
+        .prop_map(|v| v.into_iter().map(|(g, d)| (f64::from(g) * 0.5, d)).collect())
+}
+
+#[test]
+fn leafwise_huge_k_matches_depthwise_when_gain_limits_growth() {
+    // K >= 2^depth boundary: once every queued candidate fits in one pop,
+    // leafwise TopK expands whole frontiers exactly like depthwise. With
+    // growth stopped by gain (never by the leaf budget or the depthwise
+    // depth limit), the two methods must build the same trees.
+    let data = prepared(DatasetKind::HiggsLike, 0.02, 9);
+    let mk = |growth, k| TrainParams {
+        growth,
+        k,
+        tree_size: 10, // depthwise depth limit; gain must stop growth first
+        gamma: 1.0,
+        n_trees: 3,
+        n_threads: 2,
+        hist_subtraction: false,
+        ..Default::default()
+    };
+    let leaf = GbdtTrainer::new(mk(GrowthMethod::Leafwise, 1 << 10)).unwrap().train_prepared(
+        &data.quantized,
+        &data.train.labels,
+        None,
+    );
+    let depth = GbdtTrainer::new(mk(GrowthMethod::Depthwise, 0)).unwrap().train_prepared(
+        &data.quantized,
+        &data.train.labels,
+        None,
+    );
+    for s in &leaf.diagnostics.tree_shapes {
+        assert!(
+            s.max_depth < 10,
+            "precondition broken: gain did not stop growth before the depth limit"
+        );
+    }
+    assert_eq!(
+        leaf.model.predict_raw(&data.test.features),
+        depth.model.predict_raw(&data.test.features),
+        "leafwise K >= 2^depth must degenerate to depthwise growth"
+    );
+}
+
+#[test]
+fn depthwise_k_at_level_width_equals_unbounded_k() {
+    // The other side of the boundary, checked at the model level: K = 2^D
+    // can never truncate a level (levels hold at most 2^D nodes), so it must
+    // match K = 0 (pop whole levels) exactly.
+    let data = prepared(DatasetKind::AirlineLike, 0.008, 10);
+    let mk = |k| TrainParams {
+        growth: GrowthMethod::Depthwise,
+        k,
+        tree_size: 4,
+        n_trees: 3,
+        n_threads: 2,
+        gamma: 0.0,
+        hist_subtraction: false,
+        ..Default::default()
+    };
+    let bounded = GbdtTrainer::new(mk(1 << 4)).unwrap().train_prepared(
+        &data.quantized,
+        &data.train.labels,
+        None,
+    );
+    let unbounded =
+        GbdtTrainer::new(mk(0))
+            .unwrap()
+            .train_prepared(&data.quantized, &data.train.labels, None);
+    assert_eq!(
+        bounded.model.predict_raw(&data.test.features),
+        unbounded.model.predict_raw(&data.test.features),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// K=1 boundary: draining a leafwise queue one pop at a time is classic
+    /// best-first growth — gains come out non-increasing, and equal gains
+    /// come out in push (FIFO) order.
+    #[test]
+    fn leafwise_k1_drains_best_first_with_fifo_ties(pool in candidate_pool()) {
+        let mut q = GrowthQueue::new(GrowthMethod::Leafwise);
+        for (i, &(gain, depth)) in pool.iter().enumerate() {
+            q.push(i as u32, depth, split_cand(gain));
+        }
+        let mut popped: Vec<RankedCandidate> = Vec::new();
+        loop {
+            let batch = q.pop_batch(1, usize::MAX);
+            prop_assert!(batch.len() <= 1);
+            match batch.into_iter().next() {
+                Some(c) => popped.push(c),
+                None => break,
+            }
+        }
+        prop_assert_eq!(popped.len(), pool.len());
+        for w in popped.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            prop_assert!(
+                a.cand.split.gain >= b.cand.split.gain,
+                "gain order violated: {} before {}", a.cand.split.gain, b.cand.split.gain
+            );
+            if a.cand.split.gain == b.cand.split.gain {
+                // Node id doubles as push order above.
+                prop_assert!(a.node < b.node, "FIFO tie-break violated: {} before {}", a.node, b.node);
+            }
+        }
+    }
+
+    /// K >= level width boundary at the queue level: a depthwise pop sized
+    /// to the shallowest level returns exactly that level, best gain first.
+    #[test]
+    fn depthwise_pop_at_level_width_takes_whole_shallowest_level(pool in candidate_pool()) {
+        let mut q = GrowthQueue::new(GrowthMethod::Depthwise);
+        for (i, &(gain, depth)) in pool.iter().enumerate() {
+            q.push(i as u32, depth, split_cand(gain));
+        }
+        let min_depth = pool.iter().map(|&(_, d)| d).min().unwrap();
+        let width = pool.iter().filter(|&&(_, d)| d == min_depth).count();
+        let batch = q.pop_batch(width, usize::MAX);
+        prop_assert_eq!(batch.len(), width);
+        for c in &batch {
+            prop_assert!(
+                c.depth == min_depth,
+                "pop sized to the level width must not reach into depth {}", c.depth
+            );
+        }
+        for rest in q.drain() {
+            prop_assert!(rest.depth > min_depth, "left a depth-{} node behind", rest.depth);
+        }
+    }
+
+    /// Intermediate K never passes over a better sibling: every candidate
+    /// left in the queue with the same depth key ranks at or below the worst
+    /// member of the pop (gain, with FIFO ties).
+    #[test]
+    fn intermediate_k_never_skips_a_higher_gain_candidate(
+        pool in candidate_pool(),
+        k in 1usize..8,
+        depthwise in any::<bool>(),
+    ) {
+        let method = if depthwise { GrowthMethod::Depthwise } else { GrowthMethod::Leafwise };
+        let mut q = GrowthQueue::new(method);
+        for (i, &(gain, depth)) in pool.iter().enumerate() {
+            q.push(i as u32, depth, split_cand(gain));
+        }
+        let batch = q.pop_batch(k, usize::MAX);
+        prop_assert_eq!(batch.len(), k.min(pool.len()));
+        // The frontier the pop was competing against: leafwise ranks the
+        // whole queue together; depthwise ranks within a level.
+        let same_level = |c: &RankedCandidate, d: u32| !depthwise || c.depth == d;
+        let deepest_popped = batch.iter().map(|c| c.depth).max().unwrap_or(0);
+        let worst = batch
+            .iter()
+            .filter(|c| same_level(c, deepest_popped))
+            .map(|c| (c.cand.split.gain, c.node))
+            .fold((f64::INFINITY, 0u32), |(g, n), (cg, cn)| if cg < g { (cg, cn) } else { (g, n) });
+        for rest in q.drain() {
+            if depthwise {
+                // Nothing shallower than the deepest popped node may remain.
+                prop_assert!(
+                    rest.depth >= deepest_popped,
+                    "unexpanded depth-{} node outranks the depth-{} pop", rest.depth, deepest_popped
+                );
+            }
+            if same_level(&rest, deepest_popped) {
+                prop_assert!(
+                    rest.cand.split.gain <= worst.0,
+                    "left gain {} queued while the pop kept gain {}", rest.cand.split.gain, worst.0
+                );
+                if rest.cand.split.gain == worst.0 {
+                    prop_assert!(
+                        rest.node > worst.1,
+                        "FIFO tie-break: queued node {} outranks popped node {}", rest.node, worst.1
+                    );
+                }
+            }
+        }
+    }
 }

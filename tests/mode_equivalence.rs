@@ -1,11 +1,18 @@
 //! Cross-crate equivalence: all parallel modes, both baselines, any thread
 //! count and any block configuration must train the *same statistical
 //! model* — they only differ in scheduling.
+//!
+//! The property battery at the bottom goes further: under a configuration
+//! where per-cell accumulation order is pinned (deterministic static DP
+//! schedule, one row chunk per node, no histogram subtraction), all four
+//! modes must grow **bitwise identical** trees on random dense/sparse data
+//! with missing values, across MemBuf on/off and K ∈ {1, 4, 32}.
 
 use harp_baselines::Baseline;
 use harp_bench::prepared;
-use harp_data::DatasetKind;
-use harpgbdt::{BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainParams};
+use harp_data::{CsrMatrix, Dataset, DatasetKind, DenseMatrix, FeatureMatrix};
+use harpgbdt::{BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainParams, Tree};
+use proptest::prelude::*;
 
 fn params_t1() -> TrainParams {
     TrainParams {
@@ -148,4 +155,156 @@ fn sparse_and_dense_schedulers_agree_on_yfcc() {
         mp.model.predict_raw(&data.test.features),
         "CSR row scans and CSC column scans must produce the same model"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Property battery: bitwise mode equivalence on random data.
+//
+// Recipe for a bitwise-comparable configuration:
+//  * `deterministic: true`       — static DP task→replica schedule;
+//  * `hist_subtraction: false`   — both children built from rows, never by
+//    parent-minus-sibling (subtraction changes the summation expression);
+//  * `row_blk_size: 1 << 28`     — one row chunk per (node, feature-range)
+//    task, so DP accumulates each cell in ascending row order exactly like
+//    MP's per-cell column scan and ASYNC's serial whole-node scan (chunked
+//    rows would regroup the f64 sums: (a+b)+(c+d) != ((a+b)+c)+d);
+//  * `gamma: 0.1`, big `tree_size` — growth stops on gain, never on the
+//    leaf budget, so the grown split-set is order-independent even though
+//    the four modes expand nodes in different orders.
+// Node ids then differ only by expansion order, so models are compared via
+// a canonical recursive dump plus bitwise predictions.
+
+/// Depth-first canonical encoding of a tree: split identity (bitwise) for
+/// internal nodes, leaf weight bits for leaves. Independent of node ids.
+fn canonical_dump(tree: &Tree, id: u32, out: &mut Vec<u64>) {
+    let node = tree.node(id);
+    match (&node.split, node.is_leaf()) {
+        (Some(s), false) => {
+            out.push(1);
+            out.push(u64::from(s.feature));
+            out.push(u64::from(s.bin));
+            out.push(u64::from(s.default_left));
+            out.push(u64::from(s.threshold.to_bits()));
+            out.push(s.gain.to_bits());
+            canonical_dump(tree, node.left, out);
+            canonical_dump(tree, node.right, out);
+        }
+        _ => {
+            out.push(0);
+            out.push(u64::from(node.weight.to_bits()));
+        }
+    }
+}
+
+/// Random dense or sparse dataset with missing values, xorshift-filled so a
+/// failing case reproduces from `(n, m, seed, sparse)` alone.
+fn random_dataset() -> impl Strategy<Value = Dataset> {
+    (8usize..80, 2usize..6, any::<u64>(), any::<bool>()).prop_map(|(n, m, seed, sparse)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let labels: Vec<f32> = (0..n).map(|_| (next() % 2) as f32).collect();
+        let features = if sparse {
+            let rows: Vec<Vec<(u32, f32)>> = (0..n)
+                .map(|_| {
+                    (0..m as u32)
+                        .filter_map(|c| {
+                            let r = next();
+                            // ~60% fill; absent cells are the missing values.
+                            (r % 5 < 3).then(|| (c, ((r >> 8) % 1000) as f32 / 500.0 - 1.0))
+                        })
+                        .collect()
+                })
+                .collect();
+            FeatureMatrix::Sparse(CsrMatrix::from_rows(m, &rows))
+        } else {
+            let values: Vec<f32> = (0..n * m)
+                .map(|_| {
+                    let r = next();
+                    if r % 11 == 0 {
+                        f32::NAN // explicit missing values in the dense path
+                    } else {
+                        (r % 1000) as f32 / 500.0 - 1.0
+                    }
+                })
+                .collect();
+            FeatureMatrix::Dense(DenseMatrix::from_vec(n, m, values))
+        };
+        Dataset::new("prop", features, labels)
+    })
+}
+
+fn bitwise_params(mode: ParallelMode, use_membuf: bool, k: usize) -> TrainParams {
+    TrainParams {
+        n_trees: 2,
+        tree_size: 12,
+        n_threads: 2,
+        mode,
+        growth: GrowthMethod::Leafwise,
+        k,
+        use_membuf,
+        deterministic: true,
+        hist_subtraction: false,
+        gamma: 0.1,
+        blocks: BlockConfig { row_blk_size: 1 << 28, ..BlockConfig::default() },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DP / MP / SYNC / ASYNC, MemBuf on/off, K in {1, 4, 32}: all 24
+    /// configurations grow bitwise-identical trees and predictions.
+    #[test]
+    fn all_modes_are_bitwise_identical_on_random_data(data in random_dataset()) {
+        let mut reference: Option<(Vec<Vec<u64>>, Vec<u32>)> = None;
+        for mode in [
+            ParallelMode::DataParallel,
+            ParallelMode::ModelParallel,
+            ParallelMode::Sync,
+            ParallelMode::Async,
+        ] {
+            for use_membuf in [true, false] {
+                for k in [1usize, 4, 32] {
+                    let out = GbdtTrainer::new(bitwise_params(mode, use_membuf, k))
+                        .unwrap()
+                        .train(&data);
+                    let dumps: Vec<Vec<u64>> = out
+                        .model
+                        .trees()
+                        .iter()
+                        .map(|t| {
+                            let mut v = Vec::new();
+                            canonical_dump(t, 0, &mut v);
+                            v
+                        })
+                        .collect();
+                    let pred_bits: Vec<u32> = out
+                        .model
+                        .predict_raw(&data.features)
+                        .iter()
+                        .map(|p| p.to_bits())
+                        .collect();
+                    match &reference {
+                        None => reference = Some((dumps, pred_bits)),
+                        Some((ref_dumps, ref_bits)) => {
+                            prop_assert!(
+                                ref_dumps == &dumps,
+                                "trees diverged: {:?} membuf={} k={}", mode, use_membuf, k
+                            );
+                            prop_assert!(
+                                ref_bits == &pred_bits,
+                                "predictions diverged: {:?} membuf={} k={}", mode, use_membuf, k
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
