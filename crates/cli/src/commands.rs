@@ -2,11 +2,14 @@
 
 use crate::opts::Opts;
 use harp_data::{Dataset, DatasetKind, SynthConfig};
+use harp_metrics::{DiffOptions, DiffReport, RunLedger};
 use harpgbdt::trainer::{EvalMetric, EvalOptions};
 use harpgbdt::{
-    GbdtModel, GbdtTrainer, GrowthMethod, LossKind, ParallelMode, TraceConfig, TrainParams,
+    GbdtModel, GbdtTrainer, GrowthMethod, LedgerConfig, LossKind, ParallelMode, TraceConfig,
+    TrainParams,
 };
 use std::fmt::Write as _;
+use std::path::Path;
 
 fn load(path: &str) -> Result<Dataset, String> {
     harp_data::io::read_path(path).map_err(|e| format!("failed to read {path}: {e}"))
@@ -53,9 +56,25 @@ fn parse_growth(s: &str) -> Result<GrowthMethod, String> {
 /// `harpgbdt train`.
 pub fn train(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
+    let trace_out = opts.get("--trace-out");
+    let ledger_out = opts.get("--ledger-out");
+    // Reject unusable flags up front — before the (possibly long) data load —
+    // rather than silently writing an empty file at the end.
+    if !harp_parallel::TRACE_COMPILED {
+        if trace_out.is_some() {
+            return Err("--trace-out requires the harp-parallel \"trace\" feature \
+                        (rebuild without `--no-default-features`)"
+                .into());
+        }
+        if ledger_out.is_some() {
+            return Err("--ledger-out requires the harp-parallel \"trace\" feature: the \
+                        ledger's worker-skew and queue-counter sections come from the span \
+                        trace (rebuild without `--no-default-features`)"
+                .into());
+        }
+    }
     let data = load(opts.required("--data")?)?;
     let model_path = opts.required("--model")?;
-    let trace_out = opts.get("--trace-out");
     let defaults = TrainParams::default();
     let params = TrainParams {
         n_trees: opts.parse_or("--trees", 100usize)?,
@@ -72,12 +91,16 @@ pub fn train(args: &[String]) -> Result<String, String> {
         subsample: opts.parse_or("--subsample", 1.0f32)?,
         colsample_bytree: opts.parse_or("--colsample", 1.0f32)?,
         seed: opts.parse_or("--seed", 0u64)?,
-        trace: if trace_out.is_some() { TraceConfig::enabled() } else { defaults.trace },
+        // The ledger's skew/queue sections read the span trace, so
+        // --ledger-out turns tracing on too.
+        trace: if trace_out.is_some() || ledger_out.is_some() {
+            TraceConfig::enabled()
+        } else {
+            defaults.trace
+        },
+        ledger: if ledger_out.is_some() { LedgerConfig::enabled() } else { defaults.ledger },
         ..defaults
     };
-    if trace_out.is_some() && !harp_parallel::TRACE_COMPILED {
-        return Err("--trace-out requires the harp-parallel \"trace\" feature".into());
-    }
     let trainer = GbdtTrainer::new(params.clone())?;
 
     let valid = opts.get("--valid").map(load).transpose()?;
@@ -139,6 +162,21 @@ pub fn train(args: &[String]) -> Result<String, String> {
             let _ = writeln!(report, "per-phase worker skew:");
             let _ = write!(report, "{skew}");
         }
+    }
+    if let Some(path) = ledger_out {
+        let ledger = out
+            .diagnostics
+            .ledger
+            .as_ref()
+            .ok_or_else(|| "ledger was enabled but no ledger was collected".to_string())?;
+        ledger
+            .write_jsonl(Path::new(path))
+            .map_err(|e| format!("failed to write ledger {path}: {e}"))?;
+        let _ = writeln!(
+            report,
+            "ledger: {} round records written to {path} (inspect with `harpgbdt report --ledger {path}`)",
+            ledger.len()
+        );
     }
     let _ = writeln!(report, "model saved to {model_path}");
     Ok(report)
@@ -234,6 +272,132 @@ pub fn eval(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// The `args` remainder and the `(A, B)` paths pulled out by [`extract_pair`].
+type PairExtraction = (Vec<String>, Option<(String, String)>);
+
+/// Pulls `flag A B` (a flag with two positional paths) out of `args` so the
+/// remainder parses as ordinary `--flag value` pairs.
+///
+/// # Errors
+/// Returns a message when the flag is present without two following paths.
+fn extract_pair(args: &[String], flag: &str) -> Result<PairExtraction, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok((args.to_vec(), None));
+    };
+    let (Some(a), Some(b)) = (args.get(i + 1), args.get(i + 2)) else {
+        return Err(format!("{flag} requires two file paths (A B)"));
+    };
+    if a.starts_with("--") || b.starts_with("--") {
+        return Err(format!("{flag} requires two file paths (A B)"));
+    }
+    let pair = (a.clone(), b.clone());
+    let mut rest = args.to_vec();
+    rest.drain(i..i + 3);
+    Ok((rest, Some(pair)))
+}
+
+/// One results table of a bench JSON dump (`results/BENCH_*.json`).
+#[derive(serde::Deserialize)]
+struct BenchTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+/// Parses a cell holding a dimensionless quantity (`"2.76x"`, `"42.1%"`).
+/// Cells with physical units (ms, bytes) are machine-dependent and skipped,
+/// as are explicitly signed percentages (`"+0.3%"`): those are noise deltas
+/// near zero, where relative comparison is meaningless.
+fn dimensionless(cell: &str) -> Option<f64> {
+    let s = cell.trim();
+    if s.starts_with(['+', '-']) {
+        return None;
+    }
+    let num = s.strip_suffix('x').or_else(|| s.strip_suffix('%'))?;
+    num.trim().parse().ok()
+}
+
+/// Flattens bench tables into `(title/row/column, value)` metrics over the
+/// dimensionless cells.
+fn bench_metrics(tables: &[BenchTable]) -> Vec<(String, f64)> {
+    let mut m = Vec::new();
+    for t in tables {
+        for row in &t.rows {
+            let Some(label) = row.first() else { continue };
+            for (j, cell) in row.iter().enumerate().skip(1) {
+                let Some(v) = dimensionless(cell) else { continue };
+                let header = t.headers.get(j).map_or("col", String::as_str);
+                m.push((format!("{}/{}/{}", t.title, label, header), v));
+            }
+        }
+    }
+    m
+}
+
+fn read_bench_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    let tables: Vec<BenchTable> =
+        serde_json::from_str(&text).map_err(|e| format!("failed to parse {path}: {e:?}"))?;
+    Ok(bench_metrics(&tables))
+}
+
+/// Renders a diff and converts a tripped gate into `Err` (non-zero exit).
+fn finish_diff(a: &str, b: &str, diff: &DiffReport) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "A = {a}");
+    let _ = writeln!(out, "B = {b}");
+    out.push_str(&diff.render());
+    if diff.failed() {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
+/// `harpgbdt report`.
+pub fn report(args: &[String]) -> Result<String, String> {
+    // --diff / --bench-diff take two positional paths; pull them out before
+    // flag parsing (the parser accepts only --flag value pairs).
+    let (args, diff) = extract_pair(args, "--diff")?;
+    let (args, bench_diff) = extract_pair(&args, "--bench-diff")?;
+    let opts = Opts::parse(&args)?;
+    let d = DiffOptions::default();
+    let diff_opts = DiffOptions {
+        tolerance: opts.parse_or("--tolerance", d.tolerance)?,
+        warn: opts.parse_or("--warn", d.warn)?,
+        time_tolerance: opts.parse_or("--time-tolerance", d.time_tolerance)?,
+        time_floor_secs: opts.parse_or("--time-floor", d.time_floor_secs)?,
+    };
+    match (opts.get("--ledger"), diff, bench_diff) {
+        (Some(path), None, None) => {
+            let ledger = RunLedger::read_jsonl(Path::new(path))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{path}: {} round records", ledger.len());
+            let _ = writeln!(out);
+            out.push_str(&ledger.render_rounds());
+            let _ = writeln!(out);
+            out.push_str(&ledger.summary().render());
+            Ok(out)
+        }
+        (None, Some((a, b)), None) => {
+            let la = RunLedger::read_jsonl(Path::new(&a))?;
+            let lb = RunLedger::read_jsonl(Path::new(&b))?;
+            let diff = DiffReport::between(&la.summary(), &lb.summary(), &diff_opts);
+            finish_diff(&a, &b, &diff)
+        }
+        (None, None, Some((a, b))) => {
+            let ma = read_bench_metrics(&a)?;
+            let mb = read_bench_metrics(&b)?;
+            let diff = DiffReport::compare_metrics(&ma, &mb, &diff_opts);
+            finish_diff(&a, &b, &diff)
+        }
+        _ => {
+            Err("report needs exactly one of: --ledger FILE, --diff A B, --bench-diff A B"
+                .to_string())
+        }
+    }
+}
+
 /// `harpgbdt importance`.
 pub fn importance(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
@@ -315,5 +479,95 @@ mod tests {
     fn format_rows_groups() {
         assert_eq!(format_rows(&[1.0, 2.0, 3.0, 4.0], 2), vec!["1,2", "3,4"]);
         assert_eq!(format_rows(&[1.5], 1), vec!["1.5"]);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn extract_pair_pulls_two_positionals() {
+        let (rest, pair) =
+            extract_pair(&args(&["--diff", "a.jsonl", "b.jsonl", "--warn", "0.2"]), "--diff")
+                .unwrap();
+        assert_eq!(pair, Some(("a.jsonl".into(), "b.jsonl".into())));
+        assert_eq!(rest, args(&["--warn", "0.2"]));
+        let (rest, pair) = extract_pair(&args(&["--warn", "0.2"]), "--diff").unwrap();
+        assert_eq!(pair, None);
+        assert_eq!(rest, args(&["--warn", "0.2"]));
+        assert!(extract_pair(&args(&["--diff", "a.jsonl"]), "--diff").is_err());
+        assert!(extract_pair(&args(&["--diff", "a.jsonl", "--warn"]), "--diff").is_err());
+    }
+
+    #[test]
+    fn dimensionless_cells_only() {
+        assert_eq!(dimensionless("2.76x"), Some(2.76));
+        assert_eq!(dimensionless(" 42.1% "), Some(42.1));
+        assert_eq!(dimensionless("3.14"), None, "unitless plain numbers are ambiguous");
+        assert_eq!(dimensionless("12.5 ms"), None);
+        assert_eq!(dimensionless("+0.3%"), None, "signed deltas are run-to-run noise");
+        assert_eq!(dimensionless("-1.2%"), None);
+    }
+
+    fn write_ledger(name: &str, rounds: &[(u64, u64)]) -> std::path::PathBuf {
+        let mut ledger = RunLedger::new();
+        for &(round, tasks) in rounds {
+            ledger.push(harp_metrics::LedgerRecord {
+                round,
+                elapsed_secs: 0.01 * round as f64,
+                round_secs: 0.01,
+                phase_secs: vec![("build_hist".into(), 0.006)],
+                counters: vec![("tasks".into(), tasks)],
+                eval_metric: None,
+                n_leaves: 31,
+                max_depth: 6,
+                mean_k_per_pop: 8.0,
+                mem: Vec::new(),
+                skew: Vec::new(),
+            });
+        }
+        let path = std::env::temp_dir().join(name);
+        ledger.write_jsonl(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn report_diff_passes_identical_and_fails_on_drift() {
+        let a = write_ledger("harp_cli_diff_a.jsonl", &[(1, 100), (2, 100)]);
+        let b = write_ledger("harp_cli_diff_b.jsonl", &[(1, 100), (2, 100)]);
+        let c = write_ledger("harp_cli_diff_c.jsonl", &[(1, 100), (2, 300)]);
+        let ab = args(&["--diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert!(report(&ab).is_ok(), "identical ledgers must pass at zero tolerance");
+        let ac = args(&["--diff", a.to_str().unwrap(), c.to_str().unwrap()]);
+        let err = report(&ac).unwrap_err();
+        assert!(err.contains("FAIL"), "counter drift must fail: {err}");
+        // Widening the tolerance turns the same drift into a pass.
+        let ac_loose = args(&[
+            "--diff",
+            a.to_str().unwrap(),
+            c.to_str().unwrap(),
+            "--tolerance",
+            "0.9",
+            "--warn",
+            "0.9",
+        ]);
+        assert!(report(&ac_loose).is_ok());
+        for p in [a, b, c] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn report_requires_exactly_one_input() {
+        assert!(report(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn report_renders_a_ledger() {
+        let a = write_ledger("harp_cli_render.jsonl", &[(1, 10)]);
+        let out = report(&args(&["--ledger", a.to_str().unwrap()])).unwrap();
+        assert!(out.contains("1 round records"));
+        assert!(out.contains("counter/tasks"));
+        std::fs::remove_file(a).ok();
     }
 }

@@ -7,6 +7,8 @@
 //! * `predict` — score a data file with a saved model (probabilities, raw
 //!   margins, or argmax class ids).
 //! * `eval`    — compute metrics of a saved model on a labeled file.
+//! * `report`  — render, summarize, or diff run ledgers (and bench JSON)
+//!   with per-metric tolerance thresholds; a tripped gate exits non-zero.
 //! * `importance` — print per-feature gain/split importance.
 //! * `dump`    — human-readable tree dump.
 //! * `synth`   — generate one of the paper-shaped synthetic datasets to a
@@ -33,6 +35,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "train" => commands::train(rest),
         "predict" => commands::predict(rest),
         "eval" => commands::eval(rest),
+        "report" => commands::report(rest),
         "importance" => commands::importance(rest),
         "dump" => commands::dump(rest),
         "synth" => commands::synth(rest),
@@ -58,6 +61,11 @@ pub fn usage() -> String {
         s,
         "  eval        --model FILE --data FILE [--metric auc|logloss|rmse|error] [--threads N]"
     );
+    let _ = writeln!(s, "  report      --ledger FILE | --diff A B | --bench-diff A B");
+    let _ = writeln!(
+        s,
+        "              [--tolerance F] [--warn F] [--time-tolerance F] [--time-floor SECS]"
+    );
     let _ = writeln!(s, "  importance  --model FILE [--top N]");
     let _ = writeln!(s, "  dump        --model FILE");
     let _ = writeln!(s, "  synth       --kind KIND --out FILE [--rows N] [--seed N]");
@@ -70,5 +78,7 @@ pub fn usage() -> String {
     let _ = writeln!(s, "  --valid FILE --early-stop ROUNDS");
     let _ = writeln!(s, "  --trace-out FILE   (write a chrome://tracing / Perfetto span trace");
     let _ = writeln!(s, "                      and print the per-phase worker-skew table)");
+    let _ = writeln!(s, "  --ledger-out FILE  (write a JSON-lines run ledger: one record per");
+    let _ = writeln!(s, "                      boosting round; inspect with `report --ledger`)");
     s
 }

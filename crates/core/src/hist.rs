@@ -24,8 +24,11 @@
 //! re-zeroes only the lanes the previous use touched.
 
 use crate::tree::NodeId;
+use harp_metrics::MemGauge;
+use harp_parallel::Profile;
 use std::collections::{BinaryHeap, HashMap};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Width in `f64` lanes of one node histogram in the *padded* layout:
 /// `total_bins * 2` real lanes plus one sink cell (2 lanes) per feature.
@@ -119,6 +122,14 @@ pub struct HistPool {
     evict_heap: BinaryHeap<EvictEntry>,
     next_stamp: u64,
     budget_bytes: usize,
+    /// Hit/miss/eviction counters (cache traffic shows up in the run ledger).
+    profile: Option<Arc<Profile>>,
+    /// Total bytes this pool ever allocated (free + cached + outstanding);
+    /// monotone, since buffers circulate rather than drop.
+    pool_gauge: Option<Arc<MemGauge>>,
+    /// Bytes currently resident in the candidate cache (shrinks on take,
+    /// eviction and clear).
+    cache_gauge: Option<Arc<MemGauge>>,
 }
 
 impl HistPool {
@@ -132,12 +143,32 @@ impl HistPool {
             evict_heap: BinaryHeap::new(),
             next_stamp: 0,
             budget_bytes,
+            profile: None,
+            pool_gauge: None,
+            cache_gauge: None,
         }
+    }
+
+    /// Attaches the profile (cache hit/miss/eviction counters) and optional
+    /// byte gauges consumed by the run ledger.
+    pub fn instrument(
+        &mut self,
+        profile: Arc<Profile>,
+        pool_gauge: Option<Arc<MemGauge>>,
+        cache_gauge: Option<Arc<MemGauge>>,
+    ) {
+        self.profile = Some(profile);
+        self.pool_gauge = pool_gauge;
+        self.cache_gauge = cache_gauge;
     }
 
     /// Histogram lane count (padded).
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    fn entry_bytes(&self) -> usize {
+        self.width * 8
     }
 
     /// Hands out a zeroed buffer, reusing a returned one when possible.
@@ -147,7 +178,12 @@ impl HistPool {
                 zero(&mut buf);
                 buf
             }
-            None => vec![0.0; self.width],
+            None => {
+                if let Some(g) = &self.pool_gauge {
+                    g.add(self.entry_bytes() as u64);
+                }
+                vec![0.0; self.width]
+            }
         }
     }
 
@@ -166,6 +202,7 @@ impl HistPool {
             self.release(data);
             return;
         }
+        let mut evictions = 0u64;
         while (self.cache.len() + 1) * entry_bytes > self.budget_bytes {
             let candidate = self.evict_heap.pop().expect("heap covers every cached entry");
             // Lazy deletion: skip entries superseded by a take or re-insert.
@@ -175,11 +212,24 @@ impl HistPool {
             }
             let evicted = self.cache.remove(&candidate.node).expect("checked above");
             self.free.push(evicted.data);
+            evictions += 1;
+        }
+        if evictions > 0 {
+            if let Some(p) = &self.profile {
+                p.add_hist_cache_evictions(evictions);
+            }
+            if let Some(g) = &self.cache_gauge {
+                g.sub(evictions * entry_bytes as u64);
+            }
         }
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        if let Some(old) = self.cache.insert(node, Cached { data, stamp }) {
+        let replaced = self.cache.insert(node, Cached { data, stamp });
+        if let Some(old) = replaced {
             self.free.push(old.data);
+        } else if let Some(g) = &self.cache_gauge {
+            // Replacement keeps occupancy flat; only a net-new entry grows it.
+            g.add(entry_bytes as u64);
         }
         self.evict_heap.push(EvictEntry { gain, node, stamp });
     }
@@ -187,11 +237,23 @@ impl HistPool {
     /// Removes and returns `node`'s cached histogram, if still present.
     pub fn cache_take(&mut self, node: NodeId) -> Option<Vec<f64>> {
         // The heap entry goes stale and is skipped at eviction time.
-        self.cache.remove(&node).map(|c| c.data)
+        let out = self.cache.remove(&node).map(|c| c.data);
+        if let Some(p) = &self.profile {
+            p.add_hist_cache_lookup(out.is_some());
+        }
+        if out.is_some() {
+            if let Some(g) = &self.cache_gauge {
+                g.sub(self.entry_bytes() as u64);
+            }
+        }
+        out
     }
 
     /// Drops every cached histogram (end of tree) back to the free list.
     pub fn clear_cache(&mut self) {
+        if let Some(g) = &self.cache_gauge {
+            g.sub((self.cache.len() * self.entry_bytes()) as u64);
+        }
         let drained: Vec<Vec<f64>> = self.cache.drain().map(|(_, c)| c.data).collect();
         self.free.extend(drained);
         self.evict_heap.clear();
@@ -238,12 +300,20 @@ impl ReplicaBuf {
 #[derive(Default)]
 pub struct ScratchPool {
     free: Vec<ReplicaBuf>,
+    /// Bytes of replica capacity owned by the arena (counted at allocation
+    /// and growth; monotone, since replicas circulate rather than drop).
+    gauge: Option<Arc<MemGauge>>,
 }
 
 impl ScratchPool {
     /// Creates an empty arena.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches the byte gauge consumed by the run ledger.
+    pub fn set_gauge(&mut self, gauge: Arc<MemGauge>) {
+        self.gauge = Some(gauge);
     }
 
     /// Hands out a zero-equivalent buffer of at least `len` lanes. Returns
@@ -258,8 +328,12 @@ impl ScratchPool {
                 }
                 let grown = buf.data.capacity() < len;
                 if grown {
+                    let before = buf.data.capacity();
                     // Round up so repeated small growth amortizes.
                     buf.data.reserve(len.next_power_of_two() - buf.data.len());
+                    if let Some(g) = &self.gauge {
+                        g.add(((buf.data.capacity() - before) * 8) as u64);
+                    }
                 }
                 if buf.data.len() < len {
                     // Within capacity this is a fill, not an allocation; the
@@ -268,7 +342,13 @@ impl ScratchPool {
                 }
                 (buf, grown)
             }
-            None => (ReplicaBuf { data: vec![0.0; len], dirty: Vec::new() }, true),
+            None => {
+                let buf = ReplicaBuf { data: vec![0.0; len], dirty: Vec::new() };
+                if let Some(g) = &self.gauge {
+                    g.add((buf.data.capacity() * 8) as u64);
+                }
+                (buf, true)
+            }
         }
     }
 
@@ -449,5 +529,85 @@ mod tests {
     fn reduce_width_mismatch_panics() {
         let mut a = vec![0.0; 2];
         reduce_into(&mut a, &[0.0; 3]);
+    }
+
+    #[test]
+    fn instrumented_pool_counts_lookups_and_evictions() {
+        let profile = Arc::new(Profile::new());
+        // 32 bytes/entry, budget for 2 entries.
+        let mut pool = HistPool::new(2, 0, 64);
+        pool.instrument(Arc::clone(&profile), None, None);
+        pool.cache_insert(1, vec![1.0; 4], 5.0);
+        pool.cache_insert(2, vec![2.0; 4], 1.0);
+        pool.cache_insert(3, vec![3.0; 4], 3.0); // evicts node 2
+        assert!(pool.cache_take(1).is_some()); // hit
+        assert!(pool.cache_take(2).is_none()); // miss (evicted)
+        let c = profile.snapshot();
+        assert_eq!(c.hist_cache_hits, 1);
+        assert_eq!(c.hist_cache_misses, 1);
+        assert_eq!(c.hist_cache_evictions, 1);
+    }
+
+    #[test]
+    fn cache_gauge_high_water_survives_evictions_and_clear() {
+        let cache_gauge = Arc::new(MemGauge::new());
+        let pool_gauge = Arc::new(MemGauge::new());
+        let mut pool = HistPool::new(2, 0, 64);
+        pool.instrument(
+            Arc::new(Profile::new()),
+            Some(Arc::clone(&pool_gauge)),
+            Some(Arc::clone(&cache_gauge)),
+        );
+        let a = pool.alloc();
+        let b = pool.alloc();
+        assert_eq!(pool_gauge.current(), 64, "two fresh 32-byte buffers");
+        pool.cache_insert(1, a, 5.0);
+        pool.cache_insert(2, b, 1.0);
+        assert_eq!(cache_gauge.current(), 64);
+        assert_eq!(cache_gauge.high_water(), 64);
+        let c = pool.alloc();
+        pool.cache_insert(3, c, 3.0); // evicts node 2, recycles it
+        assert_eq!(cache_gauge.current(), 64, "eviction then insert nets out");
+        assert!(pool.cache_take(1).is_some());
+        assert_eq!(cache_gauge.current(), 32, "take shrinks occupancy");
+        pool.clear_cache();
+        assert_eq!(cache_gauge.current(), 0, "clear empties occupancy");
+        assert_eq!(cache_gauge.high_water(), 64, "peak survives shrink");
+        assert_eq!(pool_gauge.current(), 96, "pool total is monotone");
+        // Recycled buffers do not re-count.
+        let _ = pool.alloc();
+        assert_eq!(pool_gauge.current(), 96);
+    }
+
+    #[test]
+    fn replacement_insert_keeps_cache_gauge_flat() {
+        let gauge = Arc::new(MemGauge::new());
+        let mut pool = HistPool::new(2, 0, 1 << 20);
+        pool.instrument(Arc::new(Profile::new()), None, Some(Arc::clone(&gauge)));
+        pool.cache_insert(1, vec![1.0; 4], 1.0);
+        pool.cache_insert(1, vec![2.0; 4], 2.0);
+        assert_eq!(gauge.current(), 32, "re-insert replaces, not grows");
+    }
+
+    #[test]
+    fn scratch_gauge_tracks_capacity_growth() {
+        let gauge = Arc::new(MemGauge::new());
+        let mut pool = ScratchPool::new();
+        pool.set_gauge(Arc::clone(&gauge));
+        let (mut buf, _) = pool.acquire(4);
+        let cap0 = gauge.current();
+        assert!(cap0 >= 32, "fresh 4-lane replica counted");
+        buf.set_dirty(std::iter::once(0..4));
+        pool.release(buf);
+        let (buf, grown) = pool.acquire(16);
+        assert!(grown);
+        assert!(gauge.current() >= 128, "growth adds the capacity delta");
+        assert_eq!(gauge.current(), gauge.high_water());
+        pool.release(buf);
+        let before = gauge.current();
+        let (buf, grown) = pool.acquire(16);
+        assert!(!grown);
+        assert_eq!(gauge.current(), before, "steady-state reuse adds nothing");
+        pool.release(buf);
     }
 }

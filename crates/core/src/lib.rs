@@ -47,7 +47,9 @@ pub mod tree;
 
 pub use ensemble::{FeatureImportance, GbdtModel};
 pub use loss::RowScaling;
-pub use params::{BlockConfig, GrowthMethod, LossKind, ParallelMode, TraceConfig, TrainParams};
+pub use params::{
+    BlockConfig, GrowthMethod, LedgerConfig, LossKind, ParallelMode, TraceConfig, TrainParams,
+};
 pub use predict::{FlatForest, Predictor};
 pub use trainer::{Diagnostics, EvalMetric, EvalOptions, GbdtTrainer, TrainOutput, TreeShape};
 pub use tree::{Node, NodeId, NodeStats, SplitData, Tree};

@@ -149,6 +149,38 @@ impl serde::Deserialize for TraceConfig {
     }
 }
 
+/// Run-ledger configuration (see `harp_metrics::RunLedger`).
+///
+/// Off by default. When enabled, the trainer snapshots phase-time deltas,
+/// profile-counter deltas, the eval metric, tree shape, worker skew, and
+/// memory-gauge bytes once per boosting round, and the diagnostics carry a
+/// [`harp_metrics::RunLedger`] ready to stream as JSON-lines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct LedgerConfig {
+    /// Record one ledger entry per boosting round.
+    pub enabled: bool,
+}
+
+impl LedgerConfig {
+    /// Convenience constructor for an enabled config.
+    pub fn enabled() -> Self {
+        Self { enabled: true }
+    }
+}
+
+// Manual impl (not derived) so models serialized before this field existed
+// still deserialize: a missing `ledger` object falls back to the default.
+impl serde::Deserialize for LedgerConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_obj().ok_or_else(|| serde::Error::new("expected ledger config object"))?;
+        Ok(Self { enabled: serde::field(obj, "enabled")? })
+    }
+
+    fn missing() -> Option<Self> {
+        Some(Self::default())
+    }
+}
+
 /// Full training configuration.
 ///
 /// Defaults follow §V-A4: `learning_rate = 0.1`, `γ = 1.0`, `λ = 1.0`,
@@ -211,6 +243,8 @@ pub struct TrainParams {
     pub seed: u64,
     /// Span-ledger tracing (disabled by default; zero-cost when off).
     pub trace: TraceConfig,
+    /// Per-round run ledger (disabled by default).
+    pub ledger: LedgerConfig,
 }
 
 impl Default for TrainParams {
@@ -237,6 +271,7 @@ impl Default for TrainParams {
             colsample_bytree: 1.0,
             seed: 0,
             trace: TraceConfig::default(),
+            ledger: LedgerConfig::default(),
         }
     }
 }

@@ -141,6 +141,28 @@ impl RowPartition {
         self.use_membuf
     }
 
+    /// Bytes held by the MemBuf gradient replica (`grads` + `scratch_grads`);
+    /// zero when MemBuf is off. This is the "+MemBuf" overhead of Table V.
+    pub fn membuf_bytes(&self) -> usize {
+        if self.use_membuf {
+            2 * self.n_rows * std::mem::size_of::<GradPair>()
+        } else {
+            0
+        }
+    }
+
+    /// Bytes held by the row-membership buffers themselves: the row
+    /// permutation and its scratch, the span table, and the parallel-split
+    /// scratch (excludes the MemBuf replica — see
+    /// [`membuf_bytes`](Self::membuf_bytes)).
+    pub fn index_bytes(&self) -> usize {
+        let scratch = self.par_scratch.lock();
+        2 * self.n_rows * std::mem::size_of::<u32>()
+            + self.spans.len() * std::mem::size_of::<AtomicU64>()
+            + scratch.counts.capacity() * std::mem::size_of::<AtomicU64>()
+            + scratch.left_base.capacity() * std::mem::size_of::<usize>()
+    }
+
     /// Starts a new tree: identity row order under the root node (id 0),
     /// MemBuf filled from `grads`.
     ///

@@ -199,6 +199,22 @@ impl FlatForest {
         self.loss
     }
 
+    /// Bytes held by the compiled arrays (the run-ledger `flat_forest`
+    /// gauge; capacity, not length, since spare capacity is resident too).
+    pub fn memory_bytes(&self) -> usize {
+        self.base_scores.capacity() * 4
+            + self.tree_offsets.capacity() * 4
+            + self.max_steps.capacity() * 4
+            + self.feature.capacity() * 4
+            + self.threshold.capacity() * 4
+            + self.bin.capacity()
+            + self.default_left.capacity()
+            + self.left.capacity() * 4
+            + self.right.capacity() * 4
+            + self.value.capacity() * 4
+            + self.packed.capacity() * std::mem::size_of::<PackedNode>()
+    }
+
     /// Argmax class per row of row-major raw scores (0.5-thresholded
     /// binary decision for scalar losses).
     pub fn classes_from_raw(&self, raw: &[f32]) -> Vec<u32> {

@@ -115,6 +115,11 @@ impl DriverScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Attaches the run-ledger byte gauge to the replica arena.
+    pub fn set_replica_gauge(&mut self, gauge: std::sync::Arc<harp_metrics::MemGauge>) {
+        self.replicas.set_gauge(gauge);
+    }
 }
 
 /// Sorts and coalesces ranges in place (empty ranges dropped).

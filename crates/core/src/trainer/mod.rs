@@ -29,7 +29,10 @@ use crate::split::{better_of, SplitCandidate, SplitSettings};
 use crate::tree::{NodeId, NodeStats, Tree};
 use harp_binning::{BinningConfig, QuantizedMatrix, MISSING_BIN};
 use harp_data::Dataset;
-use harp_metrics::{BreakdownReport, ConvergenceTrace, TimeBreakdown, WorkerSkewReport};
+use harp_metrics::{
+    gauges, BreakdownReport, ConvergenceTrace, LedgerRecord, MemGauge, MemRegistry, RunLedger,
+    TimeBreakdown, WorkerSkewReport,
+};
 use harp_parallel::{
     PhaseSpan, Profile, ProfileReport, Stopwatch, ThreadPool, TracePhase, TraceSink, TraceSnapshot,
 };
@@ -132,6 +135,11 @@ pub struct Diagnostics {
     pub span_trace: Option<TraceSnapshot>,
     /// Per-phase worker busy-time skew derived from the span ledger.
     pub worker_skew: Option<WorkerSkewReport>,
+    /// Per-round run ledger, when `TrainParams::ledger` was enabled: one
+    /// record per boosting round with phase-time and counter deltas, the
+    /// eval metric, tree shape, worker skew and memory-gauge bytes. Stream
+    /// it with [`RunLedger::write_jsonl`].
+    pub ledger: Option<RunLedger>,
 }
 
 impl Diagnostics {
@@ -267,7 +275,37 @@ impl GbdtTrainer {
                 min_child_weight: params.min_child_weight,
             },
             feature_mask: Vec::new(),
+            pops: 0,
+            popped: 0,
         };
+
+        // Run-ledger state: byte gauges plus previous-round baselines for
+        // delta computation. Gauges are only allocated (and pools only pay
+        // the per-event `fetch_add`) when the ledger is on.
+        let mut mem_registry = params.ledger.enabled.then(MemRegistry::new);
+        let (hist_pool_g, hist_cache_g, scratch_g, membuf_g, partition_g, flat_g) =
+            match &mut mem_registry {
+                Some(reg) => (
+                    Some(reg.gauge(gauges::HIST_POOL)),
+                    Some(reg.gauge(gauges::HIST_CACHE)),
+                    Some(reg.gauge(gauges::SCRATCH_ARENA)),
+                    Some(reg.gauge(gauges::MEMBUF)),
+                    Some(reg.gauge(gauges::PARTITION)),
+                    Some(reg.gauge(gauges::FLAT_FOREST)),
+                ),
+                None => (None, None, None, None, None, None),
+            };
+        // Cache hit/miss/eviction counters are cheap relaxed atomics; wire
+        // them unconditionally so whole-run profile reports always have them.
+        engine.hist_pool.instrument(Arc::clone(&profile), hist_pool_g, hist_cache_g);
+        if let Some(g) = scratch_g {
+            engine.scratch.set_replica_gauge(g);
+        }
+        let mut run_ledger = params.ledger.enabled.then(RunLedger::new);
+        let mut prev_breakdown = BreakdownReport::default();
+        let mut prev_counters = profile.snapshot();
+        let mut prev_trace_counters = sink.as_ref().map(|s| s.counter_totals());
+        let mut prev_lane_busy = sink.as_ref().map(|s| s.phase_busy_by_lane());
 
         // Evaluation state.
         let mut trace = eval.as_ref().map(|e| ConvergenceTrace::new(e.metric.higher_is_better()));
@@ -335,7 +373,11 @@ impl GbdtTrainer {
             train_secs += secs;
             per_tree_secs.push(secs);
 
-            // Validation (outside the timed region).
+            // Validation (outside the timed region). Early stopping raises a
+            // flag instead of breaking so the round's ledger record is still
+            // pushed below.
+            let mut round_metric: Option<f64> = None;
+            let mut stop = false;
             if let Some(e) = &eval {
                 if (iter + 1) % e.every.max(1) == 0 || iter + 1 == params.n_trees {
                     for group in 0..groups {
@@ -348,12 +390,14 @@ impl GbdtTrainer {
                             group,
                             &breakdown,
                             tsink,
+                            flat_g.as_deref(),
                         );
                     }
                     let metric = e.metric.compute(&e.data.labels, &eval_preds, params.loss);
                     if let Some(tr) = &mut trace {
                         tr.record(iter + 1, train_secs, metric);
                     }
+                    round_metric = Some(metric);
                     let improved = match best_metric {
                         None => true,
                         Some(b) => {
@@ -372,7 +416,7 @@ impl GbdtTrainer {
                         evals_since_best += 1;
                         if let Some(rounds) = e.early_stopping_rounds {
                             if evals_since_best >= rounds {
-                                break;
+                                stop = true;
                             }
                         }
                     }
@@ -389,9 +433,79 @@ impl GbdtTrainer {
                             group,
                             &breakdown,
                             tsink,
+                            flat_g.as_deref(),
                         );
                     }
                 }
+            }
+
+            // Ledger hook: snapshot this round's deltas.
+            if let (Some(ledger), Some(registry)) = (&mut run_ledger, &mem_registry) {
+                let bd = breakdown.report();
+                let round_bd = bd.since(&prev_breakdown);
+                prev_breakdown = bd;
+                let now = profile.snapshot();
+                let round_counters = now.delta(&prev_counters);
+                prev_counters = now;
+                let mut counters: Vec<(String, u64)> =
+                    round_counters.named().iter().map(|&(n, v)| (n.to_string(), v)).collect();
+                if let (Some(s), Some(prev)) = (&sink, &mut prev_trace_counters) {
+                    let now = s.counter_totals();
+                    let d = now.delta(prev);
+                    *prev = now;
+                    counters.push(("queue_pops".into(), d.queue_pops));
+                    counters.push(("queue_pushes".into(), d.queue_pushes));
+                    counters.push(("queue_spin_ns".into(), d.queue_spin_ns));
+                }
+                let mut skew: Vec<(String, f64)> = Vec::new();
+                if let (Some(s), Some(prev)) = (&sink, &mut prev_lane_busy) {
+                    let now = s.phase_busy_by_lane();
+                    // Workers only: the coordinator lane mostly waits and
+                    // would drown the phase imbalance signal.
+                    let workers = now.len().saturating_sub(1);
+                    let rows: Vec<(&'static str, Vec<u64>)> = TracePhase::all()
+                        .into_iter()
+                        .map(|p| {
+                            let row = (0..workers)
+                                .map(|l| now[l][p as usize].saturating_sub(prev[l][p as usize]))
+                                .collect();
+                            (p.name(), row)
+                        })
+                        .collect();
+                    *prev = now;
+                    let report = WorkerSkewReport::from_phase_ns(&rows);
+                    skew = report.rows.into_iter().map(|r| (r.phase, r.imbalance)).collect();
+                }
+                if let Some(g) = &membuf_g {
+                    g.observe(engine.partition.membuf_bytes() as u64);
+                }
+                if let Some(g) = &partition_g {
+                    g.observe(engine.partition.index_bytes() as u64);
+                }
+                let shapes = &tree_shapes[tree_shapes.len() - groups..];
+                let (pops, popped) = engine.take_pop_stats();
+                ledger.push(LedgerRecord {
+                    round: (iter + 1) as u64,
+                    elapsed_secs: train_secs,
+                    round_secs: secs,
+                    phase_secs: vec![
+                        ("build_hist".into(), round_bd.build_hist_secs),
+                        ("find_split".into(), round_bd.find_split_secs),
+                        ("apply_split".into(), round_bd.apply_split_secs),
+                        ("predict".into(), round_bd.predict_secs),
+                        ("other".into(), round_bd.other_secs),
+                    ],
+                    counters,
+                    eval_metric: round_metric,
+                    n_leaves: shapes.iter().map(|s| s.n_leaves).max().unwrap_or(0),
+                    max_depth: shapes.iter().map(|s| s.max_depth).max().unwrap_or(0),
+                    mean_k_per_pop: if pops > 0 { popped as f64 / pops as f64 } else { 0.0 },
+                    mem: registry.snapshot(),
+                    skew,
+                });
+            }
+            if stop {
+                break;
             }
         }
 
@@ -413,6 +527,7 @@ impl GbdtTrainer {
             tree_shapes,
             span_trace,
             worker_skew,
+            ledger: run_ledger,
         };
         TrainOutput {
             model: GbdtModel::new(trees, base_scores, params.loss, qm.n_features()),
@@ -424,6 +539,7 @@ impl GbdtTrainer {
 /// Adds one tree's contribution to group `group` of the row-major eval
 /// score buffer, through the flat blocked engine (attributed to the
 /// Predict phase). Bitwise identical to summing `tree.predict` per row.
+#[allow(clippy::too_many_arguments)]
 fn incremental_eval(
     tree: &Tree,
     data: &Dataset,
@@ -432,8 +548,12 @@ fn incremental_eval(
     group: usize,
     breakdown: &TimeBreakdown,
     trace: Option<&TraceSink>,
+    flat_gauge: Option<&MemGauge>,
 ) {
     let flat = crate::predict::FlatForest::single_tree(tree, data.n_features());
+    if let Some(g) = flat_gauge {
+        g.observe(flat.memory_bytes() as u64);
+    }
     let mut predictor = crate::predict::Predictor::new(&flat).with_breakdown(breakdown);
     if let Some(sink) = trace {
         predictor = predictor.with_trace(sink);
@@ -455,6 +575,12 @@ struct TreeEngine<'a> {
     settings: SplitSettings,
     /// Per-tree column-subsampling mask; empty = all features allowed.
     feature_mask: Vec<bool>,
+    /// Growth-queue pop count since the last ledger snapshot (batch engine
+    /// only; ASYNC's node tasks pop one node each and are not counted).
+    pops: u64,
+    /// Candidates popped across those pops — `popped / pops` is the round's
+    /// effective K.
+    popped: u64,
 }
 
 impl<'a> TreeEngine<'a> {
@@ -468,6 +594,15 @@ impl<'a> TreeEngine<'a> {
     /// Lane index for spans recorded by the coordinating thread.
     fn coord_lane(&self) -> usize {
         self.pool.num_threads()
+    }
+
+    /// Takes and resets the growth-queue pop statistics: `(pops, candidates
+    /// popped)` since the previous call.
+    fn take_pop_stats(&mut self) -> (u64, u64) {
+        let out = (self.pops, self.popped);
+        self.pops = 0;
+        self.popped = 0;
+        out
     }
 
     /// Regenerates the per-tree column-subsampling mask (empty when
@@ -577,6 +712,8 @@ impl<'a> TreeEngine<'a> {
         if batch.is_empty() {
             return false;
         }
+        self.pops += 1;
+        self.popped += batch.len() as u64;
 
         // ApplySplit: update the tree, then partition rows node by node
         // (chunk-parallel within a node for wide spans, node-parallel when

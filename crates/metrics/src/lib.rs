@@ -7,11 +7,21 @@
 //!   defines the paper's *Convergence Speedup*.
 //! * [`TimeBreakdown`] — per-phase wall-time attribution (BuildHist /
 //!   FindSplit / ApplySplit), the quantity plotted in Fig. 4.
+//! * [`RunLedger`] — the per-round JSON-lines run ledger: phase-time deltas,
+//!   profile-counter deltas, eval metric, tree shape, worker skew, and
+//!   [`MemGauge`] byte accounting; [`DiffReport`] compares two runs with
+//!   tolerance thresholds for regression gating.
 
 mod breakdown;
 mod convergence;
 mod eval;
+mod ledger;
+mod memory;
 
 pub use breakdown::{BreakdownReport, PhaseSkewRow, TimeBreakdown, WorkerSkewReport};
 pub use convergence::{ConvergencePoint, ConvergenceTrace};
 pub use eval::{accuracy, auc, error_rate, log_loss, multiclass_error, multiclass_log_loss, rmse};
+pub use ledger::{
+    DiffOptions, DiffReport, DiffRow, DiffStatus, LedgerRecord, LedgerSummary, RunLedger,
+};
+pub use memory::{gauges, MemGauge, MemGaugeRecord, MemRegistry};

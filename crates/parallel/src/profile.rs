@@ -17,7 +17,7 @@
 //!   compute-per-byte ratio analytically, and the same arithmetic is what we
 //!   surface.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -91,6 +91,14 @@ pub struct Profile {
     pub partition_scratch_allocs: AtomicU64,
     /// Parallel-partition scratch reuses (no allocation).
     pub partition_scratch_reuses: AtomicU64,
+    /// Histogram-pool candidate-cache hits (parent histogram found, enabling
+    /// the parent − sibling subtraction trick).
+    pub hist_cache_hits: AtomicU64,
+    /// Histogram-pool candidate-cache misses (parent absent or evicted; both
+    /// children need a fresh BuildHist).
+    pub hist_cache_misses: AtomicU64,
+    /// Histogram-pool cache evictions under the byte budget.
+    pub hist_cache_evictions: AtomicU64,
 }
 
 impl Profile {
@@ -117,6 +125,9 @@ impl Profile {
             &self.scratch_reuses,
             &self.partition_scratch_allocs,
             &self.partition_scratch_reuses,
+            &self.hist_cache_hits,
+            &self.hist_cache_misses,
+            &self.hist_cache_evictions,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -146,6 +157,21 @@ impl Profile {
         }
     }
 
+    /// Records one histogram-pool cache lookup (`hit` = parent found) for
+    /// the subtraction trick.
+    pub fn add_hist_cache_lookup(&self, hit: bool) {
+        if hit {
+            self.hist_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hist_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records histogram-pool cache evictions under the byte budget.
+    pub fn add_hist_cache_evictions(&self, n: u64) {
+        self.hist_cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records the write working-set size of one scheduled task.
     pub fn observe_region_bytes(&self, write_working_set: u64) {
         self.region_write_ws_bytes.fetch_add(write_working_set, Ordering::Relaxed);
@@ -155,6 +181,36 @@ impl Profile {
     /// Adds to the wall-clock time covered by this profile.
     pub fn add_wall_ns(&self, ns: u64) {
         self.wall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Copies every raw counter into a plain [`ProfileCounters`] value.
+    ///
+    /// Mirrors `BreakdownReport::since` in harp-metrics: take one snapshot at
+    /// an interval boundary, another later, and
+    /// [`ProfileCounters::delta`] yields the interval's traffic — the API
+    /// per-round consumers (the run ledger) use instead of re-reading
+    /// whole-run totals every round and double-counting.
+    pub fn snapshot(&self) -> ProfileCounters {
+        ProfileCounters {
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            barrier_wait_ns: self.barrier_wait_ns.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            regions: self.regions.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+            region_write_ws_bytes: self.region_write_ws_bytes.load(Ordering::Relaxed),
+            region_write_ws_samples: self.region_write_ws_samples.load(Ordering::Relaxed),
+            wall_ns: self.wall_ns.load(Ordering::Relaxed),
+            scratch_allocs: self.scratch_allocs.load(Ordering::Relaxed),
+            scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
+            partition_scratch_allocs: self.partition_scratch_allocs.load(Ordering::Relaxed),
+            partition_scratch_reuses: self.partition_scratch_reuses.load(Ordering::Relaxed),
+            hist_cache_hits: self.hist_cache_hits.load(Ordering::Relaxed),
+            hist_cache_misses: self.hist_cache_misses.load(Ordering::Relaxed),
+            hist_cache_evictions: self.hist_cache_evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Renders the counters into a report, given the number of pool threads.
@@ -174,6 +230,9 @@ impl Profile {
         let scratch_reuses = self.scratch_reuses.load(Ordering::Relaxed);
         let partition_scratch_allocs = self.partition_scratch_allocs.load(Ordering::Relaxed);
         let partition_scratch_reuses = self.partition_scratch_reuses.load(Ordering::Relaxed);
+        let hist_cache_hits = self.hist_cache_hits.load(Ordering::Relaxed);
+        let hist_cache_misses = self.hist_cache_misses.load(Ordering::Relaxed);
+        let hist_cache_evictions = self.hist_cache_evictions.load(Ordering::Relaxed);
 
         let thread_time = (threads as u64).saturating_mul(wall);
         let in_region = busy + barrier;
@@ -199,7 +258,115 @@ impl Profile {
             scratch_reuses,
             partition_scratch_allocs,
             partition_scratch_reuses,
+            hist_cache_hits,
+            hist_cache_misses,
+            hist_cache_evictions,
         }
+    }
+}
+
+/// Raw counter values of a [`Profile`] at one instant — the snapshot half of
+/// the snapshot/delta pair. Unlike [`ProfileReport`] (whole-run ratios),
+/// these are plain monotone totals, so two snapshots subtract cleanly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileCounters {
+    /// Worker busy nanoseconds.
+    pub busy_ns: u64,
+    /// End-of-region barrier-wait nanoseconds.
+    pub barrier_wait_ns: u64,
+    /// Contended spin-lock wait nanoseconds.
+    pub lock_wait_ns: u64,
+    /// Fork/join regions executed.
+    pub regions: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Trainer-reported bytes read.
+    pub bytes_read: u64,
+    /// Trainer-reported bytes written.
+    pub bytes_written: u64,
+    /// Trainer-reported FLOPs.
+    pub flops: u64,
+    /// Summed write working-set bytes.
+    pub region_write_ws_bytes: u64,
+    /// Write working-set observations.
+    pub region_write_ws_samples: u64,
+    /// Wall nanoseconds covered.
+    pub wall_ns: u64,
+    /// Replica-arena allocations or growths.
+    pub scratch_allocs: u64,
+    /// Replica-arena pool hits.
+    pub scratch_reuses: u64,
+    /// Partition-scratch allocations or growths.
+    pub partition_scratch_allocs: u64,
+    /// Partition-scratch reuses.
+    pub partition_scratch_reuses: u64,
+    /// Histogram-cache hits.
+    pub hist_cache_hits: u64,
+    /// Histogram-cache misses.
+    pub hist_cache_misses: u64,
+    /// Histogram-cache evictions.
+    pub hist_cache_evictions: u64,
+}
+
+impl ProfileCounters {
+    /// Element-wise difference `self - earlier` (saturating, so a reset
+    /// between snapshots yields zeros rather than wrapping).
+    pub fn delta(&self, earlier: &ProfileCounters) -> ProfileCounters {
+        let mut out = ProfileCounters::default();
+        for ((_, d), ((_, a), (_, b))) in
+            out.named_mut().into_iter().zip(self.named().into_iter().zip(earlier.named()))
+        {
+            *d = a.saturating_sub(b);
+        }
+        out
+    }
+
+    /// `(name, value)` view in a stable order — the generic form ledger
+    /// records and diff tables consume.
+    pub fn named(&self) -> [(&'static str, u64); 18] {
+        [
+            ("busy_ns", self.busy_ns),
+            ("barrier_wait_ns", self.barrier_wait_ns),
+            ("lock_wait_ns", self.lock_wait_ns),
+            ("regions", self.regions),
+            ("tasks", self.tasks),
+            ("bytes_read", self.bytes_read),
+            ("bytes_written", self.bytes_written),
+            ("flops", self.flops),
+            ("region_write_ws_bytes", self.region_write_ws_bytes),
+            ("region_write_ws_samples", self.region_write_ws_samples),
+            ("wall_ns", self.wall_ns),
+            ("scratch_allocs", self.scratch_allocs),
+            ("scratch_reuses", self.scratch_reuses),
+            ("partition_scratch_allocs", self.partition_scratch_allocs),
+            ("partition_scratch_reuses", self.partition_scratch_reuses),
+            ("hist_cache_hits", self.hist_cache_hits),
+            ("hist_cache_misses", self.hist_cache_misses),
+            ("hist_cache_evictions", self.hist_cache_evictions),
+        ]
+    }
+
+    fn named_mut(&mut self) -> [(&'static str, &mut u64); 18] {
+        [
+            ("busy_ns", &mut self.busy_ns),
+            ("barrier_wait_ns", &mut self.barrier_wait_ns),
+            ("lock_wait_ns", &mut self.lock_wait_ns),
+            ("regions", &mut self.regions),
+            ("tasks", &mut self.tasks),
+            ("bytes_read", &mut self.bytes_read),
+            ("bytes_written", &mut self.bytes_written),
+            ("flops", &mut self.flops),
+            ("region_write_ws_bytes", &mut self.region_write_ws_bytes),
+            ("region_write_ws_samples", &mut self.region_write_ws_samples),
+            ("wall_ns", &mut self.wall_ns),
+            ("scratch_allocs", &mut self.scratch_allocs),
+            ("scratch_reuses", &mut self.scratch_reuses),
+            ("partition_scratch_allocs", &mut self.partition_scratch_allocs),
+            ("partition_scratch_reuses", &mut self.partition_scratch_reuses),
+            ("hist_cache_hits", &mut self.hist_cache_hits),
+            ("hist_cache_misses", &mut self.hist_cache_misses),
+            ("hist_cache_evictions", &mut self.hist_cache_evictions),
+        ]
     }
 }
 
@@ -255,6 +422,12 @@ pub struct ProfileReport {
     pub partition_scratch_allocs: u64,
     /// Parallel-partition scratch reuses.
     pub partition_scratch_reuses: u64,
+    /// Histogram-cache hits (subtraction trick applicable).
+    pub hist_cache_hits: u64,
+    /// Histogram-cache misses.
+    pub hist_cache_misses: u64,
+    /// Histogram-cache budget evictions.
+    pub hist_cache_evictions: u64,
 }
 
 impl std::fmt::Display for ProfileReport {
@@ -274,10 +447,15 @@ impl std::fmt::Display for ProfileReport {
             "scratch alloc / reuse   {:>6} / {:<6}",
             self.scratch_allocs, self.scratch_reuses
         )?;
-        write!(
+        writeln!(
             f,
             "partition alloc / reuse {:>6} / {:<6}",
             self.partition_scratch_allocs, self.partition_scratch_reuses
+        )?;
+        write!(
+            f,
+            "hist cache hit/miss/evict {:>4} / {} / {}",
+            self.hist_cache_hits, self.hist_cache_misses, self.hist_cache_evictions
         )
     }
 }
@@ -373,8 +551,82 @@ mod tests {
         let p = Profile::new();
         let r = p.report(2);
         let text = format!("{r}");
-        for needle in ["CPU utilization", "barrier overhead", "avg task latency"] {
+        for needle in ["CPU utilization", "barrier overhead", "avg task latency", "hist cache"] {
             assert!(text.contains(needle), "missing row {needle}");
         }
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_an_interval() {
+        let p = Profile::new();
+        p.add_bytes(100, 50, 10);
+        p.add_scratch_events(2, 3);
+        let before = p.snapshot();
+        p.add_bytes(7, 1, 2);
+        p.add_hist_cache_lookup(true);
+        p.add_hist_cache_lookup(false);
+        p.add_hist_cache_evictions(4);
+        let d = p.snapshot().delta(&before);
+        assert_eq!(d.bytes_read, 7);
+        assert_eq!(d.bytes_written, 1);
+        assert_eq!(d.flops, 2);
+        assert_eq!(d.scratch_allocs, 0, "pre-snapshot traffic excluded");
+        assert_eq!(d.hist_cache_hits, 1);
+        assert_eq!(d.hist_cache_misses, 1);
+        assert_eq!(d.hist_cache_evictions, 4);
+    }
+
+    #[test]
+    fn delta_saturates_after_reset() {
+        let p = Profile::new();
+        p.add_bytes(100, 0, 0);
+        let before = p.snapshot();
+        p.reset();
+        let d = p.snapshot().delta(&before);
+        assert_eq!(d.bytes_read, 0, "reset between snapshots must not wrap");
+    }
+
+    #[test]
+    fn counter_delta_under_concurrent_increments() {
+        // Interval deltas must equal exactly the traffic added between the
+        // two snapshots even while other threads hammer the counters, since
+        // every counter is a monotone relaxed atomic.
+        let p = std::sync::Arc::new(Profile::new());
+        let before = p.snapshot();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let p = std::sync::Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        p.add_bytes(1, 2, 3);
+                        p.add_hist_cache_lookup(true);
+                        p.add_partition_scratch_event(false);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let d = p.snapshot().delta(&before);
+        assert_eq!(d.bytes_read, 40_000);
+        assert_eq!(d.bytes_written, 80_000);
+        assert_eq!(d.flops, 120_000);
+        assert_eq!(d.hist_cache_hits, 40_000);
+        assert_eq!(d.partition_scratch_reuses, 40_000);
+        // The named view covers every field (a new counter must be added to
+        // `named()` or this count drifts).
+        assert_eq!(d.named().len(), 18);
+    }
+
+    #[test]
+    fn counters_serde_roundtrip() {
+        let p = Profile::new();
+        p.add_bytes(5, 6, 7);
+        p.add_hist_cache_evictions(9);
+        let snap = p.snapshot();
+        let v = serde::Serialize::to_value(&snap);
+        let back = <ProfileCounters as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back, snap);
     }
 }

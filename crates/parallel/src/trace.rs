@@ -334,6 +334,36 @@ impl TraceSink {
         self.counters[lane].queue_pushes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sums the wait/queue counters across lanes — a handful of relaxed
+    /// loads, safe to call once per boosting round (unlike
+    /// [`snapshot`](Self::snapshot), which drains the span rings).
+    pub fn counter_totals(&self) -> TraceCounters {
+        let mut t = TraceCounters::default();
+        for c in &self.counters {
+            t.barrier_wait_ns += c.barrier_wait_ns.load(Ordering::Relaxed);
+            t.queue_spin_ns += c.queue_spin_ns.load(Ordering::Relaxed);
+            t.queue_pops += c.queue_pops.load(Ordering::Relaxed);
+            t.queue_pushes += c.queue_pushes.load(Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Per-lane per-phase busy nanoseconds (cumulative). Two reads bracket
+    /// an interval; their element-wise difference feeds a per-round
+    /// worker-skew table without touching the span rings.
+    pub fn phase_busy_by_lane(&self) -> Vec<[u64; N_TRACE_PHASES]> {
+        self.counters
+            .iter()
+            .map(|c| {
+                let mut busy = [0u64; N_TRACE_PHASES];
+                for (dst, src) in busy.iter_mut().zip(&c.busy_ns) {
+                    *dst = src.load(Ordering::Relaxed);
+                }
+                busy
+            })
+            .collect()
+    }
+
     /// Snapshots every lane: published spans sorted by start time plus a
     /// copy of the aggregate counters.
     pub fn snapshot(&self) -> TraceSnapshot {
@@ -368,6 +398,32 @@ impl TraceSink {
             })
             .collect();
         TraceSnapshot { lanes }
+    }
+}
+
+/// Cross-lane totals of the sink's wait/queue counters (cumulative since
+/// sink creation; subtract two reads for an interval delta).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// End-of-region barrier wait summed over lanes.
+    pub barrier_wait_ns: u64,
+    /// ASYNC queue spin time summed over lanes.
+    pub queue_spin_ns: u64,
+    /// Successful ASYNC queue pops.
+    pub queue_pops: u64,
+    /// ASYNC queue pushes.
+    pub queue_pushes: u64,
+}
+
+impl TraceCounters {
+    /// Element-wise saturating difference `self - earlier`.
+    pub fn delta(&self, earlier: &TraceCounters) -> TraceCounters {
+        TraceCounters {
+            barrier_wait_ns: self.barrier_wait_ns.saturating_sub(earlier.barrier_wait_ns),
+            queue_spin_ns: self.queue_spin_ns.saturating_sub(earlier.queue_spin_ns),
+            queue_pops: self.queue_pops.saturating_sub(earlier.queue_pops),
+            queue_pushes: self.queue_pushes.saturating_sub(earlier.queue_pushes),
+        }
     }
 }
 

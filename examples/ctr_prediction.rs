@@ -10,7 +10,7 @@
 
 use harp_data::{DatasetKind, SynthConfig};
 use harpgbdt::trainer::{EvalMetric, EvalOptions};
-use harpgbdt::{GbdtTrainer, GrowthMethod, TrainParams};
+use harpgbdt::{GbdtTrainer, GrowthMethod, LedgerConfig, TrainParams};
 
 fn main() {
     let data = SynthConfig::new(DatasetKind::CriteoLike, 7).with_scale(1.0).generate();
@@ -28,6 +28,7 @@ fn main() {
             growth: GrowthMethod::Leafwise,
             k: 16,
             min_child_weight,
+            ledger: LedgerConfig::enabled(),
             ..TrainParams::default()
         };
         let out = GbdtTrainer::new(params).expect("valid params").train_with_eval(
@@ -48,6 +49,30 @@ fn main() {
             deepest,
             trace.best().unwrap_or(0.5),
             best_iter,
+        );
+
+        // Per-round timing and memory come off the run ledger rather than
+        // ad-hoc stopwatches: compare early rounds (shallow residual trees)
+        // against late ones, and read the histogram pool's high-water mark.
+        let ledger = out.diagnostics.ledger.as_ref().expect("ledger enabled");
+        let records = ledger.records();
+        let mean_ms = |recs: &[harp_metrics::LedgerRecord]| {
+            1e3 * recs.iter().map(|r| r.round_secs).sum::<f64>() / recs.len().max(1) as f64
+        };
+        let head = &records[..records.len().min(10)];
+        let tail = &records[records.len().saturating_sub(10)..];
+        let peak_kb = records
+            .last()
+            .map(|r| r.mem.iter().map(|m| m.high_water_bytes).sum::<u64>() / 1024)
+            .unwrap_or(0);
+        println!(
+            "  ledger: {:.2} ms/round over rounds 1-{}, {:.2} ms/round over the last {}; \
+             peak training memory {} KB",
+            mean_ms(head),
+            head.len(),
+            mean_ms(tail),
+            tail.len(),
+            peak_kb,
         );
 
         // Deploy the model truncated to its best iteration, compiled to

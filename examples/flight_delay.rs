@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p harp-bench --example flight_delay`
 
 use harp_data::{DatasetKind, SynthConfig};
-use harpgbdt::{GbdtTrainer, GrowthMethod, ParallelMode, TraceConfig, TrainParams};
+use harpgbdt::{GbdtTrainer, GrowthMethod, LedgerConfig, ParallelMode, TraceConfig, TrainParams};
 
 fn main() {
     let data = SynthConfig::new(DatasetKind::AirlineLike, 11).with_scale(0.5).generate();
@@ -44,9 +44,10 @@ fn main() {
          depthwise trees stay balanced, leafwise trees go deeper on skewed features"
     );
 
-    // Per-worker phase skew from the span ledger: rerun the TopK-32 config
-    // with tracing on and 4 workers. The thin matrix (8 features) makes
-    // BuildHist tasks coarse, so this is where SYNC-mode imbalance shows.
+    // Per-worker phase skew and per-round accounting: rerun the TopK-32
+    // config with tracing and the run ledger on, 4 workers. The thin matrix
+    // (8 features) makes BuildHist tasks coarse, so this is where SYNC-mode
+    // imbalance shows.
     let params = TrainParams {
         n_trees: 60,
         tree_size: 6,
@@ -55,6 +56,7 @@ fn main() {
         n_threads: 4,
         mode: ParallelMode::Sync,
         trace: TraceConfig::enabled(),
+        ledger: LedgerConfig::enabled(),
         ..TrainParams::default()
     };
     let out = GbdtTrainer::new(params).expect("valid params").train(&train);
@@ -64,6 +66,27 @@ fn main() {
         println!(
             "max/mean is the slowdown the end-of-phase barrier costs vs. perfect balance;\n\
              BarrierWait rows book that waiting explicitly (coordinator lane excluded)"
+        );
+    }
+    if let Some(ledger) = &out.diagnostics.ledger {
+        let summary = ledger.summary();
+        println!(
+            "\nrun-ledger totals over {} rounds (phase seconds and memory high-water):",
+            ledger.len()
+        );
+        for (name, value) in summary
+            .metrics
+            .iter()
+            .filter(|(n, _)| n.starts_with("time/") || n.starts_with("mem/"))
+        {
+            if name.ends_with("/current_bytes") {
+                continue;
+            }
+            println!("  {name:<38} {value:>14.4}");
+        }
+        println!(
+            "(the full per-round stream is what `harpgbdt train --ledger-out` writes\n\
+             and `harpgbdt report --ledger/--diff` renders and gates)"
         );
     }
 }
