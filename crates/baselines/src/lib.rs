@@ -26,7 +26,9 @@
 
 use harp_data::Dataset;
 use harpgbdt::trainer::EvalOptions;
-use harpgbdt::{BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainOutput, TrainParams};
+use harpgbdt::{
+    Accumulation, BlockConfig, GbdtTrainer, GrowthMethod, ParallelMode, TrainOutput, TrainParams,
+};
 
 /// Which baseline system to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +62,49 @@ impl Baseline {
         }
     }
 
+    /// The ⟨row, node, feature, bin⟩ block corner and accumulation policy
+    /// this baseline pins — the *named plan preset* over the shared
+    /// [`harpgbdt::BlockPlan`] enumerator. The engine feeds this config to
+    /// the same `BlockPlan::rebuild` every mode uses; nothing about a
+    /// baseline is special beyond the corner it sits in.
+    pub fn plan_preset(self) -> (BlockConfig, Accumulation) {
+        match self {
+            // ⟨X, X, 0, 0⟩: row blocks, per-replica accumulation, all
+            // features per task, one leaf at a time.
+            Baseline::XgbDepth | Baseline::XgbLeaf => (
+                BlockConfig {
+                    row_blk_size: 0,
+                    node_blk_size: 1,
+                    feature_blk_size: 0,
+                    bin_blk_size: 0,
+                },
+                Accumulation::Replicated,
+            ),
+            // ⟨0, 1, 0, 1⟩: whole rows, one feature column per task,
+            // exclusive disjoint writes.
+            Baseline::LightGbm => (
+                BlockConfig {
+                    row_blk_size: 0,
+                    node_blk_size: 1,
+                    feature_blk_size: 1,
+                    bin_blk_size: 0,
+                },
+                Accumulation::Exclusive,
+            ),
+            // ⟨X, 0, 0, 1⟩: one feature per task across all level nodes —
+            // "a vertical plain crossing all tree nodes in GHSum".
+            Baseline::XgbApprox => (
+                BlockConfig {
+                    row_blk_size: 0,
+                    node_blk_size: 0,
+                    feature_blk_size: 1,
+                    bin_blk_size: 0,
+                },
+                Accumulation::Exclusive,
+            ),
+        }
+    }
+
     /// The training parameters this baseline corresponds to, for a given
     /// tree size `D` and thread count.
     ///
@@ -68,50 +113,14 @@ impl Baseline {
     /// `node_blk_size = 1`, MemBuf off. Histogram subtraction stays on —
     /// both original systems implement it.
     pub fn params(self, tree_size: u32, n_threads: usize) -> TrainParams {
-        let (growth, mode, blocks) = match self {
-            Baseline::XgbDepth => (
-                GrowthMethod::Depthwise,
-                ParallelMode::DataParallel,
-                // ⟨X, X, 0, 0⟩: row blocks, all features per task.
-                BlockConfig {
-                    row_blk_size: 0,
-                    node_blk_size: 1,
-                    feature_blk_size: 0,
-                    bin_blk_size: 0,
-                },
-            ),
-            Baseline::XgbLeaf => (
-                GrowthMethod::Leafwise,
-                ParallelMode::DataParallel,
-                BlockConfig {
-                    row_blk_size: 0,
-                    node_blk_size: 1,
-                    feature_blk_size: 0,
-                    bin_blk_size: 0,
-                },
-            ),
-            Baseline::LightGbm => (
-                GrowthMethod::Leafwise,
-                ParallelMode::ModelParallel,
-                // ⟨0, 1, 0, 1⟩: whole rows, one feature per task.
-                BlockConfig {
-                    row_blk_size: 0,
-                    node_blk_size: 1,
-                    feature_blk_size: 1,
-                    bin_blk_size: 0,
-                },
-            ),
-            Baseline::XgbApprox => (
-                GrowthMethod::Depthwise,
-                ParallelMode::ModelParallel,
-                // ⟨X, 0, 0, 1⟩: one feature per task across all level nodes.
-                BlockConfig {
-                    row_blk_size: 0,
-                    node_blk_size: 0,
-                    feature_blk_size: 1,
-                    bin_blk_size: 0,
-                },
-            ),
+        let growth = match self {
+            Baseline::XgbLeaf | Baseline::LightGbm => GrowthMethod::Leafwise,
+            Baseline::XgbDepth | Baseline::XgbApprox => GrowthMethod::Depthwise,
+        };
+        let (blocks, accumulation) = self.plan_preset();
+        let mode = match accumulation {
+            Accumulation::Replicated => ParallelMode::DataParallel,
+            Accumulation::Exclusive => ParallelMode::ModelParallel,
         };
         TrainParams {
             growth,
@@ -292,6 +301,41 @@ mod tests {
         let out = GbdtTrainer::new(p).unwrap().train(&d);
         let auc = harp_metrics::auc(&d.labels, &out.model.predict(&d.features));
         assert!(auc > 0.72, "XGB-Approx should learn: {auc}");
+    }
+
+    #[test]
+    fn presets_enumerate_through_shared_plan() {
+        // The presets are corners of the one shared enumerator: building a
+        // plan from each preset config yields exactly the task shapes the
+        // paper ascribes to that system.
+        use harpgbdt::{BatchShape, BlockPlan};
+        let shape = BatchShape {
+            n_features: 8,
+            dense: true,
+            max_bins: 64,
+            total_bins: 8 * 64,
+            n_threads: 4,
+        };
+        let job_lens = [100usize, 60, 40];
+        let mut plan = BlockPlan::new();
+
+        // LightGBM: one ⟨node, feature⟩ column per task, whole rows.
+        let (cfg, acc) = Baseline::LightGbm.plan_preset();
+        plan.rebuild(&cfg, &shape, &job_lens, acc);
+        assert_eq!(plan.tasks().len(), job_lens.len() * shape.n_features);
+        assert!(plan.tasks().iter().all(|t| t.features.len() == 1 && t.jobs.len() == 1));
+
+        // XGB-Approx: one feature column spanning all level nodes per task.
+        let (cfg, acc) = Baseline::XgbApprox.plan_preset();
+        plan.rebuild(&cfg, &shape, &job_lens, acc);
+        assert_eq!(plan.tasks().len(), shape.n_features);
+        assert!(plan.tasks().iter().all(|t| t.jobs.len() == job_lens.len()));
+
+        // XGB-Hist: row blocks with all features, one node per task group.
+        let (cfg, acc) = Baseline::XgbDepth.plan_preset();
+        plan.rebuild(&cfg, &shape, &job_lens, acc);
+        assert!(plan.tasks().iter().all(|t| t.features.len() == shape.n_features));
+        assert!(plan.tasks().iter().all(|t| t.jobs.len() == 1));
     }
 
     #[test]

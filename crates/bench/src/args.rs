@@ -14,6 +14,9 @@ pub struct ExpArgs {
     /// Run at paper-like settings (larger data, 100 trees) instead of the
     /// quick defaults.
     pub full: bool,
+    /// Smoke-test mode (CI): shrink the sweep to a seconds-long pass that
+    /// exercises every code path without asserting on timings.
+    pub test: bool,
     /// Write results as JSON to this path.
     pub out: Option<std::path::PathBuf>,
 }
@@ -26,6 +29,7 @@ impl Default for ExpArgs {
             trees: None,
             seed: 42,
             full: false,
+            test: false,
             out: None,
         }
     }
@@ -40,7 +44,7 @@ impl ExpArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: <experiment> [--scale F] [--threads N] [--trees N] \
-                     [--seed N] [--full] [--out PATH]"
+                     [--seed N] [--full] [--test] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -87,6 +91,7 @@ impl ExpArgs {
                         .map_err(|_| "--seed expects an integer".to_string())?;
                 }
                 "--full" => out.full = true,
+                "--test" => out.test = true,
                 "--out" => out.out = Some(value("--out")?.into()),
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -121,6 +126,7 @@ mod tests {
         assert_eq!(a.scale, 1.0);
         assert_eq!(a.seed, 42);
         assert!(!a.full);
+        assert!(!a.test);
         assert!(a.trees.is_none());
     }
 
@@ -136,6 +142,7 @@ mod tests {
             "--seed",
             "7",
             "--full",
+            "--test",
             "--out",
             "/tmp/x.json",
         ])
@@ -145,6 +152,7 @@ mod tests {
         assert_eq!(a.trees, Some(50));
         assert_eq!(a.seed, 7);
         assert!(a.full);
+        assert!(a.test);
         assert_eq!(a.out.as_deref(), Some(std::path::Path::new("/tmp/x.json")));
     }
 

@@ -5,8 +5,8 @@ use harp_data::{Dataset, DatasetKind, SynthConfig};
 use harp_metrics::{DiffOptions, DiffReport, RunLedger};
 use harpgbdt::trainer::{EvalMetric, EvalOptions};
 use harpgbdt::{
-    GbdtModel, GbdtTrainer, GrowthMethod, LedgerConfig, LossKind, ParallelMode, TraceConfig,
-    TrainParams,
+    BlockConfig, GbdtModel, GbdtTrainer, GrowthMethod, LedgerConfig, LossKind, ParallelMode,
+    TraceConfig, TrainParams,
 };
 use std::fmt::Write as _;
 use std::path::Path;
@@ -43,6 +43,37 @@ fn parse_mode(s: &str) -> Result<ParallelMode, String> {
         "async" => Ok(ParallelMode::Async),
         other => Err(format!("unknown mode {other:?} (dp|mp|sync|async)")),
     }
+}
+
+/// Parses `--blocks R,N,F,B` / `--auto-blocks` into a [`BlockConfig`]
+/// (`0` = unlimited, matching `TrainParams`; `--auto-blocks` selects the
+/// cost-model auto-tuner). Degenerate explicit configs are rejected by
+/// `TrainParams::validate` with the rest of the parameters.
+fn parse_blocks(opts: &Opts) -> Result<BlockConfig, String> {
+    let explicit = opts.get("--blocks");
+    if opts.switch("--auto-blocks") {
+        if explicit.is_some() {
+            return Err("--blocks and --auto-blocks are mutually exclusive".into());
+        }
+        return Ok(BlockConfig::Auto);
+    }
+    let Some(s) = explicit else {
+        return Ok(BlockConfig::default());
+    };
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 4 {
+        return Err(format!("--blocks expects R,N,F,B (four comma-separated sizes), got {s:?}"));
+    }
+    let mut v = [0usize; 4];
+    for (dst, p) in v.iter_mut().zip(&parts) {
+        *dst = p.trim().parse().map_err(|_| format!("--blocks: cannot parse {p:?}"))?;
+    }
+    Ok(BlockConfig {
+        row_blk_size: v[0],
+        node_blk_size: v[1],
+        feature_blk_size: v[2],
+        bin_blk_size: v[3],
+    })
 }
 
 fn parse_growth(s: &str) -> Result<GrowthMethod, String> {
@@ -91,6 +122,7 @@ pub fn train(args: &[String]) -> Result<String, String> {
         subsample: opts.parse_or("--subsample", 1.0f32)?,
         colsample_bytree: opts.parse_or("--colsample", 1.0f32)?,
         seed: opts.parse_or("--seed", 0u64)?,
+        blocks: parse_blocks(&opts)?,
         // The ledger's skew/queue sections read the span trace, so
         // --ledger-out turns tracing on too.
         trace: if trace_out.is_some() || ledger_out.is_some() {
@@ -476,6 +508,24 @@ mod tests {
     }
 
     #[test]
+    fn block_flag_parsing() {
+        let o = Opts::parse(&args(&["--blocks", "0,32,16,0"])).unwrap();
+        let b = parse_blocks(&o).unwrap();
+        assert_eq!(
+            (b.row_blk_size, b.node_blk_size, b.feature_blk_size, b.bin_blk_size),
+            (0, 32, 16, 0)
+        );
+        let o = Opts::parse(&args(&["--auto-blocks"])).unwrap();
+        assert!(parse_blocks(&o).unwrap().is_auto());
+        let o = Opts::parse(&args(&[])).unwrap();
+        assert_eq!(parse_blocks(&o).unwrap(), BlockConfig::default());
+        let o = Opts::parse(&args(&["--blocks", "1,2,3"])).unwrap();
+        assert!(parse_blocks(&o).is_err(), "three extents must be rejected");
+        let o = Opts::parse(&args(&["--blocks", "1,2,3,4", "--auto-blocks"])).unwrap();
+        assert!(parse_blocks(&o).is_err(), "mutually exclusive flags");
+    }
+
+    #[test]
     fn format_rows_groups() {
         assert_eq!(format_rows(&[1.0, 2.0, 3.0, 4.0], 2), vec!["1,2", "3,4"]);
         assert_eq!(format_rows(&[1.5], 1), vec!["1.5"]);
@@ -524,6 +574,13 @@ mod tests {
                 mean_k_per_pop: 8.0,
                 mem: Vec::new(),
                 skew: Vec::new(),
+                plan: harp_metrics::PlanStats {
+                    batches: 1,
+                    tasks,
+                    node_blk: 4,
+                    feature_blk: 16,
+                    ..Default::default()
+                },
             });
         }
         let path = std::env::temp_dir().join(name);

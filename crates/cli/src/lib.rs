@@ -75,6 +75,8 @@ pub fn usage() -> String {
     let _ = writeln!(s, "  --min-child-weight F --growth leafwise|depthwise --k N");
     let _ = writeln!(s, "  --mode dp|mp|sync|async --threads N --loss logistic|squared|softmax:C");
     let _ = writeln!(s, "  --subsample F --colsample F --seed N");
+    let _ = writeln!(s, "  --blocks R,N,F,B   (explicit block extents, 0 = unlimited)");
+    let _ = writeln!(s, "  --auto-blocks      (cost-model block auto-tuner)");
     let _ = writeln!(s, "  --valid FILE --early-stop ROUNDS");
     let _ = writeln!(s, "  --trace-out FILE   (write a chrome://tracing / Perfetto span trace");
     let _ = writeln!(s, "                      and print the per-phase worker-skew table)");

@@ -10,7 +10,7 @@ pub struct Opts {
 }
 
 /// Known boolean switches (flags without values).
-const SWITCHES: &[&str] = &["--raw", "--class"];
+const SWITCHES: &[&str] = &["--raw", "--class", "--auto-blocks"];
 
 impl Opts {
     /// Parses an argument list.

@@ -40,6 +40,7 @@ pub mod kernels;
 pub mod loss;
 pub mod params;
 pub mod partition;
+pub mod plan;
 pub mod predict;
 pub mod split;
 pub mod trainer;
@@ -50,6 +51,7 @@ pub use loss::RowScaling;
 pub use params::{
     BlockConfig, GrowthMethod, LedgerConfig, LossKind, ParallelMode, TraceConfig, TrainParams,
 };
+pub use plan::{Accumulation, BatchShape, BlockPlan, BlockTask, ResolvedExtents};
 pub use predict::{FlatForest, Predictor};
 pub use trainer::{Diagnostics, EvalMetric, EvalOptions, GbdtTrainer, TrainOutput, TreeShape};
 pub use tree::{Node, NodeId, NodeStats, SplitData, Tree};

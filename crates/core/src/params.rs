@@ -45,7 +45,8 @@ pub enum LossKind {
 }
 
 /// Block-size system parameters (Table IV). `0` means "all" (the paper's
-/// convention for unlimited block extent).
+/// convention for unlimited block extent); [`BlockConfig::Auto`] defers the
+/// choice to the per-batch cost model in [`crate::plan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockConfig {
     /// Rows per data-parallel task; `0` derives `N / n_threads`.
@@ -66,6 +67,84 @@ impl Default for BlockConfig {
 }
 
 impl BlockConfig {
+    /// Sentinel extent marking an auto-tuned field. Deliberately `2^53` —
+    /// the largest integer the JSON number representation round-trips
+    /// exactly — so a serialized `Auto` config survives model save/load
+    /// (`usize::MAX` would come back off by one and stop comparing equal).
+    pub const AUTO_EXTENT: usize = 1 << 53;
+
+    /// Defer block sizing to the per-batch cost model
+    /// ([`crate::plan::auto_config`]): working-set-vs-L2 fit, task count
+    /// versus thread count, and redundant-read volume pick the extents for
+    /// every BuildHist batch.
+    ///
+    /// A `const` rather than an enum variant so explicit configs keep their
+    /// exhaustive-struct-literal construction sites unchanged.
+    #[allow(non_upper_case_globals)]
+    pub const Auto: BlockConfig = BlockConfig {
+        row_blk_size: Self::AUTO_EXTENT,
+        node_blk_size: Self::AUTO_EXTENT,
+        feature_blk_size: Self::AUTO_EXTENT,
+        bin_blk_size: Self::AUTO_EXTENT,
+    };
+
+    /// Is this the auto-tuned configuration?
+    pub fn is_auto(&self) -> bool {
+        *self == Self::Auto
+    }
+
+    /// Validates an explicit configuration.
+    ///
+    /// The `0 = unlimited` sentinel is always legal — including
+    /// `node_blk_size = 0` under model parallelism, which is exactly the
+    /// XGB-Approx vertical-plane preset (all nodes of the batch fused into
+    /// one task group, see `harp-baselines`). Rejected instead are configs
+    /// that are degenerate under every dataset:
+    ///
+    /// * a `bin_blk_size` beyond the 256-bin quantization ceiling (bins are
+    ///   `u8`; such a block can never split anything — use `0` to disable
+    ///   bin blocking);
+    /// * extents at or beyond [`Self::AUTO_EXTENT`] unless *all four* carry
+    ///   the sentinel (a partially-auto config is a construction bug, and
+    ///   larger extents would not survive JSON serialization).
+    ///
+    /// # Errors
+    /// Returns a message describing the first degenerate field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.is_auto() {
+            return Ok(());
+        }
+        let fields = [
+            ("row_blk_size", self.row_blk_size),
+            ("node_blk_size", self.node_blk_size),
+            ("feature_blk_size", self.feature_blk_size),
+            ("bin_blk_size", self.bin_blk_size),
+        ];
+        for (name, v) in fields {
+            if v == Self::AUTO_EXTENT {
+                return Err(format!(
+                    "{name} carries the auto sentinel but the other block extents are \
+                     explicit; use BlockConfig::Auto to auto-tune all four"
+                ));
+            }
+            if v > Self::AUTO_EXTENT {
+                return Err(format!(
+                    "{name} = {v} exceeds the largest representable block extent \
+                     ({}); use 0 for an unlimited block",
+                    Self::AUTO_EXTENT
+                ));
+            }
+        }
+        if self.bin_blk_size > 256 {
+            return Err(format!(
+                "bin_blk_size = {} exceeds the 256-bin quantization ceiling, so it can \
+                 never block anything; use 0 to disable bin blocking",
+                self.bin_blk_size
+            ));
+        }
+        Ok(())
+    }
+
     /// Resolves `row_blk_size` for a dataset of `n` rows on `t` threads.
     pub fn rows_per_block(&self, n: usize, t: usize) -> usize {
         if self.row_blk_size > 0 {
@@ -334,6 +413,7 @@ impl TrainParams {
                 return Err("softmax needs at least 2 classes".into());
             }
         }
+        self.blocks.validate()?;
         Ok(())
     }
 }
@@ -392,6 +472,55 @@ mod tests {
         assert_eq!(all.nodes_per_block(5), 5);
         assert_eq!(all.features_per_block(128), 128);
         assert_eq!(all.bins_per_block(255), 32);
+    }
+
+    #[test]
+    fn auto_sentinel_roundtrips_and_validates() {
+        let auto = BlockConfig::Auto;
+        assert!(auto.is_auto());
+        assert!(auto.validate().is_ok());
+        assert!(!BlockConfig::default().is_auto());
+        // The sentinel must survive the JSON model format exactly.
+        let text = serde_json::to_string(&auto).expect("serialize");
+        let back: BlockConfig = serde_json::from_str(&text).expect("parse");
+        assert!(back.is_auto(), "auto sentinel corrupted by JSON round-trip");
+        let p = TrainParams { blocks: BlockConfig::Auto, ..Default::default() };
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_sentinel_configs_are_accepted() {
+        // `0 = unlimited` everywhere, including node_blk = 0 (the
+        // XGB-Approx vertical plane under MP) — documented legal.
+        let all_zero =
+            BlockConfig { row_blk_size: 0, node_blk_size: 0, feature_blk_size: 0, bin_blk_size: 0 };
+        assert!(all_zero.validate().is_ok());
+        let p = TrainParams {
+            blocks: all_zero,
+            mode: ParallelMode::ModelParallel,
+            ..Default::default()
+        };
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_block_configs_are_rejected() {
+        // Over-ceiling bin block: bins are u8, so > 256 can never block.
+        let b = BlockConfig { bin_blk_size: 300, ..Default::default() };
+        let err = b.validate().unwrap_err();
+        assert!(err.contains("bin_blk_size") && err.contains("256"), "got: {err}");
+        // Partially-auto configs are construction bugs, not requests.
+        let partial =
+            BlockConfig { feature_blk_size: BlockConfig::AUTO_EXTENT, ..Default::default() };
+        let err = partial.validate().unwrap_err();
+        assert!(err.contains("auto sentinel"), "got: {err}");
+        // Extents beyond the sentinel would not survive serialization.
+        let huge = BlockConfig { row_blk_size: usize::MAX, ..Default::default() };
+        let err = huge.validate().unwrap_err();
+        assert!(err.contains("row_blk_size"), "got: {err}");
+        // And TrainParams::validate surfaces all of it at build time.
+        let p = TrainParams { blocks: b, ..Default::default() };
+        assert!(p.validate().is_err());
     }
 
     #[test]

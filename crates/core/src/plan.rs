@@ -1,0 +1,547 @@
+//! Block-task planning: one enumerator for every BuildHist scheduler.
+//!
+//! HarpGBDT's schedulers are all walks over the same ⟨row, node, feature,
+//! bin⟩ cube (§IV-A); what distinguishes data parallelism from model
+//! parallelism is not the decomposition but the *accumulation policy* —
+//! replicated writes folded by a reduction versus exclusive disjoint writes.
+//! This module makes that structural: a [`BlockPlan`] enumerates the block
+//! tasks of one batch from a [`BlockConfig`] plus a [`BatchShape`], and the
+//! drivers in [`crate::trainer::drivers`] are thin executors over the task
+//! list. The baseline schedulers in `harp-baselines` are corner configs of
+//! the same enumerator, so "XGBoost-hist and LightGBM fall out as special
+//! configurations" is literally true of the code path, not just the math.
+//!
+//! The enumeration order is part of the contract: deterministic DP pins
+//! task → replica assignment to the task index, so any reordering would
+//! change floating-point accumulation order. The loops below reproduce the
+//! historical driver loops exactly and the equivalence batteries
+//! (`tests/mode_equivalence.rs`, `tests/buildhist_equivalence.rs`) hold the
+//! line bitwise.
+//!
+//! On top of the explicit configs sits [`BlockConfig::Auto`]: a small cost
+//! model ([`auto_config`]) that picks block extents per batch from the
+//! working-set-vs-L2 fit of §IV-E, the task count versus the thread count,
+//! and the redundant-read volume of each policy. `bench_blocks` validates
+//! its picks against the swept grid of Fig. 10.
+
+use crate::params::BlockConfig;
+use std::ops::Range;
+
+/// How concurrent tasks combine their histogram writes (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accumulation {
+    /// Data parallelism: every task writes a private replica of its node's
+    /// histogram; a deterministic reduction folds replicas afterwards.
+    Replicated,
+    /// Model parallelism: tasks own disjoint ⟨node, feature, bin⟩ regions
+    /// and write the shared buffers directly — no replicas, no reduction.
+    Exclusive,
+}
+
+/// The shape of one BuildHist batch, everything the planner needs to know
+/// about the data without touching it.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchShape {
+    /// Feature count `m`.
+    pub n_features: usize,
+    /// Dense storage? Sparse (CSR) rows have no per-feature-block
+    /// substructure, so replicated row scans cannot slice features.
+    pub dense: bool,
+    /// Largest per-feature bin count (bin-block granularity).
+    pub max_bins: usize,
+    /// Total bins over all features (histogram lanes / 2).
+    pub total_bins: usize,
+    /// Worker threads available to execute the plan.
+    pub n_threads: usize,
+}
+
+/// One block task: the ⟨row, node, feature, bin⟩ sub-cube a single worker
+/// invocation covers.
+///
+/// Replicated tasks carry a single job (`jobs.len() == 1`) and a real row
+/// chunk; exclusive tasks fuse a job range and cover every row of each job
+/// (`rows` spans the per-job row count, see [`BlockTask::ALL_ROWS`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockTask {
+    /// Batch job indices this task accumulates into.
+    pub jobs: Range<usize>,
+    /// Feature block.
+    pub features: Range<usize>,
+    /// Row chunk within each job's row span.
+    pub rows: Range<usize>,
+    /// Bin sub-range within each feature (`None` = all bins).
+    pub bins: Option<(usize, usize)>,
+}
+
+impl BlockTask {
+    /// Sentinel `rows` extent meaning "every row of the job". Exclusive
+    /// tasks use it because their jobs have differing row counts; clamp
+    /// with [`BlockTask::row_range_for`].
+    pub const ALL_ROWS: Range<usize> = 0..usize::MAX;
+
+    /// The task's row range clamped to a job of `len` rows.
+    pub fn row_range_for(&self, len: usize) -> Range<usize> {
+        self.rows.start.min(len)..self.rows.end.min(len)
+    }
+}
+
+/// The concrete block extents a plan resolved from its [`BlockConfig`]
+/// (sentinels expanded, auto-tuner applied). Recorded per round in the run
+/// ledger so `report --diff` catches auto-tuner regressions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolvedExtents {
+    /// Rows per replicated task.
+    pub row_blk: usize,
+    /// Jobs fused per scheduling unit.
+    pub node_blk: usize,
+    /// Features per task.
+    pub feature_blk: usize,
+    /// Bins per exclusive task (0 = unblocked).
+    pub bin_blk: usize,
+    /// Whether the extents came from the [`auto_config`] cost model.
+    pub auto: bool,
+}
+
+/// The block-task decomposition of one BuildHist batch.
+///
+/// Reusable: [`BlockPlan::rebuild`] re-enumerates in place without
+/// allocating once the task vector has grown to steady state, matching the
+/// zero-alloc discipline of the drivers' scratch.
+#[derive(Default)]
+pub struct BlockPlan {
+    tasks: Vec<BlockTask>,
+    live_jobs: Vec<usize>,
+    extents: ResolvedExtents,
+    accumulation: Option<Accumulation>,
+    round_batches: u64,
+    round_tasks: u64,
+}
+
+impl BlockPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The enumerated tasks, in schedule order.
+    pub fn tasks(&self) -> &[BlockTask] {
+        &self.tasks
+    }
+
+    /// The resolved extents of the last [`BlockPlan::rebuild`].
+    pub fn extents(&self) -> ResolvedExtents {
+        self.extents
+    }
+
+    /// The accumulation policy of the last [`BlockPlan::rebuild`].
+    pub fn accumulation(&self) -> Option<Accumulation> {
+        self.accumulation
+    }
+
+    /// The schedule slot (replica index) task `i` runs in, out of
+    /// `n_slots`. The static schedule of deterministic DP: slot `s` runs
+    /// tasks `s, s + T, s + 2T, …` so accumulation order is independent of
+    /// thread timing.
+    pub fn lane_of(&self, task_idx: usize, n_slots: usize) -> usize {
+        task_idx % n_slots.max(1)
+    }
+
+    /// Takes and resets the per-round batch/task tally (the ledger hook
+    /// reads this once per boosting round).
+    pub fn take_round_stats(&mut self) -> (u64, u64, ResolvedExtents) {
+        let out = (self.round_batches, self.round_tasks, self.extents);
+        self.round_batches = 0;
+        self.round_tasks = 0;
+        out
+    }
+
+    /// Re-enumerates the plan for one batch.
+    ///
+    /// `job_lens[j]` is the row count of batch job `j`. Replicated plans
+    /// skip zero-row jobs up front (their buffers stay zeroed and they must
+    /// not emit per-feature-block iterations); exclusive plans keep them —
+    /// an empty column scan writes nothing and the region partition stays
+    /// trivially disjoint.
+    pub fn rebuild(
+        &mut self,
+        cfg: &BlockConfig,
+        shape: &BatchShape,
+        job_lens: &[usize],
+        acc: Accumulation,
+    ) {
+        let auto = cfg.is_auto();
+        let cfg = if auto { auto_config(shape, job_lens, acc) } else { *cfg };
+        self.accumulation = Some(acc);
+        self.tasks.clear();
+        match acc {
+            Accumulation::Replicated => self.enumerate_replicated(&cfg, shape, job_lens),
+            Accumulation::Exclusive => self.enumerate_exclusive(&cfg, shape, job_lens.len()),
+        }
+        self.extents.auto = auto;
+        self.round_batches += 1;
+        self.round_tasks += self.tasks.len() as u64;
+    }
+
+    /// DP decomposition: ⟨node-block, feature-block, row-chunk⟩ triples,
+    /// one job per task. Row chunks never cross node boundaries; a node
+    /// block only groups nodes into one scheduling unit (its members'
+    /// chunks are emitted consecutively).
+    fn enumerate_replicated(&mut self, cfg: &BlockConfig, shape: &BatchShape, job_lens: &[usize]) {
+        let m = shape.n_features;
+        // Feature-blocking a CSR row scan would re-walk every row once per
+        // block (the sparse row has no per-block substructure); dense rows
+        // are sliceable, sparse rows are scanned whole.
+        let f_blk = if shape.dense { cfg.features_per_block(m) } else { m };
+        let n_total: usize = job_lens.iter().sum();
+        let row_blk = cfg.rows_per_block(n_total.max(1), shape.n_threads);
+        let node_blk = cfg.nodes_per_block(job_lens.len());
+        self.extents =
+            ResolvedExtents { row_blk, node_blk, feature_blk: f_blk, bin_blk: 0, auto: false };
+
+        self.live_jobs.clear();
+        self.live_jobs.extend((0..job_lens.len()).filter(|&j| job_lens[j] > 0));
+
+        for node_group in self.live_jobs.chunks(node_blk) {
+            for f_range in feature_blocks(m, f_blk) {
+                for &job_idx in node_group {
+                    let len = job_lens[job_idx];
+                    let mut lo = 0usize;
+                    while lo < len {
+                        let hi = (lo + row_blk).min(len);
+                        self.tasks.push(BlockTask {
+                            jobs: job_idx..job_idx + 1,
+                            features: f_range.clone(),
+                            rows: lo..hi,
+                            bins: None,
+                        });
+                        lo = hi;
+                    }
+                }
+            }
+        }
+    }
+
+    /// MP decomposition: ⟨node-block, feature-block, bin-block⟩ triples
+    /// over disjoint write regions.
+    fn enumerate_exclusive(&mut self, cfg: &BlockConfig, shape: &BatchShape, n_jobs: usize) {
+        let m = shape.n_features;
+        let f_blk = cfg.features_per_block(m);
+        let node_blk = cfg.nodes_per_block(n_jobs);
+        let max_bins = shape.max_bins.max(1);
+        let bin_blk = cfg.bins_per_block(max_bins);
+        let n_bin_blocks = max_bins.div_ceil(bin_blk);
+        self.extents = ResolvedExtents {
+            row_blk: 0,
+            node_blk,
+            feature_blk: f_blk,
+            bin_blk: if n_bin_blocks == 1 { 0 } else { bin_blk },
+            auto: false,
+        };
+
+        for job_lo in (0..n_jobs).step_by(node_blk) {
+            let job_range = job_lo..(job_lo + node_blk).min(n_jobs);
+            for f_range in feature_blocks(m, f_blk) {
+                for bb in 0..n_bin_blocks {
+                    let bins = if n_bin_blocks == 1 {
+                        None
+                    } else {
+                        Some((bb * bin_blk, (bb + 1) * bin_blk))
+                    };
+                    self.tasks.push(BlockTask {
+                        jobs: job_range.clone(),
+                        features: f_range.clone(),
+                        rows: BlockTask::ALL_ROWS,
+                        bins,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Cache-fit target for one task's write working set (§IV-E). A
+/// conservative private-L2 figure: commodity server cores carry 256 KiB–
+/// 1 MiB; sizing for the small end keeps the hot region resident
+/// everywhere.
+pub const L2_TARGET_BYTES: f64 = 256.0 * 1024.0;
+
+/// Bytes of one histogram cell: two `f64` GHSum lanes (§IV-E).
+const CELL_BYTES: f64 = 16.0;
+
+/// The write working set of one replicated (DP) task: the feature block's
+/// share of the whole-batch replica, across a node block.
+///
+/// Computed in floating point in precision-preserving order — the old
+/// driver estimate (`16 * total_bins * f_blk / m * node_blk` in integer
+/// arithmetic) truncated to zero whenever `total_bins * f_blk < m`, i.e.
+/// exactly the narrow-feature-block configurations the estimate exists to
+/// steer.
+pub fn dp_write_working_set(
+    total_bins: usize,
+    n_features: usize,
+    f_blk: usize,
+    node_blk: usize,
+) -> f64 {
+    let m = n_features.max(1);
+    let share = f_blk.min(m) as f64 / m as f64;
+    CELL_BYTES * total_bins as f64 * share * node_blk as f64
+}
+
+/// The write working set of one exclusive (MP) task: the consecutive write
+/// region `16 × bin_blk × feature_blk × node_blk` of §IV-E.
+pub fn mp_write_working_set(max_bins: usize, bin_blk: usize, f_blk: usize, node_blk: usize) -> f64 {
+    let b = max_bins.max(1);
+    CELL_BYTES * bin_blk.min(b) as f64 * f_blk as f64 * node_blk as f64
+}
+
+/// Stateless feature-block walk shared by the plan enumerators and the
+/// serial ASYNC node scans (which run inside worker tasks and cannot hold a
+/// per-engine plan). Blocks partition `0..m`, so a blocked scan touches
+/// every ⟨row, feature⟩ pair exactly once, in the same per-lane order as an
+/// unblocked one — bitwise-identical histograms.
+pub fn feature_blocks(m: usize, f_blk: usize) -> impl Iterator<Item = Range<usize>> {
+    let f_blk = f_blk.max(1);
+    (0..m).step_by(f_blk).map(move |lo| lo..(lo + f_blk).min(m))
+}
+
+/// Shared row-block arithmetic (also used by the predict driver): number of
+/// blocks covering `n` rows at `block` rows each.
+pub fn n_row_blocks(n: usize, block: usize) -> usize {
+    n.div_ceil(block.max(1))
+}
+
+/// Shared row-block arithmetic: the row range of block `b`.
+pub fn row_block(b: usize, block: usize, n: usize) -> Range<usize> {
+    let lo = b * block.max(1);
+    lo..(lo + block.max(1)).min(n)
+}
+
+/// Candidate block extents the auto-tuner considers (powers of two around
+/// the paper's Table IV recipes, clamped to the batch).
+const CANDIDATES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Fixed cost charged per enumerated task (scheduling, queue traffic,
+/// cold-start of its write region), in byte-equivalents.
+const TASK_OVERHEAD: f64 = 2048.0;
+
+/// Fixed cost charged per scheduling group (a node block × feature block
+/// unit): fusing nodes amortizes this, which is what pushes `node_blk`
+/// above 1 when the write working set allows it.
+const GROUP_OVERHEAD: f64 = 8192.0;
+
+/// Picks concrete block extents for one batch: the [`BlockConfig::Auto`]
+/// cost model.
+///
+/// The model prices each candidate ⟨feature_blk, node_blk⟩ pair with three
+/// terms and takes the deterministic argmin:
+///
+/// * **redundant reads** — a replicated row scan re-reads row ids and
+///   gradient pairs once per feature block pass (`⌈m / f_blk⌉` passes);
+///   exclusive column scans visit each ⟨job, feature⟩ pair exactly once,
+///   so only *bin* blocking would re-read columns — which is why the model
+///   never bin-blocks (`bin_blk = 0`, the paper's setting).
+/// * **write working set vs. L2** (§IV-E) — write volume is multiplied by
+///   how far the task's working set overflows [`L2_TARGET_BYTES`], reusing
+///   [`dp_write_working_set`] / [`mp_write_working_set`].
+/// * **task grain** — a per-task and per-group overhead rewards fusion,
+///   and a shortfall of tasks below the thread count scales the whole cost
+///   by the idle fraction (replica reduction volume is invariant across
+///   candidates — every DP replica spans the whole batch — so it prices
+///   into every candidate equally and drops out of the argmin).
+pub fn auto_config(shape: &BatchShape, job_lens: &[usize], acc: Accumulation) -> BlockConfig {
+    let m = shape.n_features.max(1);
+    let t = shape.n_threads.max(1);
+    let n_live = job_lens.iter().filter(|&&l| l > 0).count().max(1);
+    let n_total: usize = job_lens.iter().sum();
+    let n_total = n_total.max(1);
+
+    let f_cands = || CANDIDATES.iter().map(|&f| f.min(m)).chain([m]);
+    let n_cands = || CANDIDATES.iter().map(|&k| k.min(n_live)).chain([n_live]);
+
+    let mut best = (f64::INFINITY, 1usize, 1usize);
+    for f_blk in f_cands() {
+        for node_blk in n_cands() {
+            let cost = match acc {
+                Accumulation::Replicated => {
+                    if !shape.dense && f_blk != m {
+                        continue; // sparse row scans cannot slice features
+                    }
+                    let passes = m.div_ceil(f_blk) as f64;
+                    // 4 B row id + 8 B GradPair re-read per pass.
+                    let reads = n_total as f64 * 12.0 * passes;
+                    let ws = dp_write_working_set(shape.total_bins, m, f_blk, node_blk);
+                    let writes =
+                        n_total as f64 * m as f64 * CELL_BYTES * (ws / L2_TARGET_BYTES).max(1.0);
+                    // Row chunks resolve to ~t per job-feature pass.
+                    let tasks = passes * n_live.max(t) as f64;
+                    let groups = passes * (n_live as f64 / node_blk as f64).ceil();
+                    let grain = tasks * TASK_OVERHEAD + groups * GROUP_OVERHEAD;
+                    (reads + writes + grain) * (t as f64 / tasks).max(1.0)
+                }
+                Accumulation::Exclusive => {
+                    let n_f_blocks = m.div_ceil(f_blk) as f64;
+                    let n_groups = (n_live as f64 / node_blk as f64).ceil();
+                    let tasks = n_f_blocks * n_groups;
+                    let ws = mp_write_working_set(
+                        shape.max_bins,
+                        shape.max_bins.max(1),
+                        f_blk,
+                        node_blk,
+                    );
+                    let writes =
+                        n_total as f64 * m as f64 * CELL_BYTES * (ws / L2_TARGET_BYTES).max(1.0);
+                    let grain = tasks * TASK_OVERHEAD + tasks * GROUP_OVERHEAD;
+                    (writes + grain) * (t as f64 / tasks).max(1.0)
+                }
+            };
+            if cost < best.0 {
+                best = (cost, f_blk, node_blk);
+            }
+        }
+    }
+
+    BlockConfig {
+        row_blk_size: 0, // N / threads, the paper's DP setting
+        node_blk_size: best.2,
+        feature_blk_size: best.1,
+        bin_blk_size: 0, // bin blocking only re-reads columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(m: usize, dense: bool, t: usize) -> BatchShape {
+        BatchShape { n_features: m, dense, max_bins: 32, total_bins: m * 32, n_threads: t }
+    }
+
+    #[test]
+    fn replicated_plan_skips_zero_row_jobs() {
+        let mut plan = BlockPlan::new();
+        plan.rebuild(
+            &BlockConfig::default(),
+            &shape(4, true, 2),
+            &[10, 0, 6],
+            Accumulation::Replicated,
+        );
+        assert!(plan.tasks().iter().all(|t| t.jobs.start != 1));
+        assert!(!plan.tasks().is_empty());
+    }
+
+    #[test]
+    fn exclusive_plan_keeps_zero_row_jobs() {
+        let mut plan = BlockPlan::new();
+        plan.rebuild(
+            &BlockConfig::default(),
+            &shape(4, true, 2),
+            &[10, 0, 6],
+            Accumulation::Exclusive,
+        );
+        assert!(plan.tasks().iter().any(|t| t.jobs.contains(&1)));
+    }
+
+    #[test]
+    fn sparse_replicated_plans_scan_whole_feature_set() {
+        let mut plan = BlockPlan::new();
+        let cfg = BlockConfig { feature_blk_size: 2, ..BlockConfig::default() };
+        plan.rebuild(&cfg, &shape(8, false, 2), &[16], Accumulation::Replicated);
+        assert!(plan.tasks().iter().all(|t| t.features == (0..8)));
+        assert_eq!(plan.extents().feature_blk, 8);
+    }
+
+    #[test]
+    fn exclusive_bin_blocks_cover_max_bins() {
+        let mut plan = BlockPlan::new();
+        let cfg = BlockConfig { bin_blk_size: 10, ..BlockConfig::default() };
+        plan.rebuild(&cfg, &shape(3, true, 2), &[5], Accumulation::Exclusive);
+        let bins: Vec<_> = plan.tasks().iter().filter_map(|t| t.bins).collect();
+        assert!(bins.contains(&(0, 10)) && bins.contains(&(30, 40)));
+        assert_eq!(plan.extents().bin_blk, 10);
+    }
+
+    #[test]
+    fn row_range_clamps_to_job_len() {
+        let task = BlockTask { jobs: 0..3, features: 0..1, rows: BlockTask::ALL_ROWS, bins: None };
+        assert_eq!(task.row_range_for(7), 0..7);
+        let chunk = BlockTask { jobs: 0..1, features: 0..1, rows: 4..8, bins: None };
+        assert_eq!(chunk.row_range_for(6), 4..6);
+    }
+
+    #[test]
+    fn static_lane_assignment_strides_by_slot_count() {
+        let plan = BlockPlan::new();
+        assert_eq!(plan.lane_of(0, 4), 0);
+        assert_eq!(plan.lane_of(5, 4), 1);
+        assert_eq!(plan.lane_of(7, 4), 3);
+    }
+
+    #[test]
+    fn round_stats_accumulate_and_reset() {
+        let mut plan = BlockPlan::new();
+        plan.rebuild(&BlockConfig::default(), &shape(4, true, 2), &[8], Accumulation::Replicated);
+        plan.rebuild(&BlockConfig::default(), &shape(4, true, 2), &[8], Accumulation::Replicated);
+        let (batches, tasks, _) = plan.take_round_stats();
+        assert_eq!(batches, 2);
+        assert!(tasks > 0);
+        assert_eq!(plan.take_round_stats().0, 0);
+    }
+
+    #[test]
+    fn working_set_estimates_do_not_truncate() {
+        // The historical integer estimate truncated to zero here:
+        // 16 * 320 * 1 / 4096 = 1 (integer) vs the true 1.25 KiB share.
+        let ws = dp_write_working_set(320, 4096, 1, 32);
+        assert!(ws > 0.0 && ws < 16.0 * 320.0 * 32.0);
+        assert!((mp_write_working_set(32, 32, 4, 8) - 16.0 * 32.0 * 4.0 * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_block_helpers_cover_exactly() {
+        let n = 103;
+        let block = 10;
+        let mut covered = 0;
+        for b in 0..n_row_blocks(n, block) {
+            let r = row_block(b, block, n);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, n);
+        assert_eq!(n_row_blocks(0, 10), 0);
+    }
+
+    #[test]
+    fn auto_config_is_sane_for_both_policies() {
+        let s = shape(28, true, 8);
+        let lens = vec![4000usize; 16];
+        for acc in [Accumulation::Replicated, Accumulation::Exclusive] {
+            let cfg = auto_config(&s, &lens, acc);
+            assert!(cfg.feature_blk_size >= 1 && cfg.feature_blk_size <= 28);
+            assert!(cfg.node_blk_size >= 1 && cfg.node_blk_size <= 16);
+            assert_eq!(cfg.bin_blk_size, 0);
+            assert_eq!(cfg.row_blk_size, 0);
+            let ws = match acc {
+                Accumulation::Replicated => dp_write_working_set(
+                    s.total_bins,
+                    s.n_features,
+                    cfg.feature_blk_size,
+                    cfg.node_blk_size,
+                ),
+                Accumulation::Exclusive => mp_write_working_set(
+                    s.max_bins,
+                    s.max_bins,
+                    cfg.feature_blk_size,
+                    cfg.node_blk_size,
+                ),
+            };
+            assert!(ws <= 4.0 * L2_TARGET_BYTES, "auto pick blows the cache: {ws}");
+        }
+    }
+
+    #[test]
+    fn auto_config_respects_sparse_row_scans() {
+        let s = shape(64, false, 4);
+        let cfg = auto_config(&s, &[1000, 1000], Accumulation::Replicated);
+        assert_eq!(cfg.feature_blk_size, 64, "sparse DP must scan all features per pass");
+    }
+}

@@ -3,6 +3,7 @@
 
 use super::flat::FlatForest;
 use super::kernel;
+use crate::plan::{n_row_blocks, row_block};
 use harp_binning::QuantizedMatrix;
 use harp_data::FeatureMatrix;
 use harp_metrics::TimeBreakdown;
@@ -146,7 +147,7 @@ impl<'a> Predictor<'a> {
     ) {
         let _phase = self.breakdown.map(|b| ScopedPhase::new(&b.predict_ns));
         let block = self.block_rows;
-        let n_blocks = n_rows.div_ceil(block);
+        let n_blocks = n_row_blocks(n_rows, block);
         let trace = self.trace;
         match self.pool {
             Some(pool) if n_blocks > 1 => {
@@ -161,8 +162,8 @@ impl<'a> Predictor<'a> {
                 let ptr = Ptr(out.as_mut_ptr());
                 pool.parallel_for(n_blocks, |b, w| {
                     let _span = trace.map(|s| s.span(w, TracePhase::Predict, 0, b as u32));
-                    let lo = b * block;
-                    let hi = (lo + block).min(n_rows);
+                    let rows = row_block(b, block, n_rows);
+                    let (lo, hi) = (rows.start, rows.end);
                     // SAFETY: blocks cover disjoint row ranges of `out`.
                     let dst = unsafe {
                         std::slice::from_raw_parts_mut(
@@ -177,8 +178,8 @@ impl<'a> Predictor<'a> {
                 let _span = trace
                     .map(|s| s.span(s.coordinator_lane(), TracePhase::Predict, 0, n_blocks as u32));
                 for b in 0..n_blocks {
-                    let lo = b * block;
-                    let hi = (lo + block).min(n_rows);
+                    let rows = row_block(b, block, n_rows);
+                    let (lo, hi) = (rows.start, rows.end);
                     score(lo, hi, &mut out[lo * stride..hi * stride]);
                 }
             }

@@ -58,6 +58,19 @@ pub(super) fn run_async(
     let subtraction = engine.params.hist_subtraction;
     let qm = engine.qm;
     let m = qm.n_features();
+    // Each ASYNC node task is the degenerate ⟨one node, all rows⟩ plan task,
+    // executed inline — there is nothing to enumerate. An explicit
+    // `feature_blk_size` still slices the scan into plan feature blocks:
+    // blocks write disjoint histogram lanes in the same per-lane row order,
+    // so the result is bitwise-identical while trading grad re-reads for
+    // write locality exactly as in the DP executor. Sparse rows have no
+    // per-block substructure and Auto resolves per DP batch, not per node;
+    // both scan whole.
+    let f_blk = if qm.is_dense() && !engine.params.blocks.is_auto() {
+        engine.params.blocks.features_per_block(m)
+    } else {
+        m
+    };
     let mapper = qm.mapper();
     let partition = &engine.partition;
     let settings = engine.settings;
@@ -148,11 +161,13 @@ pub(super) fn run_async(
                 let mut buf = hist_lock.lock_timed(lock_wait).alloc();
                 let rows = partition.rows(node);
                 let src = GradSource::select(partition.grads(node), grads);
-                cells += if use_scalar {
-                    row_scan_scalar(qm, rows, src, 0..m, &mut buf)
-                } else {
-                    row_scan(qm, rows, src, 0..m, &mut buf)
-                };
+                for f_range in crate::plan::feature_blocks(m, f_blk) {
+                    cells += if use_scalar {
+                        row_scan_scalar(qm, rows, src, f_range, &mut buf)
+                    } else {
+                        row_scan(qm, rows, src, f_range, &mut buf)
+                    };
+                }
                 buf
             };
             match (l_el, r_el, parent_buf) {

@@ -1,19 +1,23 @@
 //! Block-wise BuildHist drivers: data-parallel and model-parallel.
 //!
 //! Both drivers take a batch of *hist jobs* (one per tree node that needs a
-//! histogram) and fill each node's GHSum buffer, scheduling work as blocks
-//! according to [`crate::params::BlockConfig`]:
+//! histogram) and fill each node's GHSum buffer. The block decomposition
+//! itself lives in [`crate::plan`]: each driver rebuilds the shared
+//! [`BlockPlan`] for its accumulation policy and executes the task list —
+//! the DP/MP distinction is the [`Accumulation`] policy, not a separate
+//! enumeration:
 //!
-//! * **DP** ([`build_hists_dp`]): tasks are ⟨node-block, feature-block,
-//!   row-chunk⟩ triples. Every replica covers the whole batch's histograms;
-//!   tasks accumulate into their replica and a reduction folds replicas into
-//!   the job buffers afterwards. The reduction cost grows with the number of
-//!   nodes in the batch — exactly the scaling weakness of XGB-Hist that
-//!   Fig. 11 shows for large trees.
-//! * **MP** ([`build_hists_mp`]): tasks are ⟨node-block, feature-block,
-//!   bin-block⟩ triples writing disjoint regions of the job buffers — no
-//!   replicas, no reduction, but a task's read traffic is the whole row set
-//!   of its nodes (redundant reads when feature blocks are small).
+//! * **DP** ([`build_hists_dp`], [`Accumulation::Replicated`]): tasks are
+//!   ⟨node-block, feature-block, row-chunk⟩ triples. Every replica covers
+//!   the whole batch's histograms; tasks accumulate into their replica and
+//!   a reduction folds replicas into the job buffers afterwards. The
+//!   reduction cost grows with the number of nodes in the batch — exactly
+//!   the scaling weakness of XGB-Hist that Fig. 11 shows for large trees.
+//! * **MP** ([`build_hists_mp`], [`Accumulation::Exclusive`]): tasks are
+//!   ⟨node-block, feature-block, bin-block⟩ triples writing disjoint
+//!   regions of the job buffers — no replicas, no reduction, but a task's
+//!   read traffic is the whole row set of its nodes (redundant reads when
+//!   feature blocks are small).
 //!
 //! In deterministic mode DP emulates an OpenMP *static* schedule: task `t`
 //! of `T` processes every `T`-th block into replica `t`, so per-cell
@@ -34,8 +38,12 @@ use crate::kernels::{
     BYTES_PER_CELL, FLOPS_PER_CELL,
 };
 use crate::loss::GradPair;
-use crate::params::{BlockConfig, TrainParams};
+use crate::params::TrainParams;
 use crate::partition::RowPartition;
+use crate::plan::{
+    dp_write_working_set, mp_write_working_set, Accumulation, BatchShape, BlockPlan, BlockTask,
+    ResolvedExtents,
+};
 use crate::tree::NodeId;
 use harp_binning::QuantizedMatrix;
 use harp_parallel::{ThreadPool, TracePhase, TraceSink};
@@ -82,30 +90,15 @@ impl DriverCtx<'_> {
     }
 }
 
-/// One DP task: rows `row_range` of job `job_idx`, features `f_range`.
-struct DpTask {
-    job_idx: usize,
-    f_range: Range<usize>,
-    row_range: Range<usize>,
-}
-
-/// One MP task: features `f_range`, bins `bin_block`, nodes `jobs[lo..hi]`.
-struct MpTask {
-    job_range: Range<usize>,
-    f_range: Range<usize>,
-    /// Bin sub-range within each feature (`None` = all bins).
-    bin_block: Option<(usize, usize)>,
-}
-
-/// Caller-held driver scratch: the replica arena plus reusable task/range
-/// vectors. One per training engine; it survives across frontiers and trees
-/// so steady-state BuildHist performs no heap allocation.
+/// Caller-held driver scratch: the replica arena, the reusable
+/// [`BlockPlan`], and range vectors. One per training engine; it survives
+/// across frontiers and trees so steady-state BuildHist performs no heap
+/// allocation.
 #[derive(Default)]
 pub struct DriverScratch {
     replicas: ScratchPool,
-    dp_tasks: Vec<DpTask>,
-    mp_tasks: Vec<MpTask>,
-    live_jobs: Vec<usize>,
+    plan: BlockPlan,
+    job_lens: Vec<usize>,
     range_tmp: Vec<Range<usize>>,
     replica_stash: Vec<ReplicaBuf>,
 }
@@ -119,6 +112,40 @@ impl DriverScratch {
     /// Attaches the run-ledger byte gauge to the replica arena.
     pub fn set_replica_gauge(&mut self, gauge: std::sync::Arc<harp_metrics::MemGauge>) {
         self.replicas.set_gauge(gauge);
+    }
+
+    /// Takes and resets the plan's per-round batch/task tally plus the last
+    /// resolved extents (the per-round ledger hook reads this).
+    pub fn take_plan_stats(&mut self) -> (u64, u64, ResolvedExtents) {
+        self.plan.take_round_stats()
+    }
+
+    /// Rebuilds the shared plan for one batch of `jobs` and returns the
+    /// resolved extents. Split out so both drivers (and nothing else) go
+    /// through the single enumerator.
+    fn plan_batch(
+        &mut self,
+        ctx: &DriverCtx<'_>,
+        jobs: &[HistJob],
+        acc: Accumulation,
+    ) -> ResolvedExtents {
+        self.job_lens.clear();
+        self.job_lens.extend(jobs.iter().map(|j| ctx.partition.node_len(j.node)));
+        let shape = BatchShape {
+            n_features: ctx.qm.n_features(),
+            dense: ctx.qm.is_dense(),
+            max_bins: ctx.qm.mapper().max_bins_used() as usize,
+            total_bins: ctx.qm.mapper().total_bins() as usize,
+            n_threads: ctx.pool.num_threads(),
+        };
+        self.plan.rebuild(&ctx.params.blocks, &shape, &self.job_lens, acc);
+        let ext = self.plan.extents();
+        let (replicated, exclusive) = match acc {
+            Accumulation::Replicated => (self.plan.tasks().len() as u64, 0),
+            Accumulation::Exclusive => (0, self.plan.tasks().len() as u64),
+        };
+        ctx.pool.profile().add_plan_events(replicated, exclusive, ext.auto as u64);
+        ext
     }
 }
 
@@ -141,49 +168,19 @@ fn merge_ranges(ranges: &mut Vec<Range<usize>>) {
     ranges.truncate(w);
 }
 
-/// Fills the jobs' histograms with data parallelism.
+/// Fills the jobs' histograms with data parallelism: executes a
+/// [`Accumulation::Replicated`] plan.
 pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &mut [HistJob]) {
     if jobs.is_empty() {
         return;
     }
-    let DriverScratch { replicas: arena, dp_tasks, live_jobs, range_tmp, replica_stash, .. } =
-        scratch;
+    let ext = scratch.plan_batch(ctx, jobs, Accumulation::Replicated);
+    let DriverScratch { replicas: arena, plan, range_tmp, replica_stash, .. } = scratch;
     let width = jobs[0].buf.len();
     let t = ctx.pool.num_threads();
-    let m = ctx.qm.n_features();
-    let blocks: &BlockConfig = &ctx.params.blocks;
-    // Feature-blocking a CSR row scan would re-walk every row once per
-    // block (the sparse row has no per-block substructure); dense rows are
-    // sliceable, sparse rows are scanned whole.
-    let f_blk = if ctx.qm.is_dense() { blocks.features_per_block(m) } else { m };
-    let n_total: usize = jobs.iter().map(|j| ctx.partition.node_len(j.node)).sum();
-    let row_blk = blocks.rows_per_block(n_total.max(1), t);
-    let node_blk = blocks.nodes_per_block(jobs.len());
+    let row_blk = ext.row_blk;
 
-    // Zero-row jobs contribute no tasks; drop them up front so they don't
-    // emit per-feature-block iterations (their buffers stay zeroed).
-    live_jobs.clear();
-    live_jobs.extend((0..jobs.len()).filter(|&j| ctx.partition.node_len(jobs[j].node) > 0));
-
-    // Enumerate tasks. Row chunks never cross node boundaries; a node block
-    // only groups nodes into one scheduling unit (its members' chunks are
-    // emitted consecutively and claimed together by task fusion below).
-    let tasks = dp_tasks;
-    tasks.clear();
-    for node_group in live_jobs.chunks(node_blk) {
-        for f_lo in (0..m).step_by(f_blk) {
-            let f_range = f_lo..(f_lo + f_blk).min(m);
-            for &job_idx in node_group {
-                let len = ctx.partition.node_len(jobs[job_idx].node);
-                let mut lo = 0usize;
-                while lo < len {
-                    let hi = (lo + row_blk).min(len);
-                    tasks.push(DpTask { job_idx, f_range: f_range.clone(), row_range: lo..hi });
-                    lo = hi;
-                }
-            }
-        }
-    }
+    let tasks = plan.tasks();
     if tasks.is_empty() {
         ctx.report_cells(0);
         return;
@@ -213,38 +210,39 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
         replicas.iter_mut().map(|r| Ptr(r.as_mut_slice().as_mut_ptr())).collect();
     let cells = AtomicU64::new(0);
     let jobs_ro: &[HistJob] = jobs;
-    let tasks_ro: &[DpTask] = tasks;
+    let tasks_ro: &[BlockTask] = tasks;
     let use_scalar = ctx.params.use_scalar_kernels;
     let root_identity = ctx.partition.is_identity_order();
 
     let trace = ctx.trace();
-    let run_task = |task: &DpTask, replica: usize, lane: usize| {
-        let job = &jobs_ro[task.job_idx];
+    let run_task = |task: &BlockTask, replica: usize, lane: usize| {
+        let job_idx = task.jobs.start;
+        let job = &jobs_ro[job_idx];
         let _span = trace.map(|s| {
-            s.span(lane, TracePhase::BuildHist, job.node, (task.row_range.start / row_blk) as u32)
+            s.span(lane, TracePhase::BuildHist, job.node, (task.rows.start / row_blk) as u32)
         });
         let membuf = ctx.partition.grads(job.node);
         let grads = if membuf.is_empty() {
             GradSource::Global(ctx.grads)
         } else {
-            GradSource::MemBuf(&membuf[task.row_range.clone()])
+            GradSource::MemBuf(&membuf[task.rows.clone()])
         };
         // SAFETY: each replica is written by exactly one schedule slot at a
         // time (slot == task index group in static mode, == worker index in
         // dynamic mode).
         let rep = unsafe { std::slice::from_raw_parts_mut(replica_ptrs[replica].0, replica_len) };
-        let dst = &mut rep[task.job_idx * width..(task.job_idx + 1) * width];
+        let dst = &mut rep[job_idx * width..(job_idx + 1) * width];
         let c = if use_scalar {
-            let rows = &ctx.partition.rows(job.node)[task.row_range.clone()];
-            row_scan_scalar(ctx.qm, rows, grads, task.f_range.clone(), dst)
+            let rows = &ctx.partition.rows(job.node)[task.rows.clone()];
+            row_scan_scalar(ctx.qm, rows, grads, task.features.clone(), dst)
         } else if job.node == 0 && root_identity {
             // Root fast path: the root span starts at row 0 in identity
             // order, so the chunk's positions ARE its row ids and the row-id
             // indirection drops out.
-            row_scan_root(ctx.qm, task.row_range.clone(), grads, task.f_range.clone(), dst)
+            row_scan_root(ctx.qm, task.rows.clone(), grads, task.features.clone(), dst)
         } else {
-            let rows = &ctx.partition.rows(job.node)[task.row_range.clone()];
-            row_scan(ctx.qm, rows, grads, task.f_range.clone(), dst)
+            let rows = &ctx.partition.rows(job.node)[task.rows.clone()];
+            row_scan(ctx.qm, rows, grads, task.features.clone(), dst)
         };
         cells.fetch_add(c, Ordering::Relaxed);
     };
@@ -294,9 +292,9 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
     // cover features [f_lo, f_hi) of its job, so a task's dirty region is
     // one contiguous lane range.
     let offsets = ctx.qm.mapper().bin_offsets();
-    let lane_range = |task: &DpTask| {
-        let lo = task.job_idx * width + offsets[task.f_range.start] as usize * 2;
-        let hi = task.job_idx * width + offsets[task.f_range.end] as usize * 2;
+    let lane_range = |task: &BlockTask| {
+        let lo = task.jobs.start * width + offsets[task.features.start] as usize * 2;
+        let hi = task.jobs.start * width + offsets[task.features.end] as usize * 2;
         lo..hi
     };
     if ctx.params.deterministic {
@@ -327,43 +325,23 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
 
     ctx.report_cells(cells.load(Ordering::Relaxed));
     // The write working set of one DP task: the feature block's share of the
-    // replica, across the node block (§IV-E, 16 bytes per cell).
+    // replica, across the node block (§IV-E, 16 bytes per cell). Shared with
+    // the cost model; the floating-point order no longer truncates to zero
+    // for narrow feature blocks on wide histograms.
     let total_bins = ctx.qm.mapper().total_bins() as usize;
-    let ws = 16 * total_bins * f_blk.min(m) / m.max(1) * node_blk;
+    let ws = dp_write_working_set(total_bins, ctx.qm.n_features(), ext.feature_blk, ext.node_blk);
     ctx.pool.profile().observe_region_bytes(ws as u64);
 }
 
-/// Fills the jobs' histograms with model parallelism (exclusive writes).
+/// Fills the jobs' histograms with model parallelism (exclusive writes):
+/// executes an [`Accumulation::Exclusive`] plan.
 pub fn build_hists_mp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &mut [HistJob]) {
     if jobs.is_empty() {
         return;
     }
-    let m = ctx.qm.n_features();
+    let ext = scratch.plan_batch(ctx, jobs, Accumulation::Exclusive);
     let mapper = ctx.qm.mapper();
-    let blocks = &ctx.params.blocks;
-    let f_blk = blocks.features_per_block(m);
-    let node_blk = blocks.nodes_per_block(jobs.len());
     let max_bins = mapper.max_bins_used() as usize;
-    let bin_blk = blocks.bins_per_block(max_bins.max(1));
-    let n_bin_blocks = max_bins.max(1).div_ceil(bin_blk);
-
-    let tasks = &mut scratch.mp_tasks;
-    tasks.clear();
-    for job_lo in (0..jobs.len()).step_by(node_blk) {
-        let job_range = job_lo..(job_lo + node_blk).min(jobs.len());
-        for f_lo in (0..m).step_by(f_blk) {
-            let f_range = f_lo..(f_lo + f_blk).min(m);
-            for bb in 0..n_bin_blocks {
-                let bin_block =
-                    if n_bin_blocks == 1 { None } else { Some((bb * bin_blk, (bb + 1) * bin_blk)) };
-                tasks.push(MpTask {
-                    job_range: job_range.clone(),
-                    f_range: f_range.clone(),
-                    bin_block,
-                });
-            }
-        }
-    }
 
     struct Ptr(*mut f64);
     unsafe impl Send for Ptr {}
@@ -372,28 +350,28 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
     let job_ptrs: Vec<Ptr> = jobs.iter_mut().map(|j| Ptr(j.buf.as_mut_ptr())).collect();
     let jobs_ro: &[HistJob] = jobs;
     let cells = AtomicU64::new(0);
-    let tasks_ro: &[MpTask] = tasks;
+    let tasks_ro: &[BlockTask] = scratch.plan.tasks();
     let use_scalar = ctx.params.use_scalar_kernels;
     let trace = ctx.trace();
 
     ctx.pool.parallel_for(tasks_ro.len(), |i, worker| {
         let task = &tasks_ro[i];
         let _span = trace.map(|s| {
-            s.span(worker, TracePhase::BuildHist, jobs_ro[task.job_range.start].node, i as u32)
+            s.span(worker, TracePhase::BuildHist, jobs_ro[task.jobs.start].node, i as u32)
         });
         let mut local_cells = 0u64;
-        for job_idx in task.job_range.clone() {
+        for job_idx in task.jobs.clone() {
             let job = &jobs_ro[job_idx];
             let rows = ctx.partition.rows(job.node);
             let grads = ctx.grad_source(job.node);
             // SAFETY: tasks write disjoint (node, feature, bin) regions.
             let buf = unsafe { std::slice::from_raw_parts_mut(job_ptrs[job_idx].0, width) };
-            for f in task.f_range.clone() {
+            for f in task.features.clone() {
                 let n_bins = mapper.n_bins(f) as usize;
                 if n_bins == 0 {
                     continue;
                 }
-                let bin_range = match task.bin_block {
+                let bin_range = match task.bins {
                     None => 0..n_bins,
                     Some((lo, hi)) => {
                         if lo >= n_bins {
@@ -415,8 +393,10 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
     });
 
     ctx.report_cells(cells.load(Ordering::Relaxed));
-    // §IV-E: consecutive-write region = 16 × bin_blk × feature_blk × node_blk.
-    let ws = 16 * bin_blk.min(max_bins.max(1)) * f_blk.min(m) * node_blk;
+    // §IV-E: consecutive-write region = 16 × bin_blk × feature_blk ×
+    // node_blk (shared with the cost model).
+    let bin_blk = if ext.bin_blk == 0 { max_bins.max(1) } else { ext.bin_blk };
+    let ws = mp_write_working_set(max_bins, bin_blk, ext.feature_blk, ext.node_blk);
     ctx.pool.profile().observe_region_bytes(ws as u64);
 }
 
@@ -424,7 +404,7 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
 mod tests {
     use super::*;
     use crate::hist::hist_width;
-    use crate::params::ParallelMode;
+    use crate::params::{BlockConfig, ParallelMode};
     use harp_binning::BinningConfig;
     use harp_data::{DatasetKind, SynthConfig};
     use harp_parallel::Profile;

@@ -30,8 +30,8 @@ use crate::tree::{NodeId, NodeStats, Tree};
 use harp_binning::{BinningConfig, QuantizedMatrix, MISSING_BIN};
 use harp_data::Dataset;
 use harp_metrics::{
-    gauges, BreakdownReport, ConvergenceTrace, LedgerRecord, MemGauge, MemRegistry, RunLedger,
-    TimeBreakdown, WorkerSkewReport,
+    gauges, BreakdownReport, ConvergenceTrace, LedgerRecord, MemGauge, MemRegistry, PlanStats,
+    RunLedger, TimeBreakdown, WorkerSkewReport,
 };
 use harp_parallel::{
     PhaseSpan, Profile, ProfileReport, Stopwatch, ThreadPool, TracePhase, TraceSink, TraceSnapshot,
@@ -484,6 +484,7 @@ impl GbdtTrainer {
                 }
                 let shapes = &tree_shapes[tree_shapes.len() - groups..];
                 let (pops, popped) = engine.take_pop_stats();
+                let (plan_batches, plan_tasks, ext) = engine.scratch.take_plan_stats();
                 ledger.push(LedgerRecord {
                     round: (iter + 1) as u64,
                     elapsed_secs: train_secs,
@@ -502,6 +503,15 @@ impl GbdtTrainer {
                     mean_k_per_pop: if pops > 0 { popped as f64 / pops as f64 } else { 0.0 },
                     mem: registry.snapshot(),
                     skew,
+                    plan: PlanStats {
+                        batches: plan_batches,
+                        tasks: plan_tasks,
+                        row_blk: ext.row_blk as u64,
+                        node_blk: ext.node_blk as u64,
+                        feature_blk: ext.feature_blk as u64,
+                        bin_blk: ext.bin_blk as u64,
+                        auto: ext.auto,
+                    },
                 });
             }
             if stop {

@@ -22,6 +22,6 @@ pub use breakdown::{BreakdownReport, PhaseSkewRow, TimeBreakdown, WorkerSkewRepo
 pub use convergence::{ConvergencePoint, ConvergenceTrace};
 pub use eval::{accuracy, auc, error_rate, log_loss, multiclass_error, multiclass_log_loss, rmse};
 pub use ledger::{
-    DiffOptions, DiffReport, DiffRow, DiffStatus, LedgerRecord, LedgerSummary, RunLedger,
+    DiffOptions, DiffReport, DiffRow, DiffStatus, LedgerRecord, LedgerSummary, PlanStats, RunLedger,
 };
 pub use memory::{gauges, MemGauge, MemGaugeRecord, MemRegistry};

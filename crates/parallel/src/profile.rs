@@ -99,6 +99,14 @@ pub struct Profile {
     pub hist_cache_misses: AtomicU64,
     /// Histogram-pool cache evictions under the byte budget.
     pub hist_cache_evictions: AtomicU64,
+    /// Block-plan tasks enumerated under the replicated (DP) accumulation
+    /// policy.
+    pub plan_tasks_replicated: AtomicU64,
+    /// Block-plan tasks enumerated under the exclusive-write (MP) policy.
+    pub plan_tasks_exclusive: AtomicU64,
+    /// BuildHist batches whose block extents came from the auto-tuner cost
+    /// model rather than an explicit config.
+    pub plan_batches_auto: AtomicU64,
 }
 
 impl Profile {
@@ -128,6 +136,9 @@ impl Profile {
             &self.hist_cache_hits,
             &self.hist_cache_misses,
             &self.hist_cache_evictions,
+            &self.plan_tasks_replicated,
+            &self.plan_tasks_exclusive,
+            &self.plan_batches_auto,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -172,6 +183,14 @@ impl Profile {
         self.hist_cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one planned BuildHist batch: the tasks it enumerated under
+    /// each accumulation policy, and whether the auto-tuner sized it.
+    pub fn add_plan_events(&self, replicated_tasks: u64, exclusive_tasks: u64, auto_batches: u64) {
+        self.plan_tasks_replicated.fetch_add(replicated_tasks, Ordering::Relaxed);
+        self.plan_tasks_exclusive.fetch_add(exclusive_tasks, Ordering::Relaxed);
+        self.plan_batches_auto.fetch_add(auto_batches, Ordering::Relaxed);
+    }
+
     /// Records the write working-set size of one scheduled task.
     pub fn observe_region_bytes(&self, write_working_set: u64) {
         self.region_write_ws_bytes.fetch_add(write_working_set, Ordering::Relaxed);
@@ -210,6 +229,9 @@ impl Profile {
             hist_cache_hits: self.hist_cache_hits.load(Ordering::Relaxed),
             hist_cache_misses: self.hist_cache_misses.load(Ordering::Relaxed),
             hist_cache_evictions: self.hist_cache_evictions.load(Ordering::Relaxed),
+            plan_tasks_replicated: self.plan_tasks_replicated.load(Ordering::Relaxed),
+            plan_tasks_exclusive: self.plan_tasks_exclusive.load(Ordering::Relaxed),
+            plan_batches_auto: self.plan_batches_auto.load(Ordering::Relaxed),
         }
     }
 
@@ -306,6 +328,12 @@ pub struct ProfileCounters {
     pub hist_cache_misses: u64,
     /// Histogram-cache evictions.
     pub hist_cache_evictions: u64,
+    /// Block-plan tasks under the replicated (DP) policy.
+    pub plan_tasks_replicated: u64,
+    /// Block-plan tasks under the exclusive-write (MP) policy.
+    pub plan_tasks_exclusive: u64,
+    /// Auto-tuned BuildHist batches.
+    pub plan_batches_auto: u64,
 }
 
 impl ProfileCounters {
@@ -323,7 +351,7 @@ impl ProfileCounters {
 
     /// `(name, value)` view in a stable order — the generic form ledger
     /// records and diff tables consume.
-    pub fn named(&self) -> [(&'static str, u64); 18] {
+    pub fn named(&self) -> [(&'static str, u64); 21] {
         [
             ("busy_ns", self.busy_ns),
             ("barrier_wait_ns", self.barrier_wait_ns),
@@ -343,10 +371,13 @@ impl ProfileCounters {
             ("hist_cache_hits", self.hist_cache_hits),
             ("hist_cache_misses", self.hist_cache_misses),
             ("hist_cache_evictions", self.hist_cache_evictions),
+            ("plan_tasks_replicated", self.plan_tasks_replicated),
+            ("plan_tasks_exclusive", self.plan_tasks_exclusive),
+            ("plan_batches_auto", self.plan_batches_auto),
         ]
     }
 
-    fn named_mut(&mut self) -> [(&'static str, &mut u64); 18] {
+    fn named_mut(&mut self) -> [(&'static str, &mut u64); 21] {
         [
             ("busy_ns", &mut self.busy_ns),
             ("barrier_wait_ns", &mut self.barrier_wait_ns),
@@ -366,6 +397,9 @@ impl ProfileCounters {
             ("hist_cache_hits", &mut self.hist_cache_hits),
             ("hist_cache_misses", &mut self.hist_cache_misses),
             ("hist_cache_evictions", &mut self.hist_cache_evictions),
+            ("plan_tasks_replicated", &mut self.plan_tasks_replicated),
+            ("plan_tasks_exclusive", &mut self.plan_tasks_exclusive),
+            ("plan_batches_auto", &mut self.plan_batches_auto),
         ]
     }
 }
@@ -566,6 +600,7 @@ mod tests {
         p.add_hist_cache_lookup(true);
         p.add_hist_cache_lookup(false);
         p.add_hist_cache_evictions(4);
+        p.add_plan_events(12, 5, 1);
         let d = p.snapshot().delta(&before);
         assert_eq!(d.bytes_read, 7);
         assert_eq!(d.bytes_written, 1);
@@ -574,6 +609,9 @@ mod tests {
         assert_eq!(d.hist_cache_hits, 1);
         assert_eq!(d.hist_cache_misses, 1);
         assert_eq!(d.hist_cache_evictions, 4);
+        assert_eq!(d.plan_tasks_replicated, 12);
+        assert_eq!(d.plan_tasks_exclusive, 5);
+        assert_eq!(d.plan_batches_auto, 1);
     }
 
     #[test]
@@ -616,7 +654,7 @@ mod tests {
         assert_eq!(d.partition_scratch_reuses, 40_000);
         // The named view covers every field (a new counter must be added to
         // `named()` or this count drifts).
-        assert_eq!(d.named().len(), 18);
+        assert_eq!(d.named().len(), 21);
     }
 
     #[test]

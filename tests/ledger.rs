@@ -128,6 +128,50 @@ fn ledger_file_roundtrip_and_self_diff() {
 }
 
 #[test]
+fn records_carry_plan_stats() {
+    let (ledger, _) = ledger_run(small_params(), false);
+    for r in ledger.records() {
+        assert!(r.plan.batches > 0, "round {} planned no batches", r.round);
+        assert!(r.plan.tasks > 0, "round {} planned no tasks", r.round);
+        assert!(r.plan.tasks >= r.plan.batches, "every batch has at least one task");
+        assert!(r.plan.node_blk > 0, "resolved extents must be recorded");
+        assert!(r.plan.feature_blk > 0);
+        assert!(!r.plan.auto, "explicit config must not be flagged auto");
+    }
+    // The plan/ metric family lands in the summary for report --diff gating.
+    let summary = ledger.summary();
+    let get = |name: &str| {
+        summary
+            .metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    };
+    assert!(get("plan/tasks") > 0.0);
+    assert!(get("plan/batches") > 0.0);
+    assert_eq!(get("plan/auto"), 0.0);
+}
+
+#[test]
+fn auto_blocks_train_comparably_and_mark_the_ledger() {
+    // BlockConfig::Auto must flag every round's plan stats and train to the
+    // same quality as the default config (the cost model only re-blocks the
+    // same arithmetic; accuracy is untouched up to K-batch ordering).
+    let mut auto = small_params();
+    auto.blocks = harpgbdt::BlockConfig::Auto;
+    let (ledger, _) = ledger_run(auto, true);
+    for r in ledger.records() {
+        assert!(r.plan.auto, "round {} lost the auto flag", r.round);
+        assert!(r.plan.batches > 0 && r.plan.tasks > 0);
+    }
+    let auc_of = |l: &RunLedger| l.records().last().unwrap().eval_metric.expect("eval ran");
+    let (default_ledger, _) = ledger_run(small_params(), true);
+    let (a, d) = (auc_of(&ledger), auc_of(&default_ledger));
+    assert!((a - d).abs() < 0.02, "auto blocks changed eval quality: auto {a} vs default {d}");
+}
+
+#[test]
 fn identical_seeds_produce_identical_deterministic_metrics() {
     let (a, _) = ledger_run(small_params(), true);
     let (b, _) = ledger_run(small_params(), true);
@@ -137,6 +181,7 @@ fn identical_seeds_produce_identical_deterministic_metrics() {
         r.metric.starts_with("counter/") && !r.metric.ends_with("_ns") && !r.metric.contains("wall")
             || r.metric.starts_with("tree/")
             || r.metric.starts_with("eval/")
+            || r.metric.starts_with("plan/")
     }) {
         assert!(
             row.rel_delta == 0.0,
