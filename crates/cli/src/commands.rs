@@ -19,20 +19,34 @@ fn load_model(path: &str) -> Result<GbdtModel, String> {
     GbdtModel::load(path).map_err(|e| format!("failed to load model {path}: {e}"))
 }
 
+/// Parses `--loss`. The accepted names, parameter defaults, and the
+/// unknown-name error all come from the objective registry
+/// ([`harpgbdt::objective::REGISTRY`]), so this list cannot drift from the
+/// set of objectives the trainer actually supports.
 fn parse_loss(s: &str) -> Result<LossKind, String> {
-    match s {
-        "logistic" => Ok(LossKind::Logistic),
-        "squared" => Ok(LossKind::SquaredError),
-        other => {
-            if let Some(c) = other.strip_prefix("softmax:") {
-                let n_classes: u32 =
-                    c.parse().map_err(|_| format!("bad class count in {other:?}"))?;
-                Ok(LossKind::Softmax { n_classes })
-            } else {
-                Err(format!("unknown loss {other:?} (logistic|squared|softmax:C)"))
-            }
+    LossKind::parse(s)
+}
+
+/// Reads whitespace/newline-separated query-group sizes from `path` and
+/// attaches them to `data`, validating that they cover the rows exactly.
+fn attach_groups(data: Dataset, path: &str) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    let mut sizes = Vec::new();
+    for tok in text.split_whitespace() {
+        let s: u32 = tok.parse().map_err(|_| format!("{path}: bad group size {tok:?}"))?;
+        if s == 0 {
+            return Err(format!("{path}: query groups must be non-empty"));
         }
+        sizes.push(s);
     }
+    let total: usize = sizes.iter().map(|&s| s as usize).sum();
+    if total != data.n_rows() {
+        return Err(format!(
+            "{path}: group sizes sum to {total} rows but the data has {}",
+            data.n_rows()
+        ));
+    }
+    Ok(data.with_query_groups(sizes))
 }
 
 fn parse_mode(s: &str) -> Result<ParallelMode, String> {
@@ -84,8 +98,36 @@ fn parse_growth(s: &str) -> Result<GrowthMethod, String> {
     }
 }
 
+/// `harpgbdt train --help`: the flag reference plus the objective
+/// registry, so the printed loss list is always the real one.
+fn train_help() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "usage: harpgbdt train --data FILE --model FILE [options]");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "objectives (--loss NAME, default logistic):");
+    s.push_str(&harpgbdt::objective::registry_help());
+    let _ = writeln!(s);
+    let _ = writeln!(s, "options:");
+    let _ = writeln!(s, "  --trees N --tree-size D --learning-rate F --gamma F --lambda F");
+    let _ =
+        writeln!(s, "  --min-child-weight F --max-delta-step F (0 disables; ~0.7 tames tweedie)");
+    let _ = writeln!(s, "  --growth leafwise|depthwise --k N");
+    let _ = writeln!(s, "  --mode dp|mp|sync|async --threads N");
+    let _ = writeln!(s, "  --subsample F --colsample F --seed N");
+    let _ = writeln!(s, "  --blocks R,N,F,B | --auto-blocks");
+    let _ = writeln!(s, "  --groups FILE        (query-group sizes for the training data;");
+    let _ = writeln!(s, "                        whitespace-separated, required by lambdarank)");
+    let _ = writeln!(s, "  --valid FILE --valid-groups FILE --early-stop ROUNDS");
+    let _ = writeln!(s, "  --trace-out FILE --ledger-out FILE");
+    s
+}
+
 /// `harpgbdt train`.
 pub fn train(args: &[String]) -> Result<String, String> {
+    // `--help` before Opts::parse: the flag parser would demand a value.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(train_help());
+    }
     let opts = Opts::parse(args)?;
     let trace_out = opts.get("--trace-out");
     let ledger_out = opts.get("--ledger-out");
@@ -104,7 +146,10 @@ pub fn train(args: &[String]) -> Result<String, String> {
                 .into());
         }
     }
-    let data = load(opts.required("--data")?)?;
+    let mut data = load(opts.required("--data")?)?;
+    if let Some(p) = opts.get("--groups") {
+        data = attach_groups(data, p)?;
+    }
     let model_path = opts.required("--model")?;
     let defaults = TrainParams::default();
     let params = TrainParams {
@@ -114,6 +159,7 @@ pub fn train(args: &[String]) -> Result<String, String> {
         gamma: opts.parse_or("--gamma", defaults.gamma)?,
         lambda: opts.parse_or("--lambda", defaults.lambda)?,
         min_child_weight: opts.parse_or("--min-child-weight", defaults.min_child_weight)?,
+        max_delta_step: opts.parse_or("--max-delta-step", defaults.max_delta_step)?,
         growth: parse_growth(opts.get("--growth").unwrap_or("leafwise"))?,
         k: opts.parse_or("--k", 32usize)?,
         mode: parse_mode(opts.get("--mode").unwrap_or("dp"))?,
@@ -135,25 +181,27 @@ pub fn train(args: &[String]) -> Result<String, String> {
     };
     let trainer = GbdtTrainer::new(params.clone())?;
 
-    let valid = opts.get("--valid").map(load).transpose()?;
-    let eval = match &valid {
-        Some(v) => {
-            let metric = match params.loss {
-                LossKind::Logistic => EvalMetric::Auc,
-                LossKind::SquaredError => EvalMetric::Rmse,
-                LossKind::Softmax { .. } => EvalMetric::MulticlassLogLoss,
-            };
-            Some(EvalOptions {
-                data: v,
-                metric,
-                every: 1,
-                early_stopping_rounds: opts.parse_opt("--early-stop")?,
-            })
+    let valid = match opts.get("--valid") {
+        Some(path) => {
+            let mut v = load(path)?;
+            if let Some(p) = opts.get("--valid-groups") {
+                v = attach_groups(v, p)?;
+            }
+            Some(v)
         }
         None => None,
     };
+    let eval = match &valid {
+        Some(v) => Some(EvalOptions {
+            data: v,
+            metric: params.loss.default_metric(),
+            every: 1,
+            early_stopping_rounds: opts.parse_opt("--early-stop")?,
+        }),
+        None => None,
+    };
 
-    let out = trainer.train_with_eval(&data, eval);
+    let out = trainer.try_train_with_eval(&data, eval)?;
     out.model
         .save(model_path)
         .map_err(|e| format!("failed to save model {model_path}: {e}"))?;
@@ -268,25 +316,79 @@ fn format_rows(values: &[f32], groups: usize) -> Vec<String> {
         .collect()
 }
 
+/// Parses a parameterized `--metric` name (`pinball:0.9`, `tweedie:1.5`,
+/// `huber:2`, `ndcg:10`), taking a bare name's parameter from the model's
+/// own objective when it matches (so `--metric pinball` on a `quantile:0.9`
+/// model scores at 0.9, not a hard-coded default).
+fn parse_metric(s: &str, spec: LossKind) -> Result<EvalMetric, String> {
+    let (name, arg) = match s.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (s, None),
+    };
+    fn param<T: std::str::FromStr>(arg: Option<&str>, default: T, what: &str) -> Result<T, String> {
+        match arg {
+            None => Ok(default),
+            Some(a) => a.parse().map_err(|_| format!("bad {what} {a:?}")),
+        }
+    }
+    match name {
+        "pinball" | "quantile" => {
+            let d = if let LossKind::Quantile { alpha } = spec { alpha } else { 0.5 };
+            Ok(EvalMetric::Pinball { alpha: param(arg, d, "pinball alpha")? })
+        }
+        "tweedie" => {
+            let d = if let LossKind::Tweedie { power } = spec { power } else { 1.5 };
+            Ok(EvalMetric::TweedieDeviance { power: param(arg, d, "tweedie power")? })
+        }
+        "huber" => {
+            let d = if let LossKind::Huber { delta } = spec { delta } else { 1.0 };
+            Ok(EvalMetric::HuberLoss { delta: param(arg, d, "huber delta")? })
+        }
+        "ndcg" => {
+            let d = if let LossKind::LambdaRank { k } = spec { k } else { 10 };
+            Ok(EvalMetric::NdcgAt { k: param(arg, d, "ndcg truncation")? })
+        }
+        _ => Err(format!(
+            "unknown metric {s:?} (auto|auc|logloss|rmse|error|pinball[:A]|tweedie[:P]|huber[:D]|ndcg[:K])"
+        )),
+    }
+}
+
 /// `harpgbdt eval`.
 pub fn eval(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
     let model = load_model(opts.required("--model")?)?;
-    let data = load(opts.required("--data")?)?;
+    let mut data = load(opts.required("--data")?)?;
+    if let Some(p) = opts.get("--groups") {
+        data = attach_groups(data, p)?;
+    }
     let metric = opts.get("--metric").unwrap_or("auto");
     let raw = predict_raw_threaded(&opts, &model.compile(), &data)?;
-    let probs = model.loss().transform_scores(&raw);
+    let spec = model.loss();
+    let probs = spec.transform_scores(&raw);
     let groups = model.n_groups();
+    let qg = data.query_groups.as_deref();
     let mut out = String::new();
     let mut emit = |name: &str, v: f64| {
         let _ = writeln!(out, "{name:<10} {v:.6}");
     };
     match (metric, groups) {
-        ("auto", 1) => {
-            emit("auc", harp_metrics::auc(&data.labels, &raw));
-            emit("logloss", harp_metrics::log_loss(&data.labels, &probs));
-            emit("error", harp_metrics::error_rate(&data.labels, &probs));
-        }
+        // `auto` keeps the historical multi-metric report for the classic
+        // losses; parameterized objectives score their default metric.
+        ("auto", 1) => match spec {
+            LossKind::Logistic => {
+                emit("auc", harp_metrics::auc(&data.labels, &raw));
+                emit("logloss", harp_metrics::log_loss(&data.labels, &probs));
+                emit("error", harp_metrics::error_rate(&data.labels, &probs));
+            }
+            _ => {
+                let m = spec.default_metric();
+                if matches!(m, EvalMetric::NdcgAt { .. }) && qg.is_none() {
+                    return Err("ndcg needs query-group sizes: pass --groups FILE".into());
+                }
+                emit(&m.name(), m.compute(&data.labels, &raw, spec, qg));
+            }
+        },
         ("auto", g) => {
             emit("mlogloss", harp_metrics::multiclass_log_loss(&data.labels, &probs, g));
             emit("merror", harp_metrics::multiclass_error(&data.labels, &raw, g));
@@ -299,6 +401,13 @@ pub fn eval(args: &[String]) -> Result<String, String> {
             emit("mlogloss", harp_metrics::multiclass_log_loss(&data.labels, &probs, g));
         }
         ("error", g) => emit("merror", harp_metrics::multiclass_error(&data.labels, &raw, g)),
+        (m, 1) => {
+            let metric = parse_metric(m, spec)?;
+            if matches!(metric, EvalMetric::NdcgAt { .. }) && qg.is_none() {
+                return Err("ndcg needs query-group sizes: pass --groups FILE".into());
+            }
+            emit(&metric.name(), metric.compute(&data.labels, &raw, spec, qg));
+        }
         (m, _) => return Err(format!("metric {m:?} does not fit this model")),
     }
     Ok(out)
@@ -495,8 +604,38 @@ mod tests {
         assert_eq!(parse_loss("logistic").unwrap(), LossKind::Logistic);
         assert_eq!(parse_loss("squared").unwrap(), LossKind::SquaredError);
         assert_eq!(parse_loss("softmax:4").unwrap(), LossKind::Softmax { n_classes: 4 });
+        assert_eq!(parse_loss("quantile:0.9").unwrap(), LossKind::Quantile { alpha: 0.9 });
+        assert_eq!(parse_loss("tweedie").unwrap(), LossKind::Tweedie { power: 1.5 });
+        assert_eq!(parse_loss("huber:2").unwrap(), LossKind::Huber { delta: 2.0 });
+        assert_eq!(parse_loss("lambdarank:5").unwrap(), LossKind::LambdaRank { k: 5 });
         assert!(parse_loss("softmax:x").is_err());
-        assert!(parse_loss("hinge").is_err());
+        assert!(parse_loss("quantile:1.5").is_err(), "out-of-range alpha is rejected");
+        let err = parse_loss("hinge").unwrap_err();
+        assert!(err.contains("lambdarank:K"), "unknown-loss error lists the registry: {err}");
+    }
+
+    #[test]
+    fn train_help_prints_the_registry() {
+        let help = train(&args(&["--help"])).unwrap();
+        for info in harpgbdt::objective::REGISTRY {
+            assert!(help.contains(info.syntax), "--help must list {}", info.syntax);
+        }
+        assert!(help.contains("--groups FILE"));
+    }
+
+    #[test]
+    fn metric_parsing_defaults_come_from_the_model() {
+        let m = parse_metric("pinball", LossKind::Quantile { alpha: 0.9 }).unwrap();
+        assert_eq!(m, EvalMetric::Pinball { alpha: 0.9 });
+        let m = parse_metric("pinball:0.25", LossKind::Logistic).unwrap();
+        assert_eq!(m, EvalMetric::Pinball { alpha: 0.25 });
+        let m = parse_metric("ndcg", LossKind::LambdaRank { k: 5 }).unwrap();
+        assert_eq!(m, EvalMetric::NdcgAt { k: 5 });
+        let m = parse_metric("tweedie:1.7", LossKind::Tweedie { power: 1.3 }).unwrap();
+        assert_eq!(m, EvalMetric::TweedieDeviance { power: 1.7 });
+        assert!(parse_metric("ndcg:x", LossKind::Logistic).is_err());
+        let err = parse_metric("gini", LossKind::Logistic).unwrap_err();
+        assert!(err.contains("pinball[:A]"), "unknown metric lists the accepted set: {err}");
     }
 
     #[test]
@@ -560,15 +699,24 @@ mod tests {
     }
 
     fn write_ledger(name: &str, rounds: &[(u64, u64)]) -> std::path::PathBuf {
+        write_ledger_eval(name, rounds, None)
+    }
+
+    fn write_ledger_eval(
+        name: &str,
+        rounds: &[(u64, u64)],
+        eval_last: Option<f64>,
+    ) -> std::path::PathBuf {
         let mut ledger = RunLedger::new();
         for &(round, tasks) in rounds {
+            let is_last = round == rounds.last().unwrap().0;
             ledger.push(harp_metrics::LedgerRecord {
                 round,
                 elapsed_secs: 0.01 * round as f64,
                 round_secs: 0.01,
                 phase_secs: vec![("build_hist".into(), 0.006)],
                 counters: vec![("tasks".into(), tasks)],
-                eval_metric: None,
+                eval_metric: if is_last { eval_last } else { None },
                 n_leaves: 31,
                 max_depth: 6,
                 mean_k_per_pop: 8.0,
@@ -609,6 +757,24 @@ mod tests {
             "0.9",
         ]);
         assert!(report(&ac_loose).is_ok());
+        for p in [a, b, c] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn report_diff_gates_eval_metric_regression() {
+        // A convergence ledger: identical phase records, but run C's final
+        // eval metric drifted. `report --diff` must trip on `eval/last`.
+        let a = write_ledger_eval("harp_cli_eval_a.jsonl", &[(1, 100), (2, 100)], Some(0.95));
+        let b = write_ledger_eval("harp_cli_eval_b.jsonl", &[(1, 100), (2, 100)], Some(0.95));
+        let c = write_ledger_eval("harp_cli_eval_c.jsonl", &[(1, 100), (2, 100)], Some(0.80));
+        let ab = args(&["--diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert!(report(&ab).is_ok(), "identical eval metrics must pass");
+        let ac = args(&["--diff", a.to_str().unwrap(), c.to_str().unwrap()]);
+        let err = report(&ac).unwrap_err();
+        assert!(err.contains("FAIL"), "eval-metric drift must exit non-zero: {err}");
+        assert!(err.contains("eval/last"), "the tripped row names the metric: {err}");
         for p in [a, b, c] {
             std::fs::remove_file(p).ok();
         }

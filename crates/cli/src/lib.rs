@@ -57,9 +57,10 @@ pub fn usage() -> String {
         s,
         "  predict     --model FILE --data FILE [--out FILE] [--raw|--class] [--threads N]"
     );
+    let _ = writeln!(s, "  eval        --model FILE --data FILE [--metric NAME] [--groups FILE]");
     let _ = writeln!(
         s,
-        "  eval        --model FILE --data FILE [--metric auc|logloss|rmse|error] [--threads N]"
+        "              (metrics: auto|auc|logloss|rmse|error|pinball[:A]|tweedie[:P]|huber[:D]|ndcg[:K])"
     );
     let _ = writeln!(s, "  report      --ledger FILE | --diff A B | --bench-diff A B");
     let _ = writeln!(
@@ -72,12 +73,17 @@ pub fn usage() -> String {
     let _ = writeln!(s);
     let _ = writeln!(s, "training options:");
     let _ = writeln!(s, "  --trees N --tree-size D --learning-rate F --gamma F --lambda F");
-    let _ = writeln!(s, "  --min-child-weight F --growth leafwise|depthwise --k N");
-    let _ = writeln!(s, "  --mode dp|mp|sync|async --threads N --loss logistic|squared|softmax:C");
+    let _ =
+        writeln!(s, "  --min-child-weight F --max-delta-step F (0 disables; ~0.7 tames tweedie)");
+    let _ = writeln!(s, "  --growth leafwise|depthwise --k N");
+    let _ = writeln!(s, "  --mode dp|mp|sync|async --threads N");
+    let _ = writeln!(s, "  --loss {}", harpgbdt::objective::registry_names());
+    let _ = writeln!(s, "         (see `harpgbdt train --help` for the objective registry)");
     let _ = writeln!(s, "  --subsample F --colsample F --seed N");
     let _ = writeln!(s, "  --blocks R,N,F,B   (explicit block extents, 0 = unlimited)");
     let _ = writeln!(s, "  --auto-blocks      (cost-model block auto-tuner)");
-    let _ = writeln!(s, "  --valid FILE --early-stop ROUNDS");
+    let _ = writeln!(s, "  --groups FILE      (query-group sizes for ranking data)");
+    let _ = writeln!(s, "  --valid FILE --valid-groups FILE --early-stop ROUNDS");
     let _ = writeln!(s, "  --trace-out FILE   (write a chrome://tracing / Perfetto span trace");
     let _ = writeln!(s, "                      and print the per-phase worker-skew table)");
     let _ = writeln!(s, "  --ledger-out FILE  (write a JSON-lines run ledger: one record per");

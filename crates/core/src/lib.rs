@@ -38,6 +38,7 @@ pub mod growth;
 pub mod hist;
 pub mod kernels;
 pub mod loss;
+pub mod objective;
 pub mod params;
 pub mod partition;
 pub mod plan;
@@ -48,6 +49,10 @@ pub mod tree;
 
 pub use ensemble::{FeatureImportance, GbdtModel};
 pub use loss::RowScaling;
+pub use objective::{
+    GradScope, GradientFn, ListwiseGrad, Objective, ObjectiveInfo, ObjectiveSpec, RowWiseGrad,
+    HESSIAN_FLOOR,
+};
 pub use params::{
     BlockConfig, GrowthMethod, LedgerConfig, LossKind, ParallelMode, TraceConfig, TrainParams,
 };

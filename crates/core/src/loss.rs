@@ -1,12 +1,12 @@
-//! Loss functions and second-order gradient computation.
+//! Gradient-pair primitives shared by the objective layer.
 //!
 //! GBDT fits each tree to the first/second-order gradients `(gᵢ, hᵢ)` of the
 //! loss at the current prediction (Eq. 1). Gradients are stored as
 //! interleaved `f32` pairs — the layout MemBuf replicates next to the row ids
-//! (§IV-E) — and accumulated into `f64` histogram cells.
-
-use crate::params::LossKind;
-use harp_parallel::ThreadPool;
+//! (§IV-E) — and accumulated into `f64` histogram cells. The losses
+//! themselves live in [`crate::objective`]; this module keeps the shared
+//! numeric building blocks: the pair type, the stable sigmoid, and the
+//! per-row weight/subsample scaling.
 
 /// An interleaved `(g, h)` gradient pair.
 pub type GradPair = [f32; 2];
@@ -19,191 +19,6 @@ pub fn sigmoid(x: f32) -> f32 {
     } else {
         let e = x.exp();
         e / (1.0 + e)
-    }
-}
-
-impl LossKind {
-    /// Number of parallel model groups (trees per boosting round): 1 for
-    /// scalar losses, `n_classes` for softmax.
-    pub fn n_groups(self) -> usize {
-        match self {
-            LossKind::Softmax { n_classes } => n_classes as usize,
-            _ => 1,
-        }
-    }
-
-    /// The gradient pair of one row given its raw prediction and label.
-    ///
-    /// # Panics
-    /// Panics for [`LossKind::Softmax`], whose gradients depend on every
-    /// class score of the row — use
-    /// [`compute_gradients_group`](Self::compute_gradients_group).
-    #[inline]
-    pub fn grad(self, pred: f32, label: f32) -> GradPair {
-        match self {
-            LossKind::Logistic => {
-                let p = sigmoid(pred);
-                [p - label, (p * (1.0 - p)).max(1e-16)]
-            }
-            LossKind::SquaredError => [pred - label, 1.0],
-            LossKind::Softmax { .. } => panic!("softmax gradients are not per-scalar"),
-        }
-    }
-
-    /// Converts a raw score to the response scale (probability for
-    /// logistic, identity for squared error and softmax — softmax rows are
-    /// normalized by [`transform_scores`](Self::transform_scores)).
-    #[inline]
-    pub fn transform(self, raw: f32) -> f32 {
-        match self {
-            LossKind::Logistic => sigmoid(raw),
-            LossKind::SquaredError | LossKind::Softmax { .. } => raw,
-        }
-    }
-
-    /// Transforms a full row-major `n_rows × n_groups` raw-score buffer to
-    /// the response scale: sigmoid per score (logistic), identity (squared
-    /// error), or per-row softmax normalization.
-    pub fn transform_scores(self, raw: &[f32]) -> Vec<f32> {
-        match self {
-            LossKind::Softmax { n_classes } => {
-                let c = n_classes as usize;
-                assert_eq!(raw.len() % c, 0, "raw score buffer not divisible by class count");
-                let mut out = Vec::with_capacity(raw.len());
-                for row in raw.chunks_exact(c) {
-                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    let exps: Vec<f32> = row.iter().map(|&s| (s - max).exp()).collect();
-                    let sum: f32 = exps.iter().sum();
-                    out.extend(exps.iter().map(|&e| e / sum));
-                }
-                out
-            }
-            _ => raw.iter().map(|&s| self.transform(s)).collect(),
-        }
-    }
-
-    /// The constant raw score minimizing the loss over `labels` — the
-    /// ensemble's base score (log-odds of the positive rate for logistic,
-    /// mean for squared error). For softmax use
-    /// [`base_scores`](Self::base_scores).
-    pub fn base_score(self, labels: &[f32]) -> f32 {
-        if labels.is_empty() {
-            return 0.0;
-        }
-        let mean = labels.iter().sum::<f32>() / labels.len() as f32;
-        match self {
-            LossKind::Logistic => {
-                let p = mean.clamp(1e-6, 1.0 - 1e-6);
-                (p / (1.0 - p)).ln()
-            }
-            LossKind::SquaredError => mean,
-            LossKind::Softmax { .. } => panic!("use base_scores for softmax"),
-        }
-    }
-
-    /// Per-group constant initial scores: one value for scalar losses,
-    /// per-class log priors for softmax.
-    pub fn base_scores(self, labels: &[f32]) -> Vec<f32> {
-        match self {
-            LossKind::Softmax { n_classes } => {
-                let c = n_classes as usize;
-                let mut counts = vec![0usize; c];
-                for &y in labels {
-                    let idx = y as usize;
-                    assert!(idx < c, "label {y} out of range for {c} classes");
-                    counts[idx] += 1;
-                }
-                let n = labels.len().max(1) as f32;
-                counts.into_iter().map(|cnt| ((cnt as f32 / n).max(1e-6)).ln()).collect()
-            }
-            _ => vec![self.base_score(labels)],
-        }
-    }
-
-    /// Fills `out` with gradient pairs for all rows, in parallel.
-    /// Scalar losses only; softmax uses
-    /// [`compute_gradients_group`](Self::compute_gradients_group).
-    ///
-    /// # Panics
-    /// Panics if slice lengths disagree.
-    pub fn compute_gradients(
-        self,
-        pool: &ThreadPool,
-        preds: &[f32],
-        labels: &[f32],
-        out: &mut [GradPair],
-    ) {
-        self.compute_gradients_group(pool, preds, labels, 0, &RowScaling::default(), out);
-    }
-
-    /// Fills `out` with the gradient pairs of model group `group` for all
-    /// rows, in parallel. `preds` is row-major `n_rows × n_groups`; for
-    /// scalar losses `n_groups = 1` and `group` must be 0. `scaling`
-    /// applies per-row weights and the per-tree subsample mask by scaling
-    /// `(g, h)` (excluded rows carry zero mass).
-    ///
-    /// # Panics
-    /// Panics on shape mismatches.
-    pub fn compute_gradients_group(
-        self,
-        pool: &ThreadPool,
-        preds: &[f32],
-        labels: &[f32],
-        group: usize,
-        scaling: &RowScaling<'_>,
-        out: &mut [GradPair],
-    ) {
-        let groups = self.n_groups();
-        assert!(group < groups, "group {group} out of range");
-        assert_eq!(preds.len(), labels.len() * groups, "preds shape mismatch");
-        assert_eq!(labels.len(), out.len(), "labels/out length mismatch");
-        if let Some(w) = scaling.weights {
-            assert_eq!(w.len(), labels.len(), "weights length mismatch");
-        }
-        let n = labels.len();
-        if n == 0 {
-            return;
-        }
-        let chunk = (n / (pool.num_threads() * 4)).max(1024);
-        let n_chunks = n.div_ceil(chunk);
-        // Chunks write disjoint ranges; reconstruct the range from the task
-        // index and use raw slices through a shared pointer wrapper.
-        struct SendPtr(*mut GradPair);
-        unsafe impl Send for SendPtr {}
-        unsafe impl Sync for SendPtr {}
-        impl SendPtr {
-            fn get(&self) -> *mut GradPair {
-                self.0
-            }
-        }
-        let base = SendPtr(out.as_mut_ptr());
-        pool.parallel_for(n_chunks, |c, _| {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(n);
-            // SAFETY: chunks are disjoint ranges of `out`.
-            let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
-            for (i, gp) in slice.iter_mut().enumerate() {
-                let r = lo + i;
-                let mut pair = match self {
-                    LossKind::Softmax { n_classes } => {
-                        let cjs = n_classes as usize;
-                        let row = &preds[r * cjs..(r + 1) * cjs];
-                        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                        let sum: f32 = row.iter().map(|&s| (s - max).exp()).sum();
-                        let p = (row[group] - max).exp() / sum;
-                        let y = if labels[r] as usize == group { 1.0 } else { 0.0 };
-                        // The conventional 2x hessian scaling of softmax
-                        // boosting (matches XGBoost/LightGBM).
-                        [p - y, (2.0 * p * (1.0 - p)).max(1e-16)]
-                    }
-                    _ => self.grad(preds[r], labels[r]),
-                };
-                let scale = scaling.scale(r);
-                pair[0] *= scale;
-                pair[1] *= scale;
-                *gp = pair;
-            }
-        });
     }
 }
 
@@ -267,104 +82,6 @@ mod tests {
     }
 
     #[test]
-    fn logistic_gradients() {
-        // At pred 0 (p = 0.5): g = 0.5 - y, h = 0.25.
-        let [g, h] = LossKind::Logistic.grad(0.0, 1.0);
-        assert!((g + 0.5).abs() < 1e-6);
-        assert!((h - 0.25).abs() < 1e-6);
-        let [g, _] = LossKind::Logistic.grad(0.0, 0.0);
-        assert!((g - 0.5).abs() < 1e-6);
-    }
-
-    #[test]
-    fn squared_gradients() {
-        let [g, h] = LossKind::SquaredError.grad(3.0, 1.0);
-        assert_eq!(g, 2.0);
-        assert_eq!(h, 1.0);
-    }
-
-    #[test]
-    fn base_score_logistic_is_log_odds() {
-        let labels = [1.0, 1.0, 1.0, 0.0];
-        let b = LossKind::Logistic.base_score(&labels);
-        assert!((sigmoid(b) - 0.75).abs() < 1e-5);
-    }
-
-    #[test]
-    fn base_score_squared_is_mean() {
-        assert!((LossKind::SquaredError.base_score(&[1.0, 2.0, 6.0]) - 3.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn parallel_gradients_match_serial() {
-        let pool = ThreadPool::new(4);
-        let n = 10_000;
-        let preds: Vec<f32> = (0..n).map(|i| (i as f32 / 777.0).sin()).collect();
-        let labels: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
-        let mut par = vec![[0.0f32; 2]; n];
-        LossKind::Logistic.compute_gradients(&pool, &preds, &labels, &mut par);
-        for i in 0..n {
-            let expect = LossKind::Logistic.grad(preds[i], labels[i]);
-            assert_eq!(par[i], expect, "row {i}");
-        }
-    }
-
-    #[test]
-    fn softmax_gradients_sum_to_zero_across_classes() {
-        let pool = ThreadPool::new(2);
-        let loss = LossKind::Softmax { n_classes: 3 };
-        let n = 50;
-        let preds: Vec<f32> = (0..n * 3).map(|i| ((i * 31) % 17) as f32 / 5.0).collect();
-        let labels: Vec<f32> = (0..n).map(|i| (i % 3) as f32).collect();
-        let mut per_class = vec![vec![[0.0f32; 2]; n]; 3];
-        for (c, out) in per_class.iter_mut().enumerate() {
-            loss.compute_gradients_group(&pool, &preds, &labels, c, &RowScaling::default(), out);
-        }
-        for r in 0..n {
-            let g_sum: f32 = per_class.iter().map(|grads| grads[r][0]).sum();
-            assert!(g_sum.abs() < 1e-5, "row {r}: class gradients sum to {g_sum}");
-            for grads in &per_class {
-                assert!(grads[r][1] > 0.0, "hessian must be positive");
-            }
-        }
-    }
-
-    #[test]
-    fn softmax_base_scores_are_log_priors() {
-        let loss = LossKind::Softmax { n_classes: 3 };
-        let labels = [0.0, 0.0, 1.0, 2.0];
-        let b = loss.base_scores(&labels);
-        assert_eq!(b.len(), 3);
-        assert!((b[0] - 0.5f32.ln()).abs() < 1e-6);
-        assert!((b[1] - 0.25f32.ln()).abs() < 1e-6);
-    }
-
-    #[test]
-    fn transform_scores_softmax_rows_normalize() {
-        let loss = LossKind::Softmax { n_classes: 3 };
-        let raw = [1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0];
-        let p = loss.transform_scores(&raw);
-        for row in p.chunks_exact(3) {
-            let sum: f32 = row.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-5);
-            assert!(row[2] > row[1] && row[1] > row[0], "monotone in raw score");
-        }
-    }
-
-    #[test]
-    fn row_scaling_weights_scale_gradients() {
-        let pool = ThreadPool::new(1);
-        let preds = [0.0f32, 0.0];
-        let labels = [1.0f32, 1.0];
-        let weights = [1.0f32, 3.0];
-        let mut out = [[0.0f32; 2]; 2];
-        let scaling = RowScaling { weights: Some(&weights), subsample: 1.0, seed: 0 };
-        LossKind::Logistic.compute_gradients_group(&pool, &preds, &labels, 0, &scaling, &mut out);
-        assert!((out[1][0] / out[0][0] - 3.0).abs() < 1e-6);
-        assert!((out[1][1] / out[0][1] - 3.0).abs() < 1e-6);
-    }
-
-    #[test]
     fn row_scaling_subsample_zeroes_roughly_the_right_fraction() {
         let scaling = RowScaling { weights: None, subsample: 0.3, seed: 99 };
         let kept = (0..10_000).filter(|&r| scaling.scale(r) > 0.0).count();
@@ -372,13 +89,5 @@ mod tests {
         // Deterministic per (seed, row).
         let again = (0..10_000).filter(|&r| scaling.scale(r) > 0.0).count();
         assert_eq!(kept, again);
-    }
-
-    #[test]
-    fn hessian_never_zero() {
-        // Extreme predictions must not produce a zero hessian (division by
-        // H + λ could otherwise blow up with λ = 0).
-        let [_, h] = LossKind::Logistic.grad(100.0, 1.0);
-        assert!(h > 0.0);
     }
 }

@@ -1,0 +1,187 @@
+//! The original three objectives — logistic, squared error, softmax — as
+//! [`Objective`] impls. Their arithmetic is copied verbatim from the
+//! pre-trait `LossKind` methods so fixed-seed training stays bitwise
+//! identical: the driver's uniform `max(h, HESSIAN_FLOOR)` clamp replaces
+//! the identical in-grad clamps the old code carried.
+
+use super::{GradientFn, Objective, ObjectiveSpec, RowWiseGrad};
+use crate::loss::{sigmoid, GradPair};
+use crate::trainer::EvalMetric;
+
+/// Binary logistic regression: `g = p - y`, `h = p(1 - p)`.
+pub struct LogisticObjective;
+
+impl RowWiseGrad for LogisticObjective {
+    #[inline]
+    fn grad(&self, scores: &[f32], label: f32, _group: usize) -> GradPair {
+        let p = sigmoid(scores[0]);
+        [p - label, p * (1.0 - p)]
+    }
+}
+
+impl Objective for LogisticObjective {
+    fn spec(&self) -> ObjectiveSpec {
+        ObjectiveSpec::Logistic
+    }
+
+    fn validate_data(&self, labels: &[f32], _query_groups: Option<&[u32]>) -> Result<(), String> {
+        for (i, &y) in labels.iter().enumerate() {
+            if !(0.0..=1.0).contains(&y) {
+                return Err(format!("logistic labels must lie in [0, 1]; row {i} has {y}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn base_scores(&self, labels: &[f32]) -> Vec<f32> {
+        if labels.is_empty() {
+            return vec![0.0];
+        }
+        let mean = labels.iter().sum::<f32>() / labels.len() as f32;
+        let p = mean.clamp(1e-6, 1.0 - 1e-6);
+        vec![(p / (1.0 - p)).ln()]
+    }
+
+    fn transform_scores(&self, raw: &[f32]) -> Vec<f32> {
+        raw.iter().map(|&s| sigmoid(s)).collect()
+    }
+
+    fn default_metric(&self) -> EvalMetric {
+        EvalMetric::Auc
+    }
+
+    fn gradients(&self) -> GradientFn<'_> {
+        GradientFn::RowWise(self)
+    }
+}
+
+/// Squared-error regression: `g = pred - y`, `h = 1`.
+pub struct SquaredErrorObjective;
+
+impl RowWiseGrad for SquaredErrorObjective {
+    #[inline]
+    fn grad(&self, scores: &[f32], label: f32, _group: usize) -> GradPair {
+        [scores[0] - label, 1.0]
+    }
+}
+
+impl Objective for SquaredErrorObjective {
+    fn spec(&self) -> ObjectiveSpec {
+        ObjectiveSpec::SquaredError
+    }
+
+    fn validate_data(&self, labels: &[f32], _query_groups: Option<&[u32]>) -> Result<(), String> {
+        finite_labels(labels)
+    }
+
+    fn base_scores(&self, labels: &[f32]) -> Vec<f32> {
+        if labels.is_empty() {
+            return vec![0.0];
+        }
+        vec![labels.iter().sum::<f32>() / labels.len() as f32]
+    }
+
+    fn transform_scores(&self, raw: &[f32]) -> Vec<f32> {
+        raw.to_vec()
+    }
+
+    fn default_metric(&self) -> EvalMetric {
+        EvalMetric::Rmse
+    }
+
+    fn gradients(&self) -> GradientFn<'_> {
+        GradientFn::RowWise(self)
+    }
+}
+
+/// Multiclass softmax: one tree per class per round; the per-class gradient
+/// reads the whole row of class scores, which is why a scalar gradient
+/// entry point cannot exist for this objective.
+pub struct SoftmaxObjective {
+    n_classes: usize,
+}
+
+impl SoftmaxObjective {
+    /// Creates a softmax objective over `n_classes` classes (>= 2).
+    pub fn new(n_classes: u32) -> Self {
+        assert!(n_classes >= 2, "softmax needs at least 2 classes");
+        Self { n_classes: n_classes as usize }
+    }
+}
+
+impl RowWiseGrad for SoftmaxObjective {
+    #[inline]
+    fn grad(&self, scores: &[f32], label: f32, group: usize) -> GradPair {
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let sum: f32 = scores.iter().map(|&s| (s - max).exp()).sum();
+        let p = (scores[group] - max).exp() / sum;
+        let y = if label as usize == group { 1.0 } else { 0.0 };
+        // The conventional 2x hessian scaling of softmax boosting (matches
+        // XGBoost/LightGBM).
+        [p - y, 2.0 * p * (1.0 - p)]
+    }
+}
+
+impl Objective for SoftmaxObjective {
+    fn spec(&self) -> ObjectiveSpec {
+        ObjectiveSpec::Softmax { n_classes: self.n_classes as u32 }
+    }
+
+    fn n_groups(&self) -> usize {
+        self.n_classes
+    }
+
+    fn validate_data(&self, labels: &[f32], _query_groups: Option<&[u32]>) -> Result<(), String> {
+        let c = self.n_classes;
+        for (i, &y) in labels.iter().enumerate() {
+            let idx = y as usize;
+            if !y.is_finite() || y.fract() != 0.0 || idx >= c {
+                return Err(format!("softmax labels must be class ids 0..{c}; row {i} has {y}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn base_scores(&self, labels: &[f32]) -> Vec<f32> {
+        let c = self.n_classes;
+        let mut counts = vec![0usize; c];
+        for &y in labels {
+            let idx = y as usize;
+            assert!(idx < c, "label {y} out of range for {c} classes");
+            counts[idx] += 1;
+        }
+        let n = labels.len().max(1) as f32;
+        counts.into_iter().map(|cnt| ((cnt as f32 / n).max(1e-6)).ln()).collect()
+    }
+
+    fn transform_scores(&self, raw: &[f32]) -> Vec<f32> {
+        let c = self.n_classes;
+        assert_eq!(raw.len() % c, 0, "raw score buffer not divisible by class count");
+        let mut out = Vec::with_capacity(raw.len());
+        for row in raw.chunks_exact(c) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&s| (s - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            out.extend(exps.iter().map(|&e| e / sum));
+        }
+        out
+    }
+
+    fn default_metric(&self) -> EvalMetric {
+        EvalMetric::MulticlassLogLoss
+    }
+
+    fn gradients(&self) -> GradientFn<'_> {
+        GradientFn::RowWise(self)
+    }
+}
+
+/// Shared finite-label check for regression objectives.
+pub(super) fn finite_labels(labels: &[f32]) -> Result<(), String> {
+    for (i, &y) in labels.iter().enumerate() {
+        if !y.is_finite() {
+            return Err(format!("labels must be finite; row {i} has {y}"));
+        }
+    }
+    Ok(())
+}

@@ -29,20 +29,13 @@ pub enum ParallelMode {
     Async,
 }
 
-/// Loss function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum LossKind {
-    /// Binary logistic regression (the paper's setting for all tasks).
-    Logistic,
-    /// Squared-error regression.
-    SquaredError,
-    /// Multiclass softmax: one tree per class per boosting round. An
-    /// extension beyond the paper's binary setting.
-    Softmax {
-        /// Number of classes (>= 2). Labels are class ids `0..n_classes`.
-        n_classes: u32,
-    },
-}
+pub use crate::objective::ObjectiveSpec;
+
+/// The historical name of [`ObjectiveSpec`]. The loss layer is now the open
+/// [`crate::objective`] registry; this alias keeps every existing
+/// `LossKind::Logistic`-style construction and pattern site compiling (and
+/// the serialized field name `loss` unchanged).
+pub type LossKind = ObjectiveSpec;
 
 /// Block-size system parameters (Table IV). `0` means "all" (the paper's
 /// convention for unlimited block extent); [`BlockConfig::Auto`] defers the
@@ -276,6 +269,12 @@ pub struct TrainParams {
     pub gamma: f64,
     /// Minimum hessian sum in a child.
     pub min_child_weight: f64,
+    /// Cap on the magnitude of the unscaled Newton leaf step `|w*|`; `0`
+    /// disables. Log-link objectives (Tweedie) need this: a pure-zero leaf
+    /// has its optimum at `-∞`, and uncapped boosting walks there round
+    /// after round, blowing up held-out deviance. XGBoost recommends ~0.7
+    /// for such objectives.
+    pub max_delta_step: f64,
     /// Tree size `D`: depthwise depth limit `D` (root = depth 0) and leaf
     /// budget `2^D` (see DESIGN.md §6 on the paper's convention).
     pub tree_size: u32,
@@ -334,6 +333,7 @@ impl Default for TrainParams {
             lambda: 1.0,
             gamma: 1.0,
             min_child_weight: 1.0,
+            max_delta_step: 0.0,
             tree_size: 8,
             growth: GrowthMethod::Leafwise,
             k: 1,
@@ -395,6 +395,9 @@ impl TrainParams {
         if self.lambda < 0.0 || self.gamma < 0.0 || self.min_child_weight < 0.0 {
             return Err("regularizers must be non-negative".into());
         }
+        if !(self.max_delta_step >= 0.0 && self.max_delta_step.is_finite()) {
+            return Err("max_delta_step must be finite and non-negative (0 disables)".into());
+        }
         if self.tree_size == 0 || self.tree_size > 24 {
             return Err("tree_size must be in 1..=24".into());
         }
@@ -408,11 +411,7 @@ impl TrainParams {
                 return Err(format!("{name} must be in (0, 1]"));
             }
         }
-        if let LossKind::Softmax { n_classes } = self.loss {
-            if n_classes < 2 {
-                return Err("softmax needs at least 2 classes".into());
-            }
-        }
+        self.loss.validate()?;
         self.blocks.validate()?;
         Ok(())
     }
@@ -439,6 +438,16 @@ mod tests {
         assert_eq!(p.max_leaves(), 256);
         let p = TrainParams { tree_size: 12, ..Default::default() };
         assert_eq!(p.max_leaves(), 4096);
+    }
+
+    #[test]
+    fn max_delta_step_must_be_finite_and_non_negative() {
+        let ok = TrainParams { max_delta_step: 0.7, ..Default::default() };
+        assert!(ok.validate().is_ok());
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let p = TrainParams { max_delta_step: bad, ..Default::default() };
+            assert!(p.validate().is_err(), "max_delta_step {bad} must be rejected");
+        }
     }
 
     #[test]

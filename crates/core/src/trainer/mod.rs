@@ -42,7 +42,7 @@ use std::sync::Arc;
 const SYNC_SMALL_NODE_ROWS: usize = 512;
 
 /// Validation metric for the eval set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EvalMetric {
     /// Area under the ROC curve (higher is better). Binary only.
     Auc,
@@ -54,18 +54,65 @@ pub enum EvalMetric {
     MulticlassLogLoss,
     /// Multiclass argmax error rate (lower is better). Softmax only.
     MulticlassError,
+    /// Pinball (quantile) loss at `alpha` (lower is better).
+    Pinball {
+        /// Target quantile in `(0, 1)`.
+        alpha: f32,
+    },
+    /// Mean Tweedie deviance at variance power `power` (lower is better).
+    TweedieDeviance {
+        /// Variance power in `(1, 2)`.
+        power: f32,
+    },
+    /// Mean Huber loss with transition width `delta` (lower is better).
+    HuberLoss {
+        /// Quadratic/linear transition width.
+        delta: f32,
+    },
+    /// Mean NDCG truncated at `k` over query groups (higher is better).
+    /// Requires the eval dataset to carry query-group sizes.
+    NdcgAt {
+        /// Truncation depth.
+        k: u32,
+    },
 }
 
 impl EvalMetric {
-    fn higher_is_better(self) -> bool {
-        matches!(self, EvalMetric::Auc)
+    /// Whether larger values of this metric are better.
+    pub fn higher_is_better(self) -> bool {
+        matches!(self, EvalMetric::Auc | EvalMetric::NdcgAt { .. })
+    }
+
+    /// Short stable name for reports and ledgers (e.g. `"auc"`,
+    /// `"pinball@0.9"`, `"ndcg@10"`).
+    pub fn name(self) -> String {
+        match self {
+            EvalMetric::Auc => "auc".into(),
+            EvalMetric::LogLoss => "logloss".into(),
+            EvalMetric::Rmse => "rmse".into(),
+            EvalMetric::MulticlassLogLoss => "mlogloss".into(),
+            EvalMetric::MulticlassError => "merror".into(),
+            EvalMetric::Pinball { alpha } => format!("pinball@{alpha}"),
+            EvalMetric::TweedieDeviance { power } => format!("tweedie-deviance@{power}"),
+            EvalMetric::HuberLoss { delta } => format!("huber@{delta}"),
+            EvalMetric::NdcgAt { k } => format!("ndcg@{k}"),
+        }
     }
 
     /// Computes the metric from row-major raw scores (`n_rows × n_groups`).
+    /// `query_groups` carries consecutive group sizes for ranking metrics
+    /// (ignored by the others).
     ///
     /// # Panics
-    /// Panics when the metric does not fit the loss's group count.
-    fn compute(self, labels: &[f32], raw: &[f32], model_loss: crate::params::LossKind) -> f64 {
+    /// Panics when the metric does not fit the loss's group count, or for
+    /// [`EvalMetric::NdcgAt`] without query groups.
+    pub fn compute(
+        self,
+        labels: &[f32],
+        raw: &[f32],
+        model_loss: crate::params::LossKind,
+        query_groups: Option<&[u32]>,
+    ) -> f64 {
         let groups = model_loss.n_groups();
         match self {
             EvalMetric::Auc => {
@@ -86,6 +133,24 @@ impl EvalMetric {
                 harp_metrics::multiclass_log_loss(labels, &probs, groups)
             }
             EvalMetric::MulticlassError => harp_metrics::multiclass_error(labels, raw, groups),
+            EvalMetric::Pinball { alpha } => {
+                assert_eq!(groups, 1, "pinball requires a scalar loss");
+                harp_metrics::pinball_loss(labels, raw, alpha)
+            }
+            EvalMetric::TweedieDeviance { power } => {
+                assert_eq!(groups, 1, "tweedie deviance requires a scalar loss");
+                let mu = model_loss.transform_scores(raw);
+                harp_metrics::tweedie_deviance(labels, &mu, power)
+            }
+            EvalMetric::HuberLoss { delta } => {
+                assert_eq!(groups, 1, "huber loss requires a scalar loss");
+                harp_metrics::huber_loss(labels, raw, delta)
+            }
+            EvalMetric::NdcgAt { k } => {
+                assert_eq!(groups, 1, "ndcg requires a scalar loss");
+                let qg = query_groups.expect("ndcg@k needs query-group sizes on the eval dataset");
+                harp_metrics::ndcg_at_k(labels, raw, qg, k as usize)
+            }
         }
     }
 }
@@ -195,10 +260,43 @@ impl GbdtTrainer {
         self.train_with_eval(dataset, None)
     }
 
-    /// Quantizes `dataset` and trains with optional validation.
+    /// Quantizes `dataset` and trains with optional validation. Query-group
+    /// sizes attached to the dataset flow into listwise objectives and
+    /// ranking metrics.
     pub fn train_with_eval(&self, dataset: &Dataset, eval: Option<EvalOptions<'_>>) -> TrainOutput {
         let qm = QuantizedMatrix::from_matrix(&dataset.features, self.binning);
-        self.train_prepared(&qm, &dataset.labels, eval)
+        self.train_prepared_grouped(
+            &qm,
+            &dataset.labels,
+            None,
+            dataset.query_groups.as_deref(),
+            eval,
+        )
+    }
+
+    /// Like [`train_with_eval`](Self::train_with_eval) but with the
+    /// objective's data validation surfaced as an error instead of a panic
+    /// (bad labels, missing query groups) — the CLI-friendly entry point.
+    ///
+    /// # Errors
+    /// Returns the objective's validation message for unusable data.
+    pub fn try_train_with_eval(
+        &self,
+        dataset: &Dataset,
+        eval: Option<EvalOptions<'_>>,
+    ) -> Result<TrainOutput, String> {
+        let objective = self.params.loss.build();
+        objective
+            .validate_data(&dataset.labels, dataset.query_groups.as_deref())
+            .map_err(|e| format!("training data rejected by {}: {e}", self.params.loss.name()))?;
+        if let Some(e) = &eval {
+            objective
+                .validate_data(&e.data.labels, e.data.query_groups.as_deref())
+                .map_err(|err| {
+                    format!("eval data rejected by {}: {err}", self.params.loss.name())
+                })?;
+        }
+        Ok(self.train_with_eval(dataset, eval))
     }
 
     /// Trains on an already-quantized matrix (lets experiments bin once and
@@ -227,8 +325,31 @@ impl GbdtTrainer {
         weights: Option<&[f32]>,
         eval: Option<EvalOptions<'_>>,
     ) -> TrainOutput {
+        self.train_prepared_grouped(qm, labels, weights, None, eval)
+    }
+
+    /// The full prepared-input entry point: optional per-row weights plus
+    /// optional consecutive query-group sizes (required by listwise
+    /// objectives such as LambdaRank and by the `ndcg@k` metric).
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != qm.n_rows()`, the weights length differs,
+    /// or the objective rejects the data (use
+    /// [`try_train_with_eval`](Self::try_train_with_eval) for a `Result`).
+    pub fn train_prepared_grouped(
+        &self,
+        qm: &QuantizedMatrix,
+        labels: &[f32],
+        weights: Option<&[f32]>,
+        query_groups: Option<&[u32]>,
+        eval: Option<EvalOptions<'_>>,
+    ) -> TrainOutput {
         assert_eq!(labels.len(), qm.n_rows(), "one label per row required");
         let params = &self.params;
+        let objective = params.loss.build();
+        if let Err(e) = objective.validate_data(labels, query_groups) {
+            panic!("training data rejected by {}: {e}", params.loss.name());
+        }
         let profile = Arc::new(Profile::new());
         let mut pool = ThreadPool::with_profile(params.n_threads, Arc::clone(&profile));
         // `None` unless tracing is both requested and compiled in; every
@@ -247,9 +368,9 @@ impl GbdtTrainer {
         let coord = params.n_threads; // coordinator lane of the sink
         let breakdown = TimeBreakdown::new();
         let n = qm.n_rows();
-        let groups = params.loss.n_groups();
+        let groups = objective.n_groups();
 
-        let base_scores = params.loss.base_scores(labels);
+        let base_scores = objective.base_scores(labels);
         // Row-major n x groups raw scores.
         let mut preds = vec![0.0f32; n * groups];
         for r in 0..n {
@@ -345,8 +466,15 @@ impl GbdtTrainer {
                         subsample: params.subsample,
                         seed: params.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9),
                     };
-                    params.loss.compute_gradients_group(
-                        &pool, &preds, labels, group, &scaling, &mut grads,
+                    crate::objective::compute_gradients_group(
+                        objective.as_ref(),
+                        &pool,
+                        &preds,
+                        labels,
+                        query_groups,
+                        group,
+                        &scaling,
+                        &mut grads,
                     );
                 }
                 engine.sample_features(params, iter as u64, group as u64);
@@ -393,7 +521,12 @@ impl GbdtTrainer {
                             flat_g.as_deref(),
                         );
                     }
-                    let metric = e.metric.compute(&e.data.labels, &eval_preds, params.loss);
+                    let metric = e.metric.compute(
+                        &e.data.labels,
+                        &eval_preds,
+                        params.loss,
+                        e.data.query_groups.as_deref(),
+                    );
                     if let Some(tr) = &mut trace {
                         tr.record(iter + 1, train_secs, metric);
                     }
@@ -698,13 +831,20 @@ impl<'a> TreeEngine<'a> {
         self.hist_pool.clear_cache();
         let _ = queue.drain();
 
-        // Leaf weights (Eq. 2), scaled by the learning rate.
+        // Leaf weights (Eq. 2), scaled by the learning rate. `max_delta_step`
+        // caps the unscaled Newton step first (0 = off), which tames the
+        // run-away leaves of log-link objectives.
         let lr = f64::from(self.params.learning_rate);
         let lambda = self.params.lambda;
+        let cap = self.params.max_delta_step;
         let leaf_ids: Vec<NodeId> = tree.leaf_ids().collect();
         for id in leaf_ids {
             let node = tree.node_mut(id);
-            node.weight = (lr * node.stats.optimal_weight(lambda)) as f32;
+            let mut w = node.stats.optimal_weight(lambda);
+            if cap > 0.0 {
+                w = w.clamp(-cap, cap);
+            }
+            node.weight = (lr * w) as f32;
         }
         tree
     }

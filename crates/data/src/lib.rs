@@ -21,4 +21,4 @@ pub mod synth;
 
 pub use dataset::{Dataset, DatasetStats};
 pub use matrix::{CsrMatrix, DenseMatrix, FeatureMatrix};
-pub use synth::{DatasetKind, SynthConfig};
+pub use synth::{workloads, DatasetKind, SynthConfig};

@@ -23,6 +23,7 @@
 //!   entries present.
 
 pub mod teacher;
+pub mod workloads;
 
 use crate::dataset::Dataset;
 use crate::matrix::{CsrMatrix, DenseMatrix, FeatureMatrix};

@@ -135,6 +135,86 @@ pub fn rmse(labels: &[f32], preds: &[f32]) -> f64 {
     mse.sqrt()
 }
 
+/// Mean pinball (quantile) loss at quantile `alpha`:
+/// `mean((alpha - 1[y < pred]) * (y - pred))`. The proper scoring rule for
+/// quantile regression — minimized in expectation by the true
+/// `alpha`-quantile.
+///
+/// # Panics
+/// Panics if the slices have different lengths, `labels` is empty, or
+/// `alpha` is outside `(0, 1)`.
+pub fn pinball_loss(labels: &[f32], preds: &[f32], alpha: f32) -> f64 {
+    assert_eq!(labels.len(), preds.len(), "labels/preds length mismatch");
+    assert!(!labels.is_empty(), "pinball_loss of empty slice");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let a = alpha as f64;
+    let sum: f64 = labels
+        .iter()
+        .zip(preds)
+        .map(|(&y, &p)| {
+            let d = (y - p) as f64;
+            if d >= 0.0 {
+                a * d
+            } else {
+                (a - 1.0) * d
+            }
+        })
+        .sum();
+    sum / labels.len() as f64
+}
+
+/// Mean Huber loss with transition width `delta`: `r²/2` for residuals
+/// within `±delta`, `delta·(|r| - delta/2)` outside.
+///
+/// # Panics
+/// Panics if the slices have different lengths, `labels` is empty, or
+/// `delta` is not positive.
+pub fn huber_loss(labels: &[f32], preds: &[f32], delta: f32) -> f64 {
+    assert_eq!(labels.len(), preds.len(), "labels/preds length mismatch");
+    assert!(!labels.is_empty(), "huber_loss of empty slice");
+    assert!(delta > 0.0, "delta must be positive");
+    let d = delta as f64;
+    let sum: f64 = labels
+        .iter()
+        .zip(preds)
+        .map(|(&y, &p)| {
+            let r = ((y - p) as f64).abs();
+            if r <= d {
+                0.5 * r * r
+            } else {
+                d * (r - 0.5 * d)
+            }
+        })
+        .sum();
+    sum / labels.len() as f64
+}
+
+/// Mean Tweedie deviance at variance power `power` in `(1, 2)`:
+/// `2·(y^{2-p}/((1-p)(2-p)) - y·μ^{1-p}/(1-p) + μ^{2-p}/(2-p))` per row.
+/// `mu` are mean predictions on the response scale (must be positive);
+/// labels must be non-negative.
+///
+/// # Panics
+/// Panics if the slices have different lengths, `labels` is empty, or
+/// `power` is outside `(1, 2)`.
+pub fn tweedie_deviance(labels: &[f32], mu: &[f32], power: f32) -> f64 {
+    assert_eq!(labels.len(), mu.len(), "labels/mu length mismatch");
+    assert!(!labels.is_empty(), "tweedie_deviance of empty slice");
+    assert!(power > 1.0 && power < 2.0, "power must be in (1, 2)");
+    let p = power as f64;
+    let sum: f64 = labels
+        .iter()
+        .zip(mu)
+        .map(|(&y, &m)| {
+            let y = y as f64;
+            let m = (m as f64).max(1e-15);
+            2.0 * (y.powf(2.0 - p) / ((1.0 - p) * (2.0 - p)) - y * m.powf(1.0 - p) / (1.0 - p)
+                + m.powf(2.0 - p) / (2.0 - p))
+        })
+        .sum();
+    sum / labels.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +350,46 @@ mod tests {
     #[test]
     fn rmse_simple_case() {
         assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinball_is_asymmetric() {
+        // At alpha = 0.9, under-prediction costs 9x over-prediction.
+        let under = pinball_loss(&[1.0], &[0.0], 0.9);
+        let over = pinball_loss(&[0.0], &[1.0], 0.9);
+        // f32 alpha carries ~1e-8 representation error into the f64 sum.
+        assert!((under - 0.9).abs() < 1e-6);
+        assert!((over - 0.1).abs() < 1e-6);
+        assert_eq!(pinball_loss(&[1.0], &[1.0], 0.9), 0.0);
+    }
+
+    #[test]
+    fn pinball_minimized_at_the_true_quantile() {
+        let labels: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let at_q90 = pinball_loss(&labels, &vec![90.0; 100], 0.9);
+        let at_median = pinball_loss(&labels, &vec![50.0; 100], 0.9);
+        let at_mean_plus = pinball_loss(&labels, &vec![99.0; 100], 0.9);
+        assert!(at_q90 < at_median && at_q90 < at_mean_plus);
+    }
+
+    #[test]
+    fn huber_matches_quadratic_inside_and_linear_outside() {
+        assert!((huber_loss(&[0.0], &[1.0], 2.0) - 0.5).abs() < 1e-9);
+        // |r| = 5 with delta 2: 2*(5 - 1) = 8.
+        assert!((huber_loss(&[0.0], &[5.0], 2.0) - 8.0).abs() < 1e-9);
+        assert_eq!(huber_loss(&[3.0], &[3.0], 1.0), 0.0);
+    }
+
+    #[test]
+    fn tweedie_deviance_zero_at_perfect_fit_and_positive_otherwise() {
+        let labels = [0.5f32, 2.0, 4.0];
+        let d0 = tweedie_deviance(&labels, &labels, 1.5);
+        assert!(d0.abs() < 1e-6, "deviance at the true mean: {d0}");
+        let off = tweedie_deviance(&labels, &[1.0, 1.0, 1.0], 1.5);
+        assert!(off > d0);
+        // Zero labels are legal (the zero-inflated case).
+        let z = tweedie_deviance(&[0.0, 0.0], &[0.5, 1.0], 1.5);
+        assert!(z > 0.0);
     }
 
     proptest! {

@@ -17,11 +17,16 @@ mod convergence;
 mod eval;
 mod ledger;
 mod memory;
+mod ranking;
 
 pub use breakdown::{BreakdownReport, PhaseSkewRow, TimeBreakdown, WorkerSkewReport};
 pub use convergence::{ConvergencePoint, ConvergenceTrace};
-pub use eval::{accuracy, auc, error_rate, log_loss, multiclass_error, multiclass_log_loss, rmse};
+pub use eval::{
+    accuracy, auc, error_rate, huber_loss, log_loss, multiclass_error, multiclass_log_loss,
+    pinball_loss, rmse, tweedie_deviance,
+};
 pub use ledger::{
     DiffOptions, DiffReport, DiffRow, DiffStatus, LedgerRecord, LedgerSummary, PlanStats, RunLedger,
 };
 pub use memory::{gauges, MemGauge, MemGaugeRecord, MemRegistry};
+pub use ranking::ndcg_at_k;

@@ -1,0 +1,111 @@
+//! Ranking quality metrics over query groups.
+
+/// Mean NDCG@k across query groups.
+///
+/// `labels` are graded relevances (non-negative), `scores` the model's
+/// ranking scores, `group_sizes` the consecutive per-query document counts
+/// (must sum to the row count). Gains are `2^rel - 1`, discounts
+/// `1/log2(pos + 2)` truncated at `k`; score ties rank by index for
+/// determinism. Queries with zero ideal DCG (no relevant documents) are
+/// skipped; returns `0.0` if every query is skipped.
+///
+/// # Panics
+/// Panics if the slices have different lengths, `group_sizes` does not sum
+/// to the row count, or `k == 0`.
+pub fn ndcg_at_k(labels: &[f32], scores: &[f32], group_sizes: &[u32], k: usize) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    assert!(k >= 1, "k must be >= 1");
+    let total: usize = group_sizes.iter().map(|&s| s as usize).sum();
+    assert_eq!(total, labels.len(), "group sizes must sum to the row count");
+    let discount = |pos: usize| {
+        if pos < k {
+            1.0 / ((pos + 2) as f64).log2()
+        } else {
+            0.0
+        }
+    };
+    let mut sum = 0.0f64;
+    let mut counted = 0usize;
+    let mut start = 0usize;
+    for &sz in group_sizes {
+        let sz = sz as usize;
+        let q_labels = &labels[start..start + sz];
+        let q_scores = &scores[start..start + sz];
+        start += sz;
+
+        let gains: Vec<f64> = q_labels.iter().map(|&y| 2f64.powf(y as f64) - 1.0).collect();
+        let mut ideal = gains.clone();
+        ideal.sort_by(|a, b| b.total_cmp(a));
+        let idcg: f64 = ideal.iter().enumerate().map(|(pos, g)| g * discount(pos)).sum();
+        if idcg <= 0.0 {
+            continue;
+        }
+        let mut order: Vec<usize> = (0..sz).collect();
+        order.sort_by(|&a, &b| q_scores[b].total_cmp(&q_scores[a]).then(a.cmp(&b)));
+        let dcg: f64 = order.iter().enumerate().map(|(pos, &doc)| gains[doc] * discount(pos)).sum();
+        sum += dcg / idcg;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let labels = [3.0f32, 2.0, 1.0, 0.0];
+        let scores = [4.0f32, 3.0, 2.0, 1.0];
+        assert!((ndcg_at_k(&labels, &scores, &[4], 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_scores_below_one() {
+        let labels = [3.0f32, 2.0, 1.0, 0.0];
+        let scores = [1.0f32, 2.0, 3.0, 4.0];
+        let n = ndcg_at_k(&labels, &scores, &[4], 10);
+        assert!(n > 0.0 && n < 1.0, "inverted ranking ndcg = {n}");
+    }
+
+    #[test]
+    fn truncation_ignores_tail_positions() {
+        // With k = 1 only the top document matters: putting the best doc
+        // first is a perfect score regardless of the tail order.
+        let labels = [3.0f32, 2.0, 1.0];
+        let scores = [9.0f32, 1.0, 2.0]; // tail inverted
+        assert!((ndcg_at_k(&labels, &scores, &[3], 1) - 1.0).abs() < 1e-12);
+        assert!(ndcg_at_k(&labels, &scores, &[3], 3) < 1.0);
+    }
+
+    #[test]
+    fn zero_relevance_queries_are_skipped() {
+        let labels = [0.0f32, 0.0, 3.0, 1.0];
+        let scores = [1.0f32, 2.0, 5.0, 4.0];
+        // First query has no relevant docs; mean is over the second only.
+        let with_dead_query = ndcg_at_k(&labels, &scores, &[2, 2], 10);
+        let alone = ndcg_at_k(&labels[2..], &scores[2..], &[2], 10);
+        assert_eq!(with_dead_query, alone);
+        // All-dead input returns 0.
+        assert_eq!(ndcg_at_k(&[0.0, 0.0], &[1.0, 2.0], &[2], 10), 0.0);
+    }
+
+    #[test]
+    fn mean_over_queries() {
+        let labels = [1.0f32, 0.0, 1.0, 0.0];
+        let scores = [2.0f32, 1.0, 1.0, 2.0]; // first query perfect, second inverted
+        let n = ndcg_at_k(&labels, &scores, &[2, 2], 10);
+        let q2 = ndcg_at_k(&labels[2..], &scores[2..], &[2], 10);
+        assert!((n - (1.0 + q2) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the row count")]
+    fn bad_group_sizes_panic() {
+        let _ = ndcg_at_k(&[1.0, 0.0], &[1.0, 2.0], &[3], 10);
+    }
+}

@@ -13,7 +13,10 @@ use harpgbdt::trainer::{EvalMetric, EvalOptions};
 use harpgbdt::{GbdtTrainer, GrowthMethod, LedgerConfig, TrainParams};
 
 fn main() {
-    let data = SynthConfig::new(DatasetKind::CriteoLike, 7).with_scale(1.0).generate();
+    // `HARP_EXAMPLE_QUICK=1` (CI smoke mode) shrinks the run.
+    let quick = std::env::var("HARP_EXAMPLE_QUICK").is_ok_and(|v| v != "0");
+    let scale = if quick { 0.05 } else { 1.0 };
+    let data = SynthConfig::new(DatasetKind::CriteoLike, 7).with_scale(scale).generate();
     let (train, valid) = data.split(0.2, 7);
     println!("CTR data: {}", train.stats());
 
@@ -23,7 +26,7 @@ fn main() {
     for (label, min_child_weight) in [("min_child_weight=1", 1.0), ("min_child_weight=100", 100.0)]
     {
         let params = TrainParams {
-            n_trees: 200,
+            n_trees: if quick { 20 } else { 200 },
             tree_size: 7,
             growth: GrowthMethod::Leafwise,
             k: 16,

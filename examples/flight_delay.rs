@@ -11,7 +11,10 @@ use harp_data::{DatasetKind, SynthConfig};
 use harpgbdt::{GbdtTrainer, GrowthMethod, LedgerConfig, ParallelMode, TraceConfig, TrainParams};
 
 fn main() {
-    let data = SynthConfig::new(DatasetKind::AirlineLike, 11).with_scale(0.5).generate();
+    // `HARP_EXAMPLE_QUICK=1` (CI smoke mode) shrinks the run.
+    let quick = std::env::var("HARP_EXAMPLE_QUICK").is_ok_and(|v| v != "0");
+    let scale = if quick { 0.05 } else { 0.5 };
+    let data = SynthConfig::new(DatasetKind::AirlineLike, 11).with_scale(scale).generate();
     let (train, test) = data.split(0.2, 11);
     println!("flight data: {}", train.stats());
     println!(
@@ -25,8 +28,10 @@ fn main() {
         ("leafwise TopK-8", GrowthMethod::Leafwise, 8),
         ("leafwise TopK-32", GrowthMethod::Leafwise, 32),
     ];
+    let trees = if quick { 15 } else { 60 };
     for (name, growth, k) in configs {
-        let params = TrainParams { n_trees: 60, tree_size: 6, growth, k, ..TrainParams::default() };
+        let params =
+            TrainParams { n_trees: trees, tree_size: 6, growth, k, ..TrainParams::default() };
         let out = GbdtTrainer::new(params).expect("valid params").train(&train);
         let preds = out.model.compile().predict(&test.features);
         let auc = harp_metrics::auc(&test.labels, &preds);
@@ -49,7 +54,7 @@ fn main() {
     // (8 features) makes BuildHist tasks coarse, so this is where SYNC-mode
     // imbalance shows.
     let params = TrainParams {
-        n_trees: 60,
+        n_trees: trees,
         tree_size: 6,
         growth: GrowthMethod::Leafwise,
         k: 32,

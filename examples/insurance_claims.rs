@@ -1,0 +1,55 @@
+//! Tweedie regression on zero-inflated insurance claims: each row is a
+//! compound Poisson–gamma draw (most policies claim nothing, a few claim a
+//! lot), exactly the process the Tweedie deviance models.
+//!
+//! Trains `tweedie:1.5` against a squared-error baseline and reports the
+//! deviance at power 1.5 (the matched proper loss) plus RMSE for
+//! reference.
+//!
+//! Run with: `cargo run --release -p harp-bench --example insurance_claims`
+//! (`HARP_EXAMPLE_QUICK=1` shrinks it for smoke testing.)
+
+use harp_data::workloads;
+use harpgbdt::{GbdtTrainer, LossKind, TrainParams};
+
+fn main() {
+    let quick = std::env::var("HARP_EXAMPLE_QUICK").is_ok_and(|v| v != "0");
+    // Quick mode keeps enough rounds for the lr-0.05 tweedie fit to reach
+    // its optimum; rows shrink instead.
+    let (rows, trees) = if quick { (2_000, 60) } else { (20_000, 120) };
+    let data = workloads::tweedie_claims(rows, 8, 23);
+    let (train, test) = data.split(0.2, 23);
+    let zero_frac =
+        train.labels.iter().filter(|&&y| y == 0.0).count() as f64 / train.labels.len() as f64;
+    println!("claims data: {} ({:.0}% zero-claim rows)", train.stats(), zero_frac * 100.0);
+    println!("{:<14} {:>14} {:>9}", "objective", "deviance@1.5", "rmse");
+
+    // Each arm uses its objective's standard recipe: the log link needs a
+    // gentler learning rate plus a Newton-step cap (`max_delta_step`) so
+    // pure-zero leaves — whose log-scale optimum is -inf — cannot walk the
+    // held-out deviance up round after round.
+    for (name, loss, lr, mds) in [
+        ("tweedie:1.5", LossKind::Tweedie { power: 1.5 }, 0.05, 0.3),
+        ("squared", LossKind::SquaredError, 0.1, 0.0),
+    ] {
+        let params = TrainParams {
+            n_trees: trees,
+            tree_size: 5,
+            learning_rate: lr,
+            max_delta_step: mds,
+            loss,
+            ..TrainParams::default()
+        };
+        let out = GbdtTrainer::new(params).expect("valid params").train(&train);
+        // `predict` is response-scale: exp(raw) for Tweedie, identity for
+        // squared error — both are mean estimates, directly comparable.
+        let mu = out.model.compile().predict(&test.features);
+        let deviance = harp_metrics::tweedie_deviance(&test.labels, &mu, 1.5);
+        let rmse = harp_metrics::rmse(&test.labels, &mu);
+        println!("{name:<14} {deviance:>14.4} {rmse:>9.4}");
+    }
+    println!(
+        "\nexpected: the Tweedie objective wins on deviance (its matched loss) by\n\
+         modelling the zero mass and the heavy tail jointly through the log link"
+    );
+}

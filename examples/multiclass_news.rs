@@ -42,7 +42,9 @@ fn make_news(n: usize, seed: u64) -> Dataset {
 }
 
 fn main() {
-    let data = make_news(6000, 42);
+    // `HARP_EXAMPLE_QUICK=1` (CI smoke mode) shrinks the run.
+    let quick = std::env::var("HARP_EXAMPLE_QUICK").is_ok_and(|v| v != "0");
+    let data = make_news(if quick { 1500 } else { 6000 }, 42);
     let (train, test) = data.split(0.25, 42);
     println!("4-topic routing task: {}", train.stats());
 

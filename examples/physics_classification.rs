@@ -9,8 +9,11 @@ use harp_data::{DatasetKind, SynthConfig};
 use harpgbdt::{BlockConfig, GbdtTrainer, ParallelMode, TrainParams};
 
 fn main() {
+    // `HARP_EXAMPLE_QUICK=1` (CI smoke mode) shrinks the run.
+    let quick = std::env::var("HARP_EXAMPLE_QUICK").is_ok_and(|v| v != "0");
     let threads = harp_parallel::current_num_threads_hint();
-    let data = SynthConfig::new(DatasetKind::HiggsLike, 3).with_scale(1.0).generate();
+    let scale = if quick { 0.05 } else { 1.0 };
+    let data = SynthConfig::new(DatasetKind::HiggsLike, 3).with_scale(scale).generate();
     let (train, test) = data.split(0.2, 3);
     println!("physics data: {} | threads: {threads}", train.stats());
 
@@ -30,7 +33,7 @@ fn main() {
     ];
     for (mode, name) in modes {
         let params = TrainParams {
-            n_trees: 40,
+            n_trees: if quick { 10 } else { 40 },
             tree_size: 8,
             k: 32,
             mode,

@@ -7,15 +7,18 @@ use harp_data::{DatasetKind, SynthConfig};
 use harpgbdt::{GbdtModel, GbdtTrainer, TrainParams};
 
 fn main() {
+    // `HARP_EXAMPLE_QUICK=1` (CI smoke mode) shrinks the run.
+    let quick = std::env::var("HARP_EXAMPLE_QUICK").is_ok_and(|v| v != "0");
     // 1. Data: a HIGGS-shaped synthetic binary classification task.
-    let data = SynthConfig::new(DatasetKind::HiggsLike, 42).with_scale(0.5).generate();
+    let scale = if quick { 0.05 } else { 0.5 };
+    let data = SynthConfig::new(DatasetKind::HiggsLike, 42).with_scale(scale).generate();
     let (train, test) = data.split(0.2, 42);
     println!("train: {} | test: {}", train.stats(), test.stats());
 
     // 2. Train with the paper's recommended configuration (TopK leafwise,
     //    block-wise data parallelism).
     let params = TrainParams {
-        n_trees: 50,
+        n_trees: if quick { 10 } else { 50 },
         tree_size: 6, // up to 64 leaves
         k: 32,
         ..TrainParams::default()

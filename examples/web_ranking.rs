@@ -1,0 +1,67 @@
+//! LambdaMART ranking on query-grouped documents with graded relevances
+//! 0–3: the listwise objective trains directly on |ΔNDCG|-weighted
+//! pairwise lambdas, against a pointwise squared-error baseline that
+//! regresses the grades.
+//!
+//! The train/test split keeps whole queries intact (`split_queries`), and
+//! the score is NDCG@10 averaged over test queries.
+//!
+//! Run with: `cargo run --release -p harp-bench --example web_ranking`
+//! (`HARP_EXAMPLE_QUICK=1` shrinks it for smoke testing.)
+
+use harp_data::workloads;
+use harpgbdt::{GbdtTrainer, LossKind, TrainParams};
+
+fn main() {
+    let quick = std::env::var("HARP_EXAMPLE_QUICK").is_ok_and(|v| v != "0");
+    // Quick mode keeps enough rounds for the lambda gradients to converge;
+    // the query count shrinks instead.
+    let (queries, trees) = if quick { (120, 60) } else { (400, 120) };
+    let data = workloads::ranking_queries(queries, 25, 8, 41);
+    let (train, test) = data.split_queries(0.2, 41);
+    let test_groups = test.query_groups.clone().expect("ranking data carries groups");
+    println!(
+        "ranking data: {} ({} train / {} test queries, 25 docs each)",
+        train.stats(),
+        train.query_groups.as_ref().map_or(0, Vec::len),
+        test_groups.len()
+    );
+    println!("{:<16} {:>9}", "objective", "ndcg@10");
+
+    for (name, loss) in [
+        ("lambdarank:10", LossKind::LambdaRank { k: 10 }),
+        ("squared (ptwise)", LossKind::SquaredError),
+    ] {
+        // The pointwise baseline must not see the groups (squared error is
+        // row-wise); LambdaRank requires them.
+        let input = match loss {
+            LossKind::SquaredError => {
+                let mut d = train.clone();
+                d.query_groups = None;
+                d
+            }
+            _ => train.clone(),
+        };
+        // Pairwise λ-gradients are an order of magnitude smaller than the
+        // row-wise losses', so the paper-default split threshold γ=1 would
+        // freeze tree growth; drop it (and soften the L2) for both arms.
+        let params = TrainParams {
+            n_trees: trees,
+            tree_size: 5,
+            gamma: 0.0,
+            lambda: 0.1,
+            loss,
+            ..TrainParams::default()
+        };
+        let out = GbdtTrainer::new(params).expect("valid params").train(&input);
+        let scores = out.model.compile().predict_raw(&test.features);
+        let ndcg = harp_metrics::ndcg_at_k(&test.labels, &scores, &test_groups, 10);
+        println!("{name:<16} {ndcg:>9.4}");
+    }
+    println!(
+        "\nexpected: lambdarank wins because it is structurally blind to the\n\
+         query-difficulty confounder (feature 0) — a constant within-query\n\
+         score shift changes no pair — while the pointwise fit spends its\n\
+         splits regressing it even though it never reorders a single query"
+    );
+}
