@@ -308,10 +308,10 @@ mod tests {
         // The presets are corners of the one shared enumerator: building a
         // plan from each preset config yields exactly the task shapes the
         // paper ascribes to that system.
-        use harpgbdt::{BatchShape, BlockPlan};
+        use harpgbdt::{BatchShape, BlockPlan, ScanLayout};
         let shape = BatchShape {
             n_features: 8,
-            dense: true,
+            layout: ScanLayout::DenseU8,
             max_bins: 64,
             total_bins: 8 * 64,
             n_threads: 4,

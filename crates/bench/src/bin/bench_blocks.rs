@@ -15,7 +15,9 @@
 use harp_bench::{prepared, run_config, ExpArgs, Table};
 use harp_data::DatasetKind;
 use harpgbdt::plan::auto_config;
-use harpgbdt::{Accumulation, BatchShape, BlockConfig, GrowthMethod, ParallelMode, TrainParams};
+use harpgbdt::{
+    Accumulation, BatchShape, BlockConfig, GrowthMethod, ParallelMode, ScanLayout, TrainParams,
+};
 
 fn main() {
     let args = ExpArgs::parse();
@@ -68,7 +70,7 @@ fn main() {
     // its pick next to the sweep so the heatmap marks where AUTO lands.
     let shape = BatchShape {
         n_features: data.quantized.n_features(),
-        dense: data.quantized.is_dense(),
+        layout: ScanLayout::of(&data.quantized),
         max_bins: data.quantized.mapper().max_bins_used() as usize,
         total_bins: data.quantized.mapper().total_bins() as usize,
         n_threads: args.threads,

@@ -14,8 +14,8 @@
 use std::time::Instant;
 
 use harp_bench::{prepared, run_config, ExpArgs, Table};
-use harp_binning::{BinningConfig, QuantizedMatrix};
-use harp_data::{DatasetKind, SynthConfig};
+use harp_binning::{BinningConfig, LayoutOptions, QuantizedMatrix};
+use harp_data::{CsrMatrix, DatasetKind, FeatureMatrix, SynthConfig};
 use harpgbdt::kernels::{
     col_scan, col_scan_scalar, row_scan, row_scan_root, row_scan_scalar, GradSource,
 };
@@ -36,6 +36,33 @@ fn fixture(kind: DatasetKind, scale: f64, seed: u64) -> Fixture {
     let rows: Vec<u32> = (0..n as u32).collect();
     let width = hist::hist_width(qm.mapper().total_bins(), qm.n_features());
     Fixture { qm, grads, rows, width }
+}
+
+/// One full per-feature `col_scan` sweep (each feature over its own bin
+/// range), returning total cells touched.
+fn layout_col_sweep(
+    qm: &QuantizedMatrix,
+    rows: &[u32],
+    grads: &[[f32; 2]],
+    buf: &mut [f64],
+) -> u64 {
+    let mut cells = 0;
+    for f in 0..qm.n_features() {
+        let n_bins = qm.mapper().n_bins(f) as usize;
+        if n_bins == 0 {
+            continue;
+        }
+        let base = qm.mapper().bin_offset(f) as usize * 2;
+        cells += col_scan(
+            qm,
+            f,
+            rows,
+            GradSource::Global(grads),
+            0..n_bins,
+            &mut buf[base..base + n_bins * 2],
+        );
+    }
+    cells
 }
 
 /// Best-of-`reps` wall time of one invocation of `f`, in seconds.
@@ -168,6 +195,136 @@ fn main() {
         dense_row_speedup
     ));
     kernels.print();
+
+    // --- Compressed layouts: the u4 nibble pack and EFB bundling against
+    // their uncompressed equivalents, same SIMD tier and grad source on
+    // both sides — the delta is pure layout (bin-byte volume and lane-LUT
+    // routing), not kernel specialization.
+    let synset = SynthConfig::new(DatasetKind::Synset, args.seed)
+        .with_scale(args.data_scale(0.25, 2.0))
+        .generate();
+    let low_card = BinningConfig::with_max_bins(16);
+    let u8_qm = QuantizedMatrix::from_matrix_opts(
+        &synset.features,
+        low_card,
+        LayoutOptions::uncompressed(),
+    );
+    let u4_qm =
+        QuantizedMatrix::from_matrix_opts(&synset.features, low_card, LayoutOptions::default());
+    assert!(u4_qm.u4().is_some(), "SYNSET at max_bin=16 must engage the u4 pack");
+    let sn = u4_qm.n_rows();
+    let sm2 = u4_qm.n_features();
+    let sgrads: Vec<[f32; 2]> = (0..sn).map(|i| [((i % 17) as f32) - 8.0, 0.25]).collect();
+    let srows: Vec<u32> = (0..sn as u32).collect();
+    let swidth = hist::hist_width(u4_qm.mapper().total_bins(), sm2);
+
+    // Grouped one-hot CSR: the EFB shape. Dimensions follow YFCC's spirit
+    // (many low-support features) at a size the bench budget allows; the
+    // group count stays under the bundler's default probe budget so every
+    // feature can reach its group's bundle.
+    let (groups, per) = (24usize, 16usize);
+    let bm = groups * per;
+    let bn = (sn / 2).max(1024);
+    let mut s = args.seed | 1;
+    let bundle_rows: Vec<Vec<(u32, f32)>> = (0..bn)
+        .map(|_| {
+            (0..groups)
+                .filter_map(|g| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let r = s >> 33;
+                    (r % 4 != 0).then(|| {
+                        let f = (g * per) as u32 + ((r >> 4) % per as u64) as u32;
+                        (f, ((r >> 8) % 13) as f32 + 1.0)
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let bundle_matrix = FeatureMatrix::Sparse(CsrMatrix::from_rows(bm, &bundle_rows));
+    let sparse_qm =
+        QuantizedMatrix::from_matrix_opts(&bundle_matrix, low_card, LayoutOptions::uncompressed());
+    let bundled_qm =
+        QuantizedMatrix::from_matrix_opts(&bundle_matrix, low_card, LayoutOptions::default());
+    let bundled_on = bundled_qm.is_bundled();
+    let bgrads: Vec<[f32; 2]> = (0..bn).map(|i| [((i % 13) as f32) - 6.0, 0.5]).collect();
+    let brows: Vec<u32> = (0..bn as u32).collect();
+    let bwidth = hist::hist_width(sparse_qm.mapper().total_bins(), bm);
+
+    let mut lbuf = vec![0.0; swidth.max(bwidth)];
+    let mut layouts = Table::new(
+        format!(
+            "Compressed bin layouts, single thread ({sn} SYNSET rows @ max_bin=16, \
+             {bn} one-hot rows x {bm} features)"
+        ),
+        &["case", "uncompressed ms", "compressed ms", "speedup"],
+    );
+    let mut u4_row_speedup = 0.0;
+    let mut lcase = |name: &str,
+                     base: &mut dyn FnMut(&mut [f64]) -> u64,
+                     packed: &mut dyn FnMut(&mut [f64]) -> u64| {
+        base(&mut lbuf);
+        packed(&mut lbuf);
+        let b = best_secs(reps, || base(&mut lbuf));
+        let p = best_secs(reps, || packed(&mut lbuf));
+        if name == "u4 vs u8 dense row_scan" {
+            u4_row_speedup = b / p;
+        }
+        // Bundled rows are informational: their speedups swing far outside
+        // the bench-diff gate's tolerance run to run, so the `~` prefix
+        // keeps them out of the dimensionless-cell comparison.
+        let speedup = if name.starts_with("bundled") {
+            format!("~{:.2}x", b / p)
+        } else {
+            format!("{:.2}x", b / p)
+        };
+        layouts.row(vec![
+            name.to_string(),
+            format!("{:.3}", b * 1e3),
+            format!("{:.3}", p * 1e3),
+            speedup,
+        ]);
+    };
+    lcase(
+        "u4 vs u8 dense row_scan",
+        &mut |buf| row_scan(&u8_qm, &srows, GradSource::Global(&sgrads), 0..sm2, buf),
+        &mut |buf| row_scan(&u4_qm, &srows, GradSource::Global(&sgrads), 0..sm2, buf),
+    );
+    lcase(
+        "u4 vs u8 col_scan (all features)",
+        &mut |buf| layout_col_sweep(&u8_qm, &srows, &sgrads, buf),
+        &mut |buf| layout_col_sweep(&u4_qm, &srows, &sgrads, buf),
+    );
+    if bundled_on {
+        lcase(
+            "bundled vs sparse row_scan (one-hot)",
+            &mut |buf| row_scan(&sparse_qm, &brows, GradSource::Global(&bgrads), 0..bm, buf),
+            &mut |buf| row_scan(&bundled_qm, &brows, GradSource::Global(&bgrads), 0..bm, buf),
+        );
+        lcase(
+            "bundled vs sparse col_scan (all features)",
+            &mut |buf| layout_col_sweep(&sparse_qm, &brows, &bgrads, buf),
+            &mut |buf| layout_col_sweep(&bundled_qm, &brows, &bgrads, buf),
+        );
+        let stats = bundled_qm.layout_stats();
+        layouts.note(format!(
+            "bundling fused {bm} one-hot features into {} columns ({} conflicts)",
+            stats.cols_bundled, stats.bundle_conflicts
+        ));
+        layouts.note(
+            "bundled col_scan is expected to lose badly: each original feature pays a full \
+             column walk over the fused bundle instead of its CSC nnz list, so MP scans on \
+             bundled storage cost m× — the plan cost model prices this (Exclusive reads \
+             scale with m under ScanLayout::Bundled) and steers MP away from it",
+        );
+    } else {
+        layouts.note("bundling did not engage on this scale (gates missed) — rows omitted");
+    }
+    layouts.note(format!(
+        "acceptance: u4 dense row_scan speedup {u4_row_speedup:.2}x over u8 (target > 1.00x); \
+         SIMD tier {}",
+        harpgbdt::kernels::simd_tier().name()
+    ));
+    layouts.print();
 
     // --- End-to-end training throughput with the kernel toggle flipped.
     let data = prepared(DatasetKind::HiggsLike, args.data_scale(0.5, 4.0), args.seed);
@@ -313,11 +470,17 @@ fn main() {
     );
     ledger_tbl.print();
 
-    Table::write_json(&[&kernels, &training, &overhead, &ledger_tbl], out).expect("write json");
+    Table::write_json(&[&kernels, &layouts, &training, &overhead, &ledger_tbl], out)
+        .expect("write json");
     println!("\nwrote {}", out.display());
     if dense_row_speedup < 1.5 {
         eprintln!(
             "WARNING: dense row_scan speedup {dense_row_speedup:.2}x is below the 1.5x target"
+        );
+    }
+    if u4_row_speedup <= 1.0 {
+        eprintln!(
+            "WARNING: u4 dense row_scan speedup {u4_row_speedup:.2}x does not beat the u8 layout"
         );
     }
     if trace_overhead_pct > 10.0 {

@@ -1,0 +1,354 @@
+//! Exclusive feature bundling (EFB) — fusing mutually-exclusive sparse
+//! features into dense synthetic storage columns.
+//!
+//! High-cardinality sparse matrices (one-hot encodings, hashed categoricals)
+//! rarely have two of their indicator features present in the same row. A
+//! greedy first-fit pass groups such mutually-exclusive features into
+//! *bundles*; each bundle becomes one dense `u8` storage column whose bin
+//! space is the concatenation of its members' bin ranges. Bundled workloads
+//! then take the dense scan kernels — sequential byte reads instead of the
+//! merge/gallop sparse path — while the histogram, split search, and model
+//! stay entirely in original-feature coordinates:
+//!
+//! * The [`BinMapper`](crate::BinMapper) keeps original cuts and bin
+//!   offsets; the bundle map is storage metadata only.
+//! * Scan kernels translate a stored bin to its original histogram lane
+//!   through a per-column lookup table ([`BundleMap::cell_lut`]), so
+//!   BuildHist output is bitwise identical to the unbundled sparse scan
+//!   (same rows, same per-cell accumulation order).
+//! * `FindSplit` therefore needs no translation at all — it already sees
+//!   per-original-feature histogram ranges and reports original feature ids.
+//!
+//! The conflict budget (fraction of rows where a second member of the same
+//! bundle is present) defaults to 0: bundles are exactly disjoint and no
+//! information is dropped. With a positive budget, the first present member
+//! of a row wins and later conflicting entries are dropped (counted in
+//! [`BundleMap::conflicts`]).
+
+use serde::{Deserialize, Serialize};
+
+/// `cell_lut` sentinel for stored bins that map to no histogram lane
+/// (missing bytes and out-of-range values). Larger than any real lane.
+pub const NO_LANE: u32 = u32::MAX;
+
+/// Tuning knobs for the bundling pass.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BundleConfig {
+    /// Maximum fraction of rows, per bundle, allowed to hold more than one
+    /// present member (those extra entries are dropped at quantization).
+    /// `0.0` (the default) requires exact mutual exclusivity.
+    pub max_conflict_rate: f64,
+    /// Each feature probes at most this many existing bundles before
+    /// opening a new one (bounds the planning pass at `O(nnz · probes)`).
+    pub max_probes: usize,
+}
+
+impl Default for BundleConfig {
+    fn default() -> Self {
+        Self { max_conflict_rate: 0.0, max_probes: 32 }
+    }
+}
+
+/// One original feature inside a bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BundleMember {
+    /// Original feature id.
+    pub feature: u32,
+    /// Bin offset of this member inside the storage column.
+    pub offset: u16,
+    /// The member's bin count.
+    pub width: u16,
+}
+
+/// Where an original feature lives in bundled storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BundleSlot {
+    /// Storage column index.
+    pub col: u32,
+    /// Bin offset inside that column.
+    pub offset: u16,
+    /// The feature's bin count (0 for never-present features, which store
+    /// nothing).
+    pub width: u16,
+}
+
+/// The complete storage map produced by the bundling pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BundleMap {
+    /// Members of each storage column, in bin-offset order.
+    members: Vec<Vec<BundleMember>>,
+    /// Per original feature: its storage slot. Length = original feature
+    /// count.
+    locate: Vec<BundleSlot>,
+    /// Used bins of each storage column (sum of member widths, ≤ 254).
+    col_widths: Vec<u16>,
+    /// Rows whose second-or-later present member was dropped (0 under the
+    /// default zero-conflict budget).
+    conflicts: u64,
+    /// Flattened per-column stored-bin → histogram-lane tables:
+    /// `cell_lut[col * 256 + stored_bin]` is the original flattened
+    /// histogram lane (NOT doubled), or [`NO_LANE`] for missing/invalid
+    /// bins. Scan kernels index this directly.
+    cell_lut: Vec<u32>,
+}
+
+impl BundleMap {
+    /// Number of storage columns.
+    pub fn n_cols(&self) -> usize {
+        self.col_widths.len()
+    }
+
+    /// Number of original features covered by the map.
+    pub fn n_original_features(&self) -> usize {
+        self.locate.len()
+    }
+
+    /// Members of storage column `c`, in bin-offset order.
+    pub fn members(&self, c: usize) -> &[BundleMember] {
+        &self.members[c]
+    }
+
+    /// Storage slot of original feature `f`.
+    pub fn slot(&self, f: usize) -> BundleSlot {
+        self.locate[f]
+    }
+
+    /// Used bins of storage column `c`.
+    pub fn col_width(&self, c: usize) -> u16 {
+        self.col_widths[c]
+    }
+
+    /// Conflicting entries dropped during planning/quantization.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// The stored-bin → histogram-lane table of column `c` (256 entries;
+    /// [`NO_LANE`] marks missing/invalid stored bins).
+    pub fn cell_lut(&self, c: usize) -> &[u32] {
+        &self.cell_lut[c * 256..(c + 1) * 256]
+    }
+
+    /// The full stored-bin → lane table, all columns flattened: entry
+    /// `(c << 8) | stored_bin`. Kernel hot loops index this directly.
+    pub fn cell_lut_flat(&self) -> &[u32] {
+        &self.cell_lut
+    }
+
+    /// Translates a stored `(col, stored_bin)` back to
+    /// `(original feature, bin)`, or `None` for missing/invalid bins.
+    pub fn translate(&self, col: usize, stored_bin: u8) -> Option<(u32, u8)> {
+        let m = &self.members[col];
+        let i = m.partition_point(|mem| mem.offset <= u16::from(stored_bin));
+        let mem = m.get(i.checked_sub(1)?)?;
+        let local = u16::from(stored_bin) - mem.offset;
+        (local < mem.width).then_some((mem.feature, local as u8))
+    }
+}
+
+/// Greedy first-fit bundle planning over quantized CSC columns.
+///
+/// `col_rows(f)` yields the ascending row ids where feature `f` is present;
+/// `widths[f]` its used-bin count; `bin_offsets` the mapper's original
+/// flattened-histogram offsets (length `m + 1`). Returns `None` when the
+/// result is not profitable: fewer than 4× column compression, or dense
+/// bundled storage (`2 · n_rows · n_cols` bytes for both majors) exceeding
+/// ~2× the sparse footprint.
+pub fn plan_bundles<'a>(
+    n_rows: usize,
+    widths: &[u16],
+    bin_offsets: &[u32],
+    col_rows: impl Fn(usize) -> &'a [u32],
+    cfg: BundleConfig,
+) -> Option<BundleMap> {
+    let m = widths.len();
+    if m < 8 || n_rows == 0 {
+        return None;
+    }
+    let budget = (cfg.max_conflict_rate * n_rows as f64) as u64;
+
+    // Features by descending support, ties by id — deterministic order.
+    let mut order: Vec<usize> = (0..m).filter(|&f| widths[f] > 0).collect();
+    order.sort_by_key(|&f| (usize::MAX - col_rows(f).len(), f));
+
+    struct Bundle {
+        occupancy: Vec<u64>,
+        members: Vec<usize>,
+        width: u32,
+        conflicts: u64,
+    }
+    let words = n_rows.div_ceil(64);
+    let mut bundles: Vec<Bundle> = Vec::new();
+    let mut total_conflicts = 0u64;
+    for &f in &order {
+        let rows = col_rows(f);
+        let w = u32::from(widths[f]);
+        let mut placed = false;
+        for b in bundles.iter_mut().take(cfg.max_probes) {
+            if b.width + w > 254 {
+                continue;
+            }
+            let headroom = budget - b.conflicts.min(budget);
+            let mut clashes = 0u64;
+            let fits = rows.iter().all(|&r| {
+                if (b.occupancy[r as usize / 64] >> (r % 64)) & 1 == 1 {
+                    clashes += 1;
+                }
+                clashes <= headroom
+            });
+            if fits {
+                for &r in rows {
+                    b.occupancy[r as usize / 64] |= 1 << (r % 64);
+                }
+                b.members.push(f);
+                b.width += w;
+                b.conflicts += clashes;
+                total_conflicts += clashes;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let mut occupancy = vec![0u64; words];
+            for &r in rows {
+                occupancy[r as usize / 64] |= 1 << (r % 64);
+            }
+            bundles.push(Bundle { occupancy, members: vec![f], width: w, conflicts: 0 });
+        }
+    }
+    if bundles.is_empty() {
+        return None;
+    }
+
+    // Profitability: real compression AND a bounded dense-storage bill.
+    let n_cols = bundles.len();
+    let nnz: usize = (0..m).map(|f| col_rows(f).len()).sum();
+    let sparse_bytes = nnz * 10; // ~ (4B row id + 1B bin) × CSR+CSC
+    if n_cols * 4 > m || 2 * n_rows * n_cols > 2 * sparse_bytes {
+        return None;
+    }
+
+    // Assemble the map. Width-0 features ride along in column 0 with an
+    // empty slot so `locate` covers every original feature.
+    let mut members = Vec::with_capacity(n_cols);
+    let mut col_widths = Vec::with_capacity(n_cols);
+    let mut locate = vec![BundleSlot { col: 0, offset: 0, width: 0 }; m];
+    let mut cell_lut = vec![NO_LANE; n_cols * 256];
+    for (c, b) in bundles.iter().enumerate() {
+        let mut offset = 0u16;
+        let mut ms = Vec::with_capacity(b.members.len());
+        for &f in &b.members {
+            let w = widths[f];
+            ms.push(BundleMember { feature: f as u32, offset, width: w });
+            locate[f] = BundleSlot { col: c as u32, offset, width: w };
+            for local in 0..w {
+                cell_lut[c * 256 + usize::from(offset + local)] = bin_offsets[f] + u32::from(local);
+            }
+            offset += w;
+        }
+        members.push(ms);
+        col_widths.push(offset);
+    }
+    Some(BundleMap { members, locate, col_widths, conflicts: total_conflicts, cell_lut })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 one-hot groups of 4 features over 12 rows: row r has feature
+    /// `g*4 + (r % 4)` present for each group g.
+    fn one_hot_cols() -> Vec<Vec<u32>> {
+        let (n, groups, k) = (12usize, 3usize, 4usize);
+        let mut cols = vec![Vec::new(); groups * k];
+        for r in 0..n {
+            for g in 0..groups {
+                cols[g * k + r % k].push(r as u32);
+            }
+        }
+        cols
+    }
+
+    fn offsets(widths: &[u16]) -> Vec<u32> {
+        let mut o = vec![0u32];
+        for &w in widths {
+            o.push(o.last().unwrap() + u32::from(w));
+        }
+        o
+    }
+
+    #[test]
+    fn one_hot_groups_bundle_to_few_columns() {
+        let cols = one_hot_cols();
+        let widths = vec![1u16; cols.len()];
+        let off = offsets(&widths);
+        let map = plan_bundles(12, &widths, &off, |f| &cols[f], BundleConfig::default())
+            .expect("one-hot groups are profitable");
+        assert_eq!(map.n_cols(), 3, "4 disjoint features per bundle");
+        assert_eq!(map.n_original_features(), 12);
+        // Every feature has a slot consistent with its column's members.
+        for f in 0..12 {
+            let s = map.slot(f);
+            let mem = map
+                .members(s.col as usize)
+                .iter()
+                .find(|m| m.feature == f as u32)
+                .expect("feature listed in its column");
+            assert_eq!((mem.offset, mem.width), (s.offset, s.width));
+        }
+    }
+
+    #[test]
+    fn translate_round_trips_every_member_bin() {
+        let cols = one_hot_cols();
+        let widths = vec![1u16; cols.len()];
+        let off = offsets(&widths);
+        let map = plan_bundles(12, &widths, &off, |f| &cols[f], BundleConfig::default()).unwrap();
+        for f in 0..12u32 {
+            let s = map.slot(f as usize);
+            for local in 0..s.width {
+                let stored = (s.offset + local) as u8;
+                assert_eq!(map.translate(s.col as usize, stored), Some((f, local as u8)));
+                let lane = map.cell_lut(s.col as usize)[stored as usize];
+                assert_eq!(lane, off[f as usize] + u32::from(local));
+            }
+        }
+        // Out-of-range stored bins have no lane.
+        for c in 0..map.n_cols() {
+            let w = map.col_width(c) as usize;
+            assert!(map.cell_lut(c)[w..].iter().all(|&l| l == NO_LANE));
+            assert_eq!(map.translate(c, 255), None);
+        }
+    }
+
+    #[test]
+    fn zero_budget_refuses_conflicting_features() {
+        // 16 features, all present in row 0 -> nothing can bundle.
+        let cols: Vec<Vec<u32>> = (0..16).map(|_| vec![0u32]).collect();
+        let widths = vec![1u16; 16];
+        let off = offsets(&widths);
+        assert!(
+            plan_bundles(4, &widths, &off, |f| &cols[f], BundleConfig::default()).is_none(),
+            "16 singleton bundles compress nothing"
+        );
+    }
+
+    #[test]
+    fn positive_budget_tolerates_bounded_conflicts() {
+        // Two near-exclusive features over 100 rows: overlap on row 0 only.
+        let mut cols: Vec<Vec<u32>> =
+            vec![(0..50).collect(), std::iter::once(0).chain(50..100).collect()];
+        // Pad with 14 disjoint singleton-row features so m >= 8 and the
+        // compression gate passes.
+        for _ in 0..14 {
+            cols.push(vec![]);
+        }
+        let widths = vec![1u16; cols.len()];
+        let off = offsets(&widths);
+        let cfg = BundleConfig { max_conflict_rate: 0.05, max_probes: 32 };
+        let map = plan_bundles(100, &widths, &off, |f| &cols[f], cfg)
+            .expect("5% budget allows the single overlap");
+        assert_eq!(map.conflicts(), 1);
+        assert_eq!(map.slot(0).col, map.slot(1).col, "overlapping pair shares a bundle");
+    }
+}

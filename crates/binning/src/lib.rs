@@ -17,11 +17,21 @@
 //! `max_bins` is capped at 255 rather than the paper's 256; missing-value
 //! statistics are recovered as `node_total − Σ bins` (the LightGBM trick) and
 //! the split finder decides a per-split default direction for them.
+//!
+//! Two compressed layouts sit on top of the base storage (DESIGN.md §13):
+//! nibble-packed dense bins ([`U4Pack`], auto-selected when every feature
+//! fits 16 bins) and exclusive feature bundling ([`bundling`], fusing
+//! mutually-exclusive sparse features into dense synthetic columns). Both
+//! are exact re-encodings; [`LayoutOptions`] selects them explicitly.
 
+pub mod bundling;
 mod mapper;
 mod quantized;
 mod sketch;
 
+pub use bundling::{BundleConfig, BundleMap, BundleMember, BundleSlot};
 pub use mapper::{BinMapper, BinningConfig, FeatureCuts};
-pub use quantized::{QuantizedMatrix, MISSING_BIN};
+pub use quantized::{
+    LayoutOptions, LayoutStats, QuantizedMatrix, U4Pack, MISSING_BIN, MISSING_NIBBLE,
+};
 pub use sketch::GkSketch;

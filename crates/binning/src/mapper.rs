@@ -1,5 +1,6 @@
 //! Cut-point search and value→bin mapping.
 
+use crate::bundling::BundleMap;
 use crate::sketch::GkSketch;
 use harp_data::FeatureMatrix;
 use serde::{Deserialize, Serialize};
@@ -69,6 +70,11 @@ pub struct BinMapper {
     /// `bin_offsets[f]` = sum of bins of features `0..f`; length
     /// `n_features + 1`.
     bin_offsets: Vec<u32>,
+    /// Exclusive-feature-bundling storage map, when the quantizer decided to
+    /// fuse mutually-exclusive sparse features into dense synthetic columns.
+    /// Features, cuts, and offsets above always stay in ORIGINAL feature
+    /// coordinates — the bundle map only describes how bins are stored.
+    bundles: Option<BundleMap>,
 }
 
 impl BinMapper {
@@ -98,7 +104,7 @@ impl BinMapper {
             acc += u32::from(f.n_bins());
             bin_offsets.push(acc);
         }
-        Self { features, bin_offsets }
+        Self { features, bin_offsets, bundles: None }
     }
 
     /// Number of features.
@@ -114,6 +120,24 @@ impl BinMapper {
     /// Largest per-feature bin count.
     pub fn max_bins_used(&self) -> u16 {
         self.features.iter().map(FeatureCuts::n_bins).max().unwrap_or(0)
+    }
+
+    /// Per-feature used-bin widths (actual cut counts, not the configured
+    /// cap) — drives compressed-layout selection (u4 vs u8) and sink
+    /// padding.
+    pub fn bin_widths(&self) -> impl ExactSizeIterator<Item = u16> + '_ {
+        self.features.iter().map(FeatureCuts::n_bins)
+    }
+
+    /// The exclusive-feature-bundling storage map, if bundling engaged.
+    pub fn bundles(&self) -> Option<&BundleMap> {
+        self.bundles.as_ref()
+    }
+
+    /// Attaches a bundle map (set by the quantizer once it decides bundled
+    /// storage pays off for this dataset).
+    pub(crate) fn set_bundles(&mut self, map: BundleMap) {
+        self.bundles = Some(map);
     }
 
     /// Sum of bins over all features (flattened histogram width).

@@ -11,12 +11,27 @@
 //!
 //! Both layouts are materialized at construction; the 2× memory cost of the
 //! 1-byte bins is still 2× smaller than the original 4-byte floats.
+//!
+//! Two compressed layouts ride on top (see DESIGN.md §13):
+//!
+//! * **u4 packing** ([`U4Pack`]): when every feature uses ≤ 16 bins, a
+//!   nibble-packed copy of both majors halves the bin bytes the scan
+//!   kernels stream. The `u8` majors are kept — partitioning, prediction,
+//!   and the scalar reference kernels keep their byte views.
+//! * **Exclusive feature bundling** ([`crate::bundling`]): mutually
+//!   exclusive sparse features fuse into dense synthetic columns so sparse
+//!   workloads leave the merge/gallop path entirely.
 
+use crate::bundling::{plan_bundles, BundleConfig, BundleMap};
 use crate::mapper::{BinMapper, BinningConfig};
 use harp_data::FeatureMatrix;
 
 /// Dense-storage sentinel for a missing value. Real bins are `0..=254`.
 pub const MISSING_BIN: u8 = u8::MAX;
+
+/// Packed-nibble sentinel for a missing value (only features with ≤ 15 used
+/// bins can hold missing values in a u4 pack).
+pub const MISSING_NIBBLE: u8 = 0xF;
 
 #[derive(Debug, Clone)]
 struct QCsr {
@@ -32,10 +47,192 @@ struct QCsc {
     bins: Vec<u8>,
 }
 
+/// Nibble-packed (u4) copy of dense storage: two bins per byte in both
+/// majors, selected automatically when every feature fits 16 bins. Kernels
+/// read half the bin bytes; missing packs as [`MISSING_NIBBLE`] and resolves
+/// through the per-feature lane table, so accumulation stays branch-free.
+#[derive(Debug, Clone)]
+pub struct U4Pack {
+    n_rows: usize,
+    n_cols: usize,
+    /// `n_rows × ceil(m/2)` bytes; the low nibble holds the even feature.
+    row_major: Vec<u8>,
+    /// `m × ceil(n_rows/2)` bytes; the low nibble holds the even row.
+    col_major: Vec<u8>,
+    /// `m × 16` flattened-histogram lanes: `lanes[f*16 + nibble]` is
+    /// `bin_offset(f) + nibble` for a used bin and the per-feature sink lane
+    /// `total_bins + f` otherwise (missing or unused nibble).
+    lanes: Vec<u32>,
+    /// Per-feature "no missing value in this column" flags. A clean
+    /// feature's stored nibbles are all real bins (a 16-bin feature only
+    /// packs when clean), so kernels can resolve its lanes as plain
+    /// `bin_offset(f) + nibble` with no missing-sentinel select at all.
+    clean: Vec<bool>,
+}
+
+impl U4Pack {
+    /// Packs dense `u8` majors. Returns `None` unless every feature has
+    /// ≤ 15 used bins, or exactly 16 with no missing value in its column
+    /// (nibble `0xF` must stay free as the missing sentinel otherwise).
+    fn build(
+        n_rows: usize,
+        m: usize,
+        row_major: &[u8],
+        col_major: &[u8],
+        mapper: &BinMapper,
+    ) -> Option<Self> {
+        if n_rows == 0 || m == 0 {
+            return None;
+        }
+        let widths: Vec<u16> = mapper.bin_widths().collect();
+        for (f, &w) in widths.iter().enumerate() {
+            if w > 16 {
+                return None;
+            }
+            if w == 16 && col_major[f * n_rows..(f + 1) * n_rows].contains(&MISSING_BIN) {
+                return None;
+            }
+        }
+        let row_stride = m.div_ceil(2);
+        let mut rm = vec![0u8; n_rows * row_stride];
+        for r in 0..n_rows {
+            for (f, &b) in row_major[r * m..(r + 1) * m].iter().enumerate() {
+                let nib = if b == MISSING_BIN { MISSING_NIBBLE } else { b };
+                debug_assert!(nib < 16);
+                rm[r * row_stride + f / 2] |= nib << (4 * (f & 1));
+            }
+        }
+        let col_stride = n_rows.div_ceil(2);
+        let mut cm = vec![0u8; m * col_stride];
+        for f in 0..m {
+            for (r, &b) in col_major[f * n_rows..(f + 1) * n_rows].iter().enumerate() {
+                let nib = if b == MISSING_BIN { MISSING_NIBBLE } else { b };
+                cm[f * col_stride + r / 2] |= nib << (4 * (r & 1));
+            }
+        }
+        let total = mapper.total_bins();
+        let mut lanes = vec![0u32; m * 16];
+        for (f, &w) in widths.iter().enumerate() {
+            for nib in 0..16u16 {
+                lanes[f * 16 + nib as usize] =
+                    if nib < w { mapper.bin_offset(f) + u32::from(nib) } else { total + f as u32 };
+            }
+        }
+        let clean = (0..m)
+            .map(|f| !col_major[f * n_rows..(f + 1) * n_rows].contains(&MISSING_BIN))
+            .collect();
+        Some(Self { n_rows, n_cols: m, row_major: rm, col_major: cm, lanes, clean })
+    }
+
+    /// Bytes per packed row.
+    pub fn row_stride(&self) -> usize {
+        self.n_cols.div_ceil(2)
+    }
+
+    /// Bytes per packed column.
+    pub fn col_stride(&self) -> usize {
+        self.n_rows.div_ceil(2)
+    }
+
+    /// Packed bytes of row `r`.
+    #[inline]
+    pub fn packed_row(&self, r: usize) -> &[u8] {
+        let s = self.row_stride();
+        &self.row_major[r * s..(r + 1) * s]
+    }
+
+    /// Packed bytes of feature column `f`.
+    #[inline]
+    pub fn packed_col(&self, f: usize) -> &[u8] {
+        let s = self.col_stride();
+        &self.col_major[f * s..(f + 1) * s]
+    }
+
+    /// The whole packed row-major buffer.
+    pub fn packed_rows(&self) -> &[u8] {
+        &self.row_major
+    }
+
+    /// The nibble stored at `(row, f)` ([`MISSING_NIBBLE`] marks gaps in
+    /// features with ≤ 15 bins).
+    #[inline]
+    pub fn nibble(&self, r: usize, f: usize) -> u8 {
+        (self.row_major[r * self.row_stride() + f / 2] >> (4 * (f & 1))) & 0xF
+    }
+
+    /// The `m × 16` nibble → histogram-lane table (sinks included).
+    pub fn lanes(&self) -> &[u32] {
+        &self.lanes
+    }
+
+    /// Per-feature missing-free flags: `clean()[f]` means column `f` stores
+    /// no [`MISSING_BIN`], so every stored nibble is a real bin and
+    /// `bin_offset(f) + nibble` is its histogram lane unconditionally.
+    pub fn clean(&self) -> &[bool] {
+        &self.clean
+    }
+
+    /// Heap bytes of the packed copies (both majors + lane table).
+    pub fn bytes(&self) -> usize {
+        self.row_major.len() + self.col_major.len() + self.lanes.len() * 4 + self.clean.len()
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Storage {
-    Dense { row_major: Vec<u8>, col_major: Vec<u8> },
-    Sparse { csr: QCsr, csc: QCsc },
+    Dense {
+        row_major: Vec<u8>,
+        col_major: Vec<u8>,
+        u4: Option<U4Pack>,
+    },
+    /// EFB output: dense majors over `n_cols` synthetic columns in
+    /// bundle-local bin coordinates (see [`crate::bundling::BundleMap`]).
+    Bundled {
+        row_major: Vec<u8>,
+        col_major: Vec<u8>,
+        n_cols: usize,
+    },
+    Sparse {
+        csr: QCsr,
+        csc: QCsc,
+    },
+}
+
+/// Compressed-layout selection knobs (all on by default; every layout is an
+/// exact, loss-free re-encoding under the default zero-conflict budget).
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutOptions {
+    /// Attach a nibble-packed copy to dense storage when eligible.
+    pub enable_u4: bool,
+    /// Try exclusive feature bundling on sparse storage.
+    pub enable_bundling: bool,
+    /// Bundling pass knobs (conflict budget, probe cap).
+    pub bundle: BundleConfig,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        Self { enable_u4: true, enable_bundling: true, bundle: BundleConfig::default() }
+    }
+}
+
+impl LayoutOptions {
+    /// Plain u8 layouts only — the pre-compression behavior.
+    pub fn uncompressed() -> Self {
+        Self { enable_u4: false, enable_bundling: false, bundle: BundleConfig::default() }
+    }
+}
+
+/// Layout decisions made for one matrix, for ledger/profile surfacing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayoutStats {
+    /// Feature columns carried in the u4 side-pack (0 or `n_features`).
+    pub cols_u4: u64,
+    /// Synthetic storage columns when bundling engaged (0 otherwise).
+    pub cols_bundled: u64,
+    /// Conflicting entries dropped by bundling (0 under the default
+    /// zero-conflict budget).
+    pub bundle_conflicts: u64,
 }
 
 /// A binned dataset: [`BinMapper`] plus `u8` bin storage in both row- and
@@ -48,15 +245,41 @@ pub struct QuantizedMatrix {
 }
 
 impl QuantizedMatrix {
-    /// Builds cuts from `matrix` and quantizes it.
+    /// Builds cuts from `matrix` and quantizes it, with default layout
+    /// selection (u4 packing and bundling auto-engage when profitable).
     pub fn from_matrix(matrix: &FeatureMatrix, config: BinningConfig) -> Self {
+        Self::from_matrix_opts(matrix, config, LayoutOptions::default())
+    }
+
+    /// [`from_matrix`](Self::from_matrix) with explicit layout selection.
+    pub fn from_matrix_opts(
+        matrix: &FeatureMatrix,
+        config: BinningConfig,
+        layout: LayoutOptions,
+    ) -> Self {
         let mapper = BinMapper::from_matrix(matrix, config);
-        Self::with_mapper(matrix, mapper)
+        let mut qm = Self::with_mapper_opts(matrix, mapper, layout);
+        if layout.enable_bundling {
+            qm.try_bundle(layout.bundle);
+        }
+        qm
     }
 
     /// Quantizes `matrix` with existing cuts (e.g. apply training cuts to a
-    /// validation set).
+    /// validation set). A mapper carrying a bundle map reproduces bundled
+    /// storage for sparse input deterministically (no re-planning).
     pub fn with_mapper(matrix: &FeatureMatrix, mapper: BinMapper) -> Self {
+        Self::with_mapper_opts(matrix, mapper, LayoutOptions::default())
+    }
+
+    /// [`with_mapper`](Self::with_mapper) with explicit layout selection
+    /// (bundle planning never runs here; only a map already attached to the
+    /// mapper is applied).
+    pub fn with_mapper_opts(
+        matrix: &FeatureMatrix,
+        mapper: BinMapper,
+        layout: LayoutOptions,
+    ) -> Self {
         assert_eq!(matrix.n_cols(), mapper.n_features(), "mapper/matrix feature mismatch");
         let n_rows = matrix.n_rows();
         let m = matrix.n_cols();
@@ -74,49 +297,41 @@ impl QuantizedMatrix {
                         col_major[c * n_rows + r] = row_major[r * m + c];
                     }
                 }
-                Storage::Dense { row_major, col_major }
+                let u4 = (layout.enable_u4 && mapper.max_bins_used() <= 16)
+                    .then(|| U4Pack::build(n_rows, m, &row_major, &col_major, &mapper))
+                    .flatten();
+                Storage::Dense { row_major, col_major, u4 }
             }
             FeatureMatrix::Sparse(_) => {
-                let mut indptr = Vec::with_capacity(n_rows + 1);
-                indptr.push(0usize);
-                let mut cols = Vec::new();
-                let mut bins = Vec::new();
-                // Count per-column entries for the CSC pass.
-                let mut col_counts = vec![0usize; m];
-                for r in 0..n_rows {
-                    matrix.for_each_in_row(r, |c, v| {
-                        cols.push(c);
-                        bins.push(mapper.cuts(c as usize).value_to_bin(v));
-                        col_counts[c as usize] += 1;
-                    });
-                    indptr.push(cols.len());
-                }
-                // Build CSC by bucket placement (rows come out sorted because
-                // the CSR pass visits rows in order).
-                let mut csc_indptr = Vec::with_capacity(m + 1);
-                csc_indptr.push(0usize);
-                for c in 0..m {
-                    csc_indptr.push(csc_indptr[c] + col_counts[c]);
-                }
-                let nnz = cols.len();
-                let mut rows = vec![0u32; nnz];
-                let mut csc_bins = vec![0u8; nnz];
-                let mut cursor = csc_indptr[..m].to_vec();
-                for r in 0..n_rows {
-                    for i in indptr[r]..indptr[r + 1] {
-                        let c = cols[i] as usize;
-                        rows[cursor[c]] = r as u32;
-                        csc_bins[cursor[c]] = bins[i];
-                        cursor[c] += 1;
+                let (csr, csc) = build_sparse(matrix, &mapper);
+                match mapper.bundles() {
+                    Some(map) => {
+                        let (row_major, col_major, n_cols) = build_bundled(n_rows, &csr, map);
+                        Storage::Bundled { row_major, col_major, n_cols }
                     }
-                }
-                Storage::Sparse {
-                    csr: QCsr { indptr, cols, bins },
-                    csc: QCsc { indptr: csc_indptr, rows, bins: csc_bins },
+                    None => Storage::Sparse { csr, csc },
                 }
             }
         };
         Self { n_rows, mapper, storage }
+    }
+
+    /// Runs the EFB planning pass on sparse storage and switches to bundled
+    /// dense columns when profitable (no-op otherwise).
+    fn try_bundle(&mut self, cfg: BundleConfig) {
+        let Storage::Sparse { csr, csc } = &self.storage else { return };
+        let widths: Vec<u16> = self.mapper.bin_widths().collect();
+        let map = plan_bundles(
+            self.n_rows,
+            &widths,
+            self.mapper.bin_offsets(),
+            |f| &csc.rows[csc.indptr[f]..csc.indptr[f + 1]],
+            cfg,
+        );
+        let Some(map) = map else { return };
+        let (row_major, col_major, n_cols) = build_bundled(self.n_rows, csr, &map);
+        self.mapper.set_bundles(map);
+        self.storage = Storage::Bundled { row_major, col_major, n_cols };
     }
 
     /// Number of rows.
@@ -124,9 +339,18 @@ impl QuantizedMatrix {
         self.n_rows
     }
 
-    /// Number of features.
+    /// Number of (original) features.
     pub fn n_features(&self) -> usize {
         self.mapper.n_features()
+    }
+
+    /// Number of physical storage columns: `n_features`, or the bundle
+    /// count when bundling engaged.
+    pub fn n_storage_cols(&self) -> usize {
+        match &self.storage {
+            Storage::Bundled { n_cols, .. } => *n_cols,
+            _ => self.n_features(),
+        }
     }
 
     /// The cut points used for quantization.
@@ -134,18 +358,62 @@ impl QuantizedMatrix {
         &self.mapper
     }
 
-    /// Whether storage is dense.
+    /// Whether storage is plain dense (one byte column per feature).
+    /// Bundled storage answers `false`: its columns are synthetic, so
+    /// per-feature slicing of scans does not apply.
     pub fn is_dense(&self) -> bool {
         matches!(self.storage, Storage::Dense { .. })
     }
 
+    /// Whether exclusive feature bundling engaged.
+    pub fn is_bundled(&self) -> bool {
+        matches!(self.storage, Storage::Bundled { .. })
+    }
+
+    /// The nibble-packed copy of dense storage, when selected.
+    pub fn u4(&self) -> Option<&U4Pack> {
+        match &self.storage {
+            Storage::Dense { u4, .. } => u4.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Layout decisions for ledger/profile counters.
+    pub fn layout_stats(&self) -> LayoutStats {
+        match &self.storage {
+            Storage::Dense { u4, .. } => LayoutStats {
+                cols_u4: if u4.is_some() { self.n_features() as u64 } else { 0 },
+                ..LayoutStats::default()
+            },
+            Storage::Bundled { n_cols, .. } => LayoutStats {
+                cols_bundled: *n_cols as u64,
+                bundle_conflicts: self.mapper.bundles().map_or(0, BundleMap::conflicts),
+                ..LayoutStats::default()
+            },
+            Storage::Sparse { .. } => LayoutStats::default(),
+        }
+    }
+
     /// The bin of `(row, f)`, or `None` if missing. Slow; for tests and
-    /// single lookups.
+    /// single lookups. `f` is always an ORIGINAL feature id — bundled
+    /// storage translates internally.
     pub fn bin(&self, row: usize, f: usize) -> Option<u8> {
         match &self.storage {
             Storage::Dense { row_major, .. } => {
                 let b = row_major[row * self.n_features() + f];
                 (b != MISSING_BIN).then_some(b)
+            }
+            Storage::Bundled { row_major, n_cols, .. } => {
+                let slot = self.mapper.bundles().expect("bundled storage has a map").slot(f);
+                if slot.width == 0 {
+                    return None;
+                }
+                let b = row_major[row * n_cols + slot.col as usize];
+                if b == MISSING_BIN {
+                    return None;
+                }
+                let b = u16::from(b);
+                (b >= slot.offset && b < slot.offset + slot.width).then(|| (b - slot.offset) as u8)
             }
             Storage::Sparse { csr, .. } => {
                 let span = csr.indptr[row]..csr.indptr[row + 1];
@@ -158,7 +426,7 @@ impl QuantizedMatrix {
     }
 
     /// Dense row-major slice of one row (`MISSING_BIN` marks gaps), or
-    /// `None` for sparse storage.
+    /// `None` for sparse/bundled storage.
     #[inline]
     pub fn dense_row(&self, row: usize) -> Option<&[u8]> {
         match &self.storage {
@@ -166,36 +434,61 @@ impl QuantizedMatrix {
                 let m = self.n_features();
                 Some(&row_major[row * m..(row + 1) * m])
             }
-            Storage::Sparse { .. } => None,
+            _ => None,
         }
     }
 
     /// The whole dense row-major bin matrix (`n_rows * n_features` bytes,
-    /// `MISSING_BIN` marks gaps), or `None` for sparse storage. Every stored
-    /// bin is either `MISSING_BIN` or strictly below the feature's
-    /// [`BinMapper::n_bins`] — quantization clamps into range — which lets
-    /// scan kernels index flattened histograms without per-cell checks.
+    /// `MISSING_BIN` marks gaps), or `None` for sparse/bundled storage.
+    /// Every stored bin is either `MISSING_BIN` or strictly below the
+    /// feature's [`BinMapper::n_bins`] — quantization clamps into range —
+    /// which lets scan kernels index flattened histograms without per-cell
+    /// checks.
     #[inline]
     pub fn dense_row_major(&self) -> Option<&[u8]> {
         match &self.storage {
             Storage::Dense { row_major, .. } => Some(row_major),
-            Storage::Sparse { .. } => None,
+            _ => None,
         }
     }
 
     /// Dense column-major slice of one feature (`MISSING_BIN` marks gaps),
-    /// or `None` for sparse storage.
+    /// or `None` for sparse/bundled storage.
     #[inline]
     pub fn dense_col(&self, f: usize) -> Option<&[u8]> {
         match &self.storage {
             Storage::Dense { col_major, .. } => {
                 Some(&col_major[f * self.n_rows..(f + 1) * self.n_rows])
             }
-            Storage::Sparse { .. } => None,
+            _ => None,
         }
     }
 
-    /// Visits the present `(feature, bin)` pairs of one row.
+    /// The bundled row-major storage (`n_rows × n_storage_cols` bytes in
+    /// bundle-local bin coordinates), or `None` when bundling is off.
+    #[inline]
+    pub fn bundled_row_major(&self) -> Option<&[u8]> {
+        match &self.storage {
+            Storage::Bundled { row_major, .. } => Some(row_major),
+            _ => None,
+        }
+    }
+
+    /// Bundled column-major slice of synthetic column `c`, or `None` when
+    /// bundling is off.
+    #[inline]
+    pub fn bundled_col(&self, c: usize) -> Option<&[u8]> {
+        match &self.storage {
+            Storage::Bundled { col_major, .. } => {
+                Some(&col_major[c * self.n_rows..(c + 1) * self.n_rows])
+            }
+            _ => None,
+        }
+    }
+
+    /// Visits the present `(feature, bin)` pairs of one row, in original
+    /// feature coordinates. Dense/sparse storage visits in ascending
+    /// feature order; bundled storage visits in storage-column order.
     pub fn for_each_in_row(&self, row: usize, mut visit: impl FnMut(u32, u8)) {
         match &self.storage {
             Storage::Dense { row_major, .. } => {
@@ -203,6 +496,16 @@ impl QuantizedMatrix {
                 for (c, &b) in row_major[row * m..(row + 1) * m].iter().enumerate() {
                     if b != MISSING_BIN {
                         visit(c as u32, b);
+                    }
+                }
+            }
+            Storage::Bundled { row_major, n_cols, .. } => {
+                let map = self.mapper.bundles().expect("bundled storage has a map");
+                for (c, &b) in row_major[row * n_cols..(row + 1) * n_cols].iter().enumerate() {
+                    if b != MISSING_BIN {
+                        if let Some((f, local)) = map.translate(c, b) {
+                            visit(f, local);
+                        }
                     }
                 }
             }
@@ -214,8 +517,8 @@ impl QuantizedMatrix {
         }
     }
 
-    /// Visits the present `(row, bin)` pairs of one feature column, in row
-    /// order.
+    /// Visits the present `(row, bin)` pairs of one (original) feature
+    /// column, in row order.
     pub fn for_each_in_col(&self, f: usize, mut visit: impl FnMut(u32, u8)) {
         match &self.storage {
             Storage::Dense { col_major, .. } => {
@@ -223,6 +526,21 @@ impl QuantizedMatrix {
                 {
                     if b != MISSING_BIN {
                         visit(r as u32, b);
+                    }
+                }
+            }
+            Storage::Bundled { col_major, .. } => {
+                let slot = self.mapper.bundles().expect("bundled storage has a map").slot(f);
+                if slot.width == 0 {
+                    return;
+                }
+                let c = slot.col as usize;
+                let (lo, hi) = (slot.offset, slot.offset + slot.width);
+                for (r, &b) in col_major[c * self.n_rows..(c + 1) * self.n_rows].iter().enumerate()
+                {
+                    let b = u16::from(b);
+                    if b >= lo && b < hi {
+                        visit(r as u32, (b - lo) as u8);
                     }
                 }
             }
@@ -235,33 +553,47 @@ impl QuantizedMatrix {
     }
 
     /// Sparse CSC entries of feature `f` as `(rows, bins)` slices (row
-    /// order), or `None` for dense storage.
+    /// order), or `None` for dense/bundled storage.
     pub fn sparse_col(&self, f: usize) -> Option<(&[u32], &[u8])> {
         match &self.storage {
             Storage::Sparse { csc, .. } => {
                 let span = csc.indptr[f]..csc.indptr[f + 1];
                 Some((&csc.rows[span.clone()], &csc.bins[span]))
             }
-            Storage::Dense { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// The raw sparse CSR arrays as `(indptr, cols, bins)`, or `None` for
+    /// dense/bundled storage. Row `r` owns entries `indptr[r]..indptr[r+1]`
+    /// of `cols`/`bins`; columns are strictly ascending within a row.
+    pub fn sparse_csr(&self) -> Option<(&[usize], &[u32], &[u8])> {
+        match &self.storage {
+            Storage::Sparse { csr, .. } => Some((&csr.indptr, &csr.cols, &csr.bins)),
+            _ => None,
         }
     }
 
     /// Sparse CSR entries of row `r` as `(cols, bins)` slices, or `None`
-    /// for dense storage.
+    /// for dense/bundled storage.
     pub fn sparse_row(&self, r: usize) -> Option<(&[u32], &[u8])> {
         match &self.storage {
             Storage::Sparse { csr, .. } => {
                 let span = csr.indptr[r]..csr.indptr[r + 1];
                 Some((&csr.cols[span.clone()], &csr.bins[span]))
             }
-            Storage::Dense { .. } => None,
+            _ => None,
         }
     }
 
-    /// Approximate heap footprint of the bin storage in bytes.
+    /// Approximate heap footprint of the bin storage in bytes (compressed
+    /// side-copies included).
     pub fn storage_bytes(&self) -> usize {
         match &self.storage {
-            Storage::Dense { row_major, col_major } => row_major.len() + col_major.len(),
+            Storage::Dense { row_major, col_major, u4 } => {
+                row_major.len() + col_major.len() + u4.as_ref().map_or(0, U4Pack::bytes)
+            }
+            Storage::Bundled { row_major, col_major, .. } => row_major.len() + col_major.len(),
             Storage::Sparse { csr, csc } => {
                 csr.bins.len()
                     + csr.cols.len() * 4
@@ -272,6 +604,74 @@ impl QuantizedMatrix {
             }
         }
     }
+}
+
+/// Quantizes a sparse matrix into CSR + CSC bin storage.
+fn build_sparse(matrix: &FeatureMatrix, mapper: &BinMapper) -> (QCsr, QCsc) {
+    let n_rows = matrix.n_rows();
+    let m = matrix.n_cols();
+    let mut indptr = Vec::with_capacity(n_rows + 1);
+    indptr.push(0usize);
+    let mut cols = Vec::new();
+    let mut bins = Vec::new();
+    // Count per-column entries for the CSC pass.
+    let mut col_counts = vec![0usize; m];
+    for r in 0..n_rows {
+        matrix.for_each_in_row(r, |c, v| {
+            cols.push(c);
+            bins.push(mapper.cuts(c as usize).value_to_bin(v));
+            col_counts[c as usize] += 1;
+        });
+        indptr.push(cols.len());
+    }
+    // Build CSC by bucket placement (rows come out sorted because the CSR
+    // pass visits rows in order).
+    let mut csc_indptr = Vec::with_capacity(m + 1);
+    csc_indptr.push(0usize);
+    for c in 0..m {
+        csc_indptr.push(csc_indptr[c] + col_counts[c]);
+    }
+    let nnz = cols.len();
+    let mut rows = vec![0u32; nnz];
+    let mut csc_bins = vec![0u8; nnz];
+    let mut cursor = csc_indptr[..m].to_vec();
+    for r in 0..n_rows {
+        for i in indptr[r]..indptr[r + 1] {
+            let c = cols[i] as usize;
+            rows[cursor[c]] = r as u32;
+            csc_bins[cursor[c]] = bins[i];
+            cursor[c] += 1;
+        }
+    }
+    (QCsr { indptr, cols, bins }, QCsc { indptr: csc_indptr, rows, bins: csc_bins })
+}
+
+/// Materializes bundled dense majors from quantized CSR entries and a
+/// bundle map. Under a positive conflict budget the first present member of
+/// a row wins (row entries arrive in ascending original-feature order) and
+/// later conflicting entries are dropped.
+fn build_bundled(n_rows: usize, csr: &QCsr, map: &BundleMap) -> (Vec<u8>, Vec<u8>, usize) {
+    let n_cols = map.n_cols();
+    let mut row_major = vec![MISSING_BIN; n_rows * n_cols];
+    for r in 0..n_rows {
+        for i in csr.indptr[r]..csr.indptr[r + 1] {
+            let slot = map.slot(csr.cols[i] as usize);
+            if slot.width == 0 {
+                continue;
+            }
+            let cell = &mut row_major[r * n_cols + slot.col as usize];
+            if *cell == MISSING_BIN {
+                *cell = (slot.offset + u16::from(csr.bins[i])) as u8;
+            }
+        }
+    }
+    let mut col_major = vec![MISSING_BIN; n_rows * n_cols];
+    for r in 0..n_rows {
+        for c in 0..n_cols {
+            col_major[c * n_rows + r] = row_major[r * n_cols + c];
+        }
+    }
+    (row_major, col_major, n_cols)
 }
 
 #[cfg(test)]
@@ -306,6 +706,16 @@ mod tests {
             3,
             &[vec![(0, 1.0), (2, 5.0)], vec![(1, 2.0)], vec![(0, 3.0), (1, 4.0), (2, 6.0)]],
         ))
+    }
+
+    /// 64 rows over 16 one-hot groups of 4 features each — bundling fuses
+    /// each group into one synthetic column.
+    fn one_hot_matrix() -> FeatureMatrix {
+        let (n, groups, k) = (64usize, 16usize, 4usize);
+        let rows: Vec<Vec<(u32, f32)>> = (0..n)
+            .map(|r| (0..groups).map(|g| ((g * k + r % k) as u32, 1.0 + (r % k) as f32)).collect())
+            .collect();
+        FeatureMatrix::Sparse(CsrMatrix::from_rows(groups * k, &rows))
     }
 
     #[test]
@@ -393,9 +803,137 @@ mod tests {
     }
 
     #[test]
-    fn storage_bytes_dense_is_two_copies() {
+    fn storage_bytes_counts_both_copies_and_u4_pack() {
         let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
-        assert_eq!(q.storage_bytes(), 2 * 4 * 3);
+        // All widths ≤ 4 so the u4 pack engages: 4 packed rows of
+        // ceil(3/2) bytes + 3 packed cols of ceil(4/2) bytes + the 3×16
+        // lane table + the 3 clean flags.
+        assert!(q.u4().is_some());
+        assert_eq!(q.storage_bytes(), 2 * 4 * 3 + (4 * 2 + 3 * 2 + 3 * 16 * 4 + 3));
+        let plain = QuantizedMatrix::from_matrix_opts(
+            &dense_matrix(),
+            BinningConfig::default(),
+            LayoutOptions::uncompressed(),
+        );
+        assert!(plain.u4().is_none());
+        assert_eq!(plain.storage_bytes(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn u4_pack_round_trips_every_cell() {
+        let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
+        let pack = q.u4().expect("widths ≤ 15 pack");
+        for r in 0..q.n_rows() {
+            for f in 0..q.n_features() {
+                let nib = pack.nibble(r, f);
+                match q.bin(r, f) {
+                    Some(b) => assert_eq!(nib, b),
+                    None => assert_eq!(nib, MISSING_NIBBLE),
+                }
+            }
+        }
+        // Lane table: used nibbles map to the feature's histogram range,
+        // the rest to the per-feature sink.
+        let total = q.mapper().total_bins();
+        for f in 0..q.n_features() {
+            let w = q.mapper().n_bins(f);
+            for nib in 0..16u16 {
+                let lane = pack.lanes()[f * 16 + nib as usize];
+                if nib < w {
+                    assert_eq!(lane, q.mapper().bin_offset(f) + u32::from(nib));
+                } else {
+                    assert_eq!(lane, total + f as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u4_pack_declines_wide_features() {
+        // 17 distinct values -> 17 bins on feature 0: no pack.
+        let vals: Vec<f32> = (0..17).map(|i| i as f32).collect();
+        let m = FeatureMatrix::Dense(DenseMatrix::from_vec(17, 1, vals));
+        let q = QuantizedMatrix::from_matrix(&m, BinningConfig::default());
+        assert!(q.u4().is_none());
+        assert_eq!(q.layout_stats(), LayoutStats::default());
+    }
+
+    #[test]
+    fn u4_pack_declines_16_bins_with_missing() {
+        // Exactly 16 bins AND a missing value: nibble 0xF can't serve both.
+        let mut vals: Vec<f32> = (0..17).map(|i| (i % 16) as f32).collect();
+        vals[16] = f32::NAN;
+        let m = FeatureMatrix::Dense(DenseMatrix::from_vec(17, 1, vals));
+        let q = QuantizedMatrix::from_matrix(&m, BinningConfig::default());
+        assert_eq!(q.mapper().max_bins_used(), 16);
+        assert!(q.u4().is_none());
+
+        // 16 bins with no missing value packs fine.
+        let vals: Vec<f32> = (0..32).map(|i| (i % 16) as f32).collect();
+        let m = FeatureMatrix::Dense(DenseMatrix::from_vec(32, 1, vals));
+        let q = QuantizedMatrix::from_matrix(&m, BinningConfig::default());
+        assert!(q.u4().is_some());
+    }
+
+    #[test]
+    fn bundling_fuses_one_hot_groups() {
+        let q = QuantizedMatrix::from_matrix(&one_hot_matrix(), BinningConfig::default());
+        assert!(q.is_bundled());
+        assert_eq!(q.n_storage_cols(), 16, "one synthetic column per one-hot group");
+        assert_eq!(q.n_features(), 64);
+        let stats = q.layout_stats();
+        assert_eq!(stats.cols_bundled, 16);
+        assert_eq!(stats.bundle_conflicts, 0);
+        // Dense/sparse views are both unavailable; the bundled views exist.
+        assert!(q.dense_row(0).is_none() && q.sparse_row(0).is_none());
+        assert!(q.bundled_row_major().is_some() && q.bundled_col(0).is_some());
+    }
+
+    #[test]
+    fn bundling_preserves_every_cell() {
+        let plain = QuantizedMatrix::from_matrix_opts(
+            &one_hot_matrix(),
+            BinningConfig::default(),
+            LayoutOptions::uncompressed(),
+        );
+        let bundled = QuantizedMatrix::from_matrix(&one_hot_matrix(), BinningConfig::default());
+        assert!(!plain.is_bundled() && bundled.is_bundled());
+        for r in 0..plain.n_rows() {
+            for f in 0..plain.n_features() {
+                assert_eq!(plain.bin(r, f), bundled.bin(r, f), "cell ({r},{f})");
+            }
+        }
+        // Column visits agree too (row order, original coordinates).
+        for f in 0..plain.n_features() {
+            let mut a = vec![];
+            let mut b = vec![];
+            plain.for_each_in_col(f, |r, bin| a.push((r, bin)));
+            bundled.for_each_in_col(f, |r, bin| b.push((r, bin)));
+            assert_eq!(a, b, "feature {f}");
+        }
+    }
+
+    #[test]
+    fn with_mapper_reproduces_bundled_storage() {
+        let train = one_hot_matrix();
+        let q = QuantizedMatrix::from_matrix(&train, BinningConfig::default());
+        assert!(q.is_bundled());
+        let q2 = QuantizedMatrix::with_mapper(&train, q.mapper().clone());
+        assert!(q2.is_bundled());
+        assert_eq!(q.bundled_row_major().unwrap(), q2.bundled_row_major().unwrap());
+    }
+
+    #[test]
+    fn uniformly_dense_sparse_data_stays_sparse() {
+        // Every feature present in every row: zero-conflict bundling finds
+        // nothing to fuse.
+        let rows: Vec<Vec<(u32, f32)>> = (0..32)
+            .map(|r| (0..16).map(|f| (f as u32, (r * f % 7) as f32)).collect())
+            .collect();
+        let m = FeatureMatrix::Sparse(CsrMatrix::from_rows(16, &rows));
+        let q = QuantizedMatrix::from_matrix(&m, BinningConfig::default());
+        assert!(!q.is_bundled());
+        assert!(q.sparse_row(0).is_some());
     }
 
     #[test]

@@ -36,6 +36,23 @@ pub fn hist_width(total_bins: u32, n_features: usize) -> usize {
     total_bins as usize * 2 + crate::kernels::sink_lanes(n_features)
 }
 
+/// Storage-aware [`hist_width`]: only dense layouts (u8 or u4-packed) route
+/// missing values through the per-feature sink cells, so sparse matrices
+/// get unpadded `total_bins * 2` buffers and bundled matrices a single
+/// shared sink cell (absent/conflict-dropped bins route there branch-free).
+/// A wider (padded) buffer is always acceptable to the kernels; this trims
+/// the per-node footprint where the padding is provably never written.
+pub fn hist_width_for(qm: &harp_binning::QuantizedMatrix) -> usize {
+    let sinks = if qm.is_dense() {
+        crate::kernels::sink_lanes(qm.n_features())
+    } else if qm.is_bundled() {
+        2
+    } else {
+        0
+    };
+    qm.mapper().total_bins() as usize * 2 + sinks
+}
+
 /// Zeroes a histogram buffer.
 pub fn zero(buf: &mut [f64]) {
     buf.fill(0.0);
@@ -136,8 +153,14 @@ impl HistPool {
     /// Creates a pool for padded histograms of `total_bins` bins over
     /// `n_features` features with a cache budget of `budget_bytes`.
     pub fn new(total_bins: u32, n_features: usize, budget_bytes: usize) -> Self {
+        Self::with_width(hist_width(total_bins, n_features), budget_bytes)
+    }
+
+    /// Creates a pool of `width`-lane buffers (use [`hist_width_for`] to
+    /// size for a specific matrix layout).
+    pub fn with_width(width: usize, budget_bytes: usize) -> Self {
         Self {
-            width: hist_width(total_bins, n_features),
+            width,
             free: Vec::new(),
             cache: HashMap::new(),
             evict_heap: BinaryHeap::new(),

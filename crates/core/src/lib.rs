@@ -56,7 +56,7 @@ pub use objective::{
 pub use params::{
     BlockConfig, GrowthMethod, LedgerConfig, LossKind, ParallelMode, TraceConfig, TrainParams,
 };
-pub use plan::{Accumulation, BatchShape, BlockPlan, BlockTask, ResolvedExtents};
+pub use plan::{Accumulation, BatchShape, BlockPlan, BlockTask, ResolvedExtents, ScanLayout};
 pub use predict::{FlatForest, Predictor};
 pub use trainer::{Diagnostics, EvalMetric, EvalOptions, GbdtTrainer, TrainOutput, TreeShape};
 pub use tree::{Node, NodeId, NodeStats, SplitData, Tree};

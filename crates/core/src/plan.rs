@@ -38,15 +38,71 @@ pub enum Accumulation {
     Exclusive,
 }
 
+/// The physical bin layout the kernels will scan (see `crate::kernels`),
+/// as far as the planner cares: how many bin bytes a scan moves and whether
+/// a row scan can slice its feature range without re-walking the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanLayout {
+    /// Plain dense: one byte per ⟨row, feature⟩.
+    DenseU8,
+    /// Nibble-packed dense: half the bin bytes of [`ScanLayout::DenseU8`].
+    DenseU4,
+    /// EFB-bundled: one byte per ⟨row, storage column⟩; rows have no
+    /// per-original-feature substructure, so scans cover all features.
+    Bundled {
+        /// Synthetic storage columns after bundling.
+        n_storage_cols: usize,
+    },
+    /// CSR/CSC: a 4-byte column id plus a 1-byte bin per stored entry.
+    Sparse,
+}
+
+impl ScanLayout {
+    /// Classifies a quantized matrix.
+    pub fn of(qm: &harp_binning::QuantizedMatrix) -> Self {
+        if qm.u4().is_some() {
+            ScanLayout::DenseU4
+        } else if qm.is_dense() {
+            ScanLayout::DenseU8
+        } else if qm.is_bundled() {
+            ScanLayout::Bundled { n_storage_cols: qm.n_storage_cols() }
+        } else {
+            ScanLayout::Sparse
+        }
+    }
+
+    /// Bin bytes one full-row (all features) scan pass reads per row. The
+    /// sparse figure is a density-free upper bound; it only ever prices
+    /// candidates of the same batch against each other, where it is a
+    /// common factor.
+    pub fn bin_bytes_per_row(self, n_features: usize) -> f64 {
+        match self {
+            ScanLayout::DenseU8 => n_features as f64,
+            ScanLayout::DenseU4 => n_features.div_ceil(2) as f64,
+            ScanLayout::Bundled { n_storage_cols } => n_storage_cols as f64,
+            ScanLayout::Sparse => 5.0 * n_features as f64,
+        }
+    }
+
+    /// Whether a replicated row scan over this layout can restrict itself
+    /// to a feature block without re-reading the rest of the row. Dense
+    /// bytes and nibbles are sliceable; CSR rows and bundled storage rows
+    /// are walked whole (the kernels filter, but the bytes are still read),
+    /// so feature-blocking them only multiplies row traffic.
+    pub fn feature_sliceable(self) -> bool {
+        matches!(self, ScanLayout::DenseU8 | ScanLayout::DenseU4)
+    }
+}
+
 /// The shape of one BuildHist batch, everything the planner needs to know
 /// about the data without touching it.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchShape {
     /// Feature count `m`.
     pub n_features: usize,
-    /// Dense storage? Sparse (CSR) rows have no per-feature-block
-    /// substructure, so replicated row scans cannot slice features.
-    pub dense: bool,
+    /// The bin layout scans will read — prices per-layout byte volume and
+    /// decides whether replicated row scans may slice features.
+    pub layout: ScanLayout,
     /// Largest per-feature bin count (bin-block granularity).
     pub max_bins: usize,
     /// Total bins over all features (histogram lanes / 2).
@@ -188,10 +244,10 @@ impl BlockPlan {
     /// chunks are emitted consecutively).
     fn enumerate_replicated(&mut self, cfg: &BlockConfig, shape: &BatchShape, job_lens: &[usize]) {
         let m = shape.n_features;
-        // Feature-blocking a CSR row scan would re-walk every row once per
-        // block (the sparse row has no per-block substructure); dense rows
-        // are sliceable, sparse rows are scanned whole.
-        let f_blk = if shape.dense { cfg.features_per_block(m) } else { m };
+        // Feature-blocking a CSR or bundled row scan would re-walk every
+        // row once per block (those rows have no per-original-feature
+        // substructure); dense bytes and nibbles are sliceable.
+        let f_blk = if shape.layout.feature_sliceable() { cfg.features_per_block(m) } else { m };
         let n_total: usize = job_lens.iter().sum();
         let row_blk = cfg.rows_per_block(n_total.max(1), shape.n_threads);
         let node_blk = cfg.nodes_per_block(job_lens.len());
@@ -363,12 +419,15 @@ pub fn auto_config(shape: &BatchShape, job_lens: &[usize], acc: Accumulation) ->
         for node_blk in n_cands() {
             let cost = match acc {
                 Accumulation::Replicated => {
-                    if !shape.dense && f_blk != m {
-                        continue; // sparse row scans cannot slice features
+                    if !shape.layout.feature_sliceable() && f_blk != m {
+                        continue; // CSR/bundled row scans cannot slice features
                     }
                     let passes = m.div_ceil(f_blk) as f64;
-                    // 4 B row id + 8 B GradPair re-read per pass.
-                    let reads = n_total as f64 * 12.0 * passes;
+                    // 4 B row id + 8 B GradPair re-read per pass, plus the
+                    // layout's bin bytes (sliceable layouts read each bin
+                    // byte exactly once across all passes).
+                    let reads =
+                        n_total as f64 * (12.0 * passes + shape.layout.bin_bytes_per_row(m));
                     let ws = dp_write_working_set(shape.total_bins, m, f_blk, node_blk);
                     let writes =
                         n_total as f64 * m as f64 * CELL_BYTES * (ws / L2_TARGET_BYTES).max(1.0);
@@ -388,10 +447,20 @@ pub fn auto_config(shape: &BatchShape, job_lens: &[usize], acc: Accumulation) ->
                         f_blk,
                         node_blk,
                     );
+
+                    // Column scans read each ⟨row, feature⟩ bin once, at
+                    // the layout's byte width — except bundled storage,
+                    // where the per-original-feature walk re-reads the
+                    // shared storage column once per member feature.
+                    let col_bytes = match shape.layout {
+                        ScanLayout::Bundled { .. } => m as f64,
+                        l => l.bin_bytes_per_row(m),
+                    };
+                    let reads = n_total as f64 * col_bytes;
                     let writes =
                         n_total as f64 * m as f64 * CELL_BYTES * (ws / L2_TARGET_BYTES).max(1.0);
                     let grain = tasks * TASK_OVERHEAD + tasks * GROUP_OVERHEAD;
-                    (writes + grain) * (t as f64 / tasks).max(1.0)
+                    (reads + writes + grain) * (t as f64 / tasks).max(1.0)
                 }
             };
             if cost < best.0 {
@@ -413,7 +482,8 @@ mod tests {
     use super::*;
 
     fn shape(m: usize, dense: bool, t: usize) -> BatchShape {
-        BatchShape { n_features: m, dense, max_bins: 32, total_bins: m * 32, n_threads: t }
+        let layout = if dense { ScanLayout::DenseU8 } else { ScanLayout::Sparse };
+        BatchShape { n_features: m, layout, max_bins: 32, total_bins: m * 32, n_threads: t }
     }
 
     #[test]
@@ -543,5 +613,29 @@ mod tests {
         let s = shape(64, false, 4);
         let cfg = auto_config(&s, &[1000, 1000], Accumulation::Replicated);
         assert_eq!(cfg.feature_blk_size, 64, "sparse DP must scan all features per pass");
+    }
+
+    #[test]
+    fn bundled_layout_scans_whole_feature_set() {
+        let mut s = shape(64, true, 4);
+        s.layout = ScanLayout::Bundled { n_storage_cols: 9 };
+        let cfg = auto_config(&s, &[1000, 1000], Accumulation::Replicated);
+        assert_eq!(cfg.feature_blk_size, 64, "bundled rows are scanned whole");
+        let mut plan = BlockPlan::new();
+        let two = BlockConfig { feature_blk_size: 2, ..BlockConfig::default() };
+        plan.rebuild(&two, &s, &[16], Accumulation::Replicated);
+        assert!(plan.tasks().iter().all(|t| t.features == (0..64)));
+    }
+
+    #[test]
+    fn layout_byte_constants() {
+        assert_eq!(ScanLayout::DenseU4.bin_bytes_per_row(9), 5.0);
+        assert_eq!(
+            ScanLayout::DenseU4.bin_bytes_per_row(64) * 2.0,
+            ScanLayout::DenseU8.bin_bytes_per_row(64)
+        );
+        assert_eq!(ScanLayout::Bundled { n_storage_cols: 3 }.bin_bytes_per_row(64), 3.0);
+        assert!(!ScanLayout::Bundled { n_storage_cols: 3 }.feature_sliceable());
+        assert!(ScanLayout::DenseU4.feature_sliceable());
     }
 }

@@ -42,7 +42,7 @@ use crate::params::TrainParams;
 use crate::partition::RowPartition;
 use crate::plan::{
     dp_write_working_set, mp_write_working_set, Accumulation, BatchShape, BlockPlan, BlockTask,
-    ResolvedExtents,
+    ResolvedExtents, ScanLayout,
 };
 use crate::tree::NodeId;
 use harp_binning::QuantizedMatrix;
@@ -133,7 +133,7 @@ impl DriverScratch {
         self.job_lens.extend(jobs.iter().map(|j| ctx.partition.node_len(j.node)));
         let shape = BatchShape {
             n_features: ctx.qm.n_features(),
-            dense: ctx.qm.is_dense(),
+            layout: ScanLayout::of(ctx.qm),
             max_bins: ctx.qm.mapper().max_bins_used() as usize,
             total_bins: ctx.qm.mapper().total_bins() as usize,
             n_threads: ctx.pool.num_threads(),

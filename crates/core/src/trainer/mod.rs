@@ -27,7 +27,7 @@ use crate::params::{GrowthMethod, ParallelMode, TrainParams};
 use crate::partition::RowPartition;
 use crate::split::{better_of, SplitCandidate, SplitSettings};
 use crate::tree::{NodeId, NodeStats, Tree};
-use harp_binning::{BinningConfig, QuantizedMatrix, MISSING_BIN};
+use harp_binning::{BinningConfig, LayoutOptions, QuantizedMatrix, MISSING_BIN};
 use harp_data::Dataset;
 use harp_metrics::{
     gauges, BreakdownReport, ConvergenceTrace, LedgerRecord, MemGauge, MemRegistry, PlanStats,
@@ -232,6 +232,7 @@ pub struct TrainOutput {
 pub struct GbdtTrainer {
     params: TrainParams,
     binning: BinningConfig,
+    layout: LayoutOptions,
 }
 
 impl GbdtTrainer {
@@ -241,12 +242,19 @@ impl GbdtTrainer {
     /// Returns the validation message for inconsistent parameters.
     pub fn new(params: TrainParams) -> Result<Self, String> {
         params.validate()?;
-        Ok(Self { params, binning: BinningConfig::default() })
+        Ok(Self { params, binning: BinningConfig::default(), layout: LayoutOptions::default() })
     }
 
     /// Overrides the histogram-initialization configuration.
     pub fn with_binning(mut self, binning: BinningConfig) -> Self {
         self.binning = binning;
+        self
+    }
+
+    /// Overrides the storage-layout selection (u4 packing, feature
+    /// bundling). The default auto-selects compressed layouts.
+    pub fn with_layout(mut self, layout: LayoutOptions) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -264,7 +272,7 @@ impl GbdtTrainer {
     /// sizes attached to the dataset flow into listwise objectives and
     /// ranking metrics.
     pub fn train_with_eval(&self, dataset: &Dataset, eval: Option<EvalOptions<'_>>) -> TrainOutput {
-        let qm = QuantizedMatrix::from_matrix(&dataset.features, self.binning);
+        let qm = QuantizedMatrix::from_matrix_opts(&dataset.features, self.binning, self.layout);
         self.train_prepared_grouped(
             &qm,
             &dataset.labels,
@@ -384,9 +392,8 @@ impl GbdtTrainer {
             pool: &pool,
             breakdown: &breakdown,
             partition: RowPartition::new(n, max_nodes, params.use_membuf),
-            hist_pool: HistPool::new(
-                qm.mapper().total_bins(),
-                qm.n_features(),
+            hist_pool: HistPool::with_width(
+                crate::hist::hist_width_for(qm),
                 params.hist_cache_bytes,
             ),
             scratch: DriverScratch::new(),
@@ -427,6 +434,17 @@ impl GbdtTrainer {
         let mut prev_counters = profile.snapshot();
         let mut prev_trace_counters = sink.as_ref().map(|s| s.counter_totals());
         let mut prev_lane_busy = sink.as_ref().map(|s| s.phase_busy_by_lane());
+
+        // Record the layout decisions made at quantization time plus the SIMD
+        // tier the kernels will dispatch to. Placed after the baseline
+        // snapshot so the round-1 ledger delta carries them.
+        let layout = qm.layout_stats();
+        profile.add_layout_events(
+            layout.cols_u4,
+            layout.cols_bundled,
+            layout.bundle_conflicts,
+            crate::kernels::simd_tier().as_u64(),
+        );
 
         // Evaluation state.
         let mut trace = eval.as_ref().map(|e| ConvergenceTrace::new(e.metric.higher_is_better()));
@@ -1133,9 +1151,22 @@ pub(crate) fn goes_left_fn<'a>(
     let f = split.feature as usize;
     let bin = split.bin;
     let default_left = split.default_left;
-    let col = qm.dense_col(f);
-    move |row: u32| match col {
-        Some(col) => {
+    enum Route<'a> {
+        Dense(&'a [u8]),
+        Bundled { col: &'a [u8], lo: u16, width: u16 },
+        Sparse,
+    }
+    let route = if let Some(col) = qm.dense_col(f) {
+        Route::Dense(col)
+    } else if qm.is_bundled() {
+        let slot = qm.mapper().bundles().expect("bundle map").slot(f);
+        let col = qm.bundled_col(slot.col as usize).expect("bundled storage");
+        Route::Bundled { col, lo: slot.offset, width: slot.width }
+    } else {
+        Route::Sparse
+    };
+    move |row: u32| match route {
+        Route::Dense(col) => {
             let b = col[row as usize];
             if b == MISSING_BIN {
                 default_left
@@ -1143,7 +1174,18 @@ pub(crate) fn goes_left_fn<'a>(
                 b <= bin
             }
         }
-        None => {
+        Route::Bundled { col, lo, width } => {
+            // The stored bin encodes which member feature is present: only
+            // values inside `f`'s slot window belong to it, anything else
+            // means `f` is absent (implicit zero / missing) in this row.
+            let b = u16::from(col[row as usize]);
+            if b.wrapping_sub(lo) < width {
+                (b - lo) as u8 <= bin
+            } else {
+                default_left
+            }
+        }
+        Route::Sparse => {
             let (cols, bins) = qm.sparse_row(row as usize).expect("sparse storage");
             match cols.binary_search(&(f as u32)) {
                 Ok(i) => bins[i] <= bin,

@@ -107,6 +107,17 @@ pub struct Profile {
     /// BuildHist batches whose block extents came from the auto-tuner cost
     /// model rather than an explicit config.
     pub plan_batches_auto: AtomicU64,
+    /// Feature columns stored nibble-packed (u4) by the compressed-layout
+    /// selector.
+    pub cols_u4: AtomicU64,
+    /// Original feature columns fused into bundled synthetic columns.
+    pub cols_bundled: AtomicU64,
+    /// Cell conflicts dropped by the bundle planner (non-zero only with a
+    /// positive conflict budget).
+    pub bundle_conflicts: AtomicU64,
+    /// Kernel SIMD tier dispatched (0 scalar, 1 sse2, 2 avx2); a level, not
+    /// a count.
+    pub simd_tier: AtomicU64,
 }
 
 impl Profile {
@@ -139,6 +150,10 @@ impl Profile {
             &self.plan_tasks_replicated,
             &self.plan_tasks_exclusive,
             &self.plan_batches_auto,
+            &self.cols_u4,
+            &self.cols_bundled,
+            &self.bundle_conflicts,
+            &self.simd_tier,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -191,6 +206,22 @@ impl Profile {
         self.plan_batches_auto.fetch_add(auto_batches, Ordering::Relaxed);
     }
 
+    /// Records the compressed-layout decisions of one quantized matrix
+    /// (counts of u4-packed and bundled columns plus planner conflicts) and
+    /// the kernel SIMD tier dispatched (stored as a level, not added).
+    pub fn add_layout_events(
+        &self,
+        cols_u4: u64,
+        cols_bundled: u64,
+        bundle_conflicts: u64,
+        simd_tier: u64,
+    ) {
+        self.cols_u4.fetch_add(cols_u4, Ordering::Relaxed);
+        self.cols_bundled.fetch_add(cols_bundled, Ordering::Relaxed);
+        self.bundle_conflicts.fetch_add(bundle_conflicts, Ordering::Relaxed);
+        self.simd_tier.store(simd_tier, Ordering::Relaxed);
+    }
+
     /// Records the write working-set size of one scheduled task.
     pub fn observe_region_bytes(&self, write_working_set: u64) {
         self.region_write_ws_bytes.fetch_add(write_working_set, Ordering::Relaxed);
@@ -232,6 +263,10 @@ impl Profile {
             plan_tasks_replicated: self.plan_tasks_replicated.load(Ordering::Relaxed),
             plan_tasks_exclusive: self.plan_tasks_exclusive.load(Ordering::Relaxed),
             plan_batches_auto: self.plan_batches_auto.load(Ordering::Relaxed),
+            cols_u4: self.cols_u4.load(Ordering::Relaxed),
+            cols_bundled: self.cols_bundled.load(Ordering::Relaxed),
+            bundle_conflicts: self.bundle_conflicts.load(Ordering::Relaxed),
+            simd_tier: self.simd_tier.load(Ordering::Relaxed),
         }
     }
 
@@ -255,6 +290,10 @@ impl Profile {
         let hist_cache_hits = self.hist_cache_hits.load(Ordering::Relaxed);
         let hist_cache_misses = self.hist_cache_misses.load(Ordering::Relaxed);
         let hist_cache_evictions = self.hist_cache_evictions.load(Ordering::Relaxed);
+        let cols_u4 = self.cols_u4.load(Ordering::Relaxed);
+        let cols_bundled = self.cols_bundled.load(Ordering::Relaxed);
+        let bundle_conflicts = self.bundle_conflicts.load(Ordering::Relaxed);
+        let simd_tier = self.simd_tier.load(Ordering::Relaxed);
 
         let thread_time = (threads as u64).saturating_mul(wall);
         let in_region = busy + barrier;
@@ -283,6 +322,10 @@ impl Profile {
             hist_cache_hits,
             hist_cache_misses,
             hist_cache_evictions,
+            cols_u4,
+            cols_bundled,
+            bundle_conflicts,
+            simd_tier,
         }
     }
 }
@@ -334,6 +377,14 @@ pub struct ProfileCounters {
     pub plan_tasks_exclusive: u64,
     /// Auto-tuned BuildHist batches.
     pub plan_batches_auto: u64,
+    /// Feature columns stored nibble-packed (u4).
+    pub cols_u4: u64,
+    /// Original feature columns fused into bundles.
+    pub cols_bundled: u64,
+    /// Cell conflicts dropped by the bundle planner.
+    pub bundle_conflicts: u64,
+    /// Kernel SIMD tier (0 scalar, 1 sse2, 2 avx2).
+    pub simd_tier: u64,
 }
 
 impl ProfileCounters {
@@ -351,7 +402,7 @@ impl ProfileCounters {
 
     /// `(name, value)` view in a stable order — the generic form ledger
     /// records and diff tables consume.
-    pub fn named(&self) -> [(&'static str, u64); 21] {
+    pub fn named(&self) -> [(&'static str, u64); 25] {
         [
             ("busy_ns", self.busy_ns),
             ("barrier_wait_ns", self.barrier_wait_ns),
@@ -374,10 +425,14 @@ impl ProfileCounters {
             ("plan_tasks_replicated", self.plan_tasks_replicated),
             ("plan_tasks_exclusive", self.plan_tasks_exclusive),
             ("plan_batches_auto", self.plan_batches_auto),
+            ("cols_u4", self.cols_u4),
+            ("cols_bundled", self.cols_bundled),
+            ("bundle_conflicts", self.bundle_conflicts),
+            ("simd_tier", self.simd_tier),
         ]
     }
 
-    fn named_mut(&mut self) -> [(&'static str, &mut u64); 21] {
+    fn named_mut(&mut self) -> [(&'static str, &mut u64); 25] {
         [
             ("busy_ns", &mut self.busy_ns),
             ("barrier_wait_ns", &mut self.barrier_wait_ns),
@@ -400,6 +455,10 @@ impl ProfileCounters {
             ("plan_tasks_replicated", &mut self.plan_tasks_replicated),
             ("plan_tasks_exclusive", &mut self.plan_tasks_exclusive),
             ("plan_batches_auto", &mut self.plan_batches_auto),
+            ("cols_u4", &mut self.cols_u4),
+            ("cols_bundled", &mut self.cols_bundled),
+            ("bundle_conflicts", &mut self.bundle_conflicts),
+            ("simd_tier", &mut self.simd_tier),
         ]
     }
 }
@@ -462,6 +521,14 @@ pub struct ProfileReport {
     pub hist_cache_misses: u64,
     /// Histogram-cache budget evictions.
     pub hist_cache_evictions: u64,
+    /// Feature columns stored nibble-packed (u4).
+    pub cols_u4: u64,
+    /// Original feature columns fused into bundles.
+    pub cols_bundled: u64,
+    /// Cell conflicts dropped by the bundle planner.
+    pub bundle_conflicts: u64,
+    /// Kernel SIMD tier dispatched (0 scalar, 1 sse2, 2 avx2).
+    pub simd_tier: u64,
 }
 
 impl std::fmt::Display for ProfileReport {
@@ -486,10 +553,20 @@ impl std::fmt::Display for ProfileReport {
             "partition alloc / reuse {:>6} / {:<6}",
             self.partition_scratch_allocs, self.partition_scratch_reuses
         )?;
-        write!(
+        writeln!(
             f,
             "hist cache hit/miss/evict {:>4} / {} / {}",
             self.hist_cache_hits, self.hist_cache_misses, self.hist_cache_evictions
+        )?;
+        let tier = match self.simd_tier {
+            0 => "scalar",
+            1 => "sse2",
+            _ => "avx2",
+        };
+        write!(
+            f,
+            "layout u4/bundled/conflicts {:>2} / {} / {} (simd {})",
+            self.cols_u4, self.cols_bundled, self.bundle_conflicts, tier
         )
     }
 }
@@ -654,7 +731,7 @@ mod tests {
         assert_eq!(d.partition_scratch_reuses, 40_000);
         // The named view covers every field (a new counter must be added to
         // `named()` or this count drifts).
-        assert_eq!(d.named().len(), 21);
+        assert_eq!(d.named().len(), 25);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! across versions, and the steady-state tests pin the replica arena's
 //! zero-allocation guarantee.
 
-use harp_binning::{BinningConfig, QuantizedMatrix};
+use harp_binning::{BinningConfig, LayoutOptions, QuantizedMatrix, MISSING_NIBBLE};
 use harp_data::{CsrMatrix, Dataset, DatasetKind, DenseMatrix, FeatureMatrix, SynthConfig};
 use harp_parallel::{Profile, ThreadPool};
 use harpgbdt::hist::hist_width;
@@ -90,6 +90,67 @@ fn sparse_case() -> impl Strategy<Value = Case> {
             .collect();
         let qm = QuantizedMatrix::from_matrix(
             &FeatureMatrix::Sparse(CsrMatrix::from_rows(m, &rows_vec)),
+            BinningConfig::with_max_bins(16),
+        );
+        let (grads, rows) = grads_and_rows(n, seed ^ 0xABCD);
+        Case { qm, grads, rows }
+    })
+}
+
+/// Random grouped one-hot CSR matrix: features inside a group are mutually
+/// exclusive (at most one present per row), groups are independent — the
+/// shape the EFB bundling pass exists for.
+fn one_hot_matrix() -> impl Strategy<Value = FeatureMatrix> {
+    (8usize..80, 2usize..5, any::<u64>()).prop_map(|(n, groups, seed)| {
+        let mut s = seed;
+        let per = 4usize;
+        let m = groups * per;
+        // Deterministic preamble: every cross-group feature pair co-occurs
+        // in some row, so the greedy planner can never merge two groups
+        // whose sampled supports happen to be disjoint — engagement is
+        // guaranteed, with exactly one storage column per group.
+        let mut rows: Vec<Vec<(u32, f32)>> = Vec::new();
+        for g in 0..groups {
+            for g2 in g + 1..groups {
+                for a in 0..per {
+                    for b in 0..per {
+                        rows.push(vec![((g * per + a) as u32, 1.0), ((g2 * per + b) as u32, 1.0)]);
+                    }
+                }
+            }
+        }
+        rows.extend((0..n).map(|_| {
+            (0..groups)
+                .filter_map(|g| {
+                    let r = splitmix(&mut s);
+                    (r % 4 != 0).then(|| {
+                        let f = (g * per) as u32 + ((r >> 4) % per as u64) as u32;
+                        (f, ((r >> 8) % 5) as f32 + 1.0)
+                    })
+                })
+                .collect()
+        }));
+        FeatureMatrix::Sparse(CsrMatrix::from_rows(m, &rows))
+    })
+}
+
+/// Dense matrix whose features all use few enough bins that the u4 pack
+/// always engages.
+fn u4_case() -> impl Strategy<Value = Case> {
+    (1usize..100, 1usize..9, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut s = seed;
+        let values: Vec<f32> = (0..n * m)
+            .map(|_| {
+                let r = splitmix(&mut s);
+                if r % 11 == 0 {
+                    f32::NAN
+                } else {
+                    (r % 12) as f32
+                }
+            })
+            .collect();
+        let qm = QuantizedMatrix::from_matrix(
+            &FeatureMatrix::Dense(DenseMatrix::from_vec(n, m, values)),
             BinningConfig::with_max_bins(16),
         );
         let (grads, rows) = grads_and_rows(n, seed ^ 0xABCD);
@@ -204,6 +265,119 @@ proptest! {
         row_scan_root(&case.qm, lo..n, GradSource::Global(&case.grads), 0..m, &mut chunk_range);
         prop_assert_eq!(&chunk_slice, &chunk_range);
     }
+
+    /// u4 pack/unpack round-trip: every nibble in both packed majors decodes
+    /// to exactly the `u8` bin it was packed from (missing included).
+    #[test]
+    fn u4_pack_round_trips(case in u4_case()) {
+        let qm = &case.qm;
+        let pack = qm.u4().expect("low-cardinality dense must engage the u4 pack");
+        for r in 0..qm.n_rows() {
+            for f in 0..qm.n_features() {
+                let nib = pack.nibble(r, f);
+                match qm.bin(r, f) {
+                    Some(b) => prop_assert_eq!(nib, b),
+                    None => prop_assert_eq!(nib, MISSING_NIBBLE),
+                }
+                let from_col = (pack.packed_col(f)[r / 2] >> (4 * (r & 1))) & 0xF;
+                prop_assert_eq!(from_col, nib);
+            }
+        }
+    }
+
+    /// The u4 kernels are bitwise-equal to the scalar reference.
+    #[test]
+    fn u4_kernels_bitwise_equal_scalar(case in u4_case(), n_blocks in 1usize..4) {
+        check_row_scan(&case, n_blocks);
+        check_col_scan(&case);
+    }
+
+    /// Bundle build + translate-back exactness: every ⟨row, feature, bin⟩ of
+    /// the uncompressed sparse storage survives the round trip through the
+    /// bundled layout, and nothing extra appears.
+    #[test]
+    fn bundling_translates_back_exactly(matrix in one_hot_matrix()) {
+        let cfg = BinningConfig::with_max_bins(16);
+        let plain = QuantizedMatrix::from_matrix_opts(&matrix, cfg, LayoutOptions::uncompressed());
+        let bundled = QuantizedMatrix::from_matrix_opts(&matrix, cfg, LayoutOptions::default());
+        prop_assert!(bundled.is_bundled(), "grouped one-hot features must bundle");
+        let map = bundled.mapper().bundles().unwrap();
+        prop_assert_eq!(map.conflicts(), 0);
+        for r in 0..plain.n_rows() {
+            for f in 0..plain.n_features() {
+                prop_assert_eq!(bundled.bin(r, f), plain.bin(r, f));
+            }
+            let mut seen: Vec<(u32, u8)> = Vec::new();
+            bundled.for_each_in_row(r, |f, b| seen.push((f, b)));
+            seen.sort_unstable();
+            let (cols, bins) = plain.sparse_row(r).unwrap();
+            let expect: Vec<(u32, u8)> =
+                cols.iter().copied().zip(bins.iter().copied()).collect();
+            prop_assert_eq!(seen, expect);
+        }
+    }
+
+    /// The bundled kernels are bitwise-equal to the scalar reference.
+    #[test]
+    fn bundled_kernels_bitwise_equal_scalar(
+        matrix in one_hot_matrix(),
+        n_blocks in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let qm = QuantizedMatrix::from_matrix(&matrix, BinningConfig::with_max_bins(16));
+        prop_assert!(qm.is_bundled());
+        let (grads, rows) = grads_and_rows(qm.n_rows(), seed);
+        let case = Case { qm, grads, rows };
+        check_row_scan(&case, n_blocks);
+        check_col_scan(&case);
+    }
+
+    /// Every SIMD tier (clamped to what the host supports) produces bitwise
+    /// the same histograms as the scalar reference, on every layout.
+    #[test]
+    fn forced_tiers_bitwise_equal_scalar(
+        dense in u4_case(),
+        matrix in one_hot_matrix(),
+        tier_idx in 0usize..3,
+    ) {
+        use harpgbdt::kernels::{col_scan_forced_tier, row_scan_forced_tier, SimdTier};
+        let tier = [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2][tier_idx];
+        let sparse_qm = QuantizedMatrix::from_matrix_opts(
+            &matrix,
+            BinningConfig::with_max_bins(16),
+            LayoutOptions::uncompressed(),
+        );
+        let (sgrads, srows) = grads_and_rows(sparse_qm.n_rows(), 0x5eed);
+        let sparse = Case { qm: sparse_qm, grads: sgrads, rows: srows };
+        for case in [&dense, &sparse] {
+            let m = case.qm.n_features();
+            let width = padded(&case.qm);
+            let mut forced = vec![0.0; width];
+            let mut scalar = vec![0.0; width];
+            row_scan_forced_tier(
+                tier, &case.qm, &case.rows, GradSource::Global(&case.grads), 0..m, &mut forced,
+            );
+            row_scan_scalar(&case.qm, &case.rows, GradSource::Global(&case.grads), 0..m, &mut scalar);
+            prop_assert_eq!(&forced, &scalar);
+            for f in 0..m {
+                let n_bins = case.qm.mapper().n_bins(f) as usize;
+                if n_bins == 0 {
+                    continue;
+                }
+                let mut fast = vec![0.0; n_bins * 2];
+                let mut slow = vec![0.0; n_bins * 2];
+                col_scan_forced_tier(
+                    tier, &case.qm, f, &case.rows, GradSource::Global(&case.grads),
+                    0..n_bins, &mut fast,
+                );
+                col_scan_scalar(
+                    &case.qm, f, &case.rows, GradSource::Global(&case.grads),
+                    0..n_bins, &mut slow,
+                );
+                prop_assert_eq!(&fast, &slow);
+            }
+        }
+    }
 }
 
 fn fixture_params(mode: ParallelMode, use_membuf: bool) -> TrainParams {
@@ -268,6 +442,69 @@ fn scalar_kernel_toggle_trains_identically() {
             &data,
         );
         assert_eq!(fast, scalar, "{mode:?}: kernel specialization changed training output");
+    }
+}
+
+/// A sparse grouped one-hot dataset large enough to train on, labels tied
+/// to which feature of each group fires.
+fn one_hot_dataset(n: usize) -> Dataset {
+    let (groups, per) = (4usize, 4usize);
+    let m = groups * per;
+    let mut s = 0x0E0Fu64;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row: Vec<(u32, f32)> = Vec::new();
+        let mut y = 0.0f32;
+        for g in 0..groups {
+            let r = splitmix(&mut s);
+            if r % 4 != 0 {
+                let f = g * per + ((r >> 4) % per as u64) as usize;
+                let v = ((r >> 8) % 5) as f32 + 1.0;
+                row.push((f as u32, v));
+                y += if f % 2 == 0 { v } else { -v };
+            }
+        }
+        labels.push(f32::from(u8::from(y > 0.0)));
+        rows.push(row);
+    }
+    Dataset {
+        name: "one-hot".into(),
+        features: FeatureMatrix::Sparse(CsrMatrix::from_rows(m, &rows)),
+        labels,
+        query_groups: None,
+    }
+}
+
+/// Training on the bundled layout is bitwise identical to training on
+/// uncompressed sparse storage, in both parallel modes — the histograms,
+/// split translation, ApplySplit routing and binned prediction all round-
+/// trip through the bundle map exactly.
+#[test]
+fn bundled_training_is_bitwise_equal_to_uncompressed() {
+    let data = one_hot_dataset(600);
+    for mode in [ParallelMode::DataParallel, ParallelMode::ModelParallel] {
+        let params = fixture_params(mode, true);
+        let bundled = GbdtTrainer::new(params.clone()).unwrap().train(&data);
+        assert!(
+            bundled.diagnostics.profile.cols_bundled > 0,
+            "{mode:?}: one-hot groups must engage bundling"
+        );
+        let plain = GbdtTrainer::new(params)
+            .unwrap()
+            .with_layout(LayoutOptions::uncompressed())
+            .train(&data);
+        assert_eq!(plain.diagnostics.profile.cols_bundled, 0);
+        let pb = bundled.model.predict_raw(&data.features);
+        let pp = plain.model.predict_raw(&data.features);
+        let bits = |v: &[f32]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&pb), bits(&pp), "{mode:?}: bundled training diverged");
+
+        // The binned predict fast path routes through the bundle map too.
+        let qm = QuantizedMatrix::from_matrix(&data.features, BinningConfig::default());
+        assert!(qm.is_bundled());
+        let binned = bundled.model.compile().predict_raw_binned(&qm);
+        assert_eq!(bits(&binned), bits(&pb), "{mode:?}: binned predict diverged on bundles");
     }
 }
 

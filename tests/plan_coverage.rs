@@ -10,7 +10,7 @@
 //! jobs, and `BlockConfig::Auto` — through the shared enumerator.
 
 use harpgbdt::plan::feature_blocks;
-use harpgbdt::{Accumulation, BatchShape, BlockConfig, BlockPlan, BlockTask};
+use harpgbdt::{Accumulation, BatchShape, BlockConfig, BlockPlan, BlockTask, ScanLayout};
 use proptest::prelude::*;
 
 /// An extent as users write it: 0 = unlimited, small explicit values, and a
@@ -35,12 +35,18 @@ fn config() -> impl Strategy<Value = BlockConfig> {
 }
 
 fn shape_and_jobs() -> impl Strategy<Value = (BatchShape, Vec<usize>)> {
-    (1usize..12, any::<bool>(), 1usize..32, 1usize..8, prop::collection::vec(0usize..60, 1..6))
-        .prop_map(|(m, dense, max_bins, threads, jobs)| {
+    (1usize..12, 0usize..4, 1usize..32, 1usize..8, prop::collection::vec(0usize..60, 1..6))
+        .prop_map(|(m, lay, max_bins, threads, jobs)| {
+            let layout = match lay {
+                0 => ScanLayout::DenseU8,
+                1 => ScanLayout::DenseU4,
+                2 => ScanLayout::Bundled { n_storage_cols: (m / 2).max(1) },
+                _ => ScanLayout::Sparse,
+            };
             (
                 BatchShape {
                     n_features: m,
-                    dense,
+                    layout,
                     max_bins,
                     total_bins: m * max_bins,
                     n_threads: threads,
@@ -60,8 +66,8 @@ fn check_replicated(plan: &BlockPlan, shape: &BatchShape, job_lens: &[usize]) {
         let j = task.jobs.start;
         assert!(job_lens[j] > 0, "zero-row job {j} must be skipped");
         assert!(task.bins.is_none(), "DP never bin-blocks");
-        if !shape.dense {
-            assert_eq!(task.features, 0..m, "sparse rows are scanned whole");
+        if !shape.layout.feature_sliceable() {
+            assert_eq!(task.features, 0..m, "unsliceable rows are scanned whole");
         }
         let rows = task.row_range_for(job_lens[j]);
         assert_eq!(rows, task.rows, "DP row ranges are explicit, already clamped");
