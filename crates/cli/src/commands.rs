@@ -595,6 +595,79 @@ pub fn synth(args: &[String]) -> Result<String, String> {
     ))
 }
 
+/// `harpgbdt serve` — a long-running scoring server over the compiled
+/// forest. Prints the listening line immediately (stdout, flushed), then
+/// blocks until a `Shutdown` frame arrives; the returned summary prints
+/// after the server drains.
+pub fn serve(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let model_path = opts.required("--model")?;
+    let model = load_model(model_path)?;
+    let forest = model.compile();
+    let (n_trees, n_features) = (forest.n_trees(), forest.n_features());
+    let trace_out = opts.get("--trace-out").map(str::to_string);
+    if trace_out.is_some() && !harp_parallel::TRACE_COMPILED {
+        return Err("--trace-out requires the harp-parallel \"trace\" feature \
+                    (rebuild without `--no-default-features`)"
+            .into());
+    }
+    let defaults = harp_serve::ServeConfig::default();
+    let cfg = harp_serve::ServeConfig {
+        addr: opts.get("--addr").unwrap_or("127.0.0.1:7077").to_string(),
+        threads: opts.parse_or("--threads", defaults.threads)?,
+        window_us: opts.parse_or("--window-us", defaults.window_us)?,
+        max_batch_rows: opts.parse_or("--max-batch-rows", defaults.max_batch_rows)?,
+        queue_depth: opts.parse_or("--queue-depth", defaults.queue_depth)?,
+        max_rows_per_req: opts.parse_or("--max-rows-per-req", defaults.max_rows_per_req)?,
+        max_payload: defaults.max_payload,
+        model_path: Some(model_path.into()),
+        watch_ms: opts.parse_opt("--watch-ms")?,
+        ledger_out: opts.get("--ledger-out").map(Into::into),
+        ledger_every_batches: opts.parse_or("--ledger-every", defaults.ledger_every_batches)?,
+        trace: trace_out.is_some(),
+    };
+    let mut handle =
+        harp_serve::serve(forest, cfg).map_err(|e| format!("failed to start server: {e}"))?;
+    // The listening line must appear before `run()` returns: clients (and
+    // the CI smoke job) wait for it before connecting.
+    println!(
+        "serving {model_path} ({n_trees} trees, {n_features} features) on {} — send a Shutdown \
+         frame (or `bench_serve --shutdown`) to stop",
+        handle.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    while !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    handle.wait();
+    let snap = handle.snapshot();
+    if let Some(path) = trace_out {
+        if let Some(sink) = handle.trace() {
+            sink.snapshot()
+                .write_chrome_trace(Path::new(&path))
+                .map_err(|e| format!("failed to write trace {path}: {e}"))?;
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "served {} requests ({} rows) in {} batches over {} connections",
+        snap.requests, snap.rows, snap.batches, snap.connections
+    );
+    let _ = writeln!(
+        s,
+        "sheds {} | protocol errors {} | swaps {} (gen {})",
+        snap.sheds, snap.protocol_errors, snap.swaps, snap.generation
+    );
+    let _ = writeln!(
+        s,
+        "phase seconds: queue-wait {:.3} | assemble {:.3} | predict {:.3} | write {:.3}",
+        snap.queue_wait_secs, snap.assemble_secs, snap.predict_secs, snap.write_secs
+    );
+    Ok(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,8 @@
 //!   against a second file with early stopping, and save it as JSON.
 //! * `predict` — score a data file with a saved model (probabilities, raw
 //!   margins, or argmax class ids).
+//! * `serve`   — long-running TCP scoring server over the compiled forest
+//!   (micro-batching, admission control, zero-downtime hot-swap).
 //! * `eval`    — compute metrics of a saved model on a labeled file.
 //! * `report`  — render, summarize, or diff run ledgers (and bench JSON)
 //!   with per-metric tolerance thresholds; a tripped gate exits non-zero.
@@ -34,6 +36,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match cmd.as_str() {
         "train" => commands::train(rest),
         "predict" => commands::predict(rest),
+        "serve" => commands::serve(rest),
         "eval" => commands::eval(rest),
         "report" => commands::report(rest),
         "importance" => commands::importance(rest),
@@ -56,6 +59,14 @@ pub fn usage() -> String {
     let _ = writeln!(
         s,
         "  predict     --model FILE --data FILE [--out FILE] [--raw|--class] [--threads N]"
+    );
+    let _ =
+        writeln!(s, "  serve       --model FILE [--addr HOST:PORT] [--threads N] [--window-us N]");
+    let _ =
+        writeln!(s, "              [--max-batch-rows N] [--queue-depth N] [--max-rows-per-req N]");
+    let _ = writeln!(
+        s,
+        "              [--watch-ms N] [--ledger-out FILE] [--ledger-every N] [--trace-out FILE]"
     );
     let _ = writeln!(s, "  eval        --model FILE --data FILE [--metric NAME] [--groups FILE]");
     let _ = writeln!(

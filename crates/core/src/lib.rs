@@ -57,6 +57,6 @@ pub use params::{
     BlockConfig, GrowthMethod, LedgerConfig, LossKind, ParallelMode, TraceConfig, TrainParams,
 };
 pub use plan::{Accumulation, BatchShape, BlockPlan, BlockTask, ResolvedExtents, ScanLayout};
-pub use predict::{FlatForest, Predictor};
+pub use predict::{BinRows, FlatForest, Predictor};
 pub use trainer::{Diagnostics, EvalMetric, EvalOptions, GbdtTrainer, TrainOutput, TreeShape};
 pub use tree::{Node, NodeId, NodeStats, SplitData, Tree};

@@ -13,6 +13,32 @@ use harp_parallel::{ScopedPhase, ThreadPool, TracePhase, TraceSink};
 /// large enough to amortize streaming each tree's node arrays.
 pub const DEFAULT_ROW_BLOCK: usize = 64;
 
+/// A borrowed block of dense already-binned rows: row-major `u8` bin ids,
+/// `harp_binning::MISSING_BIN` encoding missing. This is the shape the
+/// serving protocol's quantized payload arrives in — no `BinMapper` is
+/// needed because routing compares bins against each split's stored bin
+/// threshold directly.
+#[derive(Debug, Clone, Copy)]
+pub struct BinRows<'a> {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Columns per row; must be at least the model's feature count.
+    pub n_cols: usize,
+    /// Row-major bins, `n_rows * n_cols` long.
+    pub bins: &'a [u8],
+}
+
+impl<'a> BinRows<'a> {
+    /// Wraps a row-major bin buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape.
+    pub fn new(n_rows: usize, n_cols: usize, bins: &'a [u8]) -> Self {
+        assert_eq!(bins.len(), n_rows * n_cols, "bin buffer length mismatch");
+        Self { n_rows, n_cols, bins }
+    }
+}
+
 /// A configured scoring pass over a [`FlatForest`].
 ///
 /// ```
@@ -71,7 +97,13 @@ impl<'a> Predictor<'a> {
 
     /// Raw (margin) scores: length `n_rows` for scalar losses, row-major
     /// `n_rows × n_groups` for multiclass.
+    ///
+    /// # Panics
+    /// Panics if `features` has fewer columns than the model's feature
+    /// count — silently routing on wrong cells (a dense matrix narrower
+    /// than the model reads the *next row's* values) is never acceptable.
     pub fn predict_raw(&self, features: &FeatureMatrix) -> Vec<f32> {
+        self.check_features(features.n_cols());
         let mut out = self.base_filled(features.n_rows());
         self.run(features.n_rows(), &mut out, |lo, hi, dst| {
             kernel::score_block(self.forest, features, lo, hi, dst, self.forest.n_groups, 0);
@@ -81,10 +113,39 @@ impl<'a> Predictor<'a> {
 
     /// Raw scores for an already-binned matrix (the quantized fast path:
     /// routes on `u8` bins, no raw values needed).
+    ///
+    /// # Panics
+    /// Panics if `qm` has fewer features than the model expects.
     pub fn predict_raw_binned(&self, qm: &QuantizedMatrix) -> Vec<f32> {
+        self.check_features(qm.n_features());
         let mut out = self.base_filled(qm.n_rows());
         self.run(qm.n_rows(), &mut out, |lo, hi, dst| {
             kernel::score_block_binned(self.forest, qm, lo, hi, dst, self.forest.n_groups, 0);
+        });
+        out
+    }
+
+    /// Raw scores for dense already-binned rows — the serving protocol's
+    /// quantized payload: row-major `u8` bin ids routed on each split's bin
+    /// threshold exactly like [`predict_raw_binned`](Self::predict_raw_binned),
+    /// with `harp_binning::MISSING_BIN` following the default direction.
+    ///
+    /// # Panics
+    /// Panics if `rows` has fewer columns than the model's feature count.
+    pub fn predict_raw_bin_rows(&self, rows: &BinRows<'_>) -> Vec<f32> {
+        self.check_features(rows.n_cols);
+        let mut out = self.base_filled(rows.n_rows);
+        self.run(rows.n_rows, &mut out, |lo, hi, dst| {
+            kernel::score_block_bin_rows(
+                self.forest,
+                rows.bins,
+                rows.n_cols,
+                lo,
+                hi,
+                dst,
+                self.forest.n_groups,
+                0,
+            );
         });
         out
     }
@@ -106,8 +167,9 @@ impl<'a> Predictor<'a> {
     /// evaluation shape.
     ///
     /// # Panics
-    /// Panics if `preds.len() != features.n_rows() * stride` or
-    /// `offset + n_groups > stride`.
+    /// Panics if `preds.len() != features.n_rows() * stride`,
+    /// `offset + n_groups > stride`, or `features` is narrower than the
+    /// model's feature count.
     pub fn accumulate_raw(
         &self,
         features: &FeatureMatrix,
@@ -115,12 +177,25 @@ impl<'a> Predictor<'a> {
         stride: usize,
         offset: usize,
     ) {
+        self.check_features(features.n_cols());
         let n = features.n_rows();
         assert_eq!(preds.len(), n * stride, "prediction buffer shape mismatch");
         assert!(offset + self.forest.n_groups() <= stride, "group offset out of range");
         self.run_strided(n, preds, stride, |lo, hi, dst| {
             kernel::score_block(self.forest, features, lo, hi, dst, stride, offset);
         });
+    }
+
+    /// The feature-count guard shared by every scoring entry point. Wider
+    /// matrices are fine (extra columns are ignored, matching the CLI);
+    /// narrower ones would silently route on the wrong cells.
+    fn check_features(&self, n_cols: usize) {
+        assert!(
+            n_cols >= self.forest.n_features,
+            "feature count mismatch: input has {} columns but the model expects {}",
+            n_cols,
+            self.forest.n_features
+        );
     }
 
     fn base_filled(&self, n_rows: usize) -> Vec<f32> {

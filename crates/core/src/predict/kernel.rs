@@ -159,6 +159,63 @@ fn score_block_sparse(
     }
 }
 
+/// Scores rows `lo..hi` of a row-major dense bin buffer (the serving
+/// protocol's quantized payload): same routing as the binned matrix path —
+/// `bin <= split.bin` goes left, [`MISSING_BIN`] follows the default
+/// direction — with the padded lane walk of the dense kernels.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn score_block_bin_rows(
+    forest: &FlatForest,
+    bins: &[u8],
+    n_cols: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+    stride: usize,
+    offset: usize,
+) {
+    let g = forest.n_groups;
+    let row = |r: usize| &bins[r * n_cols..(r + 1) * n_cols];
+    for t in 0..forest.n_trees() {
+        let group = t % g;
+        let root = forest.tree_offsets[t] as usize;
+        let steps = forest.max_steps[t];
+        if steps <= MAX_PADDED_STEPS {
+            let mut r = lo;
+            while r + LANES <= hi {
+                let rows: [&[u8]; LANES] = std::array::from_fn(|lane| row(r + lane));
+                let mut n = [root; LANES];
+                for _ in 0..steps {
+                    for lane in 0..LANES {
+                        n[lane] = step_binned(forest, n[lane], rows[lane]);
+                    }
+                }
+                for lane in 0..LANES {
+                    out[(r + lane - lo) * stride + offset + group] += forest.value[n[lane]];
+                }
+                r += LANES;
+            }
+            for r in r..hi {
+                let row = row(r);
+                let mut n = root;
+                for _ in 0..steps {
+                    n = step_binned(forest, n, row);
+                }
+                out[(r - lo) * stride + offset + group] += forest.value[n];
+            }
+        } else {
+            for r in lo..hi {
+                let row = row(r);
+                let mut n = root;
+                while !forest.is_leaf(n) {
+                    n = step_binned(forest, n, row);
+                }
+                out[(r - lo) * stride + offset + group] += forest.value[n];
+            }
+        }
+    }
+}
+
 /// Scores rows `lo..hi` of an already-binned matrix: routes on the stored
 /// bin thresholds (`bin <= split.bin` goes left, [`MISSING_BIN`] follows
 /// the default direction) — exactly the trainer's partition predicate, so

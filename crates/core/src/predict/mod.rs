@@ -31,7 +31,7 @@ mod driver;
 mod flat;
 mod kernel;
 
-pub use driver::{Predictor, DEFAULT_ROW_BLOCK};
+pub use driver::{BinRows, Predictor, DEFAULT_ROW_BLOCK};
 pub use flat::FlatForest;
 
 use harp_binning::QuantizedMatrix;

@@ -1,0 +1,131 @@
+//! The adaptive micro-batch window: a pure state machine, no threads and
+//! no clock of its own, so its flush behaviour is testable tick by tick
+//! with a [`ManualClock`](crate::clock::ManualClock).
+//!
+//! Policy: the first request to land in an empty window arms a deadline
+//! `arrival + window_ns`. Later requests coalesce into the same batch.
+//! The batch dispatches when either (a) its pending row count reaches
+//! `max_rows` — a full batch flushes immediately, latecomers never wait on
+//! a *bigger* batch — or (b) the deadline expires, so the first request's
+//! extra latency is bounded by the window regardless of traffic. A zero
+//! window degenerates to dispatch-on-arrival (every request is its own
+//! batch), which is the low-latency corner of the trade-off.
+
+/// Decision state for one in-flight micro-batch of `T` jobs.
+#[derive(Debug)]
+pub struct BatchWindow<T> {
+    window_ns: u64,
+    max_rows: usize,
+    pending: Vec<T>,
+    pending_rows: usize,
+    deadline_ns: Option<u64>,
+}
+
+impl<T> BatchWindow<T> {
+    /// A window that coalesces for at most `window_ns` nanoseconds or
+    /// `max_rows` rows, whichever comes first (`max_rows` is clamped to at
+    /// least 1).
+    pub fn new(window_ns: u64, max_rows: usize) -> Self {
+        Self {
+            window_ns,
+            max_rows: max_rows.max(1),
+            pending: Vec::new(),
+            pending_rows: 0,
+            deadline_ns: None,
+        }
+    }
+
+    /// Adds a job of `rows` rows arriving at `now_ns`. Returns the batch
+    /// to dispatch if this job filled the window (row cap reached, or the
+    /// window is zero).
+    pub fn push(&mut self, job: T, rows: usize, now_ns: u64) -> Option<Vec<T>> {
+        if self.pending.is_empty() {
+            self.deadline_ns = Some(now_ns.saturating_add(self.window_ns));
+        }
+        self.pending.push(job);
+        self.pending_rows += rows;
+        if self.pending_rows >= self.max_rows || self.window_ns == 0 {
+            return self.take();
+        }
+        None
+    }
+
+    /// Returns the batch to dispatch if the deadline has expired at
+    /// `now_ns` (and there is anything pending).
+    pub fn poll(&mut self, now_ns: u64) -> Option<Vec<T>> {
+        match self.deadline_ns {
+            Some(d) if now_ns >= d => self.take(),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally drains whatever is pending (used on shutdown).
+    pub fn take(&mut self) -> Option<Vec<T>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.deadline_ns = None;
+        self.pending_rows = 0;
+        Some(std::mem::take(&mut self.pending))
+    }
+
+    /// The armed deadline, if a batch is pending. The dispatcher sleeps
+    /// until this instant (or a new arrival) before polling again.
+    pub fn deadline_ns(&self) -> Option<u64> {
+        self.deadline_ns
+    }
+
+    /// Number of jobs currently pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_on_row_cap_before_deadline() {
+        let mut w: BatchWindow<u32> = BatchWindow::new(1_000_000, 10);
+        assert!(w.push(1, 4, 0).is_none());
+        assert!(w.push(2, 4, 10).is_none());
+        // 12 rows ≥ cap 10: the third push dispatches all three jobs.
+        let batch = w.push(3, 4, 20).expect("row cap reached");
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert!(w.is_empty());
+        assert_eq!(w.deadline_ns(), None);
+    }
+
+    #[test]
+    fn flushes_on_deadline_expiry() {
+        let mut w: BatchWindow<u32> = BatchWindow::new(1_000, 1_000_000);
+        assert!(w.push(7, 1, 500).is_none());
+        assert_eq!(w.deadline_ns(), Some(1_500));
+        assert!(w.poll(1_499).is_none(), "deadline not yet reached");
+        assert_eq!(w.poll(1_500), Some(vec![7]));
+        assert!(w.poll(2_000).is_none(), "nothing pending after the flush");
+    }
+
+    #[test]
+    fn deadline_anchors_at_first_arrival() {
+        let mut w: BatchWindow<u32> = BatchWindow::new(1_000, 1_000_000);
+        assert!(w.push(1, 1, 100).is_none());
+        // A later arrival does not extend the deadline.
+        assert!(w.push(2, 1, 900).is_none());
+        assert_eq!(w.deadline_ns(), Some(1_100));
+        assert_eq!(w.poll(1_100), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn zero_window_dispatches_each_push() {
+        let mut w: BatchWindow<u32> = BatchWindow::new(0, 1_000_000);
+        assert_eq!(w.push(1, 1, 0), Some(vec![1]));
+        assert_eq!(w.push(2, 1, 0), Some(vec![2]));
+    }
+}

@@ -1,0 +1,194 @@
+//! The malformed-input battery: a fixed set of hostile byte sequences
+//! fired at a live server. Shared by `tests/serve.rs`, the `bench_serve`
+//! load generator, and the CI smoke job, so every environment exercises
+//! the same attacks. Each case asserts the protocol contract: the server
+//! answers a *typed* error or drops the connection cleanly — it never
+//! panics, and it keeps serving well-formed clients afterwards.
+
+use crate::client::ServeClient;
+use crate::protocol::{
+    read_frame, ErrorCode, Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION,
+};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Connects with short timeouts so a hung server fails the case instead
+/// of hanging the battery.
+fn connect(addr: SocketAddr) -> Result<TcpStream, String> {
+    let s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_nodelay(true).ok();
+    s.set_read_timeout(Some(Duration::from_secs(5))).map_err(|e| e.to_string())?;
+    Ok(s)
+}
+
+fn header(frame_type: u8, corr: u32, payload_len: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..2].copy_from_slice(&MAGIC);
+    h[2] = VERSION;
+    h[3] = frame_type;
+    h[4..8].copy_from_slice(&corr.to_le_bytes());
+    h[8..12].copy_from_slice(&payload_len.to_le_bytes());
+    h
+}
+
+/// Reads one frame and checks it is an Error with `code`.
+fn expect_error(stream: &mut TcpStream, code: ErrorCode) -> Result<(), String> {
+    match read_frame(stream, DEFAULT_MAX_PAYLOAD) {
+        Ok(Some(Frame::Error { code: got, .. })) if got == code => Ok(()),
+        Ok(Some(other)) => Err(format!("expected Error({code:?}), got {other:?}")),
+        Ok(None) => Err(format!("expected Error({code:?}), got EOF")),
+        Err(e) => Err(format!("expected Error({code:?}), got read error {e}")),
+    }
+}
+
+/// Reads until EOF, failing if any further frame arrives.
+fn expect_closed(stream: &mut TcpStream) -> Result<(), String> {
+    match read_frame(stream, DEFAULT_MAX_PAYLOAD) {
+        Ok(None) => Ok(()),
+        // A reset instead of a FIN is still a closed connection.
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => Ok(()),
+        Ok(Some(f)) => Err(format!("expected closed connection, got {f:?}")),
+        Err(e) => Err(format!("expected closed connection, got {e}")),
+    }
+}
+
+/// Proves the server still serves well-formed clients.
+fn expect_alive(addr: SocketAddr) -> Result<(), String> {
+    let mut c = ServeClient::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+    c.ping().map_err(|e| format!("post-case ping: {e}"))
+}
+
+fn case_bad_magic(addr: SocketAddr) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    let mut h = header(0x02, 1, 0);
+    h[0] = b'X';
+    s.write_all(&h).map_err(|e| e.to_string())?;
+    expect_error(&mut s, ErrorCode::Malformed)?;
+    expect_closed(&mut s)
+}
+
+fn case_bad_version(addr: SocketAddr) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    let mut h = header(0x02, 1, 0);
+    h[2] = 0x7f;
+    s.write_all(&h).map_err(|e| e.to_string())?;
+    expect_error(&mut s, ErrorCode::BadVersion)?;
+    expect_closed(&mut s)
+}
+
+fn case_oversize_length(addr: SocketAddr) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    // Declares a 4 GiB payload; the server must reject the header without
+    // allocating or waiting for the bytes.
+    s.write_all(&header(0x01, 1, u32::MAX)).map_err(|e| e.to_string())?;
+    expect_error(&mut s, ErrorCode::Oversize)?;
+    expect_closed(&mut s)
+}
+
+fn case_unknown_type_keeps_connection(addr: SocketAddr) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    s.write_all(&header(0x44, 9, 0)).map_err(|e| e.to_string())?;
+    expect_error(&mut s, ErrorCode::UnknownType)?;
+    // The frame was well-delimited, so the same connection still works.
+    s.write_all(&header(0x02, 10, 0)).map_err(|e| e.to_string())?;
+    match read_frame(&mut s, DEFAULT_MAX_PAYLOAD) {
+        Ok(Some(Frame::Pong { corr: 10 })) => Ok(()),
+        other => Err(format!("expected Pong after recoverable error, got {other:?}")),
+    }
+}
+
+fn case_ping_with_payload(addr: SocketAddr) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    s.write_all(&header(0x02, 3, 4)).map_err(|e| e.to_string())?;
+    s.write_all(&[1, 2, 3, 4]).map_err(|e| e.to_string())?;
+    expect_error(&mut s, ErrorCode::Malformed)?;
+    // BadPayload is semantic: the connection survives.
+    s.write_all(&header(0x02, 4, 0)).map_err(|e| e.to_string())?;
+    match read_frame(&mut s, DEFAULT_MAX_PAYLOAD) {
+        Ok(Some(Frame::Pong { corr: 4 })) => Ok(()),
+        other => Err(format!("expected Pong, got {other:?}")),
+    }
+}
+
+fn case_mid_frame_disconnect(addr: SocketAddr) -> Result<(), String> {
+    // Promise 100 payload bytes, deliver 10, vanish. The server must shrug
+    // it off and keep serving everyone else.
+    let mut s = connect(addr)?;
+    s.write_all(&header(0x01, 5, 100)).map_err(|e| e.to_string())?;
+    s.write_all(&[0u8; 10]).map_err(|e| e.to_string())?;
+    drop(s);
+    expect_alive(addr)
+}
+
+fn case_truncated_header_disconnect(addr: SocketAddr) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    s.write_all(&header(0x02, 6, 0)[..5]).map_err(|e| e.to_string())?;
+    drop(s);
+    expect_alive(addr)
+}
+
+fn case_zero_row_score(addr: SocketAddr, n_features: u32) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    // A dense Score whose body holds zero rows.
+    let mut payload = vec![0u8];
+    payload.extend_from_slice(&n_features.to_le_bytes());
+    s.write_all(&header(0x01, 7, payload.len() as u32)).map_err(|e| e.to_string())?;
+    s.write_all(&payload).map_err(|e| e.to_string())?;
+    expect_error(&mut s, ErrorCode::Malformed)
+}
+
+fn case_narrow_rows_rejected(addr: SocketAddr, n_features: u32) -> Result<(), String> {
+    if n_features < 2 {
+        return Ok(()); // no narrower width exists
+    }
+    let mut c = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+    match c.score_dense(n_features - 1, vec![0.0; (n_features - 1) as usize]) {
+        Ok(crate::client::ScoreReply::Rejected { code: ErrorCode::BadShape, .. }) => {}
+        other => return Err(format!("expected BadShape rejection, got {other:?}")),
+    }
+    // Shape errors are per-request: the connection still scores.
+    c.ping().map_err(|e| format!("ping after BadShape: {e}"))
+}
+
+fn case_server_frame_rejected(addr: SocketAddr) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    // A Pong (server→client type) sent *to* the server.
+    s.write_all(&header(0x83, 8, 0)).map_err(|e| e.to_string())?;
+    expect_error(&mut s, ErrorCode::Malformed)?;
+    s.write_all(&header(0x02, 9, 0)).map_err(|e| e.to_string())?;
+    match read_frame(&mut s, DEFAULT_MAX_PAYLOAD) {
+        Ok(Some(Frame::Pong { corr: 9 })) => Ok(()),
+        other => Err(format!("expected Pong, got {other:?}")),
+    }
+}
+
+/// One named hostile case.
+type BatteryCase = (&'static str, Box<dyn Fn() -> Result<(), String>>);
+
+/// Runs every malformed-input case against a live server. Returns the
+/// case names that passed, or the first failure as
+/// `Err("case-name: detail")`. The model's feature count parameterizes
+/// the shape cases.
+pub fn run_battery(addr: SocketAddr, n_features: u32) -> Result<Vec<&'static str>, String> {
+    let cases: Vec<BatteryCase> = vec![
+        ("bad-magic", Box::new(move || case_bad_magic(addr))),
+        ("bad-version", Box::new(move || case_bad_version(addr))),
+        ("oversize-length", Box::new(move || case_oversize_length(addr))),
+        ("unknown-type", Box::new(move || case_unknown_type_keeps_connection(addr))),
+        ("ping-with-payload", Box::new(move || case_ping_with_payload(addr))),
+        ("mid-frame-disconnect", Box::new(move || case_mid_frame_disconnect(addr))),
+        ("truncated-header-disconnect", Box::new(move || case_truncated_header_disconnect(addr))),
+        ("zero-row-score", Box::new(move || case_zero_row_score(addr, n_features))),
+        ("narrow-rows-rejected", Box::new(move || case_narrow_rows_rejected(addr, n_features))),
+        ("server-frame-rejected", Box::new(move || case_server_frame_rejected(addr))),
+    ];
+    let mut passed = Vec::with_capacity(cases.len());
+    for (name, case) in cases {
+        case().map_err(|e| format!("{name}: {e}"))?;
+        // Each case must leave the server able to serve the next one.
+        expect_alive(addr).map_err(|e| format!("{name} (aftermath): {e}"))?;
+        passed.push(name);
+    }
+    Ok(passed)
+}

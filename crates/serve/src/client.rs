@@ -1,0 +1,165 @@
+//! A small blocking client for the serve protocol, used by the test
+//! battery, the load generator, and the CLI. One request in flight per
+//! client; open more clients for concurrency.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, RowsPayload, DEFAULT_MAX_PAYLOAD,
+};
+use crate::stats::StatsSnapshot;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Server's answer to a Score request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreReply {
+    /// Raw margin scores, row-major `n_rows × n_groups`.
+    Scores {
+        /// Groups per row.
+        n_groups: u32,
+        /// The scores.
+        scores: Vec<f32>,
+    },
+    /// The request was rejected.
+    Rejected {
+        /// Why.
+        code: ErrorCode,
+        /// Detail.
+        message: String,
+    },
+}
+
+/// A blocking protocol client.
+pub struct ServeClient {
+    stream: TcpStream,
+    next_corr: u32,
+}
+
+impl ServeClient {
+    /// Connects with a 5-second read timeout (a server must answer or the
+    /// client errors out — tests never hang).
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// [`connect`](Self::connect) with an explicit read timeout.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(Self { stream, next_corr: 1 })
+    }
+
+    fn corr(&mut self) -> u32 {
+        let c = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1).max(1);
+        c
+    }
+
+    fn round_trip(&mut self, frame: &Frame) -> std::io::Result<Frame> {
+        write_frame(&mut self.stream, frame)?;
+        read_frame(&mut self.stream, DEFAULT_MAX_PAYLOAD)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    fn unexpected(frame: Frame) -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected reply {:?}", frame.frame_type()),
+        )
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// I/O failures, a closed connection, or a non-Pong reply.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        let corr = self.corr();
+        match self.round_trip(&Frame::Ping { corr })? {
+            Frame::Pong { .. } => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn score(&mut self, rows: RowsPayload) -> std::io::Result<ScoreReply> {
+        let corr = self.corr();
+        match self.round_trip(&Frame::Score { corr, rows })? {
+            Frame::Scores { n_groups, scores, .. } => Ok(ScoreReply::Scores { n_groups, scores }),
+            Frame::Error { code, message, .. } => Ok(ScoreReply::Rejected { code, message }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Scores dense raw rows (row-major, `NaN` = missing).
+    ///
+    /// # Errors
+    /// I/O failures; rejections come back as [`ScoreReply::Rejected`].
+    pub fn score_dense(&mut self, n_cols: u32, values: Vec<f32>) -> std::io::Result<ScoreReply> {
+        self.score(RowsPayload::Dense { n_cols, values })
+    }
+
+    /// Scores quantized rows (row-major `u8` bins, 255 = missing).
+    ///
+    /// # Errors
+    /// I/O failures; rejections come back as [`ScoreReply::Rejected`].
+    pub fn score_binned(&mut self, n_cols: u32, bins: Vec<u8>) -> std::io::Result<ScoreReply> {
+        self.score(RowsPayload::Binned { n_cols, bins })
+    }
+
+    /// Hot-swaps the model (`None` = the server's configured path).
+    /// Returns the new generation or the server's typed rejection.
+    ///
+    /// # Errors
+    /// I/O failures.
+    #[allow(clippy::type_complexity)]
+    pub fn reload(
+        &mut self,
+        path: Option<&str>,
+    ) -> std::io::Result<Result<u64, (ErrorCode, String)>> {
+        let corr = self.corr();
+        match self.round_trip(&Frame::Reload { corr, path: path.map(str::to_string) })? {
+            Frame::ReloadOk { generation, .. } => Ok(Ok(generation)),
+            Frame::Error { code, message, .. } => Ok(Err((code, message))),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    /// I/O failures or an unparseable reply.
+    pub fn stats(&mut self) -> std::io::Result<StatsSnapshot> {
+        let corr = self.corr();
+        match self.round_trip(&Frame::Stats { corr })? {
+            Frame::StatsReply { json, .. } => serde_json::from_str(&json)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down; returns once acknowledged.
+    ///
+    /// # Errors
+    /// I/O failures or a non-ShutdownOk reply.
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        let corr = self.corr();
+        match self.round_trip(&Frame::Shutdown { corr })? {
+            Frame::ShutdownOk { .. } => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The underlying stream (battery cases inject raw bytes).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

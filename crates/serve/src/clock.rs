@@ -1,0 +1,69 @@
+//! Injectable monotonic clocks so the micro-batch window is testable
+//! without sleeping: the server runs on [`SystemClock`], tests drive a
+//! [`ManualClock`] tick by tick and assert exactly when a batch flushes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time anchored at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: time moves only when the
+/// test calls [`advance`](ManualClock::advance) or
+/// [`set`](ManualClock::set). Cloning shares the underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock frozen at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jumps time to an absolute value.
+    pub fn set(&self, ns: u64) {
+        self.now.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}

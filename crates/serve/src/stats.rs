@@ -1,0 +1,209 @@
+//! Server counters and phase accounting.
+//!
+//! Every counter is a relaxed atomic bumped on the hot path; a
+//! [`StatsSnapshot`] is a consistent-enough point-in-time read used for
+//! the `Stats` protocol reply, the shutdown summary, and the serve
+//! [`RunLedger`](harp_metrics::RunLedger) epochs. Phase nanoseconds mirror
+//! the trainer's breakdown discipline: `queue_wait` (admission to
+//! dispatch), `assemble` (batch → matrix), `predict` (forest traversal),
+//! and `write` (response serialization + socket write) partition a
+//! request's server-side life.
+
+use harp_metrics::{LedgerRecord, PlanStats, RunLedger};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hot-path counters for one server instance.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Score requests admitted to the queue.
+    pub requests: AtomicU64,
+    /// Rows in admitted Score requests.
+    pub rows: AtomicU64,
+    /// Micro-batches dispatched.
+    pub batches: AtomicU64,
+    /// Score requests shed by admission control (queue full).
+    pub sheds: AtomicU64,
+    /// Protocol errors answered (malformed frames, bad shapes).
+    pub protocol_errors: AtomicU64,
+    /// Model hot-swaps installed.
+    pub swaps: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Nanoseconds requests spent queued before their batch dispatched.
+    pub queue_wait_ns: AtomicU64,
+    /// Nanoseconds assembling batch matrices.
+    pub assemble_ns: AtomicU64,
+    /// Nanoseconds in forest traversal.
+    pub predict_ns: AtomicU64,
+    /// Nanoseconds serializing and writing responses.
+    pub write_ns: AtomicU64,
+}
+
+/// A point-in-time read of [`ServeStats`].
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsSnapshot {
+    /// Score requests admitted.
+    pub requests: u64,
+    /// Rows admitted.
+    pub rows: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Requests shed by admission control.
+    pub sheds: u64,
+    /// Protocol errors answered.
+    pub protocol_errors: u64,
+    /// Hot-swaps installed.
+    pub swaps: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Generation of the forest being served.
+    pub generation: u64,
+    /// Feature count of the forest being served.
+    pub n_features: u64,
+    /// Score groups per row of the forest being served.
+    pub n_groups: u64,
+    /// Queue-wait seconds (sum over requests).
+    pub queue_wait_secs: f64,
+    /// Batch-assembly seconds.
+    pub assemble_secs: f64,
+    /// Predict seconds.
+    pub predict_secs: f64,
+    /// Response-write seconds.
+    pub write_secs: f64,
+}
+
+impl ServeStats {
+    /// Adds `ns` to a phase counter.
+    pub fn add_ns(counter: &AtomicU64, ns: u64) {
+        counter.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Bumps a count by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot with the served forest's generation and shape stamped in.
+    pub fn snapshot(&self, generation: u64, n_features: u64, n_groups: u64) -> StatsSnapshot {
+        let secs = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 / 1e9;
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            generation,
+            n_features,
+            n_groups,
+            queue_wait_secs: secs(&self.queue_wait_ns),
+            assemble_secs: secs(&self.assemble_ns),
+            predict_secs: secs(&self.predict_ns),
+            write_secs: secs(&self.write_ns),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Renders as one [`LedgerRecord`] for the serve ledger: the epoch
+    /// index plays the role of the boosting round, phase seconds carry the
+    /// serve phases, counters carry the deltas since the previous epoch;
+    /// tree-shape fields are zeroed (no trees are grown while serving).
+    pub fn to_ledger_record(
+        &self,
+        epoch: u64,
+        elapsed_secs: f64,
+        prev: &StatsSnapshot,
+    ) -> LedgerRecord {
+        LedgerRecord {
+            round: epoch,
+            elapsed_secs,
+            round_secs: 0.0,
+            phase_secs: vec![
+                ("queue_wait".into(), self.queue_wait_secs - prev.queue_wait_secs),
+                ("assemble".into(), self.assemble_secs - prev.assemble_secs),
+                ("predict".into(), self.predict_secs - prev.predict_secs),
+                ("write".into(), self.write_secs - prev.write_secs),
+            ],
+            counters: vec![
+                ("requests".into(), self.requests - prev.requests),
+                ("rows".into(), self.rows - prev.rows),
+                ("batches".into(), self.batches - prev.batches),
+                ("sheds".into(), self.sheds - prev.sheds),
+                ("protocol_errors".into(), self.protocol_errors - prev.protocol_errors),
+                ("swaps".into(), self.swaps - prev.swaps),
+                ("connections".into(), self.connections - prev.connections),
+            ],
+            eval_metric: None,
+            n_leaves: 0,
+            max_depth: 0,
+            mean_k_per_pop: 0.0,
+            mem: Vec::new(),
+            skew: Vec::new(),
+            plan: PlanStats::default(),
+        }
+    }
+}
+
+/// Accumulates serve epochs into a [`RunLedger`].
+#[derive(Debug, Default)]
+pub struct ServeLedger {
+    ledger: RunLedger,
+    prev: StatsSnapshot,
+    epoch: u64,
+}
+
+impl ServeLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Closes an epoch: records the delta between `snap` and the previous
+    /// epoch's snapshot.
+    pub fn record_epoch(&mut self, snap: StatsSnapshot, elapsed_secs: f64) {
+        self.epoch += 1;
+        self.ledger.push(snap.to_ledger_record(self.epoch, elapsed_secs, &self.prev));
+        self.prev = snap;
+    }
+
+    /// The accumulated ledger.
+    pub fn ledger(&self) -> &RunLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_ledger_deltas() {
+        let s = ServeStats::default();
+        ServeStats::bump(&s.requests);
+        ServeStats::bump(&s.requests);
+        s.rows.fetch_add(128, Ordering::Relaxed);
+        ServeStats::add_ns(&s.predict_ns, 2_000_000_000);
+        let snap = s.snapshot(3, 28, 1);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.rows, 128);
+        assert_eq!(snap.generation, 3);
+        assert_eq!(snap.n_features, 28);
+        assert!((snap.predict_secs - 2.0).abs() < 1e-9);
+
+        let mut ledger = ServeLedger::new();
+        ledger.record_epoch(snap.clone(), 1.0);
+        ServeStats::bump(&s.requests);
+        ledger.record_epoch(s.snapshot(3, 28, 1), 2.0);
+        let records = ledger.ledger().records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].counters[0], ("requests".into(), 2));
+        assert_eq!(records[1].counters[0], ("requests".into(), 1));
+        assert_eq!(records[1].round, 2);
+        // JSONL round-trip keeps the serve phases.
+        let text = ledger.ledger().to_jsonl();
+        let back = RunLedger::from_jsonl(&text).unwrap();
+        assert_eq!(back.records(), ledger.ledger().records());
+    }
+}

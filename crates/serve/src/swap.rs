@@ -1,0 +1,62 @@
+//! Zero-downtime model hot-swap.
+//!
+//! The serving forest lives behind a [`ForestSlot`]: readers clone an
+//! `Arc` under a briefly-held read lock, writers install a new `Arc`
+//! under the write lock. A dispatcher loads the slot **once per batch**
+//! and scores the whole batch against that snapshot, so every response is
+//! produced by exactly one complete forest — a swap mid-batch cannot
+//! produce a "torn" score mixing trees of two models. In-flight batches
+//! holding the old `Arc` keep it alive until they finish; the old forest
+//! is freed when its last batch drops it.
+
+use harpgbdt::FlatForest;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One installed model: the compiled forest plus a monotone generation.
+#[derive(Debug)]
+pub struct ServingForest {
+    /// The compiled forest scored against.
+    pub forest: FlatForest,
+    /// Monotone install counter (1 for the forest the server started
+    /// with); echoed by `ReloadOk` so clients can confirm a swap landed.
+    pub generation: u64,
+}
+
+/// The swap point: an atomically replaceable `Arc<ServingForest>`.
+#[derive(Debug)]
+pub struct ForestSlot {
+    current: RwLock<Arc<ServingForest>>,
+    next_gen: AtomicU64,
+}
+
+impl ForestSlot {
+    /// A slot serving `forest` as generation 1.
+    pub fn new(forest: FlatForest) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(ServingForest { forest, generation: 1 })),
+            next_gen: AtomicU64::new(2),
+        }
+    }
+
+    /// Snapshot of the forest being served right now. The lock is held
+    /// only for the `Arc` clone; score against the returned snapshot.
+    pub fn load(&self) -> Arc<ServingForest> {
+        Arc::clone(&self.current.read().expect("forest slot poisoned"))
+    }
+
+    /// Installs `forest` as the new serving model and returns its
+    /// generation. Readers that already hold a snapshot keep scoring
+    /// against the old forest; new loads see the new one.
+    pub fn swap(&self, forest: FlatForest) -> u64 {
+        let generation = self.next_gen.fetch_add(1, Ordering::SeqCst);
+        let fresh = Arc::new(ServingForest { forest, generation });
+        *self.current.write().expect("forest slot poisoned") = fresh;
+        generation
+    }
+
+    /// Generation of the currently-served forest.
+    pub fn generation(&self) -> u64 {
+        self.load().generation
+    }
+}

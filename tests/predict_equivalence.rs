@@ -257,3 +257,36 @@ fn incremental_eval_equals_full_rescore_multiclass() {
     let full = harp_metrics::multiclass_log_loss(&valid.labels, &probs, 3);
     assert_eq!(last, full, "incremental rescoring must equal a full rescore");
 }
+
+/// Regression for the width footgun: a matrix narrower than the model
+/// must trip the shared `check_features` guard instead of silently
+/// routing on the wrong cells. (Serving exposed this: `TrainParams`
+/// never sees prediction-time inputs, so the predictor itself must own
+/// the check.)
+#[test]
+#[should_panic(expected = "feature count mismatch")]
+fn narrow_dense_matrix_is_rejected() {
+    let (forest, _) = random_forest(7, 8, 2, false);
+    let narrow = FeatureMatrix::Dense(DenseMatrix::filled_missing(4, 7));
+    let _ = Predictor::new(&forest).predict_raw(&narrow);
+}
+
+#[test]
+#[should_panic(expected = "feature count mismatch")]
+fn narrow_bin_rows_are_rejected() {
+    let (forest, _) = random_forest(8, 8, 2, false);
+    let bins = vec![0u8; 4 * 7];
+    let rows = harpgbdt::predict::BinRows::new(4, 7, &bins);
+    let _ = Predictor::new(&forest).predict_raw_bin_rows(&rows);
+}
+
+/// Wider-than-model inputs keep working: extra columns are ignored.
+#[test]
+fn wide_dense_matrix_still_scores() {
+    let (forest, trees) = random_forest(9, 8, 2, false);
+    let n_rows = 16;
+    let (wide, _) = random_matrices(77, n_rows, 11);
+    let got = Predictor::new(&forest).predict_raw(&wide);
+    let expect = recursive_reference(&trees, forest.base_scores(), &wide, n_rows);
+    assert_eq!(got, expect, "extra columns must not change routing");
+}
