@@ -242,6 +242,23 @@ pub fn train(args: &[String]) -> Result<String, String> {
             let _ = writeln!(report, "per-phase worker skew:");
             let _ = write!(report, "{skew}");
         }
+        // Span-duration tails, derived from the already-recorded trace —
+        // the histograms cost the training hot path nothing extra.
+        let durations = snap.phase_durations_ns();
+        if !durations.is_empty() {
+            let _ = writeln!(report, "per-phase span durations (from trace):");
+            for (phase, durs) in durations {
+                let hist = harp_metrics::HistogramSnapshot::from_durations(durs);
+                let _ = writeln!(
+                    report,
+                    "  {phase:<12} p50 {:>9.1}us | p99 {:>9.1}us | p999 {:>9.1}us ({} spans)",
+                    hist.quantile(0.5) as f64 / 1e3,
+                    hist.quantile(0.99) as f64 / 1e3,
+                    hist.quantile(0.999) as f64 / 1e3,
+                    hist.count()
+                );
+            }
+        }
     }
     if let Some(path) = ledger_out {
         let ledger = out
@@ -509,6 +526,12 @@ pub fn report(args: &[String]) -> Result<String, String> {
         time_tolerance: opts.parse_or("--time-tolerance", d.time_tolerance)?,
         time_floor_secs: opts.parse_or("--time-floor", d.time_floor_secs)?,
     };
+    if let Some(spec) = opts.get("--slo") {
+        if diff.is_some() || bench_diff.is_some() {
+            return Err("--slo cannot be combined with --diff/--bench-diff".to_string());
+        }
+        return report_slo(spec, &opts);
+    }
     match (opts.get("--ledger"), diff, bench_diff) {
         (Some(path), None, None) => {
             let ledger = RunLedger::read_jsonl(Path::new(path))?;
@@ -536,6 +559,46 @@ pub fn report(args: &[String]) -> Result<String, String> {
             Err("report needs exactly one of: --ledger FILE, --diff A B, --bench-diff A B"
                 .to_string())
         }
+    }
+}
+
+/// The `report --slo` gate: judges recorded latency histograms against
+/// absolute tail budgets; a tripped budget returns `Err` (non-zero exit),
+/// mirroring the `--diff` gate's discipline.
+fn report_slo(spec: &str, opts: &Opts) -> Result<String, String> {
+    let specs = harp_metrics::parse_slo(spec)?;
+    let (source, hists) = match (opts.get("--ledger"), opts.get("--snapshot")) {
+        (Some(path), None) => {
+            let ledger = RunLedger::read_jsonl(Path::new(path))?;
+            // Epoch records carry per-epoch histogram deltas; merging them
+            // reconstructs the whole run's distribution.
+            let mut merged = harp_metrics::LatencySet::default();
+            for r in ledger.records() {
+                merged.merge(&r.latency);
+            }
+            (path.to_string(), merged.0)
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("failed to read snapshot {path}: {e}"))?;
+            let snap: harp_serve::StatsSnapshot = serde_json::from_str(&text)
+                .map_err(|e| format!("failed to parse snapshot {path}: {e}"))?;
+            (path.to_string(), snap.latency.0)
+        }
+        _ => {
+            return Err("--slo needs exactly one of: --ledger FILE (serve ledger JSONL) or \
+                        --snapshot FILE (Stats-reply JSON)"
+                .to_string())
+        }
+    };
+    let verdict = harp_metrics::evaluate_slo(&specs, &hists);
+    let mut out = String::new();
+    let _ = writeln!(out, "SLO gate over {source}:");
+    out.push_str(&verdict.render());
+    if verdict.failed() {
+        Err(out)
+    } else {
+        Ok(out)
     }
 }
 
@@ -625,6 +688,8 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         ledger_out: opts.get("--ledger-out").map(Into::into),
         ledger_every_batches: opts.parse_or("--ledger-every", defaults.ledger_every_batches)?,
         trace: trace_out.is_some(),
+        metrics_addr: opts.get("--metrics-addr").map(str::to_string),
+        record_latency: defaults.record_latency,
     };
     let mut handle =
         harp_serve::serve(forest, cfg).map_err(|e| format!("failed to start server: {e}"))?;
@@ -635,6 +700,9 @@ pub fn serve(args: &[String]) -> Result<String, String> {
          frame (or `bench_serve --shutdown`) to stop",
         handle.local_addr()
     );
+    if let Some(addr) = handle.metrics_addr() {
+        println!("metrics: http://{addr}/metrics (Prometheus text exposition)");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     while !handle.is_shutting_down() {
@@ -665,6 +733,19 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         "phase seconds: queue-wait {:.3} | assemble {:.3} | predict {:.3} | write {:.3}",
         snap.queue_wait_secs, snap.assemble_secs, snap.predict_secs, snap.write_secs
     );
+    for (name, hist) in snap.latency_hists() {
+        if hist.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "latency {name:<11} p50 {:>9.3}ms | p99 {:>9.3}ms | p999 {:>9.3}ms ({} samples)",
+            hist.quantile(0.5) as f64 / 1e6,
+            hist.quantile(0.99) as f64 / 1e6,
+            hist.quantile(0.999) as f64 / 1e6,
+            hist.count()
+        );
+    }
     Ok(s)
 }
 
@@ -802,6 +883,7 @@ mod tests {
                     feature_blk: 16,
                     ..Default::default()
                 },
+                latency: Default::default(),
             });
         }
         let path = std::env::temp_dir().join(name);
@@ -856,6 +938,63 @@ mod tests {
     #[test]
     fn report_requires_exactly_one_input() {
         assert!(report(&args(&[])).is_err());
+    }
+
+    /// A serve-shaped ledger: one epoch whose `predict` histogram carries
+    /// the given samples.
+    fn write_serve_ledger(name: &str, predict_ns: &[u64]) -> std::path::PathBuf {
+        let mut ledger = RunLedger::new();
+        ledger.push(harp_metrics::LedgerRecord {
+            round: 1,
+            elapsed_secs: 1.0,
+            round_secs: 0.0,
+            phase_secs: vec![("predict".into(), 0.001)],
+            counters: vec![("requests".into(), predict_ns.len() as u64)],
+            eval_metric: None,
+            n_leaves: 0,
+            max_depth: 0,
+            mean_k_per_pop: 0.0,
+            mem: Vec::new(),
+            skew: Vec::new(),
+            plan: Default::default(),
+            latency: harp_metrics::LatencySet(vec![(
+                "predict".into(),
+                harp_metrics::HistogramSnapshot::from_durations(predict_ns.iter().copied()),
+            )]),
+        });
+        let path = std::env::temp_dir().join(name);
+        ledger.write_jsonl(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn report_slo_fails_non_zero_on_violation_and_passes_under_budget() {
+        // p99 of these samples is ~3ms: a 1ms budget must trip, 250ms must not.
+        let path = write_serve_ledger("harp_cli_slo.jsonl", &[1_000_000, 2_000_000, 3_000_000]);
+        let tight = args(&["--slo", "predict:p99<1ms", "--ledger", path.to_str().unwrap()]);
+        let err = report(&tight).unwrap_err();
+        assert!(err.contains("FAIL"), "violated SLO must exit non-zero: {err}");
+        let loose = args(&["--slo", "predict:p99<250ms", "--ledger", path.to_str().unwrap()]);
+        let out = report(&loose).unwrap();
+        assert!(out.contains("ok"), "generous SLO must pass: {out}");
+        // An SLO over a phase the ledger never measured must also fail.
+        let missing = args(&["--slo", "write:p99<250ms", "--ledger", path.to_str().unwrap()]);
+        assert!(report(&missing).unwrap_err().contains("no data"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn report_slo_reads_a_snapshot_file() {
+        let stats = harp_serve::ServeStats::default();
+        stats.predict_hist.record(2_000_000);
+        let snap = stats.snapshot(1, 8, 1, 0.5);
+        let path = std::env::temp_dir().join("harp_cli_slo_snap.json");
+        std::fs::write(&path, serde_json::to_string(&snap).unwrap()).unwrap();
+        let tight = args(&["--slo", "predict:p99<1ms", "--snapshot", path.to_str().unwrap()]);
+        assert!(report(&tight).is_err());
+        let loose = args(&["--slo", "predict:p99<1s", "--snapshot", path.to_str().unwrap()]);
+        assert!(report(&loose).is_ok());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

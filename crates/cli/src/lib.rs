@@ -10,7 +10,9 @@
 //!   (micro-batching, admission control, zero-downtime hot-swap).
 //! * `eval`    — compute metrics of a saved model on a labeled file.
 //! * `report`  — render, summarize, or diff run ledgers (and bench JSON)
-//!   with per-metric tolerance thresholds; a tripped gate exits non-zero.
+//!   with per-metric tolerance thresholds, or judge serve latency
+//!   histograms against `--slo` tail budgets; a tripped gate exits
+//!   non-zero.
 //! * `importance` — print per-feature gain/split importance.
 //! * `dump`    — human-readable tree dump.
 //! * `synth`   — generate one of the paper-shaped synthetic datasets to a
@@ -68,6 +70,7 @@ pub fn usage() -> String {
         s,
         "              [--watch-ms N] [--ledger-out FILE] [--ledger-every N] [--trace-out FILE]"
     );
+    let _ = writeln!(s, "              [--metrics-addr HOST:PORT]  (plain-HTTP /metrics endpoint)");
     let _ = writeln!(s, "  eval        --model FILE --data FILE [--metric NAME] [--groups FILE]");
     let _ = writeln!(
         s,
@@ -77,6 +80,10 @@ pub fn usage() -> String {
     let _ = writeln!(
         s,
         "              [--tolerance F] [--warn F] [--time-tolerance F] [--time-floor SECS]"
+    );
+    let _ = writeln!(
+        s,
+        "              --slo SPEC (--ledger FILE | --snapshot FILE)   e.g. predict:p99<5ms"
     );
     let _ = writeln!(s, "  importance  --model FILE [--top N]");
     let _ = writeln!(s, "  dump        --model FILE");

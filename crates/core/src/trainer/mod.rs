@@ -663,6 +663,7 @@ impl GbdtTrainer {
                         bin_blk: ext.bin_blk as u64,
                         auto: ext.auto,
                     },
+                    latency: Default::default(),
                 });
             }
             if stop {

@@ -1,0 +1,467 @@
+//! Lock-free latency histograms: HDR-style log-linear buckets over `u64`
+//! nanoseconds.
+//!
+//! The serving hot path cannot afford a mutex or a sorted reservoir per
+//! request, so [`AtomicHistogram::record`] is two relaxed `fetch_add`s and
+//! one `leading_zeros` — constant cost, wait-free, safe to call from any
+//! number of recorder threads concurrently. Readers take a
+//! [`HistogramSnapshot`] (a plain counts vector) and compute quantiles,
+//! merge runs, or diff epochs offline.
+//!
+//! ## Bucket scheme
+//!
+//! Values below `2^SUB_BITS` get one bucket each (exact); above that, each
+//! power-of-two octave is split into `2^SUB_BITS` linear sub-buckets, so
+//! the relative width of any bucket is at most `1 / 2^SUB_BITS` (6.25% at
+//! the default `SUB_BITS = 4`). Quantiles report the bucket's *upper*
+//! edge, so an estimate never understates the true latency and is at most
+//! one bucket width above it. The whole `u64` range fits in
+//! [`N_BUCKETS`] = 976 buckets (~7.6 KiB of counters per histogram).
+//!
+//! ## Consistency model
+//!
+//! All counters are relaxed atomics. A snapshot taken while recorders run
+//! may tear between buckets (see a count in one bucket but not yet the
+//! matching `sum` delta); totals are exact once recorders quiesce. This is
+//! the same trade every relaxed stats counter in the repo makes — the
+//! telemetry plane must never stall the data plane.
+
+use serde::{Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` linear
+/// buckets, bounding relative bucket width by `2^-SUB_BITS` (6.25%).
+pub const SUB_BITS: u32 = 4;
+
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total buckets covering the full `u64` range at [`SUB_BITS`] resolution.
+pub const N_BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Bucket index of value `v` (log-linear; see the module docs).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let bit_len = 64 - v.leading_zeros();
+    let shift = bit_len - 1 - SUB_BITS;
+    let sub = ((v >> shift) - SUB) as usize;
+    (SUB as usize) * (1 + shift as usize) + sub
+}
+
+/// Largest value mapping to bucket `i` — the cumulative upper edge used
+/// for quantile readout and Prometheus `le` bounds.
+///
+/// # Panics
+/// Panics if `i >= N_BUCKETS`.
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    assert!(i < N_BUCKETS, "bucket index {i} out of range");
+    if i < SUB as usize {
+        return i as u64;
+    }
+    let octave = (i / SUB as usize - 1) as u32;
+    let sub = (i % SUB as usize) as u64;
+    let lower = (SUB + sub) << octave;
+    // Associate the `- 1` inward: for the top bucket `lower + 2^octave`
+    // is exactly `2^64` and would overflow before the subtraction.
+    lower + ((1u64 << octave) - 1)
+}
+
+/// A wait-free, mergeable latency histogram. `record` is safe from any
+/// number of threads; `snapshot` can run concurrently (relaxed reads).
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("AtomicHistogram")
+            .field("count", &snap.count())
+            .field("sum", &snap.sum())
+            .finish()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (nanoseconds, by convention). Two relaxed
+    /// `fetch_add`s — constant cost, no locks, no allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters (relaxed loads; see the module
+    /// docs for the consistency model).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a histogram's counters: quantile readout, merging,
+/// epoch deltas, and a compact sparse serde encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { counts: vec![0; N_BUCKETS], sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot directly from raw durations (the trace-derivation
+    /// path: spans are already collected, no atomics needed).
+    pub fn from_durations(durations: impl IntoIterator<Item = u64>) -> Self {
+        let mut out = Self::default();
+        for d in durations {
+            out.counts[bucket_index(d)] += 1;
+            out.sum = out.sum.saturating_add(d);
+        }
+        out
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper edge of the bucket
+    /// holding the target rank — never understates the true value, and
+    /// overstates it by at most one bucket width (≤ 6.25% relative).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(N_BUCKETS - 1)
+    }
+
+    /// Adds `other`'s counts into `self` (combining runs or workers).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Per-bucket delta since `prev` (one ledger epoch's worth of traffic).
+    /// Saturating: concurrent-recorder tearing can make a relaxed snapshot
+    /// momentarily read behind the previous one.
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&prev.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(prev.sum),
+        }
+    }
+
+    /// Non-empty buckets as `(upper edge, count)` pairs in ascending
+    /// order (the exposition / encoding view).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+// The compact encoding is sparse — `{"sum": S, "buckets": [[i, c], ...]}`
+// with only non-zero buckets — because a dense 976-entry array per phase
+// per ledger epoch would dominate the JSONL. Manual impls (not derived)
+// keep the wire format stable against internal layout changes, and
+// `missing()` lets ledgers written before histograms existed still parse.
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        let buckets: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64, c))
+            .collect();
+        Value::Obj(vec![
+            ("sum".to_string(), self.sum.to_value()),
+            ("buckets".to_string(), buckets.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for HistogramSnapshot {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let obj = v.as_obj().ok_or_else(|| serde::Error::new("expected histogram object"))?;
+        let sum: u64 = serde::field(obj, "sum")?;
+        let pairs: Vec<(u64, u64)> = serde::field(obj, "buckets")?;
+        let mut counts = vec![0u64; N_BUCKETS];
+        for (i, c) in pairs {
+            let slot = counts
+                .get_mut(i as usize)
+                .ok_or_else(|| serde::Error::new(format!("histogram bucket {i} out of range")))?;
+            *slot = c;
+        }
+        Ok(Self { counts, sum })
+    }
+
+    fn missing() -> Option<Self> {
+        Some(Self::default())
+    }
+}
+
+/// Named latency histograms riding along a record (e.g. the serve phases
+/// of one ledger epoch). A dedicated type so a missing field in old
+/// ledgers reads back as empty — the same backward-compatibility trick as
+/// `PlanStats`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencySet(pub Vec<(String, HistogramSnapshot)>);
+
+impl LatencySet {
+    /// The histogram recorded under `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.0.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Merges `other` into `self` name-by-name, inserting unseen names.
+    pub fn merge(&mut self, other: &LatencySet) {
+        for (name, hist) in &other.0 {
+            match self.0.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(hist),
+                None => self.0.push((name.clone(), hist.clone())),
+            }
+        }
+    }
+}
+
+impl Serialize for LatencySet {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for LatencySet {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Vec::from_value(v).map(LatencySet)
+    }
+
+    fn missing() -> Option<Self> {
+        Some(Self::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        // Exhaustive over the low range, spot checks across octaves.
+        let mut prev = 0usize;
+        for v in 0u64..4096 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index must be monotone at {v}");
+            assert!(v <= bucket_upper(i), "{v} must not exceed its bucket's upper edge");
+            prev = i;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_relative_width_is_bounded() {
+        for i in SUB as usize..N_BUCKETS {
+            let upper = bucket_upper(i);
+            let lower = if i == 0 { 0 } else { bucket_upper(i - 1).saturating_add(1) };
+            let width = upper - lower;
+            assert!(
+                (width as f64) <= lower as f64 / SUB as f64 + 1.0,
+                "bucket {i}: width {width} vs lower {lower}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_against_small_exact_values() {
+        let h = HistogramSnapshot::from_durations([1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        // Values < 16 land in exact unit buckets, so quantiles are exact.
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.1), 1);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_everywhere() {
+        let h = HistogramSnapshot::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_nothing() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        const THREADS: usize = 8;
+        const PER: u64 = 10_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        h.record(t as u64 * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), THREADS as u64 * PER, "wait-free recording must lose no count");
+        let expect_sum: u64 = (0..THREADS as u64)
+            .map(|t| (0..PER).map(|i| t * 1_000 + i % 997).sum::<u64>())
+            .sum();
+        assert_eq!(snap.sum(), expect_sum);
+    }
+
+    #[test]
+    fn delta_since_isolates_an_epoch_and_saturates() {
+        let h = AtomicHistogram::new();
+        h.record(5);
+        h.record(500);
+        let epoch1 = h.snapshot();
+        h.record(5);
+        let epoch2 = h.snapshot();
+        let d = epoch2.delta_since(&epoch1);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.sum(), 5);
+        // A torn read can hand `delta_since` a "previous" snapshot that is
+        // ahead of the current one; the delta clamps instead of wrapping.
+        let wrapped = epoch1.delta_since(&epoch2);
+        assert_eq!(wrapped.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn latency_set_merge_and_lookup() {
+        let mut a =
+            LatencySet(vec![("predict".into(), HistogramSnapshot::from_durations([10u64]))]);
+        let b = LatencySet(vec![
+            ("predict".into(), HistogramSnapshot::from_durations([20u64])),
+            ("write".into(), HistogramSnapshot::from_durations([30u64])),
+        ]);
+        a.merge(&b);
+        assert_eq!(a.get("predict").unwrap().count(), 2);
+        assert_eq!(a.get("write").unwrap().count(), 1);
+        assert!(a.get("absent").is_none());
+    }
+
+    proptest! {
+        /// Quantile estimates sit at or above the exact order statistic and
+        /// within one bucket's relative width of it.
+        #[test]
+        fn prop_quantile_brackets_sorted_oracle(
+            values in prop::collection::vec(0u64..1_000_000_000, 1..200),
+            q_mil in 1u64..1000,
+        ) {
+            let q = q_mil as f64 / 1000.0;
+            let h = HistogramSnapshot::from_durations(values.iter().copied());
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            prop_assert!(est >= exact, "estimate {est} understates exact {exact}");
+            // Upper edge of the exact value's bucket is the worst case.
+            prop_assert!(est <= bucket_upper(bucket_index(exact)));
+        }
+
+        /// Quantile readout is monotone in q.
+        #[test]
+        fn prop_quantile_monotone_in_q(
+            values in prop::collection::vec(0u64..1_000_000_000_000, 1..100),
+        ) {
+            let h = HistogramSnapshot::from_durations(values.iter().copied());
+            let qs = [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+            for w in qs.windows(2) {
+                prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+            }
+        }
+
+        /// Merging two snapshots equals recording the concatenation.
+        #[test]
+        fn prop_merge_equals_concat(
+            a in prop::collection::vec(0u64..1_000_000_000, 0..100),
+            b in prop::collection::vec(0u64..1_000_000_000, 0..100),
+        ) {
+            let mut merged = HistogramSnapshot::from_durations(a.iter().copied());
+            merged.merge(&HistogramSnapshot::from_durations(b.iter().copied()));
+            let concat =
+                HistogramSnapshot::from_durations(a.iter().chain(b.iter()).copied());
+            prop_assert_eq!(merged, concat);
+        }
+
+        /// The compact sparse encoding round-trips exactly through JSON.
+        #[test]
+        fn prop_serde_round_trip(
+            values in prop::collection::vec(0u64..u64::MAX, 0..100),
+        ) {
+            let h = HistogramSnapshot::from_durations(values.iter().copied());
+            let json = serde_json::to_string(&h).unwrap();
+            let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, &h);
+            let set = LatencySet(vec![("e2e".into(), h)]);
+            let json = serde_json::to_string(&set).unwrap();
+            let back: LatencySet = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, set);
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! pairs rather than fixed struct fields, so adding a counter or gauge never
 //! breaks old ledgers and the comparator needs no per-metric code.
 
+use crate::histogram::LatencySet;
 use crate::memory::MemGaugeRecord;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -101,6 +102,11 @@ pub struct LedgerRecord {
     /// Block-plan batches/tasks this round plus the resolved extents
     /// (zeroed in ledgers written before planning was recorded).
     pub plan: PlanStats,
+    /// Per-phase latency histograms for this record's window (the serve
+    /// ledger's request-tail distributions; empty in training ledgers and
+    /// in ledgers written before histograms existed — `LatencySet::missing`
+    /// keeps old JSONL parsing, the same trick as `plan`).
+    pub latency: LatencySet,
 }
 
 /// An in-memory ledger: the ordered records of one run plus JSONL I/O.
@@ -267,6 +273,7 @@ impl LedgerSummary {
 
         let mut leaves_sum = 0.0f64;
         let mut k_sum = 0.0f64;
+        let mut latency = LatencySet::default();
         for r in records {
             upsert("time/round_secs".into(), r.round_secs, sum);
             for (name, v) in &r.phase_secs {
@@ -298,11 +305,23 @@ impl LedgerSummary {
             upsert("plan/auto".into(), f64::from(u8::from(r.plan.auto)), max);
             leaves_sum += f64::from(r.n_leaves);
             k_sum += r.mean_k_per_pop;
+            latency.merge(&r.latency);
         }
         if !records.is_empty() {
             let n = records.len() as f64;
             m.push(("tree/leaves_mean".into(), leaves_sum / n));
             m.push(("tree/k_per_pop_mean".into(), k_sum / n));
+        }
+        // Whole-run latency tails: epoch histograms carry deltas, so the
+        // merge reconstructs the run's full distribution. The `_ns` suffix
+        // routes these through the timing tolerances in `DiffOptions`.
+        for (name, hist) in &latency.0 {
+            if hist.is_empty() {
+                continue;
+            }
+            for (label, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
+                m.push((format!("latency/{name}/{label}_ns"), hist.quantile(q) as f64));
+            }
         }
         Self { rounds: records.len(), metrics: m }
     }
@@ -554,6 +573,7 @@ mod tests {
                 bin_blk: 0,
                 auto: false,
             },
+            latency: LatencySet::default(),
         }
     }
 

@@ -11,13 +11,19 @@
 //!   profile-counter deltas, eval metric, tree shape, worker skew, and
 //!   [`MemGauge`] byte accounting; [`DiffReport`] compares two runs with
 //!   tolerance thresholds for regression gating.
+//! * [`AtomicHistogram`] / [`HistogramSnapshot`] — wait-free log-bucketed
+//!   latency histograms with quantile readout and a compact serde
+//!   encoding; [`parse_slo`] / [`evaluate_slo`] judge recorded tails
+//!   against absolute budgets (the `report --slo` CI gate).
 
 mod breakdown;
 mod convergence;
 mod eval;
+pub mod histogram;
 mod ledger;
 mod memory;
 mod ranking;
+mod slo;
 
 pub use breakdown::{BreakdownReport, PhaseSkewRow, TimeBreakdown, WorkerSkewReport};
 pub use convergence::{ConvergencePoint, ConvergenceTrace};
@@ -25,8 +31,10 @@ pub use eval::{
     accuracy, auc, error_rate, huber_loss, log_loss, multiclass_error, multiclass_log_loss,
     pinball_loss, rmse, tweedie_deviance,
 };
+pub use histogram::{AtomicHistogram, HistogramSnapshot, LatencySet};
 pub use ledger::{
     DiffOptions, DiffReport, DiffRow, DiffStatus, LedgerRecord, LedgerSummary, PlanStats, RunLedger,
 };
 pub use memory::{gauges, MemGauge, MemGaugeRecord, MemRegistry};
 pub use ranking::ndcg_at_k;
+pub use slo::{evaluate_slo, parse_slo, SloReport, SloRow, SloSpec};

@@ -1,0 +1,264 @@
+//! Latency SLO gates: parse `phase:quantile<threshold` specs and judge
+//! them against recorded latency histograms.
+//!
+//! This is the serving-side sibling of [`crate::DiffReport`]: where the
+//! diff gate compares two runs, the SLO gate compares one run against an
+//! absolute tail-latency budget — `predict:p99<5ms,queue_wait:p999<20ms`
+//! — and a tripped budget exits CI non-zero, so latency regressions fail
+//! the build the way training-time regressions already do.
+
+use crate::histogram::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// One parsed SLO clause: a named phase, a quantile, and a budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Histogram name the clause applies to (`predict`, `queue_wait`, ...).
+    pub phase: String,
+    /// Quantile in `(0, 1)` (`p99` → 0.99, `p999` → 0.999).
+    pub quantile: f64,
+    /// The quantile as written (`p99`), kept for rendering.
+    pub quantile_label: String,
+    /// Budget in nanoseconds; the observed quantile must be **below** it.
+    pub threshold_ns: u64,
+}
+
+/// Parses a comma-separated SLO list: `phase:pQ<threshold` clauses where
+/// the threshold takes an `ns`/`us`/`ms`/`s` suffix.
+///
+/// The digits after `p` read as the percentile's decimal digits: `p50` is
+/// the median, `p999` is the 99.9th percentile.
+///
+/// # Errors
+/// Returns a message naming the first malformed clause.
+pub fn parse_slo(spec: &str) -> Result<Vec<SloSpec>, String> {
+    let mut out = Vec::new();
+    for clause in spec.split(',') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let (phase, rest) = clause
+            .split_once(':')
+            .ok_or_else(|| format!("SLO clause {clause:?}: expected phase:pQ<threshold"))?;
+        let (q_label, threshold) = rest
+            .split_once('<')
+            .ok_or_else(|| format!("SLO clause {clause:?}: expected phase:pQ<threshold"))?;
+        let quantile = parse_quantile(q_label.trim()).ok_or_else(|| {
+            format!("SLO clause {clause:?}: bad quantile {q_label:?} (p50..p999)")
+        })?;
+        let threshold_ns = parse_duration_ns(threshold.trim()).ok_or_else(|| {
+            format!("SLO clause {clause:?}: bad threshold {threshold:?} (e.g. 5ms, 250us, 1s)")
+        })?;
+        out.push(SloSpec {
+            phase: phase.trim().to_string(),
+            quantile,
+            quantile_label: q_label.trim().to_string(),
+            threshold_ns,
+        });
+    }
+    if out.is_empty() {
+        return Err("empty SLO spec (expected e.g. predict:p99<5ms)".to_string());
+    }
+    Ok(out)
+}
+
+/// `p50` → 0.5, `p99` → 0.99, `p999` → 0.999; `None` outside `(0, 1)`.
+fn parse_quantile(s: &str) -> Option<f64> {
+    let digits = s.strip_prefix('p')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    // The digits read as a decimal fraction: p50 → 0.50, p999 → 0.999.
+    let n: f64 = digits.parse().ok()?;
+    let q = n / 10f64.powi(digits.len() as i32);
+    if q > 0.0 && q < 1.0 {
+        Some(q)
+    } else {
+        None
+    }
+}
+
+/// `"5ms"` → 5e6, `"250us"` → 250_000, `"1.5s"` → 1.5e9; `None` on a
+/// missing/unknown unit (a bare number would be ambiguous).
+fn parse_duration_ns(s: &str) -> Option<u64> {
+    // Check the longer suffixes first: "ms"/"us"/"ns" all end in 's'.
+    let (num, scale) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        return None;
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    if !v.is_finite() || v < 0.0 {
+        return None;
+    }
+    Some((v * scale).round() as u64)
+}
+
+/// One judged clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRow {
+    /// The clause.
+    pub spec: SloSpec,
+    /// Observed quantile in nanoseconds; `None` when the phase has no
+    /// recorded histogram (judged as a failure — an SLO over a phase that
+    /// was never measured must scream, not silently pass).
+    pub observed_ns: Option<u64>,
+    /// Observations backing the quantile.
+    pub count: u64,
+    /// Whether the clause held.
+    pub ok: bool,
+}
+
+/// The gate's verdict over every clause.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloReport {
+    /// One row per clause, in spec order.
+    pub rows: Vec<SloRow>,
+}
+
+impl SloReport {
+    /// Whether any clause failed (the non-zero-exit condition).
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| !r.ok)
+    }
+
+    /// Renders an aligned verdict table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>12} {:>12} {:>8}  verdict",
+            "phase", "q", "observed", "budget", "samples"
+        );
+        for r in &self.rows {
+            let observed = match r.observed_ns {
+                Some(ns) => format_ns(ns),
+                None => "no data".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>6} {:>12} {:>12} {:>8}  {}",
+                r.spec.phase,
+                r.spec.quantile_label,
+                observed,
+                format_ns(r.spec.threshold_ns),
+                r.count,
+                if r.ok { "ok" } else { "FAIL" }
+            );
+        }
+        out
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Judges `specs` against named histograms. A clause whose phase has no
+/// histogram fails; an empty histogram passes trivially (quantile 0) —
+/// no traffic is not a latency violation.
+pub fn evaluate_slo(specs: &[SloSpec], hists: &[(String, HistogramSnapshot)]) -> SloReport {
+    let rows = specs
+        .iter()
+        .map(|spec| {
+            let hist = hists.iter().find(|(n, _)| *n == spec.phase).map(|(_, h)| h);
+            match hist {
+                Some(h) => {
+                    let observed = h.quantile(spec.quantile);
+                    SloRow {
+                        spec: spec.clone(),
+                        observed_ns: Some(observed),
+                        count: h.count(),
+                        ok: observed < spec.threshold_ns,
+                    }
+                }
+                None => SloRow { spec: spec.clone(), observed_ns: None, count: 0, ok: false },
+            }
+        })
+        .collect();
+    SloReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_canonical_spec() {
+        let specs = parse_slo("predict:p99<5ms, queue_wait:p999<20ms").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].phase, "predict");
+        assert!((specs[0].quantile - 0.99).abs() < 1e-12);
+        assert_eq!(specs[0].threshold_ns, 5_000_000);
+        assert!((specs[1].quantile - 0.999).abs() < 1e-12);
+        assert_eq!(specs[1].threshold_ns, 20_000_000);
+    }
+
+    #[test]
+    fn parses_every_duration_unit() {
+        assert_eq!(parse_duration_ns("250ns"), Some(250));
+        assert_eq!(parse_duration_ns("250us"), Some(250_000));
+        assert_eq!(parse_duration_ns("1.5ms"), Some(1_500_000));
+        assert_eq!(parse_duration_ns("2s"), Some(2_000_000_000));
+        assert_eq!(parse_duration_ns("5"), None, "unitless thresholds are ambiguous");
+        assert_eq!(parse_duration_ns("-1ms"), None);
+    }
+
+    #[test]
+    fn quantile_digits_read_as_percentile_digits() {
+        assert_eq!(parse_quantile("p5"), Some(0.5));
+        assert_eq!(parse_quantile("p50"), Some(0.5));
+        assert_eq!(parse_quantile("p90"), Some(0.9));
+        assert_eq!(parse_quantile("p99"), Some(0.99));
+        assert_eq!(parse_quantile("p999"), Some(0.999));
+        assert_eq!(parse_quantile("p0"), None);
+        assert_eq!(parse_quantile("q99"), None);
+        assert_eq!(parse_quantile("pxx"), None);
+    }
+
+    #[test]
+    fn malformed_specs_error_with_the_clause() {
+        for bad in ["predict", "predict:p99", "predict:p99<5", "p99<5ms", ""] {
+            let err = parse_slo(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn gate_passes_under_budget_and_fails_over_it() {
+        let hists = vec![(
+            "predict".to_string(),
+            HistogramSnapshot::from_durations([1_000_000u64, 2_000_000, 3_000_000]),
+        )];
+        let pass = evaluate_slo(&parse_slo("predict:p99<10ms").unwrap(), &hists);
+        assert!(!pass.failed(), "{}", pass.render());
+        let fail = evaluate_slo(&parse_slo("predict:p99<1ms").unwrap(), &hists);
+        assert!(fail.failed());
+        assert!(fail.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn missing_phase_fails_and_empty_histogram_passes() {
+        let hists = vec![("predict".to_string(), HistogramSnapshot::default())];
+        let missing = evaluate_slo(&parse_slo("write:p99<1ms").unwrap(), &hists);
+        assert!(missing.failed(), "an unmeasured phase must not silently pass");
+        assert!(missing.render().contains("no data"));
+        let empty = evaluate_slo(&parse_slo("predict:p99<1ms").unwrap(), &hists);
+        assert!(!empty.failed(), "zero traffic is not a latency violation");
+    }
+}

@@ -541,6 +541,34 @@ impl TraceSnapshot {
             .collect()
     }
 
+    /// Per-phase span durations in nanoseconds, pooled across all lanes
+    /// (coordinator included — its FindSplit/reduce spans are real work).
+    ///
+    /// Returns `(phase name, durations)` rows in phase order, skipping
+    /// phases with no spans. This is the feed for duration histograms:
+    /// span rings already pay the recording cost, so deriving the
+    /// distribution here adds nothing to the training hot path. Rings
+    /// drop oldest under pressure, so long runs see a suffix sample.
+    pub fn phase_durations_ns(&self) -> Vec<(&'static str, Vec<u64>)> {
+        TracePhase::all()
+            .into_iter()
+            .filter_map(|p| {
+                let durations: Vec<u64> = self
+                    .lanes
+                    .iter()
+                    .flat_map(|l| &l.spans)
+                    .filter(|s| s.phase == p as u8)
+                    .map(|s| s.t_end_ns.saturating_sub(s.t_start_ns))
+                    .collect();
+                if durations.is_empty() {
+                    None
+                } else {
+                    Some((p.name(), durations))
+                }
+            })
+            .collect()
+    }
+
     /// Per-worker barrier-wait nanoseconds (worker lanes only).
     pub fn worker_barrier_wait_ns(&self) -> Vec<u64> {
         let workers = self.lanes.len().saturating_sub(1);
@@ -798,6 +826,23 @@ mod tests {
         }
         assert_eq!(complete_events, 40);
         assert!(saw_barrier_counter, "per-lane counter events missing");
+    }
+
+    #[test]
+    fn phase_durations_pool_spans_across_lanes_and_skip_empty_phases() {
+        let sink = TraceSink::with_capacity(2, 64);
+        sink.record(0, TracePhase::BuildHist, 0, 0, 100, 350);
+        sink.record(1, TracePhase::BuildHist, 1, 0, 200, 260);
+        sink.record(sink.coordinator_lane(), TracePhase::FindSplit, 0, 0, 400, 410);
+        let snap = sink.snapshot();
+        let rows = snap.phase_durations_ns();
+        assert_eq!(rows.len(), 2, "phases with no spans must be skipped: {rows:?}");
+        let (name, durs) = &rows[0];
+        assert_eq!(*name, TracePhase::BuildHist.name());
+        let mut durs = durs.clone();
+        durs.sort_unstable();
+        assert_eq!(durs, vec![60, 250]);
+        assert_eq!(rows[1], (TracePhase::FindSplit.name(), vec![10]));
     }
 
     #[test]

@@ -24,10 +24,12 @@
 //! * **Zero-downtime hot-swap** ([`swap`]): the forest lives behind an
 //!   atomically replaceable `Arc`; each batch scores against one snapshot,
 //!   so every response comes from exactly one complete model.
-//! * **Observability** ([`stats`]): phase-accounted counters
-//!   (queue-wait / assemble / predict / write), a `Stats` protocol frame,
-//!   and serve-epoch [`RunLedger`](harp_metrics::RunLedger) records
-//!   compatible with `harpgbdt report`.
+//! * **Observability** ([`stats`], [`metrics_http`]): phase-accounted
+//!   counters and latency histograms (queue-wait / assemble / predict /
+//!   write plus end-to-end), a `Stats` protocol frame, serve-epoch
+//!   [`RunLedger`](harp_metrics::RunLedger) records compatible with
+//!   `harpgbdt report` (including `--slo` gating), and a std-only
+//!   plain-HTTP `/metrics` endpoint in Prometheus text exposition.
 //! * **Hostile-input battery** ([`battery`]): one shared set of
 //!   malformed-frame attacks used by the integration tests, the
 //!   `bench_serve` load generator, and CI.
@@ -36,6 +38,7 @@ pub mod batch;
 pub mod battery;
 pub mod client;
 pub mod clock;
+pub mod metrics_http;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -44,7 +47,8 @@ pub mod swap;
 pub use batch::BatchWindow;
 pub use client::{ScoreReply, ServeClient};
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use metrics_http::render_prometheus;
 pub use protocol::{ErrorCode, Frame, FrameType, ProtocolError, RowsPayload};
 pub use server::{serve, serve_with_clock, ServeConfig, ServerHandle};
-pub use stats::{ServeStats, StatsSnapshot};
+pub use stats::{ServeStats, StatsSnapshot, PHASE_HIST_NAMES};
 pub use swap::{ForestSlot, ServingForest};

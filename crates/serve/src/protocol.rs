@@ -220,7 +220,13 @@ pub enum Frame {
     StatsReply {
         /// The request's correlation id.
         corr: u32,
-        /// JSON-encoded [`crate::stats::StatsSnapshot`].
+        /// JSON-encoded [`crate::stats::StatsSnapshot`]. Since the
+        /// telemetry revision this includes `uptime_secs`, a
+        /// `queue_depth` gauge, and a `latency` array of per-phase
+        /// histograms (`end_to_end`/`queue_wait`/`assemble`/`predict`/
+        /// `write`, sparse `[bucket, count]` pairs); clients built
+        /// against the earlier shape can ignore the extra fields, and
+        /// new clients parse old servers (the fields are optional).
         json: String,
     },
     /// Shutdown acknowledged.

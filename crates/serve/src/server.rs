@@ -32,7 +32,7 @@ use crate::protocol::{
 use crate::stats::{ServeLedger, ServeStats, StatsSnapshot};
 use crate::swap::ForestSlot;
 use harp_data::{DenseMatrix, FeatureMatrix};
-use harp_parallel::{PhaseSpan, ThreadPool, TracePhase, TraceSink};
+use harp_parallel::{ThreadPool, TraceSink};
 use harpgbdt::{BinRows, GbdtModel, Predictor};
 use std::io::Read;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -84,6 +84,12 @@ pub struct ServeConfig {
     pub ledger_every_batches: u64,
     /// Record phase spans into a [`TraceSink`] (chrome-trace exportable).
     pub trace: bool,
+    /// Bind a plain-HTTP `/metrics` endpoint (Prometheus text exposition)
+    /// here (`None` = no endpoint; `127.0.0.1:0` picks a free port).
+    pub metrics_addr: Option<String>,
+    /// Record per-request latency histograms (on by default; `bench_serve`
+    /// turns it off for one arm of its overhead A/B).
+    pub record_latency: bool,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +107,8 @@ impl Default for ServeConfig {
             ledger_out: None,
             ledger_every_batches: 64,
             trace: false,
+            metrics_addr: None,
+            record_latency: true,
         }
     }
 }
@@ -113,24 +121,28 @@ struct ScoreJob {
     enqueue_ns: u64,
 }
 
-/// State shared by every server thread.
-struct ServerCtx {
+/// State shared by every server thread (including the `/metrics`
+/// exposition thread).
+pub(crate) struct ServerCtx {
     cfg: ServeConfig,
     slot: ForestSlot,
     stats: ServeStats,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     clock: Arc<dyn Clock>,
     trace: Option<Arc<TraceSink>>,
+    /// Process start; feeds the snapshot's `uptime_secs`.
+    t0: Instant,
 }
 
 impl ServerCtx {
     /// Counters stamped with the served forest's generation and shape.
-    fn snapshot(&self) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let serving = self.slot.load();
         self.stats.snapshot(
             serving.generation,
             serving.forest.n_features() as u64,
             serving.forest.n_groups() as u64,
+            self.t0.elapsed().as_secs_f64(),
         )
     }
 
@@ -149,10 +161,12 @@ impl ServerCtx {
 /// [`wait`](Self::wait).
 pub struct ServerHandle {
     local_addr: std::net::SocketAddr,
+    metrics_addr: Option<std::net::SocketAddr>,
     ctx: Arc<ServerCtx>,
     acceptor: Option<JoinHandle<()>>,
     dispatcher: Option<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -160,6 +174,11 @@ impl ServerHandle {
     /// The bound address (resolves `:0` port picks).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.local_addr
+    }
+
+    /// The bound `/metrics` address, when the config asked for one.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_addr
     }
 
     /// The hot-swap slot (e.g. to install a new model in-process).
@@ -194,6 +213,9 @@ impl ServerHandle {
             let _ = h.join();
         }
         if let Some(h) = self.watcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics.take() {
             let _ = h.join();
         }
         let handles = std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
@@ -238,6 +260,7 @@ pub fn serve_with_clock(
         clock,
         trace,
         cfg,
+        t0: Instant::now(),
     });
 
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -256,6 +279,13 @@ pub fn serve_with_clock(
             .spawn(move || dispatch_loop(rx, ctx))
             .expect("spawn dispatcher")
     };
+    let (metrics_addr, metrics) = match ctx.cfg.metrics_addr.clone() {
+        Some(addr) => {
+            let (bound, handle) = crate::metrics_http::spawn(Arc::clone(&ctx), &addr)?;
+            (Some(bound), Some(handle))
+        }
+        None => (None, None),
+    };
     let watcher = ctx.cfg.watch_ms.and_then(|ms| {
         ctx.cfg.model_path.clone().map(|path| {
             let ctx = Arc::clone(&ctx);
@@ -268,10 +298,12 @@ pub fn serve_with_clock(
 
     Ok(ServerHandle {
         local_addr,
+        metrics_addr,
         ctx,
         acceptor: Some(acceptor),
         dispatcher: Some(dispatcher),
         watcher,
+        metrics,
         conns,
     })
 }
@@ -400,10 +432,17 @@ fn read_one(stream: &mut TcpStream, max_payload: u32, shutdown: &AtomicBool) -> 
     }
 }
 
-fn send_reply(writer: &Arc<Mutex<TcpStream>>, stats: &ServeStats, frame: &Frame) {
-    let _t = PhaseSpan::begin(None, 0, TracePhase::Other, 0, 0, Some(&stats.write_ns));
-    let mut w = writer.lock().expect("writer poisoned");
-    let _ = write_frame(&mut *w, frame);
+fn send_reply(writer: &Arc<Mutex<TcpStream>>, ctx: &ServerCtx, frame: &Frame) {
+    let t0 = Instant::now();
+    {
+        let mut w = writer.lock().expect("writer poisoned");
+        let _ = write_frame(&mut *w, frame);
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    ServeStats::add_ns(&ctx.stats.write_ns, ns);
+    if ctx.cfg.record_latency {
+        ctx.stats.write_hist.record(ns);
+    }
 }
 
 fn connection_loop(stream: TcpStream, ctx: Arc<ServerCtx>, tx: SyncSender<ScoreJob>) {
@@ -421,7 +460,7 @@ fn connection_loop(stream: TcpStream, ctx: Arc<ServerCtx>, tx: SyncSender<ScoreJ
                 ServeStats::bump(&ctx.stats.protocol_errors);
                 send_reply(
                     &writer,
-                    &ctx.stats,
+                    &ctx,
                     &Frame::Error { corr: 0, code: e.code(), message: e.to_string() },
                 );
                 if e.is_framing() {
@@ -446,14 +485,14 @@ fn handle_frame(
     writer: &Arc<Mutex<TcpStream>>,
 ) -> bool {
     match frame {
-        Frame::Ping { corr } => send_reply(writer, &ctx.stats, &Frame::Pong { corr }),
+        Frame::Ping { corr } => send_reply(writer, ctx, &Frame::Pong { corr }),
         Frame::Stats { corr } => {
             let snap = ctx.snapshot();
             let json = serde_json::to_string(&snap).unwrap_or_else(|_| "{}".into());
-            send_reply(writer, &ctx.stats, &Frame::StatsReply { corr, json });
+            send_reply(writer, ctx, &Frame::StatsReply { corr, json });
         }
         Frame::Shutdown { corr } => {
-            send_reply(writer, &ctx.stats, &Frame::ShutdownOk { corr });
+            send_reply(writer, ctx, &Frame::ShutdownOk { corr });
             ctx.shutdown.store(true, Ordering::SeqCst);
             return false;
         }
@@ -470,16 +509,12 @@ fn handle_frame(
                     Err(message) => Frame::Error { corr, code: ErrorCode::ReloadFailed, message },
                 },
             };
-            send_reply(writer, &ctx.stats, &reply);
+            send_reply(writer, ctx, &reply);
         }
         Frame::Score { corr, rows } => {
             if let Some(message) = admission_error(ctx, &rows) {
                 ServeStats::bump(&ctx.stats.protocol_errors);
-                send_reply(
-                    writer,
-                    &ctx.stats,
-                    &Frame::Error { corr, code: ErrorCode::BadShape, message },
-                );
+                send_reply(writer, ctx, &Frame::Error { corr, code: ErrorCode::BadShape, message });
                 return true;
             }
             let n_rows = rows.n_rows() as u64;
@@ -489,12 +524,14 @@ fn handle_frame(
                 Ok(()) => {
                     ServeStats::bump(&ctx.stats.requests);
                     ctx.stats.rows.fetch_add(n_rows, Ordering::Relaxed);
+                    // Gauge up on admission; score_batch gauges back down.
+                    ctx.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(TrySendError::Full(_)) => {
                     ServeStats::bump(&ctx.stats.sheds);
                     send_reply(
                         writer,
-                        &ctx.stats,
+                        ctx,
                         &Frame::Error {
                             corr,
                             code: ErrorCode::Overloaded,
@@ -511,7 +548,7 @@ fn handle_frame(
             ServeStats::bump(&ctx.stats.protocol_errors);
             send_reply(
                 writer,
-                &ctx.stats,
+                ctx,
                 &Frame::Error {
                     corr: other.corr(),
                     code: ErrorCode::Malformed,
@@ -612,10 +649,16 @@ fn dispatch_loop(rx: Receiver<ScoreJob>, ctx: Arc<ServerCtx>) {
 /// Scores one micro-batch against a single forest snapshot and writes
 /// every response.
 fn score_batch(batch: Vec<ScoreJob>, ctx: &ServerCtx, pool: Option<&ThreadPool>) {
+    let record = ctx.cfg.record_latency;
     let now = ctx.clock.now_ns();
     for job in &batch {
-        ServeStats::add_ns(&ctx.stats.queue_wait_ns, now.saturating_sub(job.enqueue_ns));
+        let wait = now.saturating_sub(job.enqueue_ns);
+        ServeStats::add_ns(&ctx.stats.queue_wait_ns, wait);
+        if record {
+            ctx.stats.queue_wait_hist.record(wait);
+        }
     }
+    ctx.stats.queue_depth.fetch_sub(batch.len() as u64, Ordering::Relaxed);
     ServeStats::bump(&ctx.stats.batches);
     // One snapshot for the whole batch: every response comes from exactly
     // this forest, however many swaps land while it runs.
@@ -649,7 +692,7 @@ fn score_batch(batch: Vec<ScoreJob>, ctx: &ServerCtx, pool: Option<&ThreadPool>)
                 ServeStats::bump(&ctx.stats.protocol_errors);
                 send_reply(
                     &job.writer,
-                    &ctx.stats,
+                    ctx,
                     &Frame::Error {
                         corr: job.corr,
                         code: ErrorCode::BadShape,
@@ -672,9 +715,19 @@ fn score_batch(batch: Vec<ScoreJob>, ctx: &ServerCtx, pool: Option<&ThreadPool>)
             predictor = predictor.with_trace(sink);
         }
 
+        // Explicit Instant timing so the same measurement feeds both the
+        // running totals and the latency histograms.
+        let phase_done = |t0: Instant,
+                          counter: &std::sync::atomic::AtomicU64,
+                          hist: &harp_metrics::AtomicHistogram| {
+            let ns = t0.elapsed().as_nanos() as u64;
+            ServeStats::add_ns(counter, ns);
+            if record {
+                hist.record(ns);
+            }
+        };
         let scores = if group.binned {
-            let assemble =
-                PhaseSpan::begin(None, 0, TracePhase::Other, 0, 0, Some(&ctx.stats.assemble_ns));
+            let t0 = Instant::now();
             let n_cols = group.n_cols as usize;
             let mut bins = Vec::new();
             for job in &group.jobs {
@@ -683,13 +736,13 @@ fn score_batch(batch: Vec<ScoreJob>, ctx: &ServerCtx, pool: Option<&ThreadPool>)
                 }
             }
             let n_rows = bins.len() / n_cols;
-            drop(assemble);
-            let _t =
-                PhaseSpan::begin(None, 0, TracePhase::Other, 0, 0, Some(&ctx.stats.predict_ns));
-            predictor.predict_raw_bin_rows(&BinRows::new(n_rows, n_cols, &bins))
+            phase_done(t0, &ctx.stats.assemble_ns, &ctx.stats.assemble_hist);
+            let t0 = Instant::now();
+            let scores = predictor.predict_raw_bin_rows(&BinRows::new(n_rows, n_cols, &bins));
+            phase_done(t0, &ctx.stats.predict_ns, &ctx.stats.predict_hist);
+            scores
         } else {
-            let assemble =
-                PhaseSpan::begin(None, 0, TracePhase::Other, 0, 0, Some(&ctx.stats.assemble_ns));
+            let t0 = Instant::now();
             let n_cols = group.n_cols as usize;
             let mut values = Vec::new();
             for job in &group.jobs {
@@ -699,10 +752,11 @@ fn score_batch(batch: Vec<ScoreJob>, ctx: &ServerCtx, pool: Option<&ThreadPool>)
             }
             let n_rows = values.len() / n_cols;
             let matrix = FeatureMatrix::Dense(DenseMatrix::from_vec(n_rows, n_cols, values));
-            drop(assemble);
-            let _t =
-                PhaseSpan::begin(None, 0, TracePhase::Other, 0, 0, Some(&ctx.stats.predict_ns));
-            predictor.predict_raw(&matrix)
+            phase_done(t0, &ctx.stats.assemble_ns, &ctx.stats.assemble_hist);
+            let t0 = Instant::now();
+            let scores = predictor.predict_raw(&matrix);
+            phase_done(t0, &ctx.stats.predict_ns, &ctx.stats.predict_hist);
+            scores
         };
 
         let mut offset = 0usize;
@@ -710,13 +764,17 @@ fn score_batch(batch: Vec<ScoreJob>, ctx: &ServerCtx, pool: Option<&ThreadPool>)
             let len = job.rows.n_rows() * n_groups;
             send_reply(
                 &job.writer,
-                &ctx.stats,
+                ctx,
                 &Frame::Scores {
                     corr: job.corr,
                     n_groups: n_groups as u32,
                     scores: scores[offset..offset + len].to_vec(),
                 },
             );
+            if record {
+                let e2e = ctx.clock.now_ns().saturating_sub(job.enqueue_ns);
+                ctx.stats.e2e_hist.record(e2e);
+            }
             offset += len;
         }
     }

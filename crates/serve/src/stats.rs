@@ -1,15 +1,19 @@
-//! Server counters and phase accounting.
+//! Server counters, latency histograms, and phase accounting.
 //!
 //! Every counter is a relaxed atomic bumped on the hot path; a
 //! [`StatsSnapshot`] is a consistent-enough point-in-time read used for
-//! the `Stats` protocol reply, the shutdown summary, and the serve
-//! [`RunLedger`](harp_metrics::RunLedger) epochs. Phase nanoseconds mirror
-//! the trainer's breakdown discipline: `queue_wait` (admission to
-//! dispatch), `assemble` (batch → matrix), `predict` (forest traversal),
-//! and `write` (response serialization + socket write) partition a
-//! request's server-side life.
+//! the `Stats` protocol reply, the shutdown summary, the `/metrics`
+//! exposition, and the serve [`RunLedger`](harp_metrics::RunLedger)
+//! epochs. Phase nanoseconds mirror the trainer's breakdown discipline:
+//! `queue_wait` (admission to dispatch), `assemble` (batch → matrix),
+//! `predict` (forest traversal), and `write` (response serialization +
+//! socket write) partition a request's server-side life. Each phase also
+//! feeds an [`AtomicHistogram`] so tails (p99/p999) are observable, not
+//! just totals; `end_to_end` spans admission to scored reply.
 
-use harp_metrics::{LedgerRecord, PlanStats, RunLedger};
+use harp_metrics::{
+    AtomicHistogram, HistogramSnapshot, LatencySet, LedgerRecord, PlanStats, RunLedger,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Hot-path counters for one server instance.
@@ -29,6 +33,8 @@ pub struct ServeStats {
     pub swaps: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Jobs currently queued for dispatch (gauge: admitted − dispatched).
+    pub queue_depth: AtomicU64,
     /// Nanoseconds requests spent queued before their batch dispatched.
     pub queue_wait_ns: AtomicU64,
     /// Nanoseconds assembling batch matrices.
@@ -37,7 +43,22 @@ pub struct ServeStats {
     pub predict_ns: AtomicU64,
     /// Nanoseconds serializing and writing responses.
     pub write_ns: AtomicU64,
+    /// Admission → scored-reply latency distribution, per request.
+    pub e2e_hist: AtomicHistogram,
+    /// Queue-wait latency distribution, per request.
+    pub queue_wait_hist: AtomicHistogram,
+    /// Batch-assembly latency distribution, per batch.
+    pub assemble_hist: AtomicHistogram,
+    /// Predict latency distribution, per batch.
+    pub predict_hist: AtomicHistogram,
+    /// Response-write latency distribution, per reply.
+    pub write_hist: AtomicHistogram,
 }
+
+/// Histogram names as they appear in [`StatsSnapshot::latency`],
+/// `/metrics` labels, ledger metrics, and `--slo` specs.
+pub const PHASE_HIST_NAMES: [&str; 5] =
+    ["end_to_end", "queue_wait", "assemble", "predict", "write"];
 
 /// A point-in-time read of [`ServeStats`].
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -70,6 +91,15 @@ pub struct StatsSnapshot {
     pub predict_secs: f64,
     /// Response-write seconds.
     pub write_secs: f64,
+    /// Seconds since the server started (distinguishes a fresh process
+    /// from a long-lived one whose counters may have wrapped). Absent in
+    /// pre-histogram snapshots; `Option::missing` keeps them parsing.
+    pub uptime_secs: Option<f64>,
+    /// Jobs queued for dispatch at snapshot time.
+    pub queue_depth: Option<u64>,
+    /// Latency histograms in [`PHASE_HIST_NAMES`] order; empty when the
+    /// snapshot predates histogram recording.
+    pub latency: LatencySet,
 }
 
 impl ServeStats {
@@ -84,7 +114,13 @@ impl ServeStats {
     }
 
     /// Snapshot with the served forest's generation and shape stamped in.
-    pub fn snapshot(&self, generation: u64, n_features: u64, n_groups: u64) -> StatsSnapshot {
+    pub fn snapshot(
+        &self,
+        generation: u64,
+        n_features: u64,
+        n_groups: u64,
+        uptime_secs: f64,
+    ) -> StatsSnapshot {
         let secs = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 / 1e9;
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
@@ -101,6 +137,21 @@ impl ServeStats {
             assemble_secs: secs(&self.assemble_ns),
             predict_secs: secs(&self.predict_ns),
             write_secs: secs(&self.write_ns),
+            uptime_secs: Some(uptime_secs),
+            queue_depth: Some(self.queue_depth.load(Ordering::Relaxed)),
+            latency: LatencySet(
+                PHASE_HIST_NAMES
+                    .iter()
+                    .zip([
+                        &self.e2e_hist,
+                        &self.queue_wait_hist,
+                        &self.assemble_hist,
+                        &self.predict_hist,
+                        &self.write_hist,
+                    ])
+                    .map(|(name, h)| ((*name).to_string(), h.snapshot()))
+                    .collect(),
+            ),
         }
     }
 }
@@ -108,32 +159,50 @@ impl ServeStats {
 impl StatsSnapshot {
     /// Renders as one [`LedgerRecord`] for the serve ledger: the epoch
     /// index plays the role of the boosting round, phase seconds carry the
-    /// serve phases, counters carry the deltas since the previous epoch;
-    /// tree-shape fields are zeroed (no trees are grown while serving).
+    /// serve phases, counters carry the deltas since the previous epoch,
+    /// latency histograms carry per-epoch bucket deltas; tree-shape fields
+    /// are zeroed (no trees are grown while serving).
+    ///
+    /// All deltas saturate at zero: the component loads are relaxed and
+    /// can tear across a concurrent epoch boundary, so `prev` may be
+    /// momentarily ahead of `self` on individual counters.
     pub fn to_ledger_record(
         &self,
         epoch: u64,
         elapsed_secs: f64,
         prev: &StatsSnapshot,
     ) -> LedgerRecord {
+        let latency = LatencySet(
+            self.latency
+                .0
+                .iter()
+                .map(|(name, hist)| {
+                    let prev_hist = prev.latency.get(name).cloned().unwrap_or_default();
+                    (name.clone(), hist.delta_since(&prev_hist))
+                })
+                .collect(),
+        );
         LedgerRecord {
             round: epoch,
             elapsed_secs,
             round_secs: 0.0,
             phase_secs: vec![
-                ("queue_wait".into(), self.queue_wait_secs - prev.queue_wait_secs),
-                ("assemble".into(), self.assemble_secs - prev.assemble_secs),
-                ("predict".into(), self.predict_secs - prev.predict_secs),
-                ("write".into(), self.write_secs - prev.write_secs),
+                ("queue_wait".into(), (self.queue_wait_secs - prev.queue_wait_secs).max(0.0)),
+                ("assemble".into(), (self.assemble_secs - prev.assemble_secs).max(0.0)),
+                ("predict".into(), (self.predict_secs - prev.predict_secs).max(0.0)),
+                ("write".into(), (self.write_secs - prev.write_secs).max(0.0)),
             ],
             counters: vec![
-                ("requests".into(), self.requests - prev.requests),
-                ("rows".into(), self.rows - prev.rows),
-                ("batches".into(), self.batches - prev.batches),
-                ("sheds".into(), self.sheds - prev.sheds),
-                ("protocol_errors".into(), self.protocol_errors - prev.protocol_errors),
-                ("swaps".into(), self.swaps - prev.swaps),
-                ("connections".into(), self.connections - prev.connections),
+                ("requests".into(), self.requests.saturating_sub(prev.requests)),
+                ("rows".into(), self.rows.saturating_sub(prev.rows)),
+                ("batches".into(), self.batches.saturating_sub(prev.batches)),
+                ("sheds".into(), self.sheds.saturating_sub(prev.sheds)),
+                (
+                    "protocol_errors".into(),
+                    self.protocol_errors.saturating_sub(prev.protocol_errors),
+                ),
+                ("swaps".into(), self.swaps.saturating_sub(prev.swaps)),
+                ("connections".into(), self.connections.saturating_sub(prev.connections)),
             ],
             eval_metric: None,
             n_leaves: 0,
@@ -142,7 +211,14 @@ impl StatsSnapshot {
             mem: Vec::new(),
             skew: Vec::new(),
             plan: PlanStats::default(),
+            latency,
         }
+    }
+
+    /// The merged latency histograms as `(name, histogram)` pairs — the
+    /// shape [`harp_metrics::evaluate_slo`] consumes.
+    pub fn latency_hists(&self) -> &[(String, HistogramSnapshot)] {
+        &self.latency.0
     }
 }
 
@@ -185,25 +261,53 @@ mod tests {
         ServeStats::bump(&s.requests);
         s.rows.fetch_add(128, Ordering::Relaxed);
         ServeStats::add_ns(&s.predict_ns, 2_000_000_000);
-        let snap = s.snapshot(3, 28, 1);
+        s.predict_hist.record(2_000_000_000);
+        let snap = s.snapshot(3, 28, 1, 1.5);
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.rows, 128);
         assert_eq!(snap.generation, 3);
         assert_eq!(snap.n_features, 28);
         assert!((snap.predict_secs - 2.0).abs() < 1e-9);
+        assert_eq!(snap.uptime_secs, Some(1.5));
+        assert_eq!(snap.queue_depth, Some(0));
+        assert_eq!(snap.latency.0.len(), PHASE_HIST_NAMES.len());
+        let predict = snap.latency.get("predict").unwrap();
+        assert_eq!(predict.count(), 1);
+        assert!(predict.quantile(0.99) >= 2_000_000_000);
 
         let mut ledger = ServeLedger::new();
         ledger.record_epoch(snap.clone(), 1.0);
         ServeStats::bump(&s.requests);
-        ledger.record_epoch(s.snapshot(3, 28, 1), 2.0);
+        s.predict_hist.record(1_000_000);
+        ledger.record_epoch(s.snapshot(3, 28, 1, 2.5), 2.0);
         let records = ledger.ledger().records();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].counters[0], ("requests".into(), 2));
         assert_eq!(records[1].counters[0], ("requests".into(), 1));
         assert_eq!(records[1].round, 2);
-        // JSONL round-trip keeps the serve phases.
+        // Epoch histograms are deltas: epoch 2 sees only the 1ms sample.
+        let epoch2 = records[1].latency.get("predict").unwrap();
+        assert_eq!(epoch2.count(), 1);
+        assert!(epoch2.quantile(0.5) < 2_000_000);
+        // JSONL round-trip keeps the serve phases and histograms.
         let text = ledger.ledger().to_jsonl();
         let back = RunLedger::from_jsonl(&text).unwrap();
         assert_eq!(back.records(), ledger.ledger().records());
+    }
+
+    #[test]
+    fn ledger_record_saturates_when_prev_snapshot_reads_ahead() {
+        // Relaxed loads can tear across an epoch boundary, leaving `prev`
+        // momentarily ahead of `self` on individual counters; the deltas
+        // must clamp to zero instead of wrapping to ~u64::MAX.
+        let prev =
+            StatsSnapshot { requests: 10, rows: 1000, queue_wait_secs: 0.5, ..Default::default() };
+        let cur = StatsSnapshot { requests: 9, rows: 1001, ..Default::default() };
+        let rec = cur.to_ledger_record(1, 1.0, &prev);
+        assert_eq!(rec.counters[0], ("requests".into(), 0), "torn counter must saturate");
+        assert_eq!(rec.counters[1], ("rows".into(), 1));
+        let (name, qw) = &rec.phase_secs[0];
+        assert_eq!(name, "queue_wait");
+        assert_eq!(*qw, 0.0, "torn phase seconds must clamp at zero");
     }
 }

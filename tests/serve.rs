@@ -287,8 +287,113 @@ fn stats_frame_reports_counters_and_shape() {
     assert!(snap.requests >= 5, "admitted requests counted: {snap:?}");
     assert!(snap.rows >= 40, "admitted rows counted: {snap:?}");
     assert!(snap.batches >= 1, "batches dispatched: {snap:?}");
+    // Telemetry fields: uptime, the queue gauge, and per-phase histograms.
+    assert!(snap.uptime_secs.is_some_and(|u| u > 0.0), "uptime reported: {snap:?}");
+    assert!(snap.queue_depth.is_some(), "queue gauge reported: {snap:?}");
+    for phase in harp_serve::PHASE_HIST_NAMES {
+        let hist = snap.latency.get(phase).unwrap_or_else(|| panic!("{phase} histogram missing"));
+        assert!(hist.count() >= 1, "{phase} histogram recorded samples: {snap:?}");
+    }
+    let e2e = snap.latency.get("end_to_end").expect("e2e histogram");
+    assert!(e2e.quantile(0.99) >= e2e.quantile(0.5), "quantiles are monotone");
     h.shutdown();
     h.wait();
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    use std::io::{Read as _, Write as _};
+    let forest = train_forest(12, 4);
+    let n_features = forest.n_features();
+    let cfg = ServeConfig { metrics_addr: Some("127.0.0.1:0".into()), ..ServeConfig::default() };
+    let mut h = serve(forest, cfg).expect("start server");
+    let metrics_addr = h.metrics_addr().expect("metrics endpoint bound");
+
+    // Generate traffic so every phase histogram has samples.
+    let mut client = ServeClient::connect(h.local_addr()).expect("connect");
+    for i in 0..5 {
+        let reply = client
+            .score_dense(n_features as u32, dense_rows(8, n_features, i))
+            .expect("io ok");
+        assert!(matches!(reply, ScoreReply::Scores { .. }));
+    }
+
+    // Raw-TCP scrape: a plain HTTP/1.1 GET, no client library.
+    let scrape = |path: &str| -> String {
+        let mut s = TcpStream::connect(metrics_addr).expect("connect metrics");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: harp\r\nConnection: close\r\n\r\n")
+            .expect("write request");
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read response");
+        response
+    };
+    let response = scrape("/metrics");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "scrape status: {response}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "exposition content type: {response}"
+    );
+    for family in [
+        "harp_serve_requests_total",
+        "harp_serve_queue_depth",
+        "harp_serve_uptime_seconds",
+        "# TYPE harp_serve_phase_latency_seconds histogram",
+        "harp_serve_request_latency_seconds_bucket",
+    ] {
+        assert!(response.contains(family), "missing {family:?} in scrape:\n{response}");
+    }
+    for phase in ["queue_wait", "assemble", "predict", "write"] {
+        let needle = format!("harp_serve_phase_latency_seconds_bucket{{phase=\"{phase}\"");
+        assert!(response.contains(&needle), "missing {needle:?} in scrape:\n{response}");
+    }
+    // Anything else 404s without wedging the endpoint.
+    assert!(scrape("/nope").starts_with("HTTP/1.1 404"));
+    assert!(scrape("/metrics").starts_with("HTTP/1.1 200 OK"), "endpoint survives a 404");
+
+    h.shutdown();
+    h.wait();
+}
+
+#[test]
+fn serve_ledger_round_trips_latency_histograms() {
+    let dir = std::env::temp_dir().join(format!("harp_serve_ledger_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ledger_path = dir.join("serve-ledger.jsonl");
+    let forest = train_forest(13, 4);
+    let n_features = forest.n_features();
+    let cfg = ServeConfig {
+        ledger_out: Some(ledger_path.clone()),
+        ledger_every_batches: 1,
+        ..ServeConfig::default()
+    };
+    let mut h = serve(forest, cfg).expect("start server");
+    let mut client = ServeClient::connect(h.local_addr()).expect("connect");
+    for i in 0..4 {
+        let reply = client
+            .score_dense(n_features as u32, dense_rows(8, n_features, i))
+            .expect("io ok");
+        assert!(matches!(reply, ScoreReply::Scores { .. }));
+    }
+    drop(client);
+    h.shutdown();
+    h.wait();
+
+    let ledger = harp_metrics::RunLedger::read_jsonl(&ledger_path).expect("ledger parses");
+    assert!(!ledger.records().is_empty(), "serve ledger has epochs");
+    let mut merged = harp_metrics::LatencySet::default();
+    for r in ledger.records() {
+        merged.merge(&r.latency);
+    }
+    let predict = merged.get("predict").expect("predict histogram in ledger");
+    assert!(predict.count() >= 1, "epoch deltas carried samples");
+    // The summary exposes tail metrics the diff gate can regress on.
+    let summary = ledger.summary();
+    assert!(
+        summary.metrics.iter().any(|(name, _)| name == "latency/predict/p99_ns"),
+        "summary emits latency quantile metrics: {:?}",
+        summary.metrics.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------------
