@@ -192,8 +192,8 @@ fn bench_drivers(c: &mut Criterion) {
             let n = fx.qm.n_rows();
             let mut part = RowPartition::new(n, 64, membuf);
             part.reset(&fx.grads);
-            part.apply_split(0, 1, 2, &|r| r % 2 == 0, None);
-            part.apply_split(1, 3, 4, &|r| r % 3 == 0, None);
+            part.apply_split(0, 1, 2, &|_, r| r % 2 == 0, None);
+            part.apply_split(1, 3, 4, &|_, r| r % 3 == 0, None);
             let params = TrainParams { n_threads: 4, use_membuf: membuf, ..TrainParams::default() };
             let nodes = [3u32, 4, 2];
             for (mode_name, mode) in
@@ -239,8 +239,8 @@ fn trace_smoke(_c: &mut Criterion) {
     let n = fx.qm.n_rows();
     let mut part = RowPartition::new(n, 64, true);
     part.reset(&fx.grads);
-    part.apply_split(0, 1, 2, &|r| r % 2 == 0, None);
-    part.apply_split(1, 3, 4, &|r| r % 3 == 0, None);
+    part.apply_split(0, 1, 2, &|_, r| r % 2 == 0, None);
+    part.apply_split(1, 3, 4, &|_, r| r % 3 == 0, None);
     let params = TrainParams { n_threads: 4, ..TrainParams::default() };
     let nodes = [3u32, 4, 2];
     let run = |pool: &ThreadPool| -> Vec<Vec<f64>> {

@@ -9,7 +9,7 @@ fn bench_partition(c: &mut Criterion) {
     let n = 200_000;
     let grads: Vec<[f32; 2]> = (0..n).map(|i| [i as f32, 1.0]).collect();
     let pool = ThreadPool::new(4);
-    let pred = |r: u32| r.wrapping_mul(2654435761) % 3 == 0;
+    let pred = |_: usize, r: u32| r.wrapping_mul(2654435761) % 3 == 0;
 
     let mut group = c.benchmark_group("partition");
     group.sample_size(20);

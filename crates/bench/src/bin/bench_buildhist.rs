@@ -30,7 +30,7 @@ struct Fixture {
 
 fn fixture(kind: DatasetKind, scale: f64, seed: u64) -> Fixture {
     let d = SynthConfig::new(kind, seed).with_scale(scale).generate();
-    let qm = QuantizedMatrix::from_matrix(&d.features, BinningConfig::default());
+    let qm = harp_bench::quantize_default(&d.features);
     let n = qm.n_rows();
     let grads: Vec<[f32; 2]> = (0..n).map(|i| [((i % 17) as f32) - 8.0, 0.25]).collect();
     let rows: Vec<u32> = (0..n as u32).collect();
@@ -326,6 +326,64 @@ fn main() {
     ));
     layouts.print();
 
+    // --- External memory: the same dense row scan through a ChunkedStore at
+    // shrinking resident budgets. 100% holds every chunk resident after the
+    // first sweep (prefetch-hit steady state); 25% forces ~3/4 of the chunks
+    // to cycle through eviction on every sweep, so the delta is the decode +
+    // mmap-read cost the budget buys back. Outputs are bitwise identical.
+    let mut xmem = Table::new(
+        format!("External-memory row_scan, single thread ({} HIGGS-like rows)", higgs.qm.n_rows()),
+        &["store", "budget", "ms/sweep", "vs in-core", "loads", "evictions"],
+    );
+    {
+        use harpgbdt::kernels::row_scan_store;
+        use harpgbdt::QuantStore as _;
+        let incore = best_secs(reps, || {
+            row_scan(&higgs.qm, &higgs.rows, GradSource::Global(&higgs.grads), 0..m, &mut buf)
+        });
+        xmem.row(vec![
+            "in-core".into(),
+            "-".into(),
+            format!("{:.3}", incore * 1e3),
+            "1.00".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        let path = std::env::temp_dir()
+            .join(format!("harp_buildhist_{}_{}.qsc", std::process::id(), higgs.qm.n_rows()));
+        let rows_per_chunk = (higgs.qm.n_rows() / 16).max(256);
+        harpgbdt::write_cache(&higgs.qm, rows_per_chunk, &path).expect("write chunk cache");
+        for frac in [1.0, 0.5, 0.25] {
+            let budget = (higgs.qm.storage_bytes() as f64 * frac).max(1.0) as u64;
+            let store = harpgbdt::ChunkedStore::open(&path, budget).expect("open chunk cache");
+            let secs = best_secs(reps, || {
+                row_scan_store(
+                    &store,
+                    &higgs.rows,
+                    GradSource::Global(&higgs.grads),
+                    0..m,
+                    &mut buf,
+                    false,
+                )
+            });
+            let io = store.io_stats();
+            xmem.row(vec![
+                "chunked".into(),
+                format!("{:.0}%", frac * 100.0),
+                format!("{:.3}", secs * 1e3),
+                format!("{:.2}", secs / incore),
+                io.chunk_loads.to_string(),
+                io.chunk_evictions.to_string(),
+            ]);
+        }
+        std::fs::remove_file(&path).ok();
+        xmem.note(
+            "vs in-core is chunked/in-core time (lower is better; 1.0 = free); \
+             loads/evictions count chunk decodes and LRU evictions across all reps",
+        );
+    }
+    xmem.print();
+
     // --- End-to-end training throughput with the kernel toggle flipped.
     let data = prepared(DatasetKind::HiggsLike, args.data_scale(0.5, 4.0), args.seed);
     let n_trees = args.n_trees(10, 60);
@@ -470,7 +528,7 @@ fn main() {
     );
     ledger_tbl.print();
 
-    Table::write_json(&[&kernels, &layouts, &training, &overhead, &ledger_tbl], out)
+    Table::write_json(&[&kernels, &layouts, &xmem, &training, &overhead, &ledger_tbl], out)
         .expect("write json");
     println!("\nwrote {}", out.display());
     if dense_row_speedup < 1.5 {

@@ -12,7 +12,6 @@
 
 use harp_baselines::Baseline;
 use harp_bench::{harp_params, prepared, run_config, ExpArgs, PreparedData, Table};
-use harp_binning::{BinningConfig, QuantizedMatrix};
 use harp_data::DatasetKind;
 use harpgbdt::TrainParams;
 
@@ -63,7 +62,7 @@ fn main() {
         let mut t1: Option<f64> = None;
         for &t in &threads {
             let grown = data.train.duplicated(t);
-            let quantized = QuantizedMatrix::from_matrix(&grown.features, BinningConfig::default());
+            let quantized = harp_bench::quantize_default(&grown.features);
             let grown_data =
                 PreparedData { kind: data.kind, train: grown, test: data.test.clone(), quantized };
             let mut params = mk(t);

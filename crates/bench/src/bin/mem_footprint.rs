@@ -42,6 +42,7 @@ fn main() {
         &[
             "mode",
             "membuf",
+            "quant store",
             "hist pool",
             "hist cache",
             "replicas",
@@ -72,6 +73,7 @@ fn main() {
             table.row(vec![
                 label.to_string(),
                 if use_membuf { "on" } else { "off" }.to_string(),
+                format!("{:.0}", kb(mem, gauges::QUANT_STORE)),
                 format!("{:.0}", kb(mem, gauges::HIST_POOL)),
                 format!("{:.0}", kb(mem, gauges::HIST_CACHE)),
                 format!("{:.0}", kb(mem, gauges::SCRATCH_ARENA)),
@@ -84,6 +86,11 @@ fn main() {
     table.note(
         "high-water bytes from the run-ledger memory gauges (final round record); \
          membuf buf = 2 gradient replicas x n_rows x 8 B, constant across modes",
+    );
+    table.note(
+        "quant store = the quantized matrix itself (row/col/u4/bundled/CSC storage), \
+         the dominant allocation; under --external-memory the chunk_resident gauge \
+         replaces it with the budget-capped resident-chunk high-water",
     );
     table.note(
         "paper Table V: the replica arena is the mode-dependent cost (DP keeps \

@@ -18,12 +18,41 @@ pub struct PreparedData {
     pub quantized: QuantizedMatrix,
 }
 
+/// The one shared quantizer for every bench binary: trainer-default binning
+/// and layout options, so a matrix built here is exactly what `GbdtTrainer`
+/// would build internally (and what the external-memory cache re-encodes).
+pub fn quantize_default(features: &harp_data::FeatureMatrix) -> QuantizedMatrix {
+    QuantizedMatrix::from_matrix(features, BinningConfig::default())
+}
+
 /// Generates, splits (10% test) and quantizes one dataset.
 pub fn prepared(kind: DatasetKind, scale: f64, seed: u64) -> PreparedData {
     let full = SynthConfig::new(kind, seed).with_scale(scale).generate();
     let (train, test) = full.split(0.1, seed);
-    let quantized = QuantizedMatrix::from_matrix(&train.features, BinningConfig::default());
+    let quantized = quantize_default(&train.features);
     PreparedData { kind, train, test, quantized }
+}
+
+/// Writes the prepared matrix's chunk cache to a scratch file and opens it
+/// with a resident budget of `budget_frac` × the decoded byte total (so
+/// `0.25` forces ~¾ of the chunks out at any time and `1.0` lets everything
+/// stay resident). Chunk granularity targets ~64 chunks so a fractional
+/// budget still leaves a multi-chunk sweep window for the stripe cursors
+/// while small bench scales keep exercising eviction.
+pub fn chunked_store(data: &PreparedData, budget_frac: f64) -> harp_binning::ChunkedStore {
+    let qm = &data.quantized;
+    let rows_per_chunk = (qm.n_rows() / 64).max(256);
+    let path = std::env::temp_dir().join(format!(
+        "harp_bench_{}_{}_{}.qsc",
+        std::process::id(),
+        data.kind.name(),
+        qm.n_rows()
+    ));
+    if !path.exists() {
+        harp_binning::write_cache(qm, rows_per_chunk, &path).expect("write chunk cache");
+    }
+    let budget = (qm.storage_bytes() as f64 * budget_frac).max(1.0) as u64;
+    harp_binning::ChunkedStore::open(&path, budget).expect("open chunk cache")
 }
 
 /// The HarpGBDT configuration used in the paper's headline comparisons
@@ -106,6 +135,27 @@ pub fn run_config(data: &PreparedData, params: TrainParams, with_trace: bool) ->
         early_stopping_rounds: None,
     });
     let output = trainer.train_prepared(&data.quantized, &data.train.labels, eval);
+    let preds = output.model.compile().predict(&data.test.features);
+    let test_auc = harp_metrics::auc(&data.test.labels, &preds);
+    RunResult {
+        tree_secs: output.diagnostics.mean_tree_secs(),
+        train_secs: output.diagnostics.train_secs,
+        test_auc,
+        output,
+    }
+}
+
+/// Like [`run_config`] but training through an arbitrary [`QuantStore`]
+/// (in-core or chunked) instead of the prepared in-memory matrix. Models are
+/// bitwise-identical to [`run_config`] on the same params; only the timing
+/// differs.
+pub fn run_config_store(
+    data: &PreparedData,
+    params: TrainParams,
+    store: &dyn harp_binning::QuantStore,
+) -> RunResult {
+    let trainer = GbdtTrainer::new(params).expect("valid params");
+    let output = trainer.train_store(store, &data.train.labels, None);
     let preds = output.model.compile().predict(&data.test.features);
     let test_auc = harp_metrics::auc(&data.test.labels, &preds);
     RunResult {

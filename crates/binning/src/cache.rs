@@ -1,0 +1,1004 @@
+//! The out-of-core quantized store: a versioned on-disk cache file plus
+//! [`ChunkedStore`], which memory-maps it and streams row-block-aligned
+//! chunks through a resident-byte budget with LRU eviction.
+//!
+//! # Cache file format (version 1, little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "HARPQSC1"
+//! 8       4     version (u32)
+//! 12      8     header length H (u64)
+//! 20      H     header blob
+//! 20+H    ...   chunk blobs (at the offsets the chunk table records)
+//! ```
+//!
+//! Header blob:
+//!
+//! ```text
+//! flags u8              bit0 dense, bit1 bundled, bit2 u4
+//! n_rows u64 · n_features u64 · n_storage_cols u64
+//! rows_per_chunk u64 · n_chunks u64 · decoded_bytes u64
+//! layout_stats          cols_u4 u64 · cols_bundled u64 · bundle_conflicts u64
+//! mapper                n_features u64, then per feature {n_cuts u64,
+//!                       cuts as f32::to_bits u32…}; bundle flag u8, then
+//!                       {json_len u64, BundleMap json} when set
+//! chunk table           n_chunks × {offset u64, len u64, checksum u64,
+//!                       n_rows u64, decoded_bytes u64}
+//! ```
+//!
+//! Cut points are stored as raw `f32` bit patterns (JSON cannot hold the
+//! `±inf` cuts the mapper uses), so a reopened mapper is bit-identical and
+//! chunked training stays bitwise equal to in-core. Checksums are FNV-1a 64
+//! over each chunk blob; [`ChunkedStore::open`] verifies every one up front,
+//! so corruption surfaces as a typed [`CacheError`] — never as UB in a scan.
+//!
+//! # Chunk lifecycle
+//!
+//! `pin(c)` decodes chunk `c`'s blob into a self-contained slab matrix
+//! (rows renumbered `0..chunk_len`) on first touch, keeps it in a slot map,
+//! and hands back an `Arc` guard. Before each decode the store evicts
+//! least-recently-used **unpinned** slabs until the incoming chunk fits the
+//! budget, so the resident high-water stays under the budget whenever any
+//! one chunk does. A background worker decodes [`prefetch`]ed chunks so
+//! chunk *i+1* overlaps the scan of chunk *i*; pins that find their chunk
+//! already resident from the worker count as `chunk_prefetch_hits`.
+//!
+//! [`prefetch`]: crate::QuantStore::prefetch
+
+use crate::bytes::SharedBytes;
+use crate::codec::{fnv1a, put_u32, put_u64, Cursor};
+use crate::mapper::{BinMapper, FeatureCuts};
+use crate::quantized::{LayoutStats, QuantizedMatrix};
+use crate::store::{ChunkIoStats, PinnedChunk, QuantStore, StoreLayout};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread;
+
+/// First 8 bytes of every cache file.
+pub const CACHE_MAGIC: [u8; 8] = *b"HARPQSC1";
+/// Format version this build reads and writes.
+pub const CACHE_VERSION: u32 = 1;
+/// Default chunk granularity (rows): large enough that a chunk's scan
+/// amortizes its decode, small enough that tiny `--mem-budget` values can
+/// still hold a handful of chunks resident.
+pub const DEFAULT_ROWS_PER_CHUNK: usize = 16 * 1024;
+
+/// Typed failures of cache building, opening, and verification.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`CACHE_MAGIC`].
+    BadMagic,
+    /// The file's version is not [`CACHE_VERSION`].
+    BadVersion(u32),
+    /// The file is shorter than its header or chunk table claims.
+    Truncated,
+    /// A chunk blob's FNV-1a checksum does not match the table.
+    ChecksumMismatch {
+        /// Index of the corrupt chunk.
+        chunk: usize,
+    },
+    /// The header or a structure inside it failed to parse.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache i/o error: {e}"),
+            CacheError::BadMagic => write!(f, "not a HarpGBDT quantized cache (bad magic)"),
+            CacheError::BadVersion(v) => {
+                write!(f, "unsupported cache version {v} (this build reads {CACHE_VERSION})")
+            }
+            CacheError::Truncated => write!(f, "cache file is truncated"),
+            CacheError::ChecksumMismatch { chunk } => {
+                write!(f, "chunk {chunk} failed checksum verification (corrupt cache)")
+            }
+            CacheError::Malformed(m) => write!(f, "malformed cache header: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+/// What a cache build produced, for CLI/bench reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSummary {
+    /// Rows in the cached matrix.
+    pub n_rows: usize,
+    /// Chunk count.
+    pub n_chunks: usize,
+    /// Rows per chunk (last chunk may be shorter).
+    pub rows_per_chunk: usize,
+    /// Bytes of the cache file on disk.
+    pub file_bytes: u64,
+    /// Decoded (in-memory-equivalent) bytes across all chunks.
+    pub decoded_bytes: u64,
+}
+
+const FLAG_DENSE: u8 = 1;
+const FLAG_BUNDLED: u8 = 2;
+const FLAG_U4: u8 = 4;
+/// Bytes per chunk-table entry: offset, len, checksum, n_rows, decoded.
+const TABLE_ENTRY: usize = 40;
+/// magic + version + header_len.
+const DATA_PRELUDE: u64 = 8 + 4 + 8;
+
+fn encode_mapper(mapper: &BinMapper, out: &mut Vec<u8>) -> Result<(), CacheError> {
+    put_u64(out, mapper.n_features() as u64);
+    for f in 0..mapper.n_features() {
+        let cuts = &mapper.cuts(f).cuts;
+        put_u64(out, cuts.len() as u64);
+        for &c in cuts {
+            put_u32(out, c.to_bits());
+        }
+    }
+    match mapper.bundles() {
+        Some(map) => {
+            out.push(1);
+            let json = serde_json::to_string(map)
+                .map_err(|e| CacheError::Malformed(format!("bundle map encode: {e}")))?;
+            put_u64(out, json.len() as u64);
+            out.extend_from_slice(json.as_bytes());
+        }
+        None => out.push(0),
+    }
+    Ok(())
+}
+
+fn decode_mapper(cur: &mut Cursor<'_>) -> Result<BinMapper, CacheError> {
+    let short = || CacheError::Malformed("mapper blob truncated".into());
+    let m = cur.get_u64().ok_or_else(short)? as usize;
+    let mut features = Vec::with_capacity(m);
+    for _ in 0..m {
+        let n_cuts = cur.get_u64().ok_or_else(short)? as usize;
+        let mut cuts = Vec::with_capacity(n_cuts);
+        for _ in 0..n_cuts {
+            cuts.push(f32::from_bits(cur.get_u32().ok_or_else(short)?));
+        }
+        features.push(FeatureCuts { cuts });
+    }
+    let mut mapper = BinMapper::from_cuts(features);
+    if cur.get_u8().ok_or_else(short)? != 0 {
+        let len = cur.get_u64().ok_or_else(short)? as usize;
+        let json = cur.take(len).ok_or_else(short)?;
+        let json = std::str::from_utf8(json)
+            .map_err(|e| CacheError::Malformed(format!("bundle map utf8: {e}")))?;
+        let map = serde_json::from_str(json)
+            .map_err(|e| CacheError::Malformed(format!("bundle map decode: {e}")))?;
+        mapper.set_bundles(map);
+    }
+    Ok(mapper)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChunkMeta {
+    offset: u64,
+    len: u64,
+    checksum: u64,
+    n_rows: u64,
+    decoded_bytes: u64,
+}
+
+/// Builds the versioned chunk cache for `qm` at `path`, overwriting any
+/// existing file. Chunks are `rows_per_chunk`-row blocks in row order; the
+/// matrix itself is unchanged (the cache is a re-encoding, built once and
+/// reopened by [`ChunkedStore`] on later runs).
+pub fn write_cache(
+    qm: &QuantizedMatrix,
+    rows_per_chunk: usize,
+    path: &Path,
+) -> Result<CacheSummary, CacheError> {
+    assert!(rows_per_chunk > 0, "rows_per_chunk must be positive");
+    let n_rows = qm.n_rows();
+    assert!(n_rows > 0, "cannot cache an empty matrix");
+    let n_chunks = n_rows.div_ceil(rows_per_chunk);
+
+    let mut mapper_blob = Vec::new();
+    encode_mapper(qm.mapper(), &mut mapper_blob)?;
+    // flags + 6 scalars + 3 layout stats + mapper + table.
+    let header_len = 1 + 6 * 8 + 3 * 8 + mapper_blob.len() + n_chunks * TABLE_ENTRY;
+    let data_start = DATA_PRELUDE + header_len as u64;
+
+    let mut file = File::create(path)?;
+    file.write_all(&CACHE_MAGIC)?;
+    file.write_all(&CACHE_VERSION.to_le_bytes())?;
+    file.write_all(&(header_len as u64).to_le_bytes())?;
+    file.write_all(&vec![0u8; header_len])?; // header placeholder
+
+    let mut table = Vec::with_capacity(n_chunks);
+    let mut offset = data_start;
+    let mut decoded_total = 0u64;
+    let mut blob = Vec::new();
+    for c in 0..n_chunks {
+        let rows = c * rows_per_chunk..((c + 1) * rows_per_chunk).min(n_rows);
+        blob.clear();
+        qm.encode_chunk(rows.clone(), &mut blob);
+        let decoded = qm.chunk_storage_bytes(rows.clone()) as u64;
+        decoded_total += decoded;
+        table.push(ChunkMeta {
+            offset,
+            len: blob.len() as u64,
+            checksum: fnv1a(&blob),
+            n_rows: rows.len() as u64,
+            decoded_bytes: decoded,
+        });
+        file.write_all(&blob)?;
+        offset += blob.len() as u64;
+    }
+
+    let mut header = Vec::with_capacity(header_len);
+    let mut flags = 0u8;
+    let layout = QuantStore::layout(qm);
+    if layout.dense {
+        flags |= FLAG_DENSE;
+    }
+    if layout.bundled {
+        flags |= FLAG_BUNDLED;
+    }
+    if layout.has_u4 {
+        flags |= FLAG_U4;
+    }
+    header.push(flags);
+    put_u64(&mut header, n_rows as u64);
+    put_u64(&mut header, qm.n_features() as u64);
+    put_u64(&mut header, layout.n_storage_cols as u64);
+    put_u64(&mut header, rows_per_chunk as u64);
+    put_u64(&mut header, n_chunks as u64);
+    put_u64(&mut header, decoded_total);
+    let stats = qm.layout_stats();
+    put_u64(&mut header, stats.cols_u4);
+    put_u64(&mut header, stats.cols_bundled);
+    put_u64(&mut header, stats.bundle_conflicts);
+    header.extend_from_slice(&mapper_blob);
+    for m in &table {
+        put_u64(&mut header, m.offset);
+        put_u64(&mut header, m.len);
+        put_u64(&mut header, m.checksum);
+        put_u64(&mut header, m.n_rows);
+        put_u64(&mut header, m.decoded_bytes);
+    }
+    debug_assert_eq!(header.len(), header_len);
+    file.seek(SeekFrom::Start(DATA_PRELUDE))?;
+    file.write_all(&header)?;
+    file.sync_all()?;
+
+    Ok(CacheSummary {
+        n_rows,
+        n_chunks,
+        rows_per_chunk,
+        file_bytes: offset,
+        decoded_bytes: decoded_total,
+    })
+}
+
+/// A read-only `mmap(2)` of the cache file. Minimal FFI — `libc` is always
+/// linked on the platforms we build for, so no new dependency.
+#[cfg(unix)]
+mod map {
+    use std::ffi::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    pub(super) struct Mmap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and lives until Drop.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        pub(super) fn new(file: &std::fs::File, len: usize) -> Option<Self> {
+            if len == 0 {
+                return None;
+            }
+            // SAFETY: PROT_READ + MAP_PRIVATE over a file we hold open; the
+            // result is checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr == usize::MAX as *mut c_void || ptr.is_null() {
+                return None;
+            }
+            Some(Self { ptr: ptr.cast(), len })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            // SAFETY: the mapping covers `len` readable bytes until Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl AsRef<[u8]> for Mmap {
+        fn as_ref(&self) -> &[u8] {
+            self.as_slice()
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly what new() mapped.
+            unsafe { munmap(self.ptr as *mut c_void, self.len) };
+        }
+    }
+}
+
+/// Where chunk blobs are read from: the mapping when `mmap` succeeded,
+/// positioned reads otherwise, a heap copy on non-unix targets. Mapped and
+/// heap sources sit behind an `Arc` so a decoded slab can hold zero-copy
+/// [`SharedBytes`] views of the blob instead of copying it out.
+enum Source {
+    #[cfg(unix)]
+    Mapped(Arc<map::Mmap>),
+    #[cfg(unix)]
+    File(File),
+    #[allow(dead_code)]
+    Heap(Arc<Vec<u8>>),
+}
+
+impl Source {
+    fn with_blob<R>(&self, meta: &ChunkMeta, f: impl FnOnce(&[u8]) -> R) -> std::io::Result<R> {
+        let (off, len) = (meta.offset as usize, meta.len as usize);
+        match self {
+            #[cfg(unix)]
+            Source::Mapped(m) => Ok(f(&m.as_slice()[off..off + len])),
+            #[cfg(unix)]
+            Source::File(file) => {
+                use std::os::unix::fs::FileExt;
+                let mut buf = vec![0u8; len];
+                file.read_exact_at(&mut buf, meta.offset)?;
+                Ok(f(&buf))
+            }
+            Source::Heap(bytes) => Ok(f(&bytes[off..off + len])),
+        }
+    }
+
+    /// One chunk's blob as a shared buffer. Mapped and heap sources hand
+    /// out a view of the backing (no copy — for a mapping, decode then
+    /// reads straight from page cache); a plain-file source materializes
+    /// the blob once and the slab's buffers view that single allocation.
+    fn blob(&self, meta: &ChunkMeta) -> std::io::Result<SharedBytes> {
+        let (off, len) = (meta.offset as usize, meta.len as usize);
+        match self {
+            #[cfg(unix)]
+            Source::Mapped(m) => Ok(SharedBytes::from_backing(m.clone(), off..off + len)),
+            #[cfg(unix)]
+            Source::File(file) => {
+                use std::os::unix::fs::FileExt;
+                let mut buf = vec![0u8; len];
+                file.read_exact_at(&mut buf, meta.offset)?;
+                Ok(SharedBytes::from(buf))
+            }
+            Source::Heap(bytes) => Ok(SharedBytes::from_backing(bytes.clone(), off..off + len)),
+        }
+    }
+}
+
+/// One chunk's residency slot. Handles are cloned out of the map so decode
+/// runs without holding the map lock; the `OnceLock` serializes concurrent
+/// loaders of the same chunk.
+#[derive(Clone)]
+struct Slot {
+    cell: Arc<OnceLock<Arc<QuantizedMatrix>>>,
+    last_used: Arc<AtomicU64>,
+    prefetched: Arc<AtomicBool>,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            cell: Arc::new(OnceLock::new()),
+            last_used: Arc::new(AtomicU64::new(0)),
+            prefetched: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+struct Inner {
+    source: Source,
+    mapper: BinMapper,
+    table: Vec<ChunkMeta>,
+    n_rows: usize,
+    n_features: usize,
+    rows_per_chunk: usize,
+    layout: StoreLayout,
+    layout_stats: LayoutStats,
+    decoded_bytes: u64,
+    budget: u64,
+    slots: Mutex<HashMap<usize, Slot>>,
+    clock: AtomicU64,
+    resident: AtomicU64,
+    high_water: AtomicU64,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+    prefetch_hits: AtomicU64,
+}
+
+impl Inner {
+    fn decode(&self, c: usize) -> QuantizedMatrix {
+        let meta = &self.table[c];
+        let blob = self
+            .source
+            .blob(meta)
+            .unwrap_or_else(|e| panic!("cache chunk {c} read failed after open verified it: {e}"));
+        let slab = QuantizedMatrix::decode_chunk(&blob, &self.mapper)
+            .unwrap_or_else(|e| panic!("cache chunk {c} decode failed after open verified it: {e}"));
+        debug_assert_eq!(slab.n_rows() as u64, meta.n_rows);
+        slab
+    }
+
+    /// Evicts LRU unpinned slabs until `extra` more bytes fit the budget,
+    /// then reserves those bytes — eviction and reservation share one
+    /// critical section so concurrent loaders cannot jointly overshoot the
+    /// budget (each sees the others' reservations). The high-water can
+    /// still exceed a budget that is smaller than the chunks concurrently
+    /// pinned by scanning workers: pinned slabs never leave.
+    fn reserve(&self, extra: u64, keep: usize) {
+        let mut slots = self.slots.lock().unwrap();
+        while self.resident.load(Relaxed) + extra > self.budget {
+            let victim = slots
+                .iter()
+                .filter(|&(&k, _)| k != keep)
+                .filter_map(|(&k, s)| {
+                    let m = s.cell.get()?;
+                    (Arc::strong_count(m) == 1).then(|| (k, s.last_used.load(Relaxed)))
+                })
+                .min_by_key(|&(_, t)| t)
+                .map(|(k, _)| k);
+            let Some(k) = victim else { break };
+            slots.remove(&k);
+            self.resident.fetch_sub(self.table[k].decoded_bytes, Relaxed);
+            self.evictions.fetch_add(1, Relaxed);
+        }
+        let now = self.resident.fetch_add(extra, Relaxed) + extra;
+        self.high_water.fetch_max(now, Relaxed);
+    }
+
+    /// Returns chunk `c`'s slab (decoding on miss) and whether this call
+    /// found it resident courtesy of the prefetch worker.
+    fn acquire(&self, c: usize, via_prefetch: bool) -> (Arc<QuantizedMatrix>, bool) {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap();
+            let slot = slots.entry(c).or_insert_with(Slot::empty).clone();
+            slot.last_used.store(self.clock.fetch_add(1, Relaxed) + 1, Relaxed);
+            slot
+        };
+        if let Some(m) = slot.cell.get() {
+            return (m.clone(), slot.prefetched.swap(false, Relaxed));
+        }
+        let mut loaded_here = false;
+        let m = slot
+            .cell
+            .get_or_init(|| {
+                loaded_here = true;
+                let bytes = self.table[c].decoded_bytes;
+                // Make room and reserve *before* decoding so the resident
+                // high-water stays under budget whenever the concurrently
+                // pinned chunks fit it.
+                self.reserve(bytes, c);
+                let slab = self.decode(c);
+                slot.prefetched.store(via_prefetch, Relaxed);
+                self.loads.fetch_add(1, Relaxed);
+                Arc::new(slab)
+            })
+            .clone();
+        if loaded_here {
+            (m, false)
+        } else {
+            // Lost an init race to another loader (possibly the prefetch
+            // worker) — from this caller's view the chunk was resident.
+            (m, slot.prefetched.swap(false, Relaxed))
+        }
+    }
+
+    fn is_resident(&self, c: usize) -> bool {
+        let slots = self.slots.lock().unwrap();
+        slots.get(&c).is_some_and(|s| s.cell.get().is_some())
+    }
+}
+
+/// The out-of-core [`QuantStore`]: row-block chunks streamed from a cache
+/// file built by [`write_cache`], under `mem_budget` resident decoded bytes
+/// with LRU eviction and background prefetch. See the [module docs](self).
+pub struct ChunkedStore {
+    inner: Arc<Inner>,
+    file_bytes: u64,
+    tx: Option<mpsc::Sender<usize>>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl ChunkedStore {
+    /// Opens and fully verifies a cache file: magic, version, header
+    /// structure, and every chunk checksum. Nothing is decoded yet; chunks
+    /// load lazily on [`pin`](QuantStore::pin).
+    pub fn open(path: &Path, mem_budget: u64) -> Result<Self, CacheError> {
+        let mut file = File::open(path)?;
+        let file_bytes = file.metadata()?.len();
+        let mut prelude = [0u8; DATA_PRELUDE as usize];
+        file.read_exact(&mut prelude).map_err(|_| CacheError::Truncated)?;
+        if prelude[..8] != CACHE_MAGIC {
+            return Err(CacheError::BadMagic);
+        }
+        let version = u32::from_le_bytes(prelude[8..12].try_into().unwrap());
+        if version != CACHE_VERSION {
+            return Err(CacheError::BadVersion(version));
+        }
+        let header_len = u64::from_le_bytes(prelude[12..20].try_into().unwrap());
+        if DATA_PRELUDE + header_len > file_bytes {
+            return Err(CacheError::Truncated);
+        }
+        let mut header = vec![0u8; header_len as usize];
+        file.read_exact(&mut header).map_err(|_| CacheError::Truncated)?;
+
+        let short = || CacheError::Malformed("header truncated".into());
+        let mut cur = Cursor::new(&header);
+        let flags = cur.get_u8().ok_or_else(short)?;
+        let n_rows = cur.get_u64().ok_or_else(short)? as usize;
+        let n_features = cur.get_u64().ok_or_else(short)? as usize;
+        let n_storage_cols = cur.get_u64().ok_or_else(short)? as usize;
+        let rows_per_chunk = cur.get_u64().ok_or_else(short)? as usize;
+        let n_chunks = cur.get_u64().ok_or_else(short)? as usize;
+        let decoded_bytes = cur.get_u64().ok_or_else(short)?;
+        let layout_stats = LayoutStats {
+            cols_u4: cur.get_u64().ok_or_else(short)?,
+            cols_bundled: cur.get_u64().ok_or_else(short)?,
+            bundle_conflicts: cur.get_u64().ok_or_else(short)?,
+        };
+        let mapper = decode_mapper(&mut cur)?;
+        if mapper.n_features() != n_features {
+            return Err(CacheError::Malformed("mapper/header feature count disagree".into()));
+        }
+        if rows_per_chunk == 0 || n_chunks != n_rows.div_ceil(rows_per_chunk) {
+            return Err(CacheError::Malformed("chunk geometry inconsistent".into()));
+        }
+        let mut table = Vec::with_capacity(n_chunks);
+        let mut rows_total = 0u64;
+        for _ in 0..n_chunks {
+            let meta = ChunkMeta {
+                offset: cur.get_u64().ok_or_else(short)?,
+                len: cur.get_u64().ok_or_else(short)?,
+                checksum: cur.get_u64().ok_or_else(short)?,
+                n_rows: cur.get_u64().ok_or_else(short)?,
+                decoded_bytes: cur.get_u64().ok_or_else(short)?,
+            };
+            if meta.offset.checked_add(meta.len).map_or(true, |end| end > file_bytes) {
+                return Err(CacheError::Truncated);
+            }
+            rows_total += meta.n_rows;
+            table.push(meta);
+        }
+        if cur.remaining() != 0 || rows_total != n_rows as u64 {
+            return Err(CacheError::Malformed("chunk table inconsistent".into()));
+        }
+
+        #[cfg(unix)]
+        let source = match map::Mmap::new(&file, file_bytes as usize) {
+            Some(m) => Source::Mapped(Arc::new(m)),
+            None => Source::File(file),
+        };
+        #[cfg(not(unix))]
+        let source = {
+            let mut bytes = Vec::with_capacity(file_bytes as usize);
+            file.seek(SeekFrom::Start(0))?;
+            file.read_to_end(&mut bytes)?;
+            Source::Heap(Arc::new(bytes))
+        };
+
+        // Verify every chunk before handing out data: a flipped bit fails
+        // here as a typed error instead of decoding garbage mid-train.
+        for (c, meta) in table.iter().enumerate() {
+            let sum = source.with_blob(meta, fnv1a)?;
+            if sum != meta.checksum {
+                return Err(CacheError::ChecksumMismatch { chunk: c });
+            }
+        }
+
+        let inner = Arc::new(Inner {
+            source,
+            mapper,
+            table,
+            n_rows,
+            n_features,
+            rows_per_chunk,
+            layout: StoreLayout {
+                dense: flags & FLAG_DENSE != 0,
+                bundled: flags & FLAG_BUNDLED != 0,
+                has_u4: flags & FLAG_U4 != 0,
+                n_storage_cols,
+            },
+            layout_stats,
+            decoded_bytes,
+            budget: mem_budget,
+            slots: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel::<usize>();
+        let worker_inner = Arc::clone(&inner);
+        let worker = thread::Builder::new()
+            .name("harp-chunk-prefetch".into())
+            .spawn(move || {
+                while let Ok(c) = rx.recv() {
+                    let _ = worker_inner.acquire(c, true);
+                }
+            })
+            .expect("spawn chunk prefetch worker");
+        Ok(Self { inner, file_bytes, tx: Some(tx), worker: Some(worker) })
+    }
+
+    /// The geometry and size summary of the opened cache.
+    pub fn summary(&self) -> CacheSummary {
+        CacheSummary {
+            n_rows: self.inner.n_rows,
+            n_chunks: self.inner.table.len(),
+            rows_per_chunk: self.inner.rows_per_chunk,
+            file_bytes: self.file_bytes,
+            decoded_bytes: self.inner.decoded_bytes,
+        }
+    }
+
+    /// The resident-byte budget this store was opened with.
+    pub fn mem_budget(&self) -> u64 {
+        self.inner.budget
+    }
+}
+
+impl Drop for ChunkedStore {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl QuantStore for ChunkedStore {
+    fn n_rows(&self) -> usize {
+        self.inner.n_rows
+    }
+
+    fn n_features(&self) -> usize {
+        self.inner.n_features
+    }
+
+    fn mapper(&self) -> &BinMapper {
+        &self.inner.mapper
+    }
+
+    fn layout(&self) -> StoreLayout {
+        self.inner.layout
+    }
+
+    fn layout_stats(&self) -> LayoutStats {
+        self.inner.layout_stats
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.decoded_bytes as usize
+    }
+
+    fn n_chunks(&self) -> usize {
+        self.inner.table.len()
+    }
+
+    fn chunk_rows(&self, c: usize) -> Range<usize> {
+        let start = c * self.inner.rows_per_chunk;
+        start..(start + self.inner.table[c].n_rows as usize)
+    }
+
+    fn chunk_of_row(&self, row: usize) -> usize {
+        row / self.inner.rows_per_chunk
+    }
+
+    fn sweep_capacity(&self) -> usize {
+        let largest = self.inner.table.iter().map(|m| m.decoded_bytes).max().unwrap_or(1).max(1);
+        let cap = (self.inner.budget / largest) as usize;
+        if cap >= self.inner.table.len() {
+            usize::MAX
+        } else {
+            cap.max(1)
+        }
+    }
+
+    fn pin(&self, c: usize) -> PinnedChunk<'_> {
+        let (slab, was_prefetched) = self.inner.acquire(c, false);
+        if was_prefetched {
+            self.inner.prefetch_hits.fetch_add(1, Relaxed);
+        }
+        PinnedChunk::Cached(slab)
+    }
+
+    fn prefetch(&self, c: usize) {
+        if c >= self.inner.table.len() || self.inner.is_resident(c) {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(c);
+        }
+    }
+
+    fn gather_route_bins(&self, f: usize, rows: &[u32], out: &mut Vec<u8>) {
+        out.reserve(rows.len());
+        let mut local: Vec<u32> = Vec::new();
+        let mut i = 0;
+        while i < rows.len() {
+            let c = self.chunk_of_row(rows[i] as usize);
+            let span = self.chunk_rows(c);
+            let end = i + rows[i..].partition_point(|&r| (r as usize) < span.end);
+            local.clear();
+            local.extend(rows[i..end].iter().map(|&r| r - span.start as u32));
+            let slab = self.pin(c);
+            slab.route_bins_for(f, &local, out);
+            i = end;
+        }
+    }
+
+    fn io_stats(&self) -> ChunkIoStats {
+        ChunkIoStats {
+            chunk_loads: self.inner.loads.load(Relaxed),
+            chunk_evictions: self.inner.evictions.load(Relaxed),
+            chunk_prefetch_hits: self.inner.prefetch_hits.load(Relaxed),
+            resident_bytes: self.inner.resident.load(Relaxed),
+            resident_high_water: self.inner.high_water.load(Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::BinningConfig;
+    use harp_data::{CsrMatrix, DenseMatrix, FeatureMatrix};
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir();
+        dir.join(format!("harp_cache_test_{tag}_{}.qsc", std::process::id()))
+    }
+
+    fn dense_qm(n: usize, m: usize) -> QuantizedMatrix {
+        let vals: Vec<f32> = (0..n * m)
+            .map(|i| if i % 29 == 0 { f32::NAN } else { ((i * 31) % 23) as f32 })
+            .collect();
+        QuantizedMatrix::from_matrix(
+            &FeatureMatrix::Dense(DenseMatrix::from_vec(n, m, vals)),
+            BinningConfig::default(),
+        )
+    }
+
+    fn sparse_qm(n: usize, m: usize) -> QuantizedMatrix {
+        let rows: Vec<Vec<(u32, f32)>> = (0..n)
+            .map(|r| {
+                (0..m).filter(|f| (r + f) % 3 != 0).map(|f| (f as u32, ((r * f) % 11) as f32)).collect()
+            })
+            .collect();
+        QuantizedMatrix::from_matrix(
+            &FeatureMatrix::Sparse(CsrMatrix::from_rows(m, &rows)),
+            BinningConfig::default(),
+        )
+    }
+
+    fn assert_store_matches(qm: &QuantizedMatrix, store: &ChunkedStore) {
+        assert_eq!(QuantStore::n_rows(store), qm.n_rows());
+        assert_eq!(QuantStore::n_features(store), qm.n_features());
+        assert_eq!(QuantStore::layout(store), QuantStore::layout(qm));
+        assert_eq!(QuantStore::layout_stats(store), qm.layout_stats());
+        // Advertised decoded bytes equal the real slab total (per-chunk
+        // indptr/CSC overhead means this can exceed the monolithic matrix).
+        let slab_total: usize = (0..store.n_chunks()).map(|c| store.pin(c).storage_bytes()).sum();
+        assert_eq!(QuantStore::storage_bytes(store), slab_total);
+        assert!(QuantStore::storage_bytes(store) >= qm.storage_bytes() / 2);
+        assert_eq!(
+            serde_json::to_string(QuantStore::mapper(store)).unwrap(),
+            serde_json::to_string(qm.mapper()).unwrap(),
+            "reopened mapper must be bit-identical"
+        );
+        for c in 0..store.n_chunks() {
+            let span = store.chunk_rows(c);
+            let slab = store.pin(c);
+            for (local, global) in span.clone().enumerate() {
+                for f in 0..qm.n_features() {
+                    assert_eq!(slab.bin(local, f), qm.bin(global, f), "cell ({global},{f})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_dense() {
+        let qm = dense_qm(100, 4);
+        let path = tmp_path("dense");
+        let summary = write_cache(&qm, 32, &path).unwrap();
+        assert_eq!(summary.n_chunks, 4);
+        assert_eq!(summary.decoded_bytes as usize, qm.storage_bytes());
+        let store = ChunkedStore::open(&path, u64::MAX).unwrap();
+        assert_store_matches(&qm, &store);
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cache_round_trips_sparse() {
+        let qm = sparse_qm(90, 6);
+        assert!(qm.sparse_row(0).is_some());
+        let path = tmp_path("sparse");
+        write_cache(&qm, 25, &path).unwrap();
+        let store = ChunkedStore::open(&path, u64::MAX).unwrap();
+        assert_store_matches(&qm, &store);
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tiny_budget_evicts_and_counts() {
+        let qm = dense_qm(256, 4);
+        let path = tmp_path("evict");
+        write_cache(&qm, 32, &path).unwrap();
+        let per_chunk = qm.chunk_storage_bytes(0..32) as u64;
+        // Room for one chunk only: each new pin evicts the previous one.
+        let store = ChunkedStore::open(&path, per_chunk).unwrap();
+        for c in 0..store.n_chunks() {
+            let _slab = store.pin(c);
+        }
+        let stats = store.io_stats();
+        assert_eq!(stats.chunk_loads, 8);
+        assert!(stats.chunk_evictions >= 7, "evictions: {}", stats.chunk_evictions);
+        assert!(stats.resident_high_water <= per_chunk.max(stats.resident_bytes));
+        // Re-pinning chunk 0 after eviction re-decodes it.
+        let _slab = store.pin(0);
+        assert!(store.io_stats().chunk_loads >= 9);
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn roomy_budget_keeps_everything_resident() {
+        let qm = dense_qm(256, 4);
+        let path = tmp_path("roomy");
+        write_cache(&qm, 32, &path).unwrap();
+        let store = ChunkedStore::open(&path, u64::MAX).unwrap();
+        for _ in 0..3 {
+            for c in 0..store.n_chunks() {
+                let _slab = store.pin(c);
+            }
+        }
+        let stats = store.io_stats();
+        assert_eq!(stats.chunk_loads, 8, "every chunk decoded exactly once");
+        assert_eq!(stats.chunk_evictions, 0);
+        assert_eq!(stats.resident_bytes as usize, qm.storage_bytes());
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pinned_chunks_survive_a_zero_budget() {
+        let qm = dense_qm(64, 4);
+        let path = tmp_path("pinned");
+        write_cache(&qm, 16, &path).unwrap();
+        let store = ChunkedStore::open(&path, 0).unwrap();
+        let a = store.pin(0);
+        let b = store.pin(1);
+        // Both pins outstanding: neither may be evicted out from under us.
+        assert_eq!(a.bin(0, 0), qm.bin(0, 0));
+        assert_eq!(b.bin(0, 0), qm.bin(16, 0));
+        assert_eq!(store.io_stats().chunk_evictions, 0);
+        drop((a, b));
+        let _c = store.pin(2);
+        assert!(store.io_stats().chunk_evictions >= 1, "unpinned slabs now evictable");
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_chunk_fails_with_typed_error() {
+        let qm = dense_qm(64, 4);
+        let path = tmp_path("corrupt");
+        write_cache(&qm, 16, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1; // inside the final chunk blob
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match ChunkedStore::open(&path, u64::MAX) {
+            Err(CacheError::ChecksumMismatch { chunk: 3 }) => {}
+            Err(other) => panic!("expected checksum mismatch on chunk 3, got {other:?}"),
+            Ok(_) => panic!("corrupt cache opened cleanly"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_version_and_truncation_are_typed() {
+        let qm = dense_qm(32, 3);
+        let path = tmp_path("magic");
+        write_cache(&qm, 16, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(ChunkedStore::open(&path, 0), Err(CacheError::BadMagic)));
+
+        let mut bad = good.clone();
+        bad[8] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(ChunkedStore::open(&path, 0), Err(CacheError::BadVersion(99))));
+
+        std::fs::write(&path, &good[..good.len() - 10]).unwrap();
+        assert!(matches!(
+            ChunkedStore::open(&path, 0),
+            Err(CacheError::Truncated | CacheError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gather_route_bins_matches_in_memory() {
+        for (tag, qm) in [("d", dense_qm(120, 4)), ("s", sparse_qm(120, 5))] {
+            let path = tmp_path(&format!("gather_{tag}"));
+            write_cache(&qm, 32, &path).unwrap();
+            let store = ChunkedStore::open(&path, u64::MAX).unwrap();
+            let rows: Vec<u32> = (0..qm.n_rows() as u32).step_by(3).collect();
+            for f in 0..qm.n_features() {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                QuantStore::gather_route_bins(&qm, f, &rows, &mut a);
+                store.gather_route_bins(f, &rows, &mut b);
+                assert_eq!(a, b, "feature {f}");
+            }
+            drop(store);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn prefetch_overlap_counts_hits() {
+        let qm = dense_qm(256, 4);
+        let path = tmp_path("prefetch");
+        write_cache(&qm, 32, &path).unwrap();
+        let store = ChunkedStore::open(&path, u64::MAX).unwrap();
+        store.prefetch(5);
+        // Wait for the worker to decode it, then pin: a prefetch hit.
+        for _ in 0..500 {
+            if store.inner.is_resident(5) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(store.inner.is_resident(5), "prefetch worker never loaded chunk 5");
+        let _slab = store.pin(5);
+        assert_eq!(store.io_stats().chunk_prefetch_hits, 1);
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -25,13 +25,22 @@
 //! are exact re-encodings; [`LayoutOptions`] selects them explicitly.
 
 pub mod bundling;
+mod bytes;
+mod cache;
+mod codec;
 mod mapper;
 mod quantized;
 mod sketch;
+mod store;
 
 pub use bundling::{BundleConfig, BundleMap, BundleMember, BundleSlot};
+pub use cache::{
+    write_cache, CacheError, CacheSummary, ChunkedStore, CACHE_MAGIC, CACHE_VERSION,
+    DEFAULT_ROWS_PER_CHUNK,
+};
 pub use mapper::{BinMapper, BinningConfig, FeatureCuts};
 pub use quantized::{
     LayoutOptions, LayoutStats, QuantizedMatrix, U4Pack, MISSING_BIN, MISSING_NIBBLE,
 };
 pub use sketch::GkSketch;
+pub use store::{ChunkIoStats, PinnedChunk, QuantStore, StoreLayout};

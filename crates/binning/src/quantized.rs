@@ -23,6 +23,7 @@
 //!   workloads leave the merge/gallop path entirely.
 
 use crate::bundling::{plan_bundles, BundleConfig, BundleMap};
+use crate::bytes::SharedBytes;
 use crate::mapper::{BinMapper, BinningConfig};
 use harp_data::FeatureMatrix;
 
@@ -56,9 +57,11 @@ pub struct U4Pack {
     n_rows: usize,
     n_cols: usize,
     /// `n_rows × ceil(m/2)` bytes; the low nibble holds the even feature.
-    row_major: Vec<u8>,
+    /// Owned when packed in-core; a zero-copy view of the cache mapping
+    /// when decoded from a chunk blob.
+    row_major: SharedBytes,
     /// `m × ceil(n_rows/2)` bytes; the low nibble holds the even row.
-    col_major: Vec<u8>,
+    col_major: SharedBytes,
     /// `m × 16` flattened-histogram lanes: `lanes[f*16 + nibble]` is
     /// `bin_offset(f) + nibble` for a used bin and the per-feature sink lane
     /// `total_bins + f` otherwise (missing or unused nibble).
@@ -121,7 +124,31 @@ impl U4Pack {
         let clean = (0..m)
             .map(|f| !col_major[f * n_rows..(f + 1) * n_rows].contains(&MISSING_BIN))
             .collect();
-        Some(Self { n_rows, n_cols: m, row_major: rm, col_major: cm, lanes, clean })
+        Some(Self { n_rows, n_cols: m, row_major: rm.into(), col_major: cm.into(), lanes, clean })
+    }
+
+    /// Reassembles a pack from already-packed nibble buffers (the chunk
+    /// cache stores them verbatim so decode hands views straight through —
+    /// zero-copy when the buffers alias the cache mapping). The lane table
+    /// is a pure function of the mapper and is the one piece recomputed —
+    /// it is `m × 16` entries, negligible next to the nibble payloads.
+    fn from_packed(
+        n_rows: usize,
+        n_cols: usize,
+        row_major: SharedBytes,
+        col_major: SharedBytes,
+        clean: Vec<bool>,
+        mapper: &BinMapper,
+    ) -> Self {
+        let total = mapper.total_bins();
+        let mut lanes = vec![0u32; n_cols * 16];
+        for (f, w) in mapper.bin_widths().enumerate() {
+            for nib in 0..16u16 {
+                lanes[f * 16 + nib as usize] =
+                    if nib < w { mapper.bin_offset(f) + u32::from(nib) } else { total + f as u32 };
+            }
+        }
+        Self { n_rows, n_cols, row_major, col_major, lanes, clean }
     }
 
     /// Bytes per packed row.
@@ -181,15 +208,15 @@ impl U4Pack {
 #[derive(Debug, Clone)]
 enum Storage {
     Dense {
-        row_major: Vec<u8>,
-        col_major: Vec<u8>,
+        row_major: SharedBytes,
+        col_major: SharedBytes,
         u4: Option<U4Pack>,
     },
     /// EFB output: dense majors over `n_cols` synthetic columns in
     /// bundle-local bin coordinates (see [`crate::bundling::BundleMap`]).
     Bundled {
-        row_major: Vec<u8>,
-        col_major: Vec<u8>,
+        row_major: SharedBytes,
+        col_major: SharedBytes,
         n_cols: usize,
     },
     Sparse {
@@ -286,28 +313,50 @@ impl QuantizedMatrix {
         let storage = match matrix {
             FeatureMatrix::Dense(_) => {
                 let mut row_major = vec![MISSING_BIN; n_rows * m];
-                for r in 0..n_rows {
-                    matrix.for_each_in_row(r, |c, v| {
-                        row_major[r * m + c as usize] = mapper.cuts(c as usize).value_to_bin(v);
-                    });
-                }
                 let mut col_major = vec![MISSING_BIN; n_rows * m];
-                for r in 0..n_rows {
-                    for c in 0..m {
-                        col_major[c * n_rows + r] = row_major[r * m + c];
+                // Quantize and transpose in one blocked pass: each row block
+                // is scattered into the column major while its freshly
+                // quantized bytes are still cache-hot, instead of a second
+                // full-matrix transpose pass re-streaming all of row_major.
+                const TRANSPOSE_ROW_BLOCK: usize = 256;
+                let mut r0 = 0;
+                while r0 < n_rows {
+                    let r1 = (r0 + TRANSPOSE_ROW_BLOCK).min(n_rows);
+                    for r in r0..r1 {
+                        matrix.for_each_in_row(r, |c, v| {
+                            row_major[r * m + c as usize] = mapper.cuts(c as usize).value_to_bin(v);
+                        });
                     }
+                    for c in 0..m {
+                        let col = &mut col_major[c * n_rows..(c + 1) * n_rows];
+                        for r in r0..r1 {
+                            col[r] = row_major[r * m + c];
+                        }
+                    }
+                    r0 = r1;
                 }
+                // Construction high-water: exactly the two resident majors —
+                // no transpose staging buffer may ever be allocated here.
+                debug_assert_eq!(
+                    row_major.len() + col_major.len(),
+                    2 * n_rows * m,
+                    "dense construction must not stage a third copy"
+                );
                 let u4 = (layout.enable_u4 && mapper.max_bins_used() <= 16)
                     .then(|| U4Pack::build(n_rows, m, &row_major, &col_major, &mapper))
                     .flatten();
-                Storage::Dense { row_major, col_major, u4 }
+                Storage::Dense { row_major: row_major.into(), col_major: col_major.into(), u4 }
             }
             FeatureMatrix::Sparse(_) => {
                 let (csr, csc) = build_sparse(matrix, &mapper);
                 match mapper.bundles() {
                     Some(map) => {
                         let (row_major, col_major, n_cols) = build_bundled(n_rows, &csr, map);
-                        Storage::Bundled { row_major, col_major, n_cols }
+                        Storage::Bundled {
+                            row_major: row_major.into(),
+                            col_major: col_major.into(),
+                            n_cols,
+                        }
                     }
                     None => Storage::Sparse { csr, csc },
                 }
@@ -331,7 +380,8 @@ impl QuantizedMatrix {
         let Some(map) = map else { return };
         let (row_major, col_major, n_cols) = build_bundled(self.n_rows, csr, &map);
         self.mapper.set_bundles(map);
-        self.storage = Storage::Bundled { row_major, col_major, n_cols };
+        self.storage =
+            Storage::Bundled { row_major: row_major.into(), col_major: col_major.into(), n_cols };
     }
 
     /// Number of rows.
@@ -603,6 +653,247 @@ impl QuantizedMatrix {
                     + csc.indptr.len() * 8
             }
         }
+    }
+
+    /// Appends, for each listed row, the *routing byte* of original feature
+    /// `f`: the stored bin, or [`MISSING_BIN`] when the cell is absent, with
+    /// bundled storage translated back into feature-local bins. The result
+    /// drives split routing uniformly across storages — `MISSING_BIN`
+    /// follows the split's default direction, any real bin compares against
+    /// the threshold — which is what lets a chunked store hand ApplySplit an
+    /// owned per-node gather instead of a borrowed column.
+    pub fn route_bins_for(&self, f: usize, rows: &[u32], out: &mut Vec<u8>) {
+        out.reserve(rows.len());
+        match &self.storage {
+            Storage::Dense { col_major, .. } => {
+                let col = &col_major[f * self.n_rows..(f + 1) * self.n_rows];
+                out.extend(rows.iter().map(|&r| col[r as usize]));
+            }
+            Storage::Bundled { col_major, .. } => {
+                let slot = self.mapper.bundles().expect("bundled storage has a map").slot(f);
+                if slot.width == 0 {
+                    out.extend(std::iter::repeat(MISSING_BIN).take(rows.len()));
+                    return;
+                }
+                let col = &col_major[slot.col as usize * self.n_rows..];
+                let (lo, width) = (slot.offset, slot.width);
+                out.extend(rows.iter().map(|&r| {
+                    let b = u16::from(col[r as usize]);
+                    if b.wrapping_sub(lo) < width {
+                        (b - lo) as u8
+                    } else {
+                        MISSING_BIN
+                    }
+                }));
+            }
+            Storage::Sparse { csr, .. } => {
+                out.extend(rows.iter().map(|&r| {
+                    let span = csr.indptr[r as usize]..csr.indptr[r as usize + 1];
+                    match csr.cols[span.clone()].binary_search(&(f as u32)) {
+                        Ok(i) => csr.bins[span.start + i],
+                        Err(_) => MISSING_BIN,
+                    }
+                }));
+            }
+        }
+    }
+
+    /// Exact [`storage_bytes`](Self::storage_bytes) a decoded chunk slab of
+    /// `rows` will occupy — computed without decoding, so the cache writer
+    /// can advertise decoded sizes in the header.
+    pub(crate) fn chunk_storage_bytes(&self, rows: std::ops::Range<usize>) -> usize {
+        let n = rows.len();
+        let m = self.n_features();
+        match &self.storage {
+            Storage::Dense { u4, .. } => {
+                let u4_bytes = if u4.is_some() {
+                    n * m.div_ceil(2) + m * n.div_ceil(2) + m * 16 * 4 + m
+                } else {
+                    0
+                };
+                2 * n * m + u4_bytes
+            }
+            Storage::Bundled { n_cols, .. } => 2 * n * n_cols,
+            Storage::Sparse { csr, .. } => {
+                let e = csr.indptr[rows.end] - csr.indptr[rows.start];
+                (e + e * 4 + (n + 1) * 8) + (e + e * 4 + (m + 1) * 8)
+            }
+        }
+    }
+
+    /// Serializes rows `rows` as a self-contained chunk blob (rows re-rooted
+    /// at 0). Dense and bundled chunks write the *decoded* layouts verbatim
+    /// (row major, gathered column major, pre-packed u4 nibbles) so that
+    /// [`decode_chunk`] on the training hot path is a handful of `memcpy`s —
+    /// a chunked scan re-decodes a chunk on every cache miss, so the
+    /// transpose/pack cost belongs here, paid once at cache-build time.
+    /// Sparse chunks still rebuild their CSC mirror on decode (an `O(nnz)`
+    /// bucket pass; sparse storage is column-scanned far less often).
+    ///
+    /// Blob layout: `kind u8` (0 dense / 1 bundled / 2 sparse), `u4 u8`
+    /// flag, `n_rows u64`, then per-kind payload.
+    pub(crate) fn encode_chunk(&self, rows: std::ops::Range<usize>, out: &mut Vec<u8>) {
+        use crate::codec::{put_u32, put_u64};
+        let m = self.n_features();
+        let n = rows.len();
+        match &self.storage {
+            Storage::Dense { row_major, col_major, u4 } => {
+                // The chunk's column major: rows.start..rows.end of each
+                // column, gathered into a contiguous slab-shaped buffer.
+                let mut chunk_cm = Vec::with_capacity(n * m);
+                for f in 0..m {
+                    let col = &col_major[f * self.n_rows..(f + 1) * self.n_rows];
+                    chunk_cm.extend_from_slice(&col[rows.clone()]);
+                }
+                // Re-pack the chunk's nibbles with the construction routine
+                // (nibble phase depends on the chunk-local row index, so the
+                // full matrix's pack cannot be sliced). Succeeds whenever the
+                // full-matrix pack did: bin widths are mapper-global and a
+                // missing-free column stays missing-free in any row subset.
+                let chunk_rm = &row_major[rows.start * m..rows.end * m];
+                let pack = u4
+                    .as_ref()
+                    .and_then(|_| U4Pack::build(n, m, chunk_rm, &chunk_cm, &self.mapper));
+                out.push(0);
+                out.push(u8::from(pack.is_some()));
+                put_u64(out, n as u64);
+                out.extend_from_slice(chunk_rm);
+                out.extend_from_slice(&chunk_cm);
+                if let Some(p) = pack {
+                    out.extend_from_slice(&p.row_major);
+                    out.extend_from_slice(&p.col_major);
+                    out.extend(p.clean.iter().map(|&c| u8::from(c)));
+                }
+            }
+            Storage::Bundled { row_major, col_major, n_cols } => {
+                out.push(1);
+                out.push(0);
+                put_u64(out, n as u64);
+                put_u64(out, *n_cols as u64);
+                out.extend_from_slice(&row_major[rows.start * n_cols..rows.end * n_cols]);
+                for c in 0..*n_cols {
+                    let col = &col_major[c * self.n_rows..(c + 1) * self.n_rows];
+                    out.extend_from_slice(&col[rows.clone()]);
+                }
+            }
+            Storage::Sparse { csr, .. } => {
+                out.push(2);
+                out.push(0);
+                put_u64(out, n as u64);
+                let base = csr.indptr[rows.start];
+                let nnz = csr.indptr[rows.end] - base;
+                put_u64(out, nnz as u64);
+                for r in rows.start..=rows.end {
+                    put_u64(out, (csr.indptr[r] - base) as u64);
+                }
+                for &c in &csr.cols[base..base + nnz] {
+                    put_u32(out, c);
+                }
+                out.extend_from_slice(&csr.bins[base..base + nnz]);
+            }
+        }
+    }
+
+    /// Decodes an [`encode_chunk`](Self::encode_chunk) blob into a
+    /// self-contained slab matrix (rows numbered `0..chunk_len`) carrying a
+    /// clone of `mapper`. Dense and bundled layouts were written decoded, so
+    /// their byte buffers become bounds-checked *views* of the blob — when
+    /// the blob aliases the cache file's mapping, decode allocates nothing
+    /// but the u4 lane table (a pure function of the mapper) and the slab
+    /// reads straight from page cache. Sparse chunks still rebuild their
+    /// CSC mirror with the same bucket placement construction uses. Either
+    /// way a decoded slab is bitwise-identical to slicing the original
+    /// matrix.
+    pub(crate) fn decode_chunk(blob: &SharedBytes, mapper: &BinMapper) -> Result<Self, String> {
+        use crate::codec::Cursor;
+        let m = mapper.n_features();
+        let mut cur = Cursor::new(blob);
+        let view = |cur: &mut Cursor, len: usize, what: &str| -> Result<SharedBytes, String> {
+            let start = cur.pos();
+            cur.take(len).ok_or_else(|| format!("chunk blob truncated: {what}"))?;
+            Ok(blob.slice(start..start + len))
+        };
+        let kind = cur.get_u8().ok_or("chunk blob truncated: kind")?;
+        let want_u4 = cur.get_u8().ok_or("chunk blob truncated: u4 flag")? != 0;
+        let n = cur.get_u64().ok_or("chunk blob truncated: n_rows")? as usize;
+        let storage = match kind {
+            0 => {
+                let row_major = view(&mut cur, n * m, "dense rows")?;
+                let col_major = view(&mut cur, n * m, "dense cols")?;
+                let u4 = if want_u4 {
+                    let rm = view(&mut cur, n * m.div_ceil(2), "u4 rows")?;
+                    let cm = view(&mut cur, m * n.div_ceil(2), "u4 cols")?;
+                    let clean: Vec<bool> = cur
+                        .take(m)
+                        .ok_or("chunk blob truncated: u4 clean flags")?
+                        .iter()
+                        .map(|&b| b != 0)
+                        .collect();
+                    Some(U4Pack::from_packed(n, m, rm, cm, clean, mapper))
+                } else {
+                    None
+                };
+                Storage::Dense { row_major, col_major, u4 }
+            }
+            1 => {
+                let n_cols = cur.get_u64().ok_or("chunk blob truncated: n_cols")? as usize;
+                if mapper.bundles().is_none() {
+                    return Err("bundled chunk but mapper has no bundle map".into());
+                }
+                let row_major = view(&mut cur, n * n_cols, "bundled rows")?;
+                let col_major = view(&mut cur, n * n_cols, "bundled cols")?;
+                Storage::Bundled { row_major, col_major, n_cols }
+            }
+            2 => {
+                let nnz = cur.get_u64().ok_or("chunk blob truncated: nnz")? as usize;
+                let mut indptr = Vec::with_capacity(n + 1);
+                for _ in 0..=n {
+                    indptr.push(cur.get_u64().ok_or("chunk blob truncated: indptr")? as usize);
+                }
+                if indptr[0] != 0 || indptr[n] != nnz {
+                    return Err("chunk indptr does not bracket nnz".into());
+                }
+                let mut cols = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    cols.push(cur.get_u32().ok_or("chunk blob truncated: cols")?);
+                }
+                let bins = cur.take(nnz).ok_or("chunk blob truncated: bins")?.to_vec();
+                if cols.iter().any(|&c| c as usize >= m) {
+                    return Err("chunk column id out of range".into());
+                }
+                // Rebuild CSC by the same bucket placement as construction:
+                // CSR rows ascend, so CSC rows come out sorted identically.
+                let mut col_counts = vec![0usize; m];
+                for &c in &cols {
+                    col_counts[c as usize] += 1;
+                }
+                let mut csc_indptr = Vec::with_capacity(m + 1);
+                csc_indptr.push(0usize);
+                for c in 0..m {
+                    csc_indptr.push(csc_indptr[c] + col_counts[c]);
+                }
+                let mut rows = vec![0u32; nnz];
+                let mut csc_bins = vec![0u8; nnz];
+                let mut cursor = csc_indptr[..m].to_vec();
+                for r in 0..n {
+                    for i in indptr[r]..indptr[r + 1] {
+                        let c = cols[i] as usize;
+                        rows[cursor[c]] = r as u32;
+                        csc_bins[cursor[c]] = bins[i];
+                        cursor[c] += 1;
+                    }
+                }
+                Storage::Sparse {
+                    csr: QCsr { indptr, cols, bins },
+                    csc: QCsc { indptr: csc_indptr, rows, bins: csc_bins },
+                }
+            }
+            k => return Err(format!("unknown chunk kind {k}")),
+        };
+        if cur.remaining() != 0 {
+            return Err("trailing bytes after chunk payload".into());
+        }
+        Ok(Self { n_rows: n, mapper: mapper.clone(), storage })
     }
 }
 
@@ -942,5 +1233,107 @@ mod tests {
         let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
         let narrow = FeatureMatrix::Dense(DenseMatrix::from_vec(1, 1, vec![1.0]));
         let _ = QuantizedMatrix::with_mapper(&narrow, q.mapper().clone());
+    }
+
+    /// A taller dense matrix (crosses the blocked-transpose boundary) built
+    /// twice: the blocked one-pass construction must match a brute-force
+    /// reference transpose cell for cell.
+    #[test]
+    fn one_pass_dense_construction_matches_reference_transpose() {
+        let (n, m) = (1000usize, 5usize);
+        let vals: Vec<f32> = (0..n * m)
+            .map(|i| if i % 37 == 0 { f32::NAN } else { ((i * 31) % 97) as f32 })
+            .collect();
+        let q = QuantizedMatrix::from_matrix(
+            &FeatureMatrix::Dense(DenseMatrix::from_vec(n, m, vals)),
+            BinningConfig::default(),
+        );
+        let rm = q.dense_row_major().unwrap();
+        for f in 0..m {
+            let col = q.dense_col(f).unwrap();
+            for r in 0..n {
+                assert_eq!(col[r], rm[r * m + f], "cell ({r},{f})");
+            }
+        }
+    }
+
+    fn assert_chunk_round_trip(q: &QuantizedMatrix, rows: std::ops::Range<usize>) {
+        let mut blob = Vec::new();
+        q.encode_chunk(rows.clone(), &mut blob);
+        let slab = QuantizedMatrix::decode_chunk(&blob.into(), q.mapper()).expect("decode");
+        assert_eq!(slab.n_rows(), rows.len());
+        assert_eq!(slab.n_features(), q.n_features());
+        assert_eq!(slab.is_dense(), q.is_dense());
+        assert_eq!(slab.is_bundled(), q.is_bundled());
+        assert_eq!(slab.u4().is_some(), q.u4().is_some());
+        for (local, global) in rows.clone().enumerate() {
+            for f in 0..q.n_features() {
+                assert_eq!(slab.bin(local, f), q.bin(global, f), "cell ({global},{f})");
+            }
+        }
+        assert_eq!(
+            slab.storage_bytes(),
+            q.chunk_storage_bytes(rows),
+            "advertised decoded bytes must match the real slab"
+        );
+    }
+
+    #[test]
+    fn chunk_codec_round_trips_dense_with_u4() {
+        let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
+        assert!(q.u4().is_some());
+        assert_chunk_round_trip(&q, 0..2);
+        assert_chunk_round_trip(&q, 2..4);
+        assert_chunk_round_trip(&q, 0..4);
+    }
+
+    #[test]
+    fn chunk_codec_round_trips_sparse() {
+        let q = QuantizedMatrix::from_matrix(&sparse_matrix(), BinningConfig::default());
+        assert!(q.sparse_row(0).is_some());
+        assert_chunk_round_trip(&q, 0..1);
+        assert_chunk_round_trip(&q, 1..3);
+        assert_chunk_round_trip(&q, 0..3);
+    }
+
+    #[test]
+    fn chunk_codec_round_trips_bundled() {
+        let q = QuantizedMatrix::from_matrix(&one_hot_matrix(), BinningConfig::default());
+        assert!(q.is_bundled());
+        assert_chunk_round_trip(&q, 0..16);
+        assert_chunk_round_trip(&q, 16..64);
+    }
+
+    #[test]
+    fn chunk_decode_rejects_truncation_and_bad_kind() {
+        let q = QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default());
+        let mut blob = Vec::new();
+        q.encode_chunk(0..4, &mut blob);
+        let truncated = blob[..blob.len() - 1].to_vec();
+        assert!(QuantizedMatrix::decode_chunk(&truncated.into(), q.mapper()).is_err());
+        let mut bad = blob.clone();
+        bad[0] = 9;
+        assert!(QuantizedMatrix::decode_chunk(&bad.into(), q.mapper()).is_err());
+        let mut long = blob;
+        long.push(0);
+        assert!(QuantizedMatrix::decode_chunk(&long.into(), q.mapper()).is_err());
+    }
+
+    #[test]
+    fn route_bins_match_cell_lookups_across_storages() {
+        for q in [
+            QuantizedMatrix::from_matrix(&dense_matrix(), BinningConfig::default()),
+            QuantizedMatrix::from_matrix(&sparse_matrix(), BinningConfig::default()),
+            QuantizedMatrix::from_matrix(&one_hot_matrix(), BinningConfig::default()),
+        ] {
+            let rows: Vec<u32> = (0..q.n_rows() as u32).step_by(2).collect();
+            for f in 0..q.n_features() {
+                let mut got = Vec::new();
+                q.route_bins_for(f, &rows, &mut got);
+                let want: Vec<u8> =
+                    rows.iter().map(|&r| q.bin(r as usize, f).unwrap_or(MISSING_BIN)).collect();
+                assert_eq!(got, want, "feature {f}");
+            }
+        }
     }
 }

@@ -1,0 +1,257 @@
+//! The object-mediated storage layer: [`QuantStore`] abstracts *where*
+//! quantized rows live so the training and prediction drivers stop assuming
+//! one resident [`QuantizedMatrix`].
+//!
+//! Two implementations ship:
+//!
+//! * [`QuantizedMatrix`] itself — the in-memory store: one chunk spanning
+//!   every row, pins borrow, and [`QuantStore::as_single`] hands kernels the
+//!   matrix directly so the in-core hot path is byte-for-byte the pre-trait
+//!   code.
+//! * [`crate::cache::ChunkedStore`] — the out-of-core store: row-block
+//!   aligned chunks decoded on demand from a memory-mapped cache file under
+//!   a resident-byte budget with LRU eviction.
+//!
+//! The contract that keeps chunked training **bitwise identical** to
+//! in-core: a chunk is a contiguous ascending row range, and every scan
+//! driver walks a node's (ascending) row list chunk by chunk in ascending
+//! chunk order — which reproduces the exact per-histogram-cell `f64`
+//! accumulation order of a monolithic scan.
+
+use crate::mapper::BinMapper;
+use crate::quantized::{LayoutStats, QuantizedMatrix};
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Storage-shape summary a driver can branch on without pinning a chunk.
+/// Every chunk of a store shares one shape — mixed-layout stores don't
+/// exist, so plan/kernel dispatch decided from these flags holds for every
+/// slab the scan later pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreLayout {
+    /// Plain dense u8 storage (one byte column per feature).
+    pub dense: bool,
+    /// Exclusive-feature-bundled dense storage over synthetic columns.
+    pub bundled: bool,
+    /// Dense storage carries the nibble-packed side copy.
+    pub has_u4: bool,
+    /// Physical storage columns (`n_features`, or the bundle count).
+    pub n_storage_cols: usize,
+}
+
+/// Chunk-I/O counters of a store. All zero for an in-memory store; a
+/// chunked store reports cumulative loads/evictions/prefetch hits plus the
+/// current and high-water resident decoded bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkIoStats {
+    /// Chunks decoded from the cache file (a re-load after eviction counts
+    /// again).
+    pub chunk_loads: u64,
+    /// Chunks evicted to stay under the resident-byte budget.
+    pub chunk_evictions: u64,
+    /// Pins that found their chunk already resident because the prefetch
+    /// worker decoded it.
+    pub chunk_prefetch_hits: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes` over the store's lifetime.
+    pub resident_high_water: u64,
+}
+
+/// A pinned chunk: a guard that keeps one chunk's decoded slab alive for
+/// the duration of a scan. Dereferences to the slab matrix, whose rows are
+/// renumbered `0..chunk_len` (chunk-local ids).
+pub enum PinnedChunk<'a> {
+    /// The in-memory store's single "chunk" — a borrow of the whole matrix.
+    Borrowed(&'a QuantizedMatrix),
+    /// A decoded slab held alive by refcount; eviction skips chunks with
+    /// outstanding pins.
+    Cached(Arc<QuantizedMatrix>),
+}
+
+impl Deref for PinnedChunk<'_> {
+    type Target = QuantizedMatrix;
+
+    #[inline]
+    fn deref(&self) -> &QuantizedMatrix {
+        match self {
+            PinnedChunk::Borrowed(qm) => qm,
+            PinnedChunk::Cached(qm) => qm,
+        }
+    }
+}
+
+/// Read surface the scan kernels and split routing need from quantized
+/// storage, chunk-mediated. See the [module docs](self) for the determinism
+/// contract.
+pub trait QuantStore: Sync {
+    /// Total rows across all chunks.
+    fn n_rows(&self) -> usize;
+
+    /// Number of (original) features.
+    fn n_features(&self) -> usize;
+
+    /// The cut points (and bundle map, if any) shared by every chunk.
+    fn mapper(&self) -> &BinMapper;
+
+    /// Storage shape, uniform across chunks.
+    fn layout(&self) -> StoreLayout;
+
+    /// Layout decisions for ledger/profile counters.
+    fn layout_stats(&self) -> LayoutStats;
+
+    /// Decoded-equivalent storage bytes of the whole matrix (what an
+    /// in-memory store of the same data would occupy). A chunked store
+    /// answers from its header without decoding anything.
+    fn storage_bytes(&self) -> usize;
+
+    /// Number of chunks (1 for in-memory).
+    fn n_chunks(&self) -> usize;
+
+    /// Global row range of chunk `c`. Chunks are contiguous, ascending, and
+    /// non-empty.
+    fn chunk_rows(&self, c: usize) -> Range<usize>;
+
+    /// The chunk containing global row `row`.
+    fn chunk_of_row(&self, row: usize) -> usize;
+
+    /// Pins chunk `c`'s decoded slab for a scan (loading it if absent).
+    fn pin(&self, c: usize) -> PinnedChunk<'_>;
+
+    /// Hints that chunk `c` will be pinned soon; may decode it on a
+    /// background worker. No-op by default.
+    fn prefetch(&self, _c: usize) {}
+
+    /// How many decoded chunks fit the resident budget at once, or
+    /// `usize::MAX` when residency is unbounded (in-core stores, or a
+    /// budget that covers every chunk). Drivers that run several sweep
+    /// cursors concurrently keep them within this window of each other:
+    /// cursors spread wider than the budget evict each other's upcoming
+    /// chunks and degrade every sweep to a full reload.
+    fn sweep_capacity(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Appends the routing byte of original feature `f` for each listed
+    /// global row: the feature-local bin, or [`MISSING_BIN`] when absent.
+    /// `rows` must be ascending for a chunked store (node row lists are).
+    fn gather_route_bins(&self, f: usize, rows: &[u32], out: &mut Vec<u8>);
+
+    /// The whole matrix when this store is a single resident chunk —
+    /// drivers use this to take the exact pre-trait in-core fast paths.
+    fn as_single(&self) -> Option<&QuantizedMatrix> {
+        None
+    }
+
+    /// Cumulative chunk-I/O counters. Zeros for in-memory.
+    fn io_stats(&self) -> ChunkIoStats {
+        ChunkIoStats::default()
+    }
+}
+
+impl QuantStore for QuantizedMatrix {
+    fn n_rows(&self) -> usize {
+        QuantizedMatrix::n_rows(self)
+    }
+
+    fn n_features(&self) -> usize {
+        QuantizedMatrix::n_features(self)
+    }
+
+    fn mapper(&self) -> &BinMapper {
+        QuantizedMatrix::mapper(self)
+    }
+
+    fn layout(&self) -> StoreLayout {
+        StoreLayout {
+            dense: self.is_dense(),
+            bundled: self.is_bundled(),
+            has_u4: self.u4().is_some(),
+            n_storage_cols: self.n_storage_cols(),
+        }
+    }
+
+    fn layout_stats(&self) -> LayoutStats {
+        QuantizedMatrix::layout_stats(self)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        QuantizedMatrix::storage_bytes(self)
+    }
+
+    fn n_chunks(&self) -> usize {
+        1
+    }
+
+    fn chunk_rows(&self, c: usize) -> Range<usize> {
+        assert_eq!(c, 0, "in-memory store has a single chunk");
+        0..QuantizedMatrix::n_rows(self)
+    }
+
+    fn chunk_of_row(&self, _row: usize) -> usize {
+        0
+    }
+
+    fn pin(&self, c: usize) -> PinnedChunk<'_> {
+        assert_eq!(c, 0, "in-memory store has a single chunk");
+        PinnedChunk::Borrowed(self)
+    }
+
+    fn gather_route_bins(&self, f: usize, rows: &[u32], out: &mut Vec<u8>) {
+        self.route_bins_for(f, rows, out);
+    }
+
+    fn as_single(&self) -> Option<&QuantizedMatrix> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::BinningConfig;
+    use crate::quantized::MISSING_BIN;
+    use harp_data::{DenseMatrix, FeatureMatrix};
+
+    fn qm() -> QuantizedMatrix {
+        let vals: Vec<f32> = (0..40).map(|i| (i % 7) as f32).collect();
+        QuantizedMatrix::from_matrix(
+            &FeatureMatrix::Dense(DenseMatrix::from_vec(10, 4, vals)),
+            BinningConfig::default(),
+        )
+    }
+
+    #[test]
+    fn in_memory_store_is_one_borrowed_chunk() {
+        let q = qm();
+        let store: &dyn QuantStore = &q;
+        assert_eq!(store.n_chunks(), 1);
+        assert_eq!(store.chunk_rows(0), 0..10);
+        assert_eq!(store.chunk_of_row(9), 0);
+        assert!(store.as_single().is_some());
+        assert_eq!(store.io_stats(), ChunkIoStats::default());
+        let pinned = store.pin(0);
+        assert_eq!(pinned.n_rows(), 10);
+        assert!(matches!(pinned, PinnedChunk::Borrowed(_)));
+    }
+
+    #[test]
+    fn in_memory_layout_reflects_matrix_flags() {
+        let q = qm();
+        let layout = QuantStore::layout(&q);
+        assert!(layout.dense && !layout.bundled);
+        assert_eq!(layout.has_u4, q.u4().is_some());
+        assert_eq!(layout.n_storage_cols, 4);
+    }
+
+    #[test]
+    fn gather_matches_cell_lookups() {
+        let q = qm();
+        let rows: Vec<u32> = vec![0, 3, 7, 9];
+        let mut got = Vec::new();
+        QuantStore::gather_route_bins(&q, 2, &rows, &mut got);
+        let want: Vec<u8> =
+            rows.iter().map(|&r| q.bin(r as usize, 2).unwrap_or(MISSING_BIN)).collect();
+        assert_eq!(got, want);
+    }
+}

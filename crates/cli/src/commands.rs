@@ -90,6 +90,66 @@ fn parse_blocks(opts: &Opts) -> Result<BlockConfig, String> {
     })
 }
 
+/// Parses a byte count with an optional binary suffix: `1048576`, `512k`,
+/// `96m`, `2g` (case-insensitive, powers of 1024).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (num, shift) = match t.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&t[..i], 10),
+        Some((i, 'm' | 'M')) => (&t[..i], 20),
+        Some((i, 'g' | 'G')) => (&t[..i], 30),
+        _ => (t, 0),
+    };
+    let n: u64 = num.trim().parse().map_err(|_| format!("cannot parse byte count {s:?}"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("byte count {s:?} overflows"))
+}
+
+/// Default cache-file path next to the data file.
+fn default_cache_path(data: &str) -> String {
+    format!("{data}.qsc")
+}
+
+/// Quantizes `data` with the trainer's default binning/layout configuration
+/// (the cache must hold exactly the matrix `train` would build in-core, or
+/// chunked training could not be bitwise-identical).
+fn quantize_default(data: &Dataset) -> harpgbdt::QuantizedMatrix {
+    harpgbdt::QuantizedMatrix::from_matrix_opts(
+        &data.features,
+        harpgbdt::BinningConfig::default(),
+        harpgbdt::LayoutOptions::default(),
+    )
+}
+
+/// Ensures a chunk cache for `data` exists at `path` (building it on first
+/// use) and opens it under `mem_budget` resident bytes. Returns the opened
+/// store plus a human line describing what happened.
+fn open_or_build_cache(
+    data: &Dataset,
+    path: &str,
+    rows_per_chunk: usize,
+    mem_budget: u64,
+) -> Result<(harpgbdt::ChunkedStore, String), String> {
+    let mut note;
+    if Path::new(path).exists() {
+        note = format!("external memory: reusing cache {path}");
+    } else {
+        let qm = quantize_default(data);
+        let summary = harpgbdt::write_cache(&qm, rows_per_chunk, Path::new(path))
+            .map_err(|e| format!("failed to build cache {path}: {e}"))?;
+        note = format!(
+            "external memory: built cache {path} ({} chunks x {} rows, {} file bytes)",
+            summary.n_chunks, summary.rows_per_chunk, summary.file_bytes
+        );
+    }
+    let store = harpgbdt::ChunkedStore::open(Path::new(path), mem_budget)
+        .map_err(|e| format!("failed to open cache {path}: {e}"))?;
+    let s = store.summary();
+    let _ = write!(note, "; budget {mem_budget} bytes over {} decoded", s.decoded_bytes);
+    Ok((store, note))
+}
+
 fn parse_growth(s: &str) -> Result<GrowthMethod, String> {
     match s {
         "leafwise" => Ok(GrowthMethod::Leafwise),
@@ -119,6 +179,13 @@ fn train_help() -> String {
     let _ = writeln!(s, "                        whitespace-separated, required by lambdarank)");
     let _ = writeln!(s, "  --valid FILE --valid-groups FILE --early-stop ROUNDS");
     let _ = writeln!(s, "  --trace-out FILE --ledger-out FILE");
+    let _ = writeln!(s, "  --external-memory    (train from a memory-mapped chunk cache instead");
+    let _ = writeln!(s, "                        of the in-core quantized matrix; bitwise-identical");
+    let _ = writeln!(s, "                        models under any budget)");
+    let _ = writeln!(s, "  --mem-budget BYTES   (resident chunk budget, k/m/g suffixes; default 256m)");
+    let _ = writeln!(s, "  --cache FILE         (cache path; default DATA.qsc, built on first use");
+    let _ = writeln!(s, "                        or ahead of time with `harpgbdt cache`)");
+    let _ = writeln!(s, "  --rows-per-chunk N   (chunk granularity when building the cache)");
     s
 }
 
@@ -146,7 +213,18 @@ pub fn train(args: &[String]) -> Result<String, String> {
                 .into());
         }
     }
-    let mut data = load(opts.required("--data")?)?;
+    // Like the trace flags above: reject unusable external-memory knobs
+    // before the (possibly long) data load.
+    let external = opts.switch("--external-memory");
+    if !external {
+        for flag in ["--mem-budget", "--cache", "--rows-per-chunk"] {
+            if opts.get(flag).is_some() {
+                return Err(format!("{flag} requires --external-memory"));
+            }
+        }
+    }
+    let data_path = opts.required("--data")?;
+    let mut data = load(data_path)?;
     if let Some(p) = opts.get("--groups") {
         data = attach_groups(data, p)?;
     }
@@ -201,7 +279,31 @@ pub fn train(args: &[String]) -> Result<String, String> {
         None => None,
     };
 
-    let out = trainer.try_train_with_eval(&data, eval)?;
+    let mut external_notes: Vec<String> = Vec::new();
+    let out = if external {
+        let cache_path =
+            opts.get("--cache").map_or_else(|| default_cache_path(data_path), str::to_string);
+        let rows_per_chunk =
+            opts.parse_or("--rows-per-chunk", harpgbdt::DEFAULT_ROWS_PER_CHUNK)?;
+        let budget = parse_bytes(opts.get("--mem-budget").unwrap_or("256m"))?;
+        let (store, note) = open_or_build_cache(&data, &cache_path, rows_per_chunk, budget)?;
+        external_notes.push(note);
+        let out = trainer.try_train_store_grouped(
+            &store,
+            &data.labels,
+            None,
+            data.query_groups.as_deref(),
+            eval,
+        )?;
+        let io = harpgbdt::QuantStore::io_stats(&store);
+        external_notes.push(format!(
+            "chunk I/O: {} loads, {} evictions, {} prefetch hits; resident high water {} bytes",
+            io.chunk_loads, io.chunk_evictions, io.chunk_prefetch_hits, io.resident_high_water
+        ));
+        out
+    } else {
+        trainer.try_train_with_eval(&data, eval)?
+    };
     out.model
         .save(model_path)
         .map_err(|e| format!("failed to save model {model_path}: {e}"))?;
@@ -216,6 +318,9 @@ pub fn train(args: &[String]) -> Result<String, String> {
         out.diagnostics.train_secs,
         out.diagnostics.mean_tree_secs() * 1e3
     );
+    for note in &external_notes {
+        let _ = writeln!(report, "{note}");
+    }
     if let Some(trace) = &out.diagnostics.trace {
         let _ = writeln!(
             report,
@@ -526,6 +631,16 @@ pub fn report(args: &[String]) -> Result<String, String> {
         time_tolerance: opts.parse_or("--time-tolerance", d.time_tolerance)?,
         time_floor_secs: opts.parse_or("--time-floor", d.time_floor_secs)?,
     };
+    // --ignore drops metrics by name prefix before gating — for diffs across
+    // configs whose diagnostics are expected to differ (e.g. chunk-I/O
+    // traffic when comparing an in-core run against an external-memory one).
+    let ignore: Vec<String> = opts
+        .get("--ignore")
+        .map(|s| s.split(',').map(str::trim).filter(|p| !p.is_empty()).map(String::from).collect())
+        .unwrap_or_default();
+    let keep = |metrics: Vec<(String, f64)>| -> Vec<(String, f64)> {
+        metrics.into_iter().filter(|(n, _)| !ignore.iter().any(|p| n.starts_with(p))).collect()
+    };
     if let Some(spec) = opts.get("--slo") {
         if diff.is_some() || bench_diff.is_some() {
             return Err("--slo cannot be combined with --diff/--bench-diff".to_string());
@@ -546,12 +661,14 @@ pub fn report(args: &[String]) -> Result<String, String> {
         (None, Some((a, b)), None) => {
             let la = RunLedger::read_jsonl(Path::new(&a))?;
             let lb = RunLedger::read_jsonl(Path::new(&b))?;
-            let diff = DiffReport::between(&la.summary(), &lb.summary(), &diff_opts);
+            let ma = keep(la.summary().metrics);
+            let mb = keep(lb.summary().metrics);
+            let diff = DiffReport::compare_metrics(&ma, &mb, &diff_opts);
             finish_diff(&a, &b, &diff)
         }
         (None, None, Some((a, b))) => {
-            let ma = read_bench_metrics(&a)?;
-            let mb = read_bench_metrics(&b)?;
+            let ma = keep(read_bench_metrics(&a)?);
+            let mb = keep(read_bench_metrics(&b)?);
             let diff = DiffReport::compare_metrics(&ma, &mb, &diff_opts);
             finish_diff(&a, &b, &diff)
         }
@@ -655,6 +772,33 @@ pub fn synth(args: &[String]) -> Result<String, String> {
         kind.name(),
         data.n_rows(),
         data.n_features()
+    ))
+}
+
+/// `harpgbdt cache` — quantize a data file and write the chunked
+/// external-memory cache ahead of time, so `train --external-memory` (and
+/// repeated experiment sweeps) skip the quantization pass entirely.
+pub fn cache(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let data = load(opts.required("--data")?)?;
+    let out_path = opts.get("--out").map_or_else(
+        || default_cache_path(opts.required("--data").unwrap()),
+        str::to_string,
+    );
+    let rows_per_chunk = opts.parse_or("--rows-per-chunk", harpgbdt::DEFAULT_ROWS_PER_CHUNK)?;
+    let qm = quantize_default(&data);
+    let summary = harpgbdt::write_cache(&qm, rows_per_chunk, Path::new(&out_path))
+        .map_err(|e| format!("failed to build cache {out_path}: {e}"))?;
+    Ok(format!(
+        "cached {} rows x {} features to {out_path}\n\
+         {} chunks x {} rows | {} file bytes | {} decoded bytes ({:.2}x)\n",
+        summary.n_rows,
+        data.n_features(),
+        summary.n_chunks,
+        summary.rows_per_chunk,
+        summary.file_bytes,
+        summary.decoded_bytes,
+        summary.decoded_bytes as f64 / summary.file_bytes.max(1) as f64
     ))
 }
 
@@ -816,6 +960,77 @@ mod tests {
         assert!(parse_blocks(&o).is_err(), "three extents must be rejected");
         let o = Opts::parse(&args(&["--blocks", "1,2,3,4", "--auto-blocks"])).unwrap();
         assert!(parse_blocks(&o).is_err(), "mutually exclusive flags");
+    }
+
+    #[test]
+    fn byte_count_parsing() {
+        assert_eq!(parse_bytes("1048576").unwrap(), 1 << 20);
+        assert_eq!(parse_bytes("512k").unwrap(), 512 << 10);
+        assert_eq!(parse_bytes("96M").unwrap(), 96 << 20);
+        assert_eq!(parse_bytes("2g").unwrap(), 2 << 30);
+        assert!(parse_bytes("12q").is_err());
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("99999999999999999999g").is_err(), "overflow is an error");
+    }
+
+    #[test]
+    fn external_memory_knobs_require_the_switch() {
+        let err =
+            train(&args(&["--data", "x.csv", "--model", "m.json", "--mem-budget", "64m"]))
+                .unwrap_err();
+        assert!(err.contains("--external-memory"), "{err}");
+    }
+
+    #[test]
+    fn cache_then_external_memory_train_roundtrip() {
+        use std::fmt::Write as _;
+        let dir = std::env::temp_dir();
+        let data_path = dir.join("harp_cli_xmem.csv");
+        let model_a = dir.join("harp_cli_xmem_a.json");
+        let model_b = dir.join("harp_cli_xmem_b.json");
+        let cache_path = dir.join("harp_cli_xmem.qsc");
+        let data = SynthConfig::new(DatasetKind::HiggsLike, 11).with_scale(0.02).generate();
+        let file = std::fs::File::create(&data_path).unwrap();
+        harp_data::io::write_csv(std::io::BufWriter::new(file), &data).unwrap();
+
+        let out = cache(&args(&[
+            "--data",
+            data_path.to_str().unwrap(),
+            "--out",
+            cache_path.to_str().unwrap(),
+            "--rows-per-chunk",
+            "64",
+        ]))
+        .unwrap();
+        assert!(out.contains("chunks"), "{out}");
+
+        let common = ["--trees", "4", "--tree-size", "3", "--threads", "2", "--seed", "7"];
+        let mut a = args(&["--data", data_path.to_str().unwrap()]);
+        a.extend(args(&["--model", model_a.to_str().unwrap()]));
+        a.extend(args(&common));
+        train(&a).unwrap();
+
+        let mut b = args(&["--data", data_path.to_str().unwrap()]);
+        b.extend(args(&["--model", model_b.to_str().unwrap()]));
+        b.extend(args(&common));
+        b.extend(args(&[
+            "--external-memory",
+            "--cache",
+            cache_path.to_str().unwrap(),
+            "--mem-budget",
+            "64k",
+        ]));
+        let report = train(&b).unwrap();
+        assert!(report.contains("reusing cache"), "{report}");
+        assert!(report.contains("chunk I/O"), "{report}");
+
+        // The external-memory model is byte-identical to the in-core one.
+        let ja = std::fs::read_to_string(&model_a).unwrap();
+        let jb = std::fs::read_to_string(&model_b).unwrap();
+        assert_eq!(ja, jb, "chunked training must match in-core bitwise");
+        for p in [data_path, model_a, model_b, cache_path] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     };
     match cmd.as_str() {
         "train" => commands::train(rest),
+        "cache" => commands::cache(rest),
         "predict" => commands::predict(rest),
         "serve" => commands::serve(rest),
         "eval" => commands::eval(rest),
@@ -58,6 +59,11 @@ pub fn usage() -> String {
     let _ = writeln!(s);
     let _ = writeln!(s, "commands:");
     let _ = writeln!(s, "  train       --data FILE --model FILE [training options]");
+    let _ = writeln!(
+        s,
+        "  cache       --data FILE [--out FILE] [--rows-per-chunk N]   (build the"
+    );
+    let _ = writeln!(s, "              external-memory chunk cache ahead of training)");
     let _ = writeln!(
         s,
         "  predict     --model FILE --data FILE [--out FILE] [--raw|--class] [--threads N]"
@@ -83,6 +89,10 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
+        "              [--ignore PREFIX[,PREFIX...]]  (drop metrics by name prefix, e.g.\n               counter/chunk_ when diffing an in-core run against a chunked one)"
+    );
+    let _ = writeln!(
+        s,
         "              --slo SPEC (--ledger FILE | --snapshot FILE)   e.g. predict:p99<5ms"
     );
     let _ = writeln!(s, "  importance  --model FILE [--top N]");
@@ -102,6 +112,9 @@ pub fn usage() -> String {
     let _ = writeln!(s, "  --auto-blocks      (cost-model block auto-tuner)");
     let _ = writeln!(s, "  --groups FILE      (query-group sizes for ranking data)");
     let _ = writeln!(s, "  --valid FILE --valid-groups FILE --early-stop ROUNDS");
+    let _ = writeln!(s, "  --external-memory  (train from a memory-mapped chunk cache;");
+    let _ = writeln!(s, "                      see `harpgbdt train --help` for the knobs)");
+    let _ = writeln!(s, "  --mem-budget BYTES --cache FILE --rows-per-chunk N");
     let _ = writeln!(s, "  --trace-out FILE   (write a chrome://tracing / Perfetto span trace");
     let _ = writeln!(s, "                      and print the per-phase worker-skew table)");
     let _ = writeln!(s, "  --ledger-out FILE  (write a JSON-lines run ledger: one record per");

@@ -10,7 +10,7 @@ pub struct Opts {
 }
 
 /// Known boolean switches (flags without values).
-const SWITCHES: &[&str] = &["--raw", "--class", "--auto-blocks"];
+const SWITCHES: &[&str] = &["--raw", "--class", "--auto-blocks", "--external-memory"];
 
 impl Opts {
     /// Parses an argument list.

@@ -42,15 +42,16 @@ pub fn hist_width(total_bins: u32, n_features: usize) -> usize {
 /// shared sink cell (absent/conflict-dropped bins route there branch-free).
 /// A wider (padded) buffer is always acceptable to the kernels; this trims
 /// the per-node footprint where the padding is provably never written.
-pub fn hist_width_for(qm: &harp_binning::QuantizedMatrix) -> usize {
-    let sinks = if qm.is_dense() {
-        crate::kernels::sink_lanes(qm.n_features())
-    } else if qm.is_bundled() {
+pub fn hist_width_for(store: &dyn harp_binning::QuantStore) -> usize {
+    let layout = store.layout();
+    let sinks = if layout.dense {
+        crate::kernels::sink_lanes(store.n_features())
+    } else if layout.bundled {
         2
     } else {
         0
     };
-    qm.mapper().total_bins() as usize * 2 + sinks
+    store.mapper().total_bins() as usize * 2 + sinks
 }
 
 /// Zeroes a histogram buffer.

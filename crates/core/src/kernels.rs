@@ -1506,6 +1506,164 @@ pub fn col_scan_scalar(
     cells
 }
 
+// ---------------------------------------------------------------------------
+// Store-mediated scans (out-of-core chunk dispatch)
+// ---------------------------------------------------------------------------
+
+use harp_binning::QuantStore;
+
+thread_local! {
+    /// Scratch for chunk-local row ids, reused across store scans so the
+    /// per-chunk translation allocates once per thread.
+    static LOCAL_ROWS: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Splits an ascending global row list into per-chunk runs and invokes
+/// `scan(chunk_idx, chunk_span, run_range)` for each, in ascending chunk
+/// order. Issues a [`QuantStore::prefetch`] for the run *after* the one
+/// about to be handed out, so the next chunk decodes while the current one
+/// scans.
+fn for_each_chunk_run(
+    store: &dyn QuantStore,
+    rows: &[u32],
+    mut scan: impl FnMut(usize, Range<usize>, Range<usize>),
+) {
+    let mut i = 0usize;
+    while i < rows.len() {
+        let c = store.chunk_of_row(rows[i] as usize);
+        let span = store.chunk_rows(c);
+        let end = i + rows[i..].partition_point(|&r| (r as usize) < span.end);
+        if end < rows.len() {
+            store.prefetch(store.chunk_of_row(rows[end] as usize));
+        }
+        scan(c, span, i..end);
+        i = end;
+    }
+}
+
+/// Narrows a node gradient source to one chunk run: MemBuf replicas are
+/// positional within the node, so the run's sub-slice stays position-aligned
+/// with the chunk-local row list; the global array is row-id indexed, so
+/// re-basing it at the chunk start makes chunk-local ids index correctly.
+#[inline]
+fn sub_grads<'a>(grads: GradSource<'a>, run: Range<usize>, chunk_start: usize) -> GradSource<'a> {
+    match grads {
+        GradSource::MemBuf(m) => GradSource::MemBuf(&m[run]),
+        GradSource::Global(g) => GradSource::Global(&g[chunk_start..]),
+    }
+}
+
+/// [`row_scan`] (or [`row_scan_scalar`] when `scalar`) through a
+/// [`QuantStore`]: the in-memory store takes the exact pre-trait call; a
+/// chunked store splits the ascending row list into per-chunk runs, pins
+/// each slab, and scans runs in ascending chunk order — which preserves the
+/// per-cell row-ascending `f64` accumulation order, so the result is
+/// bitwise identical to a monolithic scan.
+pub fn row_scan_store(
+    store: &dyn QuantStore,
+    rows: &[u32],
+    grads: GradSource<'_>,
+    f_range: Range<usize>,
+    hist: &mut [f64],
+    scalar: bool,
+) -> u64 {
+    if let Some(qm) = store.as_single() {
+        return if scalar {
+            row_scan_scalar(qm, rows, grads, f_range, hist)
+        } else {
+            row_scan(qm, rows, grads, f_range, hist)
+        };
+    }
+    let mut cells = 0u64;
+    for_each_chunk_run(store, rows, |c, span, run| {
+        let chunk = store.pin(c);
+        let sub = sub_grads(grads, run.clone(), span.start);
+        cells += LOCAL_ROWS.with(|lr| {
+            let mut lr = lr.borrow_mut();
+            lr.clear();
+            lr.extend(rows[run].iter().map(|&r| r - span.start as u32));
+            if scalar {
+                row_scan_scalar(&chunk, &lr, sub, f_range.clone(), hist)
+            } else {
+                row_scan(&chunk, &lr, sub, f_range.clone(), hist)
+            }
+        });
+    });
+    cells
+}
+
+/// [`row_scan_root`] through a [`QuantStore`]: contiguous global rows map
+/// to contiguous chunk-local rows, so each chunk run keeps the root fast
+/// path (no row-id list at all). A `GradSource::MemBuf` slice must be
+/// aligned to `row_range` exactly as in [`row_scan_root`].
+pub fn row_scan_root_store(
+    store: &dyn QuantStore,
+    row_range: Range<usize>,
+    grads: GradSource<'_>,
+    f_range: Range<usize>,
+    hist: &mut [f64],
+) -> u64 {
+    if let Some(qm) = store.as_single() {
+        return row_scan_root(qm, row_range, grads, f_range, hist);
+    }
+    let mut cells = 0u64;
+    let mut r = row_range.start;
+    while r < row_range.end {
+        let c = store.chunk_of_row(r);
+        let span = store.chunk_rows(c);
+        let hi = span.end.min(row_range.end);
+        if hi < row_range.end {
+            store.prefetch(store.chunk_of_row(hi));
+        }
+        let chunk = store.pin(c);
+        let sub = match grads {
+            GradSource::MemBuf(m) => GradSource::MemBuf(&m[r - row_range.start..]),
+            GradSource::Global(g) => GradSource::Global(&g[span.start..]),
+        };
+        cells += row_scan_root(&chunk, r - span.start..hi - span.start, sub, f_range.clone(), hist);
+        r = hi;
+    }
+    cells
+}
+
+/// [`col_scan`] (or [`col_scan_scalar`] when `scalar`) through a
+/// [`QuantStore`]; same chunk-run decomposition and determinism argument as
+/// [`row_scan_store`]. A contiguous node row set stays contiguous within
+/// every chunk run, so the per-chunk scans keep the sequential fast paths.
+pub fn col_scan_store(
+    store: &dyn QuantStore,
+    f: usize,
+    rows: &[u32],
+    grads: GradSource<'_>,
+    bin_range: Range<usize>,
+    hist_f: &mut [f64],
+    scalar: bool,
+) -> u64 {
+    if let Some(qm) = store.as_single() {
+        return if scalar {
+            col_scan_scalar(qm, f, rows, grads, bin_range, hist_f)
+        } else {
+            col_scan(qm, f, rows, grads, bin_range, hist_f)
+        };
+    }
+    let mut cells = 0u64;
+    for_each_chunk_run(store, rows, |c, span, run| {
+        let chunk = store.pin(c);
+        let sub = sub_grads(grads, run.clone(), span.start);
+        cells += LOCAL_ROWS.with(|lr| {
+            let mut lr = lr.borrow_mut();
+            lr.clear();
+            lr.extend(rows[run].iter().map(|&r| r - span.start as u32));
+            if scalar {
+                col_scan_scalar(&chunk, f, &lr, sub, bin_range.clone(), hist_f)
+            } else {
+                col_scan(&chunk, f, &lr, sub, bin_range.clone(), hist_f)
+            }
+        });
+    });
+    cells
+}
+
 /// Estimated bytes moved per accumulation, for the memory-bound proxy:
 /// 16 B GHSum read + 16 B write + 1 B bin + 8 B gradient.
 pub const BYTES_PER_CELL: u64 = 41;

@@ -48,6 +48,13 @@ pub mod trainer;
 pub mod tree;
 
 pub use ensemble::{FeatureImportance, GbdtModel};
+// The external-memory surface, re-exported so downstream users (CLI, bench,
+// integration tests) reach the whole train-from-a-store story through one
+// crate: quantize → `write_cache` → `ChunkedStore::open` → `train_store`.
+pub use harp_binning::{
+    write_cache, BinningConfig, CacheError, CacheSummary, ChunkIoStats, ChunkedStore,
+    LayoutOptions, QuantStore, QuantizedMatrix, DEFAULT_ROWS_PER_CHUNK,
+};
 pub use loss::RowScaling;
 pub use objective::{
     GradScope, GradientFn, ListwiseGrad, Objective, ObjectiveInfo, ObjectiveSpec, RowWiseGrad,

@@ -234,6 +234,11 @@ impl RowPartition {
     /// Stably partitions `parent`'s span: rows satisfying `goes_left` first.
     /// Assigns spans to `left`/`right` and returns `(left_len, right_len)`.
     ///
+    /// `goes_left` receives `(pos, row)` where `pos` is the row's index
+    /// within the parent's span (its position in `rows(parent)` before the
+    /// partition) — routes that pre-gather per-node data (the out-of-core
+    /// path) resolve it positionally instead of searching by row id.
+    ///
     /// `pool` enables chunk-parallel partitioning for large spans; pass
     /// `None` from inside a worker task (ASYNC mode) to stay serial.
     pub fn apply_split(
@@ -241,7 +246,7 @@ impl RowPartition {
         parent: u32,
         left: u32,
         right: u32,
-        goes_left: &(impl Fn(u32) -> bool + Sync),
+        goes_left: &(impl Fn(usize, u32) -> bool + Sync),
         pool: Option<&ThreadPool>,
     ) -> (u32, u32) {
         self.identity.store(false, Ordering::Release);
@@ -286,14 +291,14 @@ fn partition_serial(
     grads: &mut [GradPair],
     scratch: &mut [u32],
     scratch_grads: &mut [GradPair],
-    goes_left: &impl Fn(u32) -> bool,
+    goes_left: &impl Fn(usize, u32) -> bool,
     membuf: bool,
 ) -> usize {
     let len = rows.len();
     let mut l = 0usize;
     let mut r = 0usize;
     for i in 0..len {
-        if goes_left(rows[i]) {
+        if goes_left(i, rows[i]) {
             scratch[l] = rows[i];
             if membuf {
                 scratch_grads[l] = grads[i];
@@ -333,7 +338,7 @@ fn partition_parallel(
     grads: &mut [GradPair],
     scratch: &mut [u32],
     scratch_grads: &mut [GradPair],
-    goes_left: &(impl Fn(u32) -> bool + Sync),
+    goes_left: &(impl Fn(usize, u32) -> bool + Sync),
     membuf: bool,
 ) -> usize {
     let len = rows.len();
@@ -347,7 +352,7 @@ fn partition_parallel(
     pool.parallel_for(n_chunks, |c, _| {
         let lo = c * chunk;
         let hi = (lo + chunk).min(len);
-        let n = rows_ro[lo..hi].iter().filter(|&&r| goes_left(r)).count();
+        let n = (lo..hi).filter(|&i| goes_left(i, rows_ro[i])).count();
         counts[c].store(n as u64, Ordering::Relaxed);
     });
     // Exclusive prefixes of lefts and rights.
@@ -379,7 +384,7 @@ fn partition_parallel(
         let mut r = total_left + (lo - left_base_ro[c]);
         for i in lo..hi {
             let row = rows_ro[i];
-            let dst = if goes_left(row) { &mut l } else { &mut r };
+            let dst = if goes_left(i, row) { &mut l } else { &mut r };
             // SAFETY: stable-partition target positions are unique across
             // chunks by construction of the prefix sums.
             unsafe {
@@ -422,7 +427,7 @@ mod tests {
     fn identity_order_cleared_by_split_and_restored_by_reset() {
         let p = fresh(10, true);
         assert!(p.is_identity_order());
-        p.apply_split(0, 1, 2, &|r| r % 2 == 0, None);
+        p.apply_split(0, 1, 2, &|_, r| r % 2 == 0, None);
         assert!(!p.is_identity_order());
         let mut p = p;
         let grads: Vec<GradPair> = (0..10).map(|i| [i as f32, 1.0]).collect();
@@ -433,7 +438,7 @@ mod tests {
     #[test]
     fn split_is_stable_and_complete() {
         let p = fresh(10, true);
-        p.apply_split(0, 1, 2, &|r| r % 3 == 0, None);
+        p.apply_split(0, 1, 2, &|_, r| r % 3 == 0, None);
         assert_eq!(p.rows(1), &[0, 3, 6, 9]);
         assert_eq!(p.rows(2), &[1, 2, 4, 5, 7, 8]);
         // MemBuf permuted identically.
@@ -444,9 +449,9 @@ mod tests {
     #[test]
     fn nested_splits_partition_spans() {
         let p = fresh(16, true);
-        p.apply_split(0, 1, 2, &|r| r < 8, None);
-        p.apply_split(1, 3, 4, &|r| r % 2 == 0, None);
-        p.apply_split(2, 5, 6, &|r| r >= 12, None);
+        p.apply_split(0, 1, 2, &|_, r| r < 8, None);
+        p.apply_split(1, 3, 4, &|_, r| r % 2 == 0, None);
+        p.apply_split(2, 5, 6, &|_, r| r >= 12, None);
         assert_eq!(p.rows(3), &[0, 2, 4, 6]);
         assert_eq!(p.rows(4), &[1, 3, 5, 7]);
         assert_eq!(p.rows(5), &[12, 13, 14, 15]);
@@ -459,7 +464,7 @@ mod tests {
     #[test]
     fn empty_side_allowed() {
         let p = fresh(5, true);
-        let (l, r) = p.apply_split(0, 1, 2, &|_| true, None);
+        let (l, r) = p.apply_split(0, 1, 2, &|_, _| true, None);
         assert_eq!((l, r), (5, 0));
         assert_eq!(p.node_len(2), 0);
         assert_eq!(p.rows(1), &[0, 1, 2, 3, 4]);
@@ -469,7 +474,7 @@ mod tests {
     fn parallel_partition_matches_serial() {
         let n = 50_000;
         let pool = ThreadPool::new(4);
-        let pred = |r: u32| (r.wrapping_mul(2654435761)) % 5 < 2;
+        let pred = |_: usize, r: u32| (r.wrapping_mul(2654435761)) % 5 < 2;
         let ps = fresh(n, true);
         ps.apply_split(0, 1, 2, &pred, None);
         let pp = fresh(n, true);
@@ -490,8 +495,8 @@ mod tests {
             p.reset(&grads);
             // Root split is the largest span this partition will ever see, so
             // the first call sizes the scratch for good.
-            p.apply_split(0, 1, 2, &|r| r % 2 == 0, Some(&pool));
-            p.apply_split(1, 3, 4, &|r| r % 3 == 0, Some(&pool));
+            p.apply_split(0, 1, 2, &|_, r| r % 2 == 0, Some(&pool));
+            p.apply_split(1, 3, 4, &|_, r| r % 3 == 0, Some(&pool));
             let allocs = profile.partition_scratch_allocs.load(Ordering::Relaxed);
             let reuses = profile.partition_scratch_reuses.load(Ordering::Relaxed);
             if tree == 0 {
@@ -511,8 +516,8 @@ mod tests {
         let n = 20_000;
         let pool = ThreadPool::new(3);
         let p = fresh(n, false);
-        p.apply_split(0, 1, 2, &|r| r % 7 == 0, Some(&pool));
-        p.apply_split(2, 3, 4, &|r| r % 3 == 0, Some(&pool));
+        p.apply_split(0, 1, 2, &|_, r| r % 7 == 0, Some(&pool));
+        p.apply_split(2, 3, 4, &|_, r| r % 3 == 0, Some(&pool));
         for node in [1u32, 3, 4] {
             let rows = p.rows(node);
             for w in rows.windows(2) {
@@ -526,7 +531,7 @@ mod tests {
         let p = fresh(10, false);
         assert!(!p.has_membuf());
         assert!(p.grads(0).is_empty());
-        p.apply_split(0, 1, 2, &|r| r < 5, None);
+        p.apply_split(0, 1, 2, &|_, r| r < 5, None);
         assert_eq!(p.rows(1), &[0, 1, 2, 3, 4]);
     }
 
@@ -540,7 +545,7 @@ mod tests {
     #[test]
     fn reset_clears_previous_tree() {
         let mut p = fresh(8, true);
-        p.apply_split(0, 1, 2, &|r| r < 4, None);
+        p.apply_split(0, 1, 2, &|_, r| r < 4, None);
         let grads: Vec<GradPair> = (0..8).map(|i| [-(i as f32), 2.0]).collect();
         p.reset(&grads);
         assert_eq!(p.node_len(0), 8);

@@ -58,14 +58,17 @@ pub enum ScanLayout {
 }
 
 impl ScanLayout {
-    /// Classifies a quantized matrix.
-    pub fn of(qm: &harp_binning::QuantizedMatrix) -> Self {
-        if qm.u4().is_some() {
+    /// Classifies a quantized store. The shape flags are uniform across
+    /// chunks (see [`harp_binning::StoreLayout`]), so one classification
+    /// holds for every slab a chunked scan later pins.
+    pub fn of(store: &dyn harp_binning::QuantStore) -> Self {
+        let l = store.layout();
+        if l.has_u4 {
             ScanLayout::DenseU4
-        } else if qm.is_dense() {
+        } else if l.dense {
             ScanLayout::DenseU8
-        } else if qm.is_bundled() {
-            ScanLayout::Bundled { n_storage_cols: qm.n_storage_cols() }
+        } else if l.bundled {
+            ScanLayout::Bundled { n_storage_cols: l.n_storage_cols }
         } else {
             ScanLayout::Sparse
         }
@@ -242,6 +245,17 @@ impl BlockPlan {
     /// one job per task. Row chunks never cross node boundaries; a node
     /// block only groups nodes into one scheduling unit (its members'
     /// chunks are emitted consecutively).
+    ///
+    /// Tasks are emitted row-chunk-major (all feature blocks of one row
+    /// chunk adjacent) rather than feature-major: workers then re-read rows
+    /// that are still cache-hot, and for an out-of-core [`QuantStore`] the
+    /// adjacent feature blocks hit the same resident data chunk instead of
+    /// each sweeping the whole chunk sequence — feature-major order is
+    /// LRU's pathological case there (every chunk is evicted between its
+    /// consecutive uses). Per histogram cell the accumulation order is
+    /// feature-independent (only that cell's feature block contributes, row
+    /// chunks ascend either way), so single-replica and exclusive results
+    /// are bit-for-bit unchanged by the nesting.
     fn enumerate_replicated(&mut self, cfg: &BlockConfig, shape: &BatchShape, job_lens: &[usize]) {
         let m = shape.n_features;
         // Feature-blocking a CSR or bundled row scan would re-walk every
@@ -258,20 +272,20 @@ impl BlockPlan {
         self.live_jobs.extend((0..job_lens.len()).filter(|&j| job_lens[j] > 0));
 
         for node_group in self.live_jobs.chunks(node_blk) {
-            for f_range in feature_blocks(m, f_blk) {
-                for &job_idx in node_group {
-                    let len = job_lens[job_idx];
-                    let mut lo = 0usize;
-                    while lo < len {
-                        let hi = (lo + row_blk).min(len);
+            for &job_idx in node_group {
+                let len = job_lens[job_idx];
+                let mut lo = 0usize;
+                while lo < len {
+                    let hi = (lo + row_blk).min(len);
+                    for f_range in feature_blocks(m, f_blk) {
                         self.tasks.push(BlockTask {
                             jobs: job_idx..job_idx + 1,
                             features: f_range.clone(),
                             rows: lo..hi,
                             bins: None,
                         });
-                        lo = hi;
                     }
+                    lo = hi;
                 }
             }
         }

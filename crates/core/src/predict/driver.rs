@@ -4,7 +4,7 @@
 use super::flat::FlatForest;
 use super::kernel;
 use crate::plan::{n_row_blocks, row_block};
-use harp_binning::QuantizedMatrix;
+use harp_binning::{QuantStore, QuantizedMatrix};
 use harp_data::FeatureMatrix;
 use harp_metrics::TimeBreakdown;
 use harp_parallel::{ScopedPhase, ThreadPool, TracePhase, TraceSink};
@@ -121,6 +121,48 @@ impl<'a> Predictor<'a> {
         let mut out = self.base_filled(qm.n_rows());
         self.run(qm.n_rows(), &mut out, |lo, hi, dst| {
             kernel::score_block_binned(self.forest, qm, lo, hi, dst, self.forest.n_groups, 0);
+        });
+        out
+    }
+
+    /// Raw scores through a [`QuantStore`]: an in-core store takes the
+    /// exact [`predict_raw_binned`](Self::predict_raw_binned) path; a
+    /// chunked store scores each row block against the chunk slabs it
+    /// intersects (pin → score → advance, prefetching the next chunk), with
+    /// bitwise-identical output — per-row scoring never crosses a chunk
+    /// boundary.
+    ///
+    /// # Panics
+    /// Panics if `store` has fewer features than the model expects.
+    pub fn predict_raw_store(&self, store: &dyn QuantStore) -> Vec<f32> {
+        if let Some(qm) = store.as_single() {
+            return self.predict_raw_binned(qm);
+        }
+        self.check_features(store.n_features());
+        let n = store.n_rows();
+        let stride = self.forest.n_groups;
+        let mut out = self.base_filled(n);
+        self.run(n, &mut out, |lo, hi, dst| {
+            let mut r = lo;
+            while r < hi {
+                let c = store.chunk_of_row(r);
+                let span = store.chunk_rows(c);
+                let b = span.end.min(hi);
+                if b < n {
+                    store.prefetch(store.chunk_of_row(b));
+                }
+                let chunk = store.pin(c);
+                kernel::score_block_binned(
+                    self.forest,
+                    &chunk,
+                    r - span.start,
+                    b - span.start,
+                    &mut dst[(r - lo) * stride..(b - lo) * stride],
+                    stride,
+                    0,
+                );
+                r = b;
+            }
         });
         out
     }

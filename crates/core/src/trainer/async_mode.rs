@@ -15,10 +15,10 @@
 //! * the leaf budget — a CAS loop on an atomic counter;
 //! * row partition — no lock: each task owns its node's span.
 
-use super::{goes_left_predicate, TreeEngine};
+use super::{split_pred, TreeEngine};
 use crate::growth::{GrowthQueue, RankedCandidate};
 use crate::hist;
-use crate::kernels::{row_scan, row_scan_scalar, GradSource, BYTES_PER_CELL, FLOPS_PER_CELL};
+use crate::kernels::{row_scan_store, GradSource, BYTES_PER_CELL, FLOPS_PER_CELL};
 use crate::loss::GradPair;
 use crate::params::GrowthMethod;
 use crate::split::find_split_masked;
@@ -66,7 +66,7 @@ pub(super) fn run_async(
     // write locality exactly as in the DP executor. Sparse rows have no
     // per-block substructure and Auto resolves per DP batch, not per node;
     // both scan whole.
-    let f_blk = if qm.is_dense() && !engine.params.blocks.is_auto() {
+    let f_blk = if qm.layout().dense && !engine.params.blocks.is_auto() {
         engine.params.blocks.features_per_block(m)
     } else {
         m
@@ -131,8 +131,8 @@ pub(super) fn run_async(
                 1,
                 Some(&breakdown.apply_split_ns),
             );
-            let pred = goes_left_predicate(qm, &cand.cand.split);
-            partition.apply_split(cand.node, l, r, &pred, None)
+            let pred = split_pred(qm, partition.rows(cand.node), &cand.cand.split);
+            partition.apply_split(cand.node, l, r, &|pos, row| pred.goes_left(pos, row), None)
         };
         {
             let mut t = tree_lock.lock_timed(lock_wait);
@@ -162,11 +162,7 @@ pub(super) fn run_async(
                 let rows = partition.rows(node);
                 let src = GradSource::select(partition.grads(node), grads);
                 for f_range in crate::plan::feature_blocks(m, f_blk) {
-                    cells += if use_scalar {
-                        row_scan_scalar(qm, rows, src, f_range, &mut buf)
-                    } else {
-                        row_scan(qm, rows, src, f_range, &mut buf)
-                    };
+                    cells += row_scan_store(qm, rows, src, f_range, &mut buf, use_scalar);
                 }
                 buf
             };

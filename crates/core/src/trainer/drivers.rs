@@ -34,8 +34,8 @@
 
 use crate::hist::{ReplicaBuf, ScratchPool};
 use crate::kernels::{
-    col_scan, col_scan_scalar, row_scan, row_scan_root, row_scan_scalar, GradSource,
-    BYTES_PER_CELL, FLOPS_PER_CELL,
+    col_scan_store, row_scan, row_scan_root, row_scan_root_store, row_scan_scalar, row_scan_store,
+    GradSource, BYTES_PER_CELL, FLOPS_PER_CELL,
 };
 use crate::loss::GradPair;
 use crate::params::TrainParams;
@@ -45,7 +45,7 @@ use crate::plan::{
     ResolvedExtents, ScanLayout,
 };
 use crate::tree::NodeId;
-use harp_binning::QuantizedMatrix;
+use harp_binning::QuantStore;
 use harp_parallel::{ThreadPool, TracePhase, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,8 +60,8 @@ pub struct HistJob {
 
 /// Shared context threaded through the drivers.
 pub struct DriverCtx<'a> {
-    /// Quantized input.
-    pub qm: &'a QuantizedMatrix,
+    /// Quantized input, chunk-mediated (in-core or out-of-core).
+    pub qm: &'a dyn QuantStore,
     /// Training parameters (block sizes, determinism, MemBuf flag).
     pub params: &'a TrainParams,
     /// Worker pool.
@@ -232,22 +232,186 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
         // dynamic mode).
         let rep = unsafe { std::slice::from_raw_parts_mut(replica_ptrs[replica].0, replica_len) };
         let dst = &mut rep[job_idx * width..(job_idx + 1) * width];
-        let c = if use_scalar {
-            let rows = &ctx.partition.rows(job.node)[task.rows.clone()];
-            row_scan_scalar(ctx.qm, rows, grads, task.features.clone(), dst)
-        } else if job.node == 0 && root_identity {
+        let c = if !use_scalar && job.node == 0 && root_identity {
             // Root fast path: the root span starts at row 0 in identity
             // order, so the chunk's positions ARE its row ids and the row-id
             // indirection drops out.
-            row_scan_root(ctx.qm, task.rows.clone(), grads, task.features.clone(), dst)
+            row_scan_root_store(ctx.qm, task.rows.clone(), grads, task.features.clone(), dst)
         } else {
             let rows = &ctx.partition.rows(job.node)[task.rows.clone()];
-            row_scan(ctx.qm, rows, grads, task.features.clone(), dst)
+            row_scan_store(ctx.qm, rows, grads, task.features.clone(), dst, use_scalar)
         };
         cells.fetch_add(c, Ordering::Relaxed);
     };
 
-    if ctx.params.deterministic {
+    // Chunk-major stripe execution for out-of-core stores. Deep nodes
+    // scatter their rows over every chunk, so running each task to
+    // completion sweeps the whole chunk sequence once *per task* — under a
+    // resident budget that reloads the entire cache per task. Instead the
+    // slot sweeps the chunk sequence ONCE, scanning every stripe task's
+    // rows that fall inside the currently pinned chunk. Per histogram cell
+    // this is still ascending-row accumulation: tasks sharing a (job,
+    // feature) lane in one slot own ascending, disjoint position ranges of
+    // the node's ascending row list, so interleaving them chunk by chunk
+    // visits exactly the same rows in exactly the same order as running
+    // them back to back — the result is bitwise identical to in-core.
+    // When the resident budget holds only `capacity` chunks, concurrent
+    // stripe cursors must stay within an eviction-free window of each other:
+    // a cursor that runs `capacity` chunks ahead evicts exactly the chunks
+    // the laggards are about to pin, degrading every sweep to a full
+    // reload. Cursors publish their step count and a leader spin-waits
+    // (bounded — task claiming is dynamic, so a slot may start late) until
+    // the slowest cursor is back inside the window; the laggards then hit
+    // the leader's decoded chunks instead of reloading their own.
+    let capacity = ctx.qm.sweep_capacity();
+    let window = if capacity == usize::MAX {
+        usize::MAX
+    } else {
+        capacity.saturating_sub(n_replicas + 1).max(1)
+    };
+    let progress: Vec<std::sync::atomic::AtomicUsize> =
+        (0..n_replicas).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+    let progress = &progress;
+
+    let run_stripe = |slot: usize, lane: usize| {
+        struct Cursor<'a> {
+            task: &'a BlockTask,
+            job_idx: usize,
+            /// Node-global row ids of the task (empty on the root fast path).
+            rows: &'a [u32],
+            /// Global row range on the root identity fast path.
+            root: Option<Range<usize>>,
+            /// Progress: index into `rows`, or rows consumed of `root`.
+            pos: usize,
+            /// Task-positional MemBuf slice (empty => global gradients).
+            membuf: &'a [GradPair],
+        }
+        let store = ctx.qm;
+        let mut cursors: Vec<Cursor> = Vec::new();
+        let mut i = slot;
+        while i < tasks_ro.len() {
+            let task = &tasks_ro[i];
+            let job_idx = task.jobs.start;
+            let job = &jobs_ro[job_idx];
+            let mb = ctx.partition.grads(job.node);
+            let membuf = if mb.is_empty() { mb } else { &mb[task.rows.clone()] };
+            let root = (!use_scalar && job.node == 0 && root_identity).then(|| task.rows.clone());
+            let rows: &[u32] = if root.is_some() {
+                &[]
+            } else {
+                &ctx.partition.rows(job.node)[task.rows.clone()]
+            };
+            cursors.push(Cursor { task, job_idx, rows, root, pos: 0, membuf });
+            i += n_replicas;
+        }
+        let next_row = |c: &Cursor| -> Option<usize> {
+            match &c.root {
+                Some(r) => (r.start + c.pos < r.end).then_some(r.start + c.pos),
+                None => c.rows.get(c.pos).map(|&r| r as usize),
+            }
+        };
+        let mut local_cells = 0u64;
+        let mut local_rows: Vec<u32> = Vec::new();
+        let mut steps = 0usize;
+        loop {
+            let mut c_min = usize::MAX;
+            for cur in &cursors {
+                if let Some(r) = next_row(cur) {
+                    c_min = c_min.min(store.chunk_of_row(r));
+                }
+            }
+            if c_min == usize::MAX {
+                progress[slot].store(usize::MAX, Ordering::Release);
+                break;
+            }
+            if window != usize::MAX {
+                progress[slot].store(steps, Ordering::Release);
+                let behind =
+                    || progress.iter().map(|p| p.load(Ordering::Acquire)).min().unwrap_or(steps);
+                let mut spins = 0u32;
+                while steps > behind() + window {
+                    // Bounded: if the pool handed two slots to one worker,
+                    // the missing cursor never advances — yield so its
+                    // worker gets scheduled, give up after ~ms and run
+                    // unthrottled rather than deadlock.
+                    spins += 1;
+                    if spins > 1 << 22 {
+                        break;
+                    }
+                    if spins % 1024 == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            steps += 1;
+            // Sweeps are ascending and near-dense over the chunk range, so
+            // the sequential hint overlaps the next decode with this scan.
+            if c_min + 1 < store.n_chunks() {
+                store.prefetch(c_min + 1);
+            }
+            let span = store.chunk_rows(c_min);
+            let chunk = store.pin(c_min);
+            for cur in &mut cursors {
+                let Some(r0) = next_row(cur) else { continue };
+                if r0 >= span.end {
+                    continue;
+                }
+                let job = &jobs_ro[cur.job_idx];
+                let _span = trace
+                    .map(|s| s.span(lane, TracePhase::BuildHist, job.node, c_min as u32));
+                // SAFETY: as in `run_task` — this slot is the only writer
+                // of its replica.
+                let rep =
+                    unsafe { std::slice::from_raw_parts_mut(replica_ptrs[slot].0, replica_len) };
+                let dst = &mut rep[cur.job_idx * width..(cur.job_idx + 1) * width];
+                let f_range = cur.task.features.clone();
+                local_cells += match &cur.root {
+                    Some(range) => {
+                        let hi = span.end.min(range.end);
+                        let grads = if cur.membuf.is_empty() {
+                            GradSource::Global(&ctx.grads[span.start..])
+                        } else {
+                            GradSource::MemBuf(&cur.membuf[r0 - range.start..])
+                        };
+                        cur.pos += hi - r0;
+                        row_scan_root(&chunk, r0 - span.start..hi - span.start, grads, f_range, dst)
+                    }
+                    None => {
+                        let end = cur.pos
+                            + cur.rows[cur.pos..].partition_point(|&r| (r as usize) < span.end);
+                        local_rows.clear();
+                        local_rows
+                            .extend(cur.rows[cur.pos..end].iter().map(|&r| r - span.start as u32));
+                        let grads = if cur.membuf.is_empty() {
+                            GradSource::Global(&ctx.grads[span.start..])
+                        } else {
+                            GradSource::MemBuf(&cur.membuf[cur.pos..end])
+                        };
+                        let c = if use_scalar {
+                            row_scan_scalar(&chunk, &local_rows, grads, f_range, dst)
+                        } else {
+                            row_scan(&chunk, &local_rows, grads, f_range, dst)
+                        };
+                        cur.pos = end;
+                        c
+                    }
+                };
+            }
+        }
+        cells.fetch_add(local_cells, Ordering::Relaxed);
+    };
+
+    let chunked = ctx.qm.as_single().is_none();
+    // A chunked store always takes the static stripe schedule (so the
+    // chunk-major sweep owns a fixed task set); bitwise reproducibility in
+    // dynamic mode is no loss — dynamic replica assignment is already
+    // timing-dependent in-core.
+    let static_sched = ctx.params.deterministic || chunked;
+    if chunked {
+        ctx.pool.parallel_for(n_replicas, |slot, worker| run_stripe(slot, worker));
+    } else if ctx.params.deterministic {
         // Static schedule: slot s runs tasks s, s+T, s+2T, ...
         ctx.pool.parallel_for(n_replicas, |slot, worker| {
             let mut i = slot;
@@ -297,7 +461,7 @@ pub fn build_hists_dp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
         let hi = task.jobs.start * width + offsets[task.features.end] as usize * 2;
         lo..hi
     };
-    if ctx.params.deterministic {
+    if static_sched {
         // Exact per-slot sets from the static schedule.
         for (slot, rep) in replicas.iter_mut().enumerate() {
             range_tmp.clear();
@@ -382,11 +546,8 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
                 };
                 let base = mapper.bin_offset(f) as usize * 2;
                 let hist_f = &mut buf[base..base + n_bins * 2];
-                local_cells += if use_scalar {
-                    col_scan_scalar(ctx.qm, f, rows, grads, bin_range, hist_f)
-                } else {
-                    col_scan(ctx.qm, f, rows, grads, bin_range, hist_f)
-                };
+                local_cells +=
+                    col_scan_store(ctx.qm, f, rows, grads, bin_range, hist_f, use_scalar);
             }
         }
         cells.fetch_add(local_cells, Ordering::Relaxed);
@@ -404,8 +565,9 @@ pub fn build_hists_mp(ctx: &DriverCtx<'_>, scratch: &mut DriverScratch, jobs: &m
 mod tests {
     use super::*;
     use crate::hist::hist_width;
+    use crate::kernels::row_scan_scalar;
     use crate::params::{BlockConfig, ParallelMode};
-    use harp_binning::BinningConfig;
+    use harp_binning::{BinningConfig, QuantizedMatrix};
     use harp_data::{DatasetKind, SynthConfig};
     use harp_parallel::Profile;
     use std::sync::Arc;
@@ -418,8 +580,8 @@ mod tests {
         let mut part = RowPartition::new(n, 64, membuf);
         part.reset(&grads);
         // Split the root twice to get a 3-node frontier {3, 4, 2}.
-        part.apply_split(0, 1, 2, &|r| r % 2 == 0, None);
-        part.apply_split(1, 3, 4, &|r| r % 3 == 0, None);
+        part.apply_split(0, 1, 2, &|_, r| r % 2 == 0, None);
+        part.apply_split(1, 3, 4, &|_, r| r % 3 == 0, None);
         (qm, grads, part)
     }
 
@@ -727,7 +889,7 @@ mod tests {
     fn zero_row_jobs_emit_no_tasks_and_stay_zero() {
         let (qm, grads, part) = setup(DatasetKind::HiggsLike, true);
         // Manufacture an empty node: split node 2 sending every row left.
-        part.apply_split(2, 5, 6, &|_| true, None);
+        part.apply_split(2, 5, 6, &|_, _| true, None);
         assert_eq!(part.node_len(6), 0);
         let params = TrainParams { n_threads: 4, ..Default::default() };
         let hists =

@@ -27,7 +27,9 @@ use crate::params::{GrowthMethod, ParallelMode, TrainParams};
 use crate::partition::RowPartition;
 use crate::split::{better_of, SplitCandidate, SplitSettings};
 use crate::tree::{NodeId, NodeStats, Tree};
-use harp_binning::{BinningConfig, LayoutOptions, QuantizedMatrix, MISSING_BIN};
+use harp_binning::{
+    BinningConfig, ChunkIoStats, LayoutOptions, QuantStore, QuantizedMatrix, MISSING_BIN,
+};
 use harp_data::Dataset;
 use harp_metrics::{
     gauges, BreakdownReport, ConvergenceTrace, LedgerRecord, MemGauge, MemRegistry, PlanStats,
@@ -352,6 +354,69 @@ impl GbdtTrainer {
         query_groups: Option<&[u32]>,
         eval: Option<EvalOptions<'_>>,
     ) -> TrainOutput {
+        self.train_store_grouped(qm, labels, weights, query_groups, eval)
+    }
+
+    /// Trains through any [`QuantStore`] — the in-memory matrix or an
+    /// out-of-core [`harp_binning::ChunkedStore`]. Chunked training is
+    /// bitwise identical to in-core on the same data (see
+    /// `tests/external_memory.rs`).
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != store.n_rows()`.
+    pub fn train_store(
+        &self,
+        store: &dyn QuantStore,
+        labels: &[f32],
+        eval: Option<EvalOptions<'_>>,
+    ) -> TrainOutput {
+        self.train_store_grouped(store, labels, None, None, eval)
+    }
+
+    /// Like [`train_store_grouped`](Self::train_store_grouped) with the
+    /// objective's data validation surfaced as an error instead of a panic —
+    /// the CLI-friendly external-memory entry point.
+    ///
+    /// # Errors
+    /// Returns the objective's validation message for unusable data.
+    pub fn try_train_store_grouped(
+        &self,
+        store: &dyn QuantStore,
+        labels: &[f32],
+        weights: Option<&[f32]>,
+        query_groups: Option<&[u32]>,
+        eval: Option<EvalOptions<'_>>,
+    ) -> Result<TrainOutput, String> {
+        let objective = self.params.loss.build();
+        objective
+            .validate_data(labels, query_groups)
+            .map_err(|e| format!("training data rejected by {}: {e}", self.params.loss.name()))?;
+        if let Some(e) = &eval {
+            objective
+                .validate_data(&e.data.labels, e.data.query_groups.as_deref())
+                .map_err(|err| {
+                    format!("eval data rejected by {}: {err}", self.params.loss.name())
+                })?;
+        }
+        Ok(self.train_store_grouped(store, labels, weights, query_groups, eval))
+    }
+
+    /// The full store-mediated entry point; see
+    /// [`train_prepared_grouped`](Self::train_prepared_grouped) for the
+    /// weight/group semantics.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != store.n_rows()`, the weights length
+    /// differs, or the objective rejects the data.
+    pub fn train_store_grouped(
+        &self,
+        store: &dyn QuantStore,
+        labels: &[f32],
+        weights: Option<&[f32]>,
+        query_groups: Option<&[u32]>,
+        eval: Option<EvalOptions<'_>>,
+    ) -> TrainOutput {
+        let qm = store;
         assert_eq!(labels.len(), qm.n_rows(), "one label per row required");
         let params = &self.params;
         let objective = params.loss.build();
@@ -423,6 +488,17 @@ impl GbdtTrainer {
                 ),
                 None => (None, None, None, None, None, None),
             };
+        // Quantized-storage accounting: the decoded-equivalent bytes of the
+        // store (the dominant allocation of an in-core run) plus, for a
+        // chunked store, the resident decoded slab bytes whose high-water
+        // mark proves a --mem-budget run stayed under its budget.
+        let chunk_g = match &mut mem_registry {
+            Some(reg) => {
+                reg.gauge(gauges::QUANT_STORE).observe(qm.storage_bytes() as u64);
+                (qm.as_single().is_none()).then(|| reg.gauge(gauges::CHUNK_RESIDENT))
+            }
+            None => None,
+        };
         // Cache hit/miss/eviction counters are cheap relaxed atomics; wire
         // them unconditionally so whole-run profile reports always have them.
         engine.hist_pool.instrument(Arc::clone(&profile), hist_pool_g, hist_cache_g);
@@ -432,6 +508,7 @@ impl GbdtTrainer {
         let mut run_ledger = params.ledger.enabled.then(RunLedger::new);
         let mut prev_breakdown = BreakdownReport::default();
         let mut prev_counters = profile.snapshot();
+        let mut prev_io: ChunkIoStats = qm.io_stats();
         let mut prev_trace_counters = sink.as_ref().map(|s| s.counter_totals());
         let mut prev_lane_busy = sink.as_ref().map(|s| s.phase_busy_by_lane());
 
@@ -590,6 +667,24 @@ impl GbdtTrainer {
                 }
             }
 
+            // Chunk-I/O accounting: fold this round's store counters into
+            // the profile (all-zero deltas for an in-core store) and refresh
+            // the resident gauge. Runs before the ledger hook so the round's
+            // counter delta carries its own chunk traffic.
+            {
+                let io = qm.io_stats();
+                profile.add_chunk_io_events(
+                    io.chunk_loads - prev_io.chunk_loads,
+                    io.chunk_evictions - prev_io.chunk_evictions,
+                    io.chunk_prefetch_hits - prev_io.chunk_prefetch_hits,
+                );
+                prev_io = io;
+                if let Some(g) = &chunk_g {
+                    g.observe(io.resident_bytes);
+                    g.observe_peak(io.resident_high_water);
+                }
+            }
+
             // Ledger hook: snapshot this round's deltas.
             if let (Some(ledger), Some(registry)) = (&mut run_ledger, &mem_registry) {
                 let bd = breakdown.report();
@@ -725,7 +820,7 @@ fn incremental_eval(
 
 /// Per-tree construction engine; buffers persist across trees.
 struct TreeEngine<'a> {
-    qm: &'a QuantizedMatrix,
+    qm: &'a dyn QuantStore,
     params: &'a TrainParams,
     pool: &'a ThreadPool,
     breakdown: &'a TimeBreakdown,
@@ -902,22 +997,31 @@ impl<'a> TreeEngine<'a> {
                 splits.push((c.node, l, r));
                 *leaves += 1;
             }
+            // Routing bins for the whole frontier come from one ascending
+            // chunk sweep (a no-op change for in-core stores, which borrow
+            // their routing columns per split).
+            let items: Vec<(&[u32], &crate::tree::SplitData)> = splits
+                .iter()
+                .zip(&batch)
+                .map(|(&(parent, _, _), c)| (self.partition.rows(parent), &c.cand.split))
+                .collect();
+            let preds = split_preds_batch(self.qm, &items);
+            drop(items);
             if batch.len() >= self.pool.num_threads() * 2 {
                 let partition = &self.partition;
-                let qm = self.qm;
-                let batch_ro = &batch;
                 let splits_ro = &splits;
+                let preds_ro = &preds;
                 let trace = self.sink();
                 self.pool.parallel_for(batch.len(), |i, w| {
                     let (parent, l, r) = splits_ro[i];
                     let _span = trace.map(|s| s.span(w, TracePhase::ApplySplit, parent, i as u32));
-                    let pred = goes_left_fn(qm, &batch_ro[i].cand.split);
-                    partition.apply_split(parent, l, r, &pred, None);
+                    let pred = &preds_ro[i];
+                    partition.apply_split(parent, l, r, &|pos, row| pred.goes_left(pos, row), None);
                 });
             } else {
                 for (i, &(parent, l, r)) in splits.iter().enumerate() {
-                    let pred = goes_left_fn(self.qm, &batch[i].cand.split);
-                    self.partition.apply_split(parent, l, r, &pred, Some(self.pool));
+                    let pred = &preds[i];
+                    self.partition.apply_split(parent, l, r, &|pos, row| pred.goes_left(pos, row), Some(self.pool));
                 }
             }
             for &(_, l, r) in &splits {
@@ -1144,60 +1248,159 @@ impl<'a> TreeEngine<'a> {
     }
 }
 
-/// Builds the left/right routing predicate for one split over binned data.
-pub(crate) fn goes_left_fn<'a>(
-    qm: &'a QuantizedMatrix,
+/// How a [`SplitPred`] resolves a row's routing bin.
+enum SplitRoute<'a> {
+    /// Dense u8 column borrow (in-core fast path).
+    Dense(&'a [u8]),
+    /// Bundled synthetic column borrow plus the feature's slot window.
+    Bundled { col: &'a [u8], lo: u16, width: u16 },
+    /// Per-row CSR binary search (in-core sparse).
+    Sparse(&'a QuantizedMatrix),
+    /// Owned copies of the node's row list and its effective routing bins,
+    /// gathered chunk by chunk up front (out-of-core stores).
+    Gathered { rows: Vec<u32>, bins: Vec<u8> },
+}
+
+/// The left/right routing predicate for one split over binned data.
+pub(crate) struct SplitPred<'a> {
+    f: usize,
+    bin: u8,
+    default_left: bool,
+    route: SplitRoute<'a>,
+}
+
+/// Builds the routing predicate for `split` over a node whose (ascending)
+/// row list is `rows`. In-core stores borrow the routing column directly —
+/// the exact pre-trait fast paths, `rows` unused; a chunked store gathers
+/// the node's effective bins once here, so the partition hot loop never
+/// pins chunks. Call this BEFORE `RowPartition::apply_split` mutates the
+/// node's span: the gathered route owns its copies and stays valid through
+/// the partition, a live borrow of the row list would not.
+pub(crate) fn split_pred<'a>(
+    store: &'a dyn QuantStore,
+    rows: &[u32],
     split: &crate::tree::SplitData,
-) -> impl Fn(u32) -> bool + Sync + 'a {
+) -> SplitPred<'a> {
     let f = split.feature as usize;
-    let bin = split.bin;
-    let default_left = split.default_left;
-    enum Route<'a> {
-        Dense(&'a [u8]),
-        Bundled { col: &'a [u8], lo: u16, width: u16 },
-        Sparse,
-    }
-    let route = if let Some(col) = qm.dense_col(f) {
-        Route::Dense(col)
-    } else if qm.is_bundled() {
-        let slot = qm.mapper().bundles().expect("bundle map").slot(f);
-        let col = qm.bundled_col(slot.col as usize).expect("bundled storage");
-        Route::Bundled { col, lo: slot.offset, width: slot.width }
-    } else {
-        Route::Sparse
+    let route = match store.as_single() {
+        Some(qm) => {
+            if let Some(col) = qm.dense_col(f) {
+                SplitRoute::Dense(col)
+            } else if qm.is_bundled() {
+                let slot = qm.mapper().bundles().expect("bundle map").slot(f);
+                let col = qm.bundled_col(slot.col as usize).expect("bundled storage");
+                SplitRoute::Bundled { col, lo: slot.offset, width: slot.width }
+            } else {
+                SplitRoute::Sparse(qm)
+            }
+        }
+        None => {
+            let rows_owned = rows.to_vec();
+            let mut bins = Vec::with_capacity(rows_owned.len());
+            store.gather_route_bins(f, &rows_owned, &mut bins);
+            SplitRoute::Gathered { rows: rows_owned, bins }
+        }
     };
-    move |row: u32| match route {
-        Route::Dense(col) => {
-            let b = col[row as usize];
-            if b == MISSING_BIN {
-                default_left
-            } else {
-                b <= bin
+    SplitPred { f, bin: split.bin, default_left: split.default_left, route }
+}
+
+/// Builds the routing predicates for a whole frontier of splits at once.
+/// In-core stores borrow their routing columns per split (O(1), exactly
+/// [`split_pred`]); a chunked store gathers every node's routing bins in
+/// ONE ascending sweep of the chunk sequence — per-node gathers would pin
+/// the node's full chunk span once per split, which under a resident
+/// budget reloads most of the cache for every split in the batch.
+pub(crate) fn split_preds_batch<'a>(
+    store: &'a dyn QuantStore,
+    items: &[(&[u32], &crate::tree::SplitData)],
+) -> Vec<SplitPred<'a>> {
+    if store.as_single().is_some() {
+        return items.iter().map(|&(rows, split)| split_pred(store, rows, split)).collect();
+    }
+    let rows_owned: Vec<Vec<u32>> = items.iter().map(|&(r, _)| r.to_vec()).collect();
+    let mut bins: Vec<Vec<u8>> = items.iter().map(|&(r, _)| Vec::with_capacity(r.len())).collect();
+    let mut pos = vec![0usize; items.len()];
+    let mut local: Vec<u32> = Vec::new();
+    loop {
+        let mut c_min = usize::MAX;
+        for (i, r) in rows_owned.iter().enumerate() {
+            if let Some(&row) = r.get(pos[i]) {
+                c_min = c_min.min(store.chunk_of_row(row as usize));
             }
         }
-        Route::Bundled { col, lo, width } => {
-            // The stored bin encodes which member feature is present: only
-            // values inside `f`'s slot window belong to it, anything else
-            // means `f` is absent (implicit zero / missing) in this row.
-            let b = u16::from(col[row as usize]);
-            if b.wrapping_sub(lo) < width {
-                (b - lo) as u8 <= bin
-            } else {
-                default_left
-            }
+        if c_min == usize::MAX {
+            break;
         }
-        Route::Sparse => {
-            let (cols, bins) = qm.sparse_row(row as usize).expect("sparse storage");
-            match cols.binary_search(&(f as u32)) {
-                Ok(i) => bins[i] <= bin,
-                Err(_) => default_left,
+        if c_min + 1 < store.n_chunks() {
+            store.prefetch(c_min + 1);
+        }
+        let span = store.chunk_rows(c_min);
+        let chunk = store.pin(c_min);
+        for (i, r) in rows_owned.iter().enumerate() {
+            let Some(&row) = r.get(pos[i]) else { continue };
+            if row as usize >= span.end {
+                continue;
             }
+            let end = pos[i] + r[pos[i]..].partition_point(|&x| (x as usize) < span.end);
+            local.clear();
+            local.extend(r[pos[i]..end].iter().map(|&x| x - span.start as u32));
+            chunk.gather_route_bins(items[i].1.feature as usize, &local, &mut bins[i]);
+            pos[i] = end;
+        }
+    }
+    items
+        .iter()
+        .zip(rows_owned.into_iter().zip(bins))
+        .map(|(&(_, split), (rows, bins))| SplitPred {
+            f: split.feature as usize,
+            bin: split.bin,
+            default_left: split.default_left,
+            route: SplitRoute::Gathered { rows, bins },
+        })
+        .collect()
+}
+
+impl SplitPred<'_> {
+    /// Whether `row` routes left. Every route resolves the row to its
+    /// feature-local effective bin (or [`MISSING_BIN`] when absent), then
+    /// applies one shared `b <= bin` / default-direction rule, so all four
+    /// storage paths route identically. `pos` is the row's index within the
+    /// split node's span (what [`RowPartition::apply_split`] passes); the
+    /// gathered route resolves it positionally — a by-row binary search per
+    /// routed row dominated out-of-core ApplySplit time.
+    pub(crate) fn goes_left(&self, pos: usize, row: u32) -> bool {
+        let b = match &self.route {
+            SplitRoute::Dense(col) => col[row as usize],
+            SplitRoute::Bundled { col, lo, width } => {
+                // The stored bin encodes which member feature is present:
+                // only values inside `f`'s slot window belong to it,
+                // anything else means `f` is absent in this row.
+                let b = u16::from(col[row as usize]);
+                if b.wrapping_sub(*lo) < *width {
+                    (b - lo) as u8
+                } else {
+                    MISSING_BIN
+                }
+            }
+            SplitRoute::Sparse(qm) => {
+                let (cols, bins) = qm.sparse_row(row as usize).expect("sparse storage");
+                match cols.binary_search(&(self.f as u32)) {
+                    Ok(i) => bins[i],
+                    Err(_) => MISSING_BIN,
+                }
+            }
+            SplitRoute::Gathered { rows, bins } => {
+                debug_assert_eq!(rows[pos], row, "gathered route out of step with the span");
+                bins[pos]
+            }
+        };
+        if b == MISSING_BIN {
+            self.default_left
+        } else {
+            b <= self.bin
         }
     }
 }
-
-// Re-exported for the async module.
-pub(crate) use goes_left_fn as goes_left_predicate;
 
 #[cfg(test)]
 mod tests;

@@ -63,6 +63,13 @@ impl MemGauge {
         self.high_water.fetch_max(bytes, Ordering::Relaxed);
     }
 
+    /// Ratchets the high-water mark only, leaving `current` untouched — for
+    /// components that track their own peak internally (e.g. a chunk cache
+    /// whose momentary peaks fall between ledger snapshots).
+    pub fn observe_peak(&self, bytes: u64) {
+        self.high_water.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Current bytes held.
     pub fn current(&self) -> u64 {
         self.current.load(Ordering::Relaxed)
@@ -104,6 +111,12 @@ pub mod gauges {
     pub const PARTITION: &str = "partition";
     /// Flat inference forest compiled for incremental evaluation.
     pub const FLAT_FOREST: &str = "flat_forest";
+    /// Quantized bin storage (row/col majors + u4/bundled side copies) when
+    /// training in-core — the dominant allocation of a training run.
+    pub const QUANT_STORE: &str = "quant_store";
+    /// Decoded chunk slabs resident in the out-of-core store; the high-water
+    /// mark proves a `--mem-budget` run stayed under its budget.
+    pub const CHUNK_RESIDENT: &str = "chunk_resident";
 }
 
 /// A named set of shared gauges for one training run.
@@ -188,6 +201,17 @@ mod tests {
         g.observe(200);
         assert_eq!(g.current(), 200);
         assert_eq!(g.high_water(), 500);
+    }
+
+    #[test]
+    fn observe_peak_ratchets_without_touching_current() {
+        let g = MemGauge::new();
+        g.observe(100);
+        g.observe_peak(700);
+        assert_eq!(g.current(), 100, "current untouched");
+        assert_eq!(g.high_water(), 700);
+        g.observe_peak(300);
+        assert_eq!(g.high_water(), 700, "peak never lowers");
     }
 
     #[test]

@@ -118,6 +118,13 @@ pub struct Profile {
     /// Kernel SIMD tier dispatched (0 scalar, 1 sse2, 2 avx2); a level, not
     /// a count.
     pub simd_tier: AtomicU64,
+    /// Out-of-core chunks decoded from the cache file (zero when training
+    /// in-core).
+    pub chunk_loads: AtomicU64,
+    /// Out-of-core chunks evicted under the resident-byte budget.
+    pub chunk_evictions: AtomicU64,
+    /// Chunk pins satisfied by the background prefetch worker.
+    pub chunk_prefetch_hits: AtomicU64,
 }
 
 impl Profile {
@@ -154,6 +161,9 @@ impl Profile {
             &self.cols_bundled,
             &self.bundle_conflicts,
             &self.simd_tier,
+            &self.chunk_loads,
+            &self.chunk_evictions,
+            &self.chunk_prefetch_hits,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -222,6 +232,15 @@ impl Profile {
         self.simd_tier.store(simd_tier, Ordering::Relaxed);
     }
 
+    /// Records out-of-core chunk-I/O traffic: decodes from the cache file,
+    /// budget evictions, and pins the prefetch worker satisfied. The trainer
+    /// feeds per-round deltas of the store's cumulative counters.
+    pub fn add_chunk_io_events(&self, loads: u64, evictions: u64, prefetch_hits: u64) {
+        self.chunk_loads.fetch_add(loads, Ordering::Relaxed);
+        self.chunk_evictions.fetch_add(evictions, Ordering::Relaxed);
+        self.chunk_prefetch_hits.fetch_add(prefetch_hits, Ordering::Relaxed);
+    }
+
     /// Records the write working-set size of one scheduled task.
     pub fn observe_region_bytes(&self, write_working_set: u64) {
         self.region_write_ws_bytes.fetch_add(write_working_set, Ordering::Relaxed);
@@ -267,6 +286,9 @@ impl Profile {
             cols_bundled: self.cols_bundled.load(Ordering::Relaxed),
             bundle_conflicts: self.bundle_conflicts.load(Ordering::Relaxed),
             simd_tier: self.simd_tier.load(Ordering::Relaxed),
+            chunk_loads: self.chunk_loads.load(Ordering::Relaxed),
+            chunk_evictions: self.chunk_evictions.load(Ordering::Relaxed),
+            chunk_prefetch_hits: self.chunk_prefetch_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -294,6 +316,9 @@ impl Profile {
         let cols_bundled = self.cols_bundled.load(Ordering::Relaxed);
         let bundle_conflicts = self.bundle_conflicts.load(Ordering::Relaxed);
         let simd_tier = self.simd_tier.load(Ordering::Relaxed);
+        let chunk_loads = self.chunk_loads.load(Ordering::Relaxed);
+        let chunk_evictions = self.chunk_evictions.load(Ordering::Relaxed);
+        let chunk_prefetch_hits = self.chunk_prefetch_hits.load(Ordering::Relaxed);
 
         let thread_time = (threads as u64).saturating_mul(wall);
         let in_region = busy + barrier;
@@ -326,6 +351,9 @@ impl Profile {
             cols_bundled,
             bundle_conflicts,
             simd_tier,
+            chunk_loads,
+            chunk_evictions,
+            chunk_prefetch_hits,
         }
     }
 }
@@ -385,6 +413,12 @@ pub struct ProfileCounters {
     pub bundle_conflicts: u64,
     /// Kernel SIMD tier (0 scalar, 1 sse2, 2 avx2).
     pub simd_tier: u64,
+    /// Out-of-core chunks decoded.
+    pub chunk_loads: u64,
+    /// Out-of-core chunks evicted under the resident budget.
+    pub chunk_evictions: u64,
+    /// Chunk pins satisfied by the prefetch worker.
+    pub chunk_prefetch_hits: u64,
 }
 
 impl ProfileCounters {
@@ -402,7 +436,7 @@ impl ProfileCounters {
 
     /// `(name, value)` view in a stable order — the generic form ledger
     /// records and diff tables consume.
-    pub fn named(&self) -> [(&'static str, u64); 25] {
+    pub fn named(&self) -> [(&'static str, u64); 28] {
         [
             ("busy_ns", self.busy_ns),
             ("barrier_wait_ns", self.barrier_wait_ns),
@@ -429,10 +463,13 @@ impl ProfileCounters {
             ("cols_bundled", self.cols_bundled),
             ("bundle_conflicts", self.bundle_conflicts),
             ("simd_tier", self.simd_tier),
+            ("chunk_loads", self.chunk_loads),
+            ("chunk_evictions", self.chunk_evictions),
+            ("chunk_prefetch_hits", self.chunk_prefetch_hits),
         ]
     }
 
-    fn named_mut(&mut self) -> [(&'static str, &mut u64); 25] {
+    fn named_mut(&mut self) -> [(&'static str, &mut u64); 28] {
         [
             ("busy_ns", &mut self.busy_ns),
             ("barrier_wait_ns", &mut self.barrier_wait_ns),
@@ -459,6 +496,9 @@ impl ProfileCounters {
             ("cols_bundled", &mut self.cols_bundled),
             ("bundle_conflicts", &mut self.bundle_conflicts),
             ("simd_tier", &mut self.simd_tier),
+            ("chunk_loads", &mut self.chunk_loads),
+            ("chunk_evictions", &mut self.chunk_evictions),
+            ("chunk_prefetch_hits", &mut self.chunk_prefetch_hits),
         ]
     }
 }
@@ -529,6 +569,12 @@ pub struct ProfileReport {
     pub bundle_conflicts: u64,
     /// Kernel SIMD tier dispatched (0 scalar, 1 sse2, 2 avx2).
     pub simd_tier: u64,
+    /// Out-of-core chunks decoded (zero in-core).
+    pub chunk_loads: u64,
+    /// Out-of-core chunks evicted under the resident budget.
+    pub chunk_evictions: u64,
+    /// Chunk pins satisfied by the prefetch worker.
+    pub chunk_prefetch_hits: u64,
 }
 
 impl std::fmt::Display for ProfileReport {
@@ -563,10 +609,15 @@ impl std::fmt::Display for ProfileReport {
             1 => "sse2",
             _ => "avx2",
         };
-        write!(
+        writeln!(
             f,
             "layout u4/bundled/conflicts {:>2} / {} / {} (simd {})",
             self.cols_u4, self.cols_bundled, self.bundle_conflicts, tier
+        )?;
+        write!(
+            f,
+            "chunk load/evict/prefetch {:>4} / {} / {}",
+            self.chunk_loads, self.chunk_evictions, self.chunk_prefetch_hits
         )
     }
 }
@@ -731,7 +782,20 @@ mod tests {
         assert_eq!(d.partition_scratch_reuses, 40_000);
         // The named view covers every field (a new counter must be added to
         // `named()` or this count drifts).
-        assert_eq!(d.named().len(), 25);
+        assert_eq!(d.named().len(), 28);
+    }
+
+    #[test]
+    fn chunk_io_events_accumulate_and_delta() {
+        let p = Profile::new();
+        p.add_chunk_io_events(5, 2, 1);
+        let before = p.snapshot();
+        p.add_chunk_io_events(3, 1, 0);
+        let d = p.snapshot().delta(&before);
+        assert_eq!(d.chunk_loads, 3);
+        assert_eq!(d.chunk_evictions, 1);
+        assert_eq!(d.chunk_prefetch_hits, 0);
+        assert_eq!(p.snapshot().chunk_loads, 8);
     }
 
     #[test]

@@ -518,8 +518,8 @@ fn pooled_replicas_reproduce_bitwise_across_frontiers() {
     let grads: Vec<Grad> = (0..n).map(|i| [((i * 13) % 23) as f32 - 11.0, 1.0]).collect();
     let mut part = RowPartition::new(n, 64, true);
     part.reset(&grads);
-    part.apply_split(0, 1, 2, &|r| r % 2 == 0, None);
-    part.apply_split(1, 3, 4, &|r| r % 5 == 0, None);
+    part.apply_split(0, 1, 2, &|_, r| r % 2 == 0, None);
+    part.apply_split(1, 3, 4, &|_, r| r % 5 == 0, None);
     let params = TrainParams { n_threads: 4, deterministic: true, ..TrainParams::default() };
     let pool = ThreadPool::new(4);
     let width = hist_width(qm.mapper().total_bins(), qm.n_features());
@@ -568,7 +568,7 @@ fn driver_steady_state_is_allocation_free() {
     let grads: Vec<Grad> = (0..n).map(|i| [(i % 7) as f32 - 3.0, 1.0]).collect();
     let mut part = RowPartition::new(n, 64, true);
     part.reset(&grads);
-    part.apply_split(0, 1, 2, &|r| r % 2 == 0, None);
+    part.apply_split(0, 1, 2, &|_, r| r % 2 == 0, None);
     let params = TrainParams { n_threads: 4, ..TrainParams::default() };
     let profile = Arc::new(Profile::new());
     let pool = ThreadPool::with_profile(4, Arc::clone(&profile));
